@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks for the computational kernels the tables
+//! stand on, plus the ablation benchmarks for the design choices called
+//! out in DESIGN.md (reductions on/off, extended reductions on/off,
+//! strong vs slim IP model, LP vs SDP relaxation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ugrs_lp::{LpProblem, Simplex, SimplexParams};
+use ugrs_misdp::gen as mgen;
+use ugrs_misdp::{Approach, MisdpSolver};
+use ugrs_sdp::{solve as sdp_solve, SdpOptions};
+use ugrs_steiner::dualascent::dual_ascent;
+use ugrs_steiner::gen as sgen;
+use ugrs_steiner::maxflow::MaxFlow;
+use ugrs_steiner::reduce::{reduce, ReduceParams};
+use ugrs_steiner::sap::SapGraph;
+use ugrs_steiner::{SteinerOptions, SteinerSolver};
+
+fn lp_random(n: usize, m: usize, seed: u64) -> LpProblem {
+    // Deterministic pseudo-random LP (transportation-flavoured).
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) % 1000) as f64 / 100.0
+    };
+    let mut p = LpProblem::new();
+    let vars: Vec<_> = (0..n).map(|_| p.add_var(0.0, 10.0, next() - 5.0)).collect();
+    for r in 0..m {
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| (j + r) % 3 == 0)
+            .map(|(_, &v)| (v, next() - 5.0))
+            .collect();
+        p.add_row(-20.0, 20.0, &terms);
+    }
+    p
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let p = lp_random(120, 60, 7);
+    c.bench_function("lp/simplex_120x60", |b| {
+        b.iter(|| {
+            let mut s = Simplex::new(black_box(p.clone()), SimplexParams::default());
+            s.solve_primal();
+            black_box(s.obj_value())
+        })
+    });
+    c.bench_function("lp/dual_warmstart_bound_change", |b| {
+        let mut s = Simplex::new(p.clone(), SimplexParams::default());
+        s.solve_primal();
+        b.iter(|| {
+            s.set_var_bounds(ugrs_lp::VarId(0), 0.0, 4.0);
+            s.solve_dual();
+            s.set_var_bounds(ugrs_lp::VarId(0), 0.0, 10.0);
+            s.solve_dual();
+            black_box(s.obj_value())
+        })
+    });
+}
+
+fn bench_steiner_kernels(c: &mut Criterion) {
+    let g = sgen::hypercube(5, sgen::CostScheme::Perturbed, 3);
+    let sap = SapGraph::from_graph(&g, SapGraph::pick_root(&g));
+    c.bench_function("steiner/dual_ascent_hc5", |b| {
+        b.iter(|| black_box(dual_ascent(black_box(&sap), 8).bound))
+    });
+    c.bench_function("steiner/maxflow_hc5", |b| {
+        b.iter(|| {
+            let mut mf = MaxFlow::new(sap.n);
+            for arc in &sap.arcs {
+                mf.add_arc(arc.tail as usize, arc.head as usize, 0.5);
+            }
+            black_box(mf.max_flow(sap.root, (sap.root + 7) % sap.n, 1.0))
+        })
+    });
+    c.bench_function("steiner/reduce_cc3-4", |b| {
+        b.iter(|| {
+            let mut g = sgen::code_covering(3, 4, 10, sgen::CostScheme::Perturbed, 101);
+            black_box(reduce(&mut g, &ReduceParams::default()).total_eliminations())
+        })
+    });
+}
+
+fn bench_sdp(c: &mut Criterion) {
+    let p = mgen::truss_topology(5, 12, 5).sdp_relaxation(&vec![0.0; 12], &vec![1.0; 12]);
+    c.bench_function("sdp/barrier_ttd5x12", |b| {
+        b.iter(|| black_box(sdp_solve(black_box(&p), &SdpOptions::default()).obj))
+    });
+}
+
+/// Ablation: graph reductions on/off (DESIGN.md: "reductions are
+/// extremely important").
+fn bench_ablation_reductions(c: &mut Criterion) {
+    let g = sgen::code_covering(2, 4, 6, sgen::CostScheme::Perturbed, 77);
+    c.bench_function("ablation/steiner_with_reductions", |b| {
+        b.iter(|| {
+            let mut s = SteinerSolver::new(g.clone(), SteinerOptions::default());
+            black_box(s.solve().best_cost)
+        })
+    });
+    c.bench_function("ablation/steiner_without_reductions", |b| {
+        b.iter(|| {
+            let mut s = SteinerSolver::new(
+                g.clone(),
+                SteinerOptions { skip_reductions: true, ..Default::default() },
+            );
+            black_box(s.solve().best_cost)
+        })
+    });
+}
+
+/// Ablation: LP vs SDP relaxation on one instance of each family.
+fn bench_ablation_approach(c: &mut Criterion) {
+    let ttd = mgen::truss_topology(4, 9, 9);
+    let cls = mgen::cardinality_ls(7, 3, 9);
+    for (name, p) in [("ttd", &ttd), ("cls", &cls)] {
+        for (aname, approach) in [("sdp", Approach::Sdp), ("lp", Approach::Lp)] {
+            c.bench_function(&format!("ablation/misdp_{name}_{aname}"), |b| {
+                b.iter(|| {
+                    let res = MisdpSolver::new(
+                        p.clone(),
+                        approach,
+                        ugrs_cip::Settings::default(),
+                    )
+                    .solve();
+                    black_box(res.best_obj)
+                })
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_lp, bench_steiner_kernels, bench_sdp, bench_ablation_reductions, bench_ablation_approach
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Hardness calibration: sequential solve times for candidate generated
+//! instances, used to pick the per-table instance sizes so single runs
+//! land in the paper-shaped "seconds to a minute" regime on a laptop.
+//!
+//! `cargo run -p ugrs-bench --release --bin calibrate [limit_secs]`
+
+use std::time::Instant;
+use ugrs_bench::fmt_time;
+use ugrs_cip::Settings;
+use ugrs_misdp::gen as mgen;
+use ugrs_misdp::{Approach, MisdpSolver};
+use ugrs_steiner::gen as sgen;
+use ugrs_steiner::{Graph, SteinerOptions, SteinerSolver};
+
+fn stp(name: &str, g: Graph, limit: f64) {
+    let (n, m, k) = (g.num_alive_nodes(), g.num_alive_edges(), g.num_terminals());
+    let t0 = Instant::now();
+    let mut opts = SteinerOptions::default();
+    opts.settings.time_limit = limit;
+    let mut s = SteinerSolver::new(g, opts);
+    let res = s.solve();
+    println!(
+        "STP  {name:<14} n={n:<5} m={m:<6} |T|={k:<4} status={:?} cost={:?} nodes={:?} time={}",
+        res.status,
+        res.best_cost,
+        res.cip_stats.as_ref().map(|s| s.nodes).unwrap_or(0),
+        fmt_time(t0.elapsed().as_secs_f64()),
+    );
+}
+
+fn misdp(p: ugrs_misdp::MisdpProblem, approach: Approach, limit: f64) {
+    let name = p.name.clone();
+    let t0 = Instant::now();
+    let mut st = Settings::default();
+    st.time_limit = limit;
+    let res = MisdpSolver::new(p, approach, st).solve();
+    println!(
+        "MISDP {name:<14} {:?}  status={:?} obj={:?} nodes={} time={}",
+        approach,
+        res.status,
+        res.best_obj,
+        res.stats.nodes,
+        fmt_time(t0.elapsed().as_secs_f64()),
+    );
+}
+
+fn main() {
+    let limit: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(60.0);
+    use sgen::CostScheme::*;
+    stp("cc3-4p~", sgen::code_covering(3, 4, 10, Perturbed, 101), limit);
+    stp("cc3-5u~", sgen::code_covering(3, 5, 14, Unit, 102), limit);
+    stp("cc4-3p~", sgen::code_covering(4, 3, 14, Perturbed, 103), limit);
+    stp("hc4p~", sgen::hypercube(4, Perturbed, 104), limit);
+    stp("hc4u~", sgen::hypercube(4, Unit, 105), limit);
+    stp("hc5p~", sgen::hypercube(5, Perturbed, 106), limit);
+    stp("hc5u~", sgen::hypercube(5, Unit, 107), limit);
+    stp("bip-small", sgen::bipartite(10, 24, 3, Perturbed, 108), limit);
+    stp("bip-mid", sgen::bipartite(14, 34, 3, Unit, 109), limit);
+    stp("bip-big", sgen::bipartite(20, 48, 3, Unit, 110), limit);
+
+    for approach in [Approach::Sdp, Approach::Lp] {
+        misdp(mgen::truss_topology(4, 10, 201), approach, limit);
+        misdp(mgen::truss_topology(5, 13, 202), approach, limit);
+        misdp(mgen::cardinality_ls(8, 3, 203), approach, limit);
+        misdp(mgen::cardinality_ls(10, 4, 204), approach, limit);
+        misdp(mgen::min_k_partitioning(6, 2, 205), approach, limit);
+        misdp(mgen::min_k_partitioning(7, 3, 206), approach, limit);
+    }
+}

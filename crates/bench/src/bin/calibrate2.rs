@@ -1,0 +1,82 @@
+//! Second-stage calibration: sequential + parallel timings for the
+//! shortlisted Table-1/2/3 candidates and harder MISDP instances.
+//!
+//! `cargo run -p ugrs-bench --release --bin calibrate2 [limit]`
+
+use std::time::Instant;
+use ugrs_core::ParallelOptions;
+use ugrs_glue::{ug_solve_misdp, ug_solve_stp};
+use ugrs_misdp::gen as mgen;
+use ugrs_misdp::{Approach, MisdpSolver};
+use ugrs_steiner::gen as sgen;
+use ugrs_steiner::reduce::ReduceParams;
+
+fn stp_par(name: &str, g: &ugrs_steiner::Graph, threads: usize, limit: f64) {
+    let t0 = Instant::now();
+    let options = ParallelOptions { num_solvers: threads, time_limit: limit, ..Default::default() };
+    let res = ug_solve_stp(g, &ReduceParams::default(), options);
+    println!(
+        "STP {name:<10} thr={threads} solved={} cost={:?} dual={:.1} nodes={} time={:.2}",
+        res.solved,
+        res.tree.as_ref().map(|(_, c)| *c),
+        res.dual_bound,
+        res.stats.nodes_total,
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn misdp_seq(p: &ugrs_misdp::MisdpProblem, approach: Approach, limit: f64) {
+    let mut st = ugrs_cip::Settings::default();
+    st.time_limit = limit;
+    let t0 = Instant::now();
+    let res = MisdpSolver::new(p.clone(), approach, st).solve();
+    println!(
+        "MISDP {:<14} {:?} status={:?} obj={:?} nodes={} time={:.2}",
+        p.name,
+        approach,
+        res.status,
+        res.best_obj,
+        res.stats.nodes,
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn misdp_par(p: &ugrs_misdp::MisdpProblem, threads: usize, limit: f64) {
+    let t0 = Instant::now();
+    let options = ParallelOptions { num_solvers: threads, time_limit: limit, ..Default::default() };
+    let res = ug_solve_misdp(p, options);
+    println!(
+        "MISDP {:<14} par thr={threads} solved={} obj={:?} time={:.2}",
+        p.name,
+        res.solved,
+        res.best_obj,
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn main() {
+    let limit: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(90.0);
+    use sgen::CostScheme::*;
+    let hc5u = sgen::hypercube(5, Unit, 107);
+    let hc5p = sgen::hypercube(5, Perturbed, 106);
+    let cc43 = sgen::code_covering(4, 3, 14, Perturbed, 103);
+    let bipm = sgen::bipartite(14, 34, 3, Unit, 109);
+    for threads in [1usize, 4] {
+        stp_par("hc5u~", &hc5u, threads, limit);
+        stp_par("hc5p~", &hc5p, threads, limit);
+        stp_par("cc4-3p~", &cc43, threads, limit);
+        stp_par("bip-mid~", &bipm, threads, limit);
+    }
+    for p in [
+        mgen::truss_topology(6, 16, 301),
+        mgen::truss_topology(6, 20, 302),
+        mgen::cardinality_ls(12, 4, 303),
+        mgen::cardinality_ls(14, 5, 304),
+        mgen::min_k_partitioning(8, 3, 305),
+        mgen::min_k_partitioning(9, 3, 306),
+    ] {
+        misdp_seq(&p, Approach::Sdp, limit.min(30.0));
+        misdp_seq(&p, Approach::Lp, limit.min(30.0));
+        misdp_par(&p, 4, limit.min(30.0));
+    }
+}

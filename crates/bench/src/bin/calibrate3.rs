@@ -1,0 +1,82 @@
+//! Third-stage calibration after the parallel-efficiency fixes: find
+//! Table-1 instances in the 5–90 s sequential band with visible parallel
+//! speedup, and validate the re-tuned MISDP sets.
+//!
+//! `cargo run -p ugrs-bench --release --bin calibrate3 [limit]`
+
+use std::time::Instant;
+use ugrs_core::ParallelOptions;
+use ugrs_glue::{ug_solve_misdp, ug_solve_stp};
+use ugrs_misdp::gen as mgen;
+use ugrs_misdp::{Approach, MisdpSolver};
+use ugrs_steiner::gen as sgen;
+use ugrs_steiner::reduce::ReduceParams;
+
+fn stp_par(name: &str, g: &ugrs_steiner::Graph, threads: usize, limit: f64) -> bool {
+    let t0 = Instant::now();
+    let options = ParallelOptions { num_solvers: threads, time_limit: limit, ..Default::default() };
+    let res = ug_solve_stp(g, &ReduceParams::default(), options);
+    println!(
+        "STP {name:<12} thr={threads} solved={} cost={:?} dual={:.1} nodes={} trans={} time={:.2}",
+        res.solved,
+        res.tree.as_ref().map(|(_, c)| *c),
+        res.dual_bound,
+        res.stats.nodes_total,
+        res.stats.transferred,
+        t0.elapsed().as_secs_f64()
+    );
+    res.solved
+}
+
+fn main() {
+    let limit: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(90.0);
+    use sgen::CostScheme::*;
+    let cands: Vec<(&str, ugrs_steiner::Graph)> = vec![
+        ("hc5u-s2", sgen::hypercube_sparse_terminals(5, 2, Unit, 107)),
+        ("hc5p-s2", sgen::hypercube_sparse_terminals(5, 2, Perturbed, 106)),
+        ("hc5u-s3", sgen::hypercube_sparse_terminals(5, 3, Unit, 117)),
+        ("hc6p-s4", sgen::hypercube_sparse_terminals(6, 4, Perturbed, 116)),
+        ("cc3-4p-t16", sgen::code_covering(3, 4, 16, Perturbed, 121)),
+        ("cc3-4u-t12", sgen::code_covering(3, 4, 12, Unit, 122)),
+        ("cc3-5u-t14", sgen::code_covering(3, 5, 14, Unit, 102)),
+        ("bip30", sgen::bipartite(12, 28, 3, Unit, 130)),
+    ];
+    for (name, g) in &cands {
+        let solved = stp_par(name, g, 1, limit);
+        if solved {
+            stp_par(name, g, 4, limit);
+        }
+    }
+    println!("--- MISDP table4 set sizes ---");
+    for (fam, insts) in mgen::table4_testsets(3) {
+        for p in insts {
+            for approach in [Approach::Sdp, Approach::Lp] {
+                let mut st = ugrs_cip::Settings::default();
+                st.time_limit = 30.0;
+                let t0 = Instant::now();
+                let res = MisdpSolver::new(p.clone(), approach, st).solve();
+                println!(
+                    "MISDP {fam} {:<14} {:?} status={:?} obj={:?} nodes={} time={:.2}",
+                    p.name,
+                    approach,
+                    res.status,
+                    res.best_obj,
+                    res.stats.nodes,
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+            let t0 = Instant::now();
+            let res = ug_solve_misdp(
+                &p,
+                ParallelOptions { num_solvers: 4, time_limit: 30.0, ..Default::default() },
+            );
+            println!(
+                "MISDP {fam} {:<14} par4 solved={} obj={:?} time={:.2}",
+                p.name,
+                res.solved,
+                res.best_obj,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

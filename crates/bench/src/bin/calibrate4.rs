@@ -1,0 +1,75 @@
+//! Fourth calibration stage: the remaining Table-1 hc candidates and
+//! harder MISDP sizes for the Table-4 / Figure-1 LP-vs-SDP signal.
+//!
+//! `cargo run -p ugrs-bench --release --bin calibrate4 [limit]`
+
+use std::time::Instant;
+use ugrs_core::ParallelOptions;
+use ugrs_glue::ug_solve_stp;
+use ugrs_misdp::gen as mgen;
+use ugrs_misdp::{Approach, MisdpSolver};
+use ugrs_steiner::gen as sgen;
+use ugrs_steiner::reduce::ReduceParams;
+
+fn stp_par(name: &str, g: &ugrs_steiner::Graph, threads: usize, limit: f64) -> bool {
+    let t0 = Instant::now();
+    let options = ParallelOptions { num_solvers: threads, time_limit: limit, ..Default::default() };
+    let res = ug_solve_stp(g, &ReduceParams::default(), options);
+    println!(
+        "STP {name:<12} thr={threads} solved={} cost={:?} dual={:.1} nodes={} trans={} time={:.2}",
+        res.solved,
+        res.tree.as_ref().map(|(_, c)| *c),
+        res.dual_bound,
+        res.stats.nodes_total,
+        res.stats.transferred,
+        t0.elapsed().as_secs_f64()
+    );
+    res.solved
+}
+
+fn misdp_both(p: &ugrs_misdp::MisdpProblem, limit: f64) {
+    for approach in [Approach::Sdp, Approach::Lp] {
+        let mut st = ugrs_cip::Settings::default();
+        st.time_limit = limit;
+        let t0 = Instant::now();
+        let res = MisdpSolver::new(p.clone(), approach, st).solve();
+        println!(
+            "MISDP {:<14} {:?} status={:?} obj={:?} nodes={} cuts={} time={:.2}",
+            p.name,
+            approach,
+            res.status,
+            res.best_obj,
+            res.stats.nodes,
+            res.stats.cuts_applied,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+}
+
+fn main() {
+    let limit: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(60.0);
+    use sgen::CostScheme::*;
+    let cands: Vec<(&str, ugrs_steiner::Graph)> = vec![
+        ("hc6u-s2", sgen::hypercube_sparse_terminals(6, 2, Unit, 118)),
+        ("hc6p-s2", sgen::hypercube_sparse_terminals(6, 2, Perturbed, 119)),
+        ("hc6u-s3", sgen::hypercube_sparse_terminals(6, 3, Unit, 120)),
+        ("bip36", sgen::bipartite(14, 32, 3, Unit, 131)),
+    ];
+    for (name, g) in &cands {
+        let solved = stp_par(name, g, 1, limit);
+        if solved {
+            stp_par(name, g, 4, limit);
+        }
+    }
+    for p in [
+        mgen::min_k_partitioning(10, 3, 401),
+        mgen::min_k_partitioning(11, 3, 402),
+        mgen::min_k_partitioning(12, 4, 403),
+        mgen::cardinality_ls(16, 5, 404),
+        mgen::cardinality_ls(18, 6, 405),
+        mgen::truss_topology(7, 18, 406),
+        mgen::truss_topology(8, 22, 407),
+    ] {
+        misdp_both(&p, limit.min(30.0));
+    }
+}

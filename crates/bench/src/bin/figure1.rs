@@ -1,0 +1,93 @@
+//! **Figure 1 reproduction** — "Racing ramp-up statistics for the
+//! different settings over CBLIB": run every generated MISDP instance
+//! under racing with the full settings list, record which settings
+//! bundle wins each race, and print the winner histogram split by test
+//! set. Instances solved to optimality *during* racing are excluded, as
+//! in the paper.
+//!
+//! Expected shape (§4.2): CLS winners (almost) exclusively LP-based
+//! (even indices); MkP winners almost exclusively SDP-based (odd
+//! indices); TTD mixed.
+//!
+//! `cargo run -p ugrs-bench --release --bin figure1 [-- --limit <s>] [--settings <n>] [--per-family <k>]`
+
+use ugrs_core::{ParallelOptions, RampUp};
+use ugrs_glue::{misdp_racing_settings, ug_solve_misdp};
+use ugrs_misdp::gen::table4_testsets;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let limit: f64 = num_arg(&args, "--limit").unwrap_or(20.0);
+    let nsettings: usize = num_arg(&args, "--settings").unwrap_or(8.0) as usize;
+    let per_family: usize = num_arg(&args, "--per-family").unwrap_or(6.0) as usize;
+
+    let sets = table4_testsets(per_family);
+    let settings = misdp_racing_settings(nsettings);
+    println!("Figure 1: racing winner statistics over the generated CBLIB-like sets");
+    println!(
+        "({} settings — odd 1-based = SDP, even = LP; {} instances per set; limit {limit}s)\n",
+        nsettings, per_family
+    );
+
+    // winners[set][setting] = count
+    let mut winners = vec![vec![0usize; nsettings]; sets.len()];
+    let mut in_race = vec![0usize; sets.len()];
+    for (si, (name, insts)) in sets.iter().enumerate() {
+        for p in insts {
+            let options = ParallelOptions {
+                num_solvers: nsettings,
+                time_limit: limit,
+                ramp_up: RampUp::Racing {
+                    settings: settings.clone(),
+                    time_trigger: (limit * 0.2).max(0.15),
+                    open_nodes_trigger: 10,
+                },
+                ..Default::default()
+            };
+            let res = ug_solve_misdp(p, options);
+            match res.stats.racing_winner {
+                Some(w) => winners[si][w] += 1,
+                None => in_race[si] += 1, // solved during racing → excluded
+            }
+        }
+        println!(
+            "{name}: {} races decided, {} instances solved during racing (excluded)",
+            winners[si].iter().sum::<usize>(),
+            in_race[si]
+        );
+    }
+
+    println!("\n# racing winner histogram (rows: 1-based setting index)");
+    println!("{:>8} {:>10} {:>6} {:>6} {:>6}  bar", "setting", "approach", "TTD", "CLS", "Mk-P");
+    for s in 0..nsettings {
+        let approach = if (s + 1) % 2 == 1 { "SDP" } else { "LP" };
+        let counts: Vec<usize> = (0..sets.len()).map(|si| winners[si][s]).collect();
+        let total: usize = counts.iter().sum();
+        println!(
+            "{:>8} {:>10} {:>6} {:>6} {:>6}  {}",
+            s + 1,
+            approach,
+            counts[0],
+            counts[1],
+            counts[2],
+            "#".repeat(total)
+        );
+    }
+
+    // Summary in the paper's terms.
+    let lp_share = |si: usize| -> f64 {
+        let lp: usize = (0..nsettings).filter(|s| (s + 1) % 2 == 0).map(|s| winners[si][s]).sum();
+        let tot: usize = winners[si].iter().sum();
+        if tot == 0 {
+            f64::NAN
+        } else {
+            100.0 * lp as f64 / tot as f64
+        }
+    };
+    println!("\nLP-settings share of decided races: TTD {:.0}%, CLS {:.0}%, MkP {:.0}%",
+        lp_share(0), lp_share(1), lp_share(2));
+}
+
+fn num_arg(args: &[String], key: &str) -> Option<f64> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,96 @@
+//! **Table 3 reproduction** — "Statistics for solving hc10p on
+//! supercomputers": a sequence of *racing* runs on an hc-like instance,
+//! each re-run **from scratch with the best solution found so far**
+//! injected (§4.1: "we just reran from scratch with the best solution
+//! from run 1 with racing ramp-up — since the best solution can be used
+//! for presolving, propagation, and heuristics"). The primal bound must
+//! improve (or hold) across runs.
+//!
+//! `cargo run -p ugrs-bench --release --bin table3 [-- --limit <s per run>]`
+
+use ugrs_bench::fmt_time;
+use ugrs_core::{ParallelOptions, RampUp};
+use ugrs_glue::{stp_racing_settings, ug_solve_stp_seeded};
+use ugrs_steiner::gen::{hypercube, CostScheme};
+use ugrs_steiner::reduce::ReduceParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let limit: f64 = args
+        .iter()
+        .position(|a| a == "--limit")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6.0);
+
+    // The hc10p stand-in: a perturbed-cost hypercube.
+    let graph = hypercube(5, CostScheme::Perturbed, 1010);
+    println!("Table 3: statistics for solving hc10p~ (generated analogue) via racing re-runs");
+    println!(
+        "instance: {} vertices, {} edges, {} terminals; per-run limit {limit}s\n",
+        graph.num_alive_nodes(),
+        graph.num_alive_edges(),
+        graph.num_terminals()
+    );
+    println!(
+        "{:>4} {:>10} {:>7} {:>9} {:>7} {:>8} {:>12} {:>12} {:>8} {:>12} {:>11}",
+        "Run", "Computer", "Cores", "Time(s)", "Idle%", "Trans.", "Primal", "Dual", "Gap%", "Nodes", "Open"
+    );
+
+    let cores = 4usize;
+    let mut best: Option<(Vec<f64>, f64)> = None; // model assignment + internal obj
+    let mut best_cost = f64::INFINITY;
+    for run in 1..=4 {
+        // Fresh racing seeds per run: each restart must explore new search
+        // trees (at the paper's scale this happens naturally; at ours the
+        // permutation seeds provide the diversification).
+        let mut settings = stp_racing_settings(cores);
+        for s in settings.iter_mut() {
+            s.params["seed"] = serde_json::json!((run * cores + s.index) as u64);
+            s.name = format!("{}-run{}", s.name, run);
+        }
+        let options = ParallelOptions {
+            num_solvers: cores,
+            time_limit: limit,
+            ramp_up: RampUp::Racing {
+                settings,
+                time_trigger: (limit * 0.25).max(0.2),
+                open_nodes_trigger: 24,
+            },
+            ..Default::default()
+        };
+        let res = ug_solve_stp_seeded(&graph, &ReduceParams::default(), options, best.clone());
+        let primal = res.tree.as_ref().map(|(_, c)| *c).unwrap_or(f64::INFINITY);
+        println!(
+            "{:>4} {:>10} {:>7} {:>9} {:>7.1} {:>8} {:>12.1} {:>12.4} {:>8.2} {:>12} {:>11}",
+            run,
+            "ThreadComm",
+            cores,
+            fmt_time(res.stats.wall_time),
+            res.stats.idle_percent,
+            res.stats.transferred,
+            primal,
+            res.dual_bound,
+            res.stats.gap_percent(),
+            res.stats.nodes_total,
+            res.stats.open_nodes,
+        );
+        // Primal bound may only improve along the chain (the table's
+        // upper-bound column shrinks 59,797 → 59,776 → 59,772 → 59,733).
+        assert!(primal <= best_cost + 1e-6, "primal regressed: {primal} > {best_cost}");
+        if primal < best_cost {
+            best_cost = primal;
+            println!("{:>4} new best solution: {}", "", primal);
+        }
+        if res.solved {
+            println!("\nsolved to optimality in run {run} ✓");
+            return;
+        }
+        // Carry the model assignment into the next run, like the paper
+        // carries the improved solution file.
+        if let Some(sol) = res.ug.solution {
+            best = Some(sol);
+        }
+    }
+    println!("\nbest solution after all runs: {best_cost} (raise --limit to prove optimality)");
+}

@@ -1,0 +1,124 @@
+//! **Table 4 reproduction** — "Results for ug[SCIP-SDP,C++11] over all
+//! CBLIB instances": sequential SCIP-SDP versus the UG parallelization
+//! with 1..N threads over the three generated test sets (TTD, CLS,
+//! MkP). Reported per set and in total: instances solved and the
+//! shifted geometric mean of solve times (shift 10), exactly the paper's
+//! aggregation.
+//!
+//! Expected shape (§4.2): single-threaded UG is *slower* than plain
+//! SCIP-SDP (parallelization overhead); two threads bring the LP-based
+//! settings into the race, which helps CLS enormously; MkP profits
+//! least; speedups saturate early at this instance scale.
+//!
+//! `cargo run -p ugrs-bench --release --bin table4 [-- --limit <s>] [--per-family <k>]`
+
+use std::time::Instant;
+use ugrs_bench::shifted_geomean;
+use ugrs_core::{ParallelOptions, RampUp};
+use ugrs_glue::{misdp_racing_settings, ug_solve_misdp};
+use ugrs_misdp::gen::table4_testsets;
+use ugrs_misdp::{Approach, MisdpSolver};
+
+struct Cell {
+    solved: usize,
+    times: Vec<f64>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let limit: f64 = num_arg(&args, "--limit").unwrap_or(20.0);
+    let per_family: usize = num_arg(&args, "--per-family").unwrap_or(6.0) as usize;
+    let thread_counts = [1usize, 2, 4, 8];
+
+    let sets = table4_testsets(per_family);
+    println!("Table 4: results for ug[ScipSdp,ThreadComm] over the generated CBLIB-like sets");
+    println!("({} instances per set; per-instance limit {limit}s; shifted geometric mean, s=10)\n", per_family);
+
+    let mut rows: Vec<(String, Vec<Cell>)> = Vec::new();
+
+    // Row 1: sequential SCIP-SDP (the paper's default = SDP approach).
+    let mut cells = Vec::new();
+    for (_, insts) in &sets {
+        let mut c = Cell { solved: 0, times: Vec::new() };
+        for p in insts {
+            let mut st = ugrs_cip::Settings::default();
+            st.time_limit = limit;
+            let t0 = Instant::now();
+            let res = MisdpSolver::new(p.clone(), Approach::Sdp, st).solve();
+            let dt = t0.elapsed().as_secs_f64().min(limit);
+            if res.status == ugrs_cip::SolveStatus::Optimal {
+                c.solved += 1;
+                c.times.push(dt);
+            } else {
+                c.times.push(limit);
+            }
+        }
+        cells.push(c);
+    }
+    rows.push(("SCIP-SDP".into(), cells));
+
+    // Rows 2+: ug[SCIP-SDP, ThreadComm] with racing ramp-up.
+    for &threads in &thread_counts {
+        let mut cells = Vec::new();
+        for (_, insts) in &sets {
+            let mut c = Cell { solved: 0, times: Vec::new() };
+            for p in insts {
+                let options = ParallelOptions {
+                    num_solvers: threads,
+                    time_limit: limit,
+                    ramp_up: if threads >= 2 {
+                        RampUp::Racing {
+                            settings: misdp_racing_settings(threads),
+                            time_trigger: (limit * 0.15).max(0.1),
+                            open_nodes_trigger: 12,
+                        }
+                    } else {
+                        // One solver: no race possible; SDP default, like
+                        // the paper's 1-thread ug runs.
+                        RampUp::Normal
+                    },
+                    ..Default::default()
+                };
+                let t0 = Instant::now();
+                let res = ug_solve_misdp(p, options);
+                let dt = t0.elapsed().as_secs_f64().min(limit);
+                if res.solved {
+                    c.solved += 1;
+                    c.times.push(dt);
+                } else {
+                    c.times.push(limit);
+                }
+            }
+            cells.push(c);
+        }
+        rows.push((format!("ug[SCIP-SDP] {threads} thr."), cells));
+    }
+
+    // ---- print ----------------------------------------------------------
+    print!("{:<22}", "solver");
+    for (name, insts) in &sets {
+        print!("{:>8}{:>9}", format!("{name}"), "time");
+        let _ = insts;
+    }
+    println!("{:>8}{:>9}", "Total", "time");
+    print!("{:<22}", "");
+    for _ in 0..sets.len() + 1 {
+        print!("{:>8}{:>9}", "solved", "(sgm)");
+    }
+    println!();
+    for (name, cells) in &rows {
+        print!("{:<22}", name);
+        let mut all_times = Vec::new();
+        let mut all_solved = 0;
+        for c in cells {
+            print!("{:>8}{:>9.2}", c.solved, shifted_geomean(&c.times, 10.0));
+            all_times.extend_from_slice(&c.times);
+            all_solved += c.solved;
+        }
+        println!("{:>8}{:>9.2}", all_solved, shifted_geomean(&all_times, 10.0));
+    }
+}
+
+fn num_arg(args: &[String], key: &str) -> Option<f64> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,156 @@
+//! Built-in primal heuristics: simple rounding and a randomized
+//! round-and-repair shift. Problem-specific heuristics (SCIP-Jack's TM /
+//! local search, SCIP-SDP's randomized rounding) are registered as
+//! [`crate::plugins::Heuristic`] plugins by the application crates.
+
+use crate::model::{Model, VarType};
+use crate::plugins::{Heuristic, SolveCtx};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Rounds the relaxation solution to the nearest integers; the framework
+/// validates the candidate, so this heuristic may freely propose
+/// infeasible points.
+#[derive(Debug, Default)]
+pub struct SimpleRounding;
+
+impl Heuristic for SimpleRounding {
+    fn name(&self) -> &str {
+        "rounding"
+    }
+
+    fn run(&mut self, ctx: &mut SolveCtx) -> Option<Vec<f64>> {
+        let x = ctx.relax_x?;
+        let mut cand = x.to_vec();
+        for (v, var) in ctx.model.vars() {
+            let j = v.0 as usize;
+            if var.vtype != VarType::Continuous {
+                cand[j] = cand[j]
+                    .round()
+                    .clamp(ctx.local_lb[j], ctx.local_ub[j]);
+            }
+        }
+        Some(cand)
+    }
+}
+
+/// Direction-aware rounding: rounds each integer variable in the
+/// direction that keeps more linear constraints satisfied, then tries a
+/// handful of random re-rounds (seeded by the racing permutation seed, so
+/// different racers search differently).
+#[derive(Debug)]
+pub struct ShiftRounding {
+    pub tries: usize,
+}
+
+impl Default for ShiftRounding {
+    fn default() -> Self {
+        ShiftRounding { tries: 4 }
+    }
+}
+
+impl ShiftRounding {
+    fn violations(model: &Model, x: &[f64]) -> usize {
+        model
+            .conss()
+            .filter(|c| !c.is_satisfied(x, crate::FEAS_TOL))
+            .count()
+    }
+}
+
+impl Heuristic for ShiftRounding {
+    fn name(&self) -> &str {
+        "shiftround"
+    }
+
+    fn run(&mut self, ctx: &mut SolveCtx) -> Option<Vec<f64>> {
+        let x = ctx.relax_x?;
+        let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x5151_5151);
+        let mut best: Option<(usize, f64, Vec<f64>)> = None;
+        for t in 0..=self.tries {
+            let mut cand = x.to_vec();
+            for (v, var) in ctx.model.vars() {
+                let j = v.0 as usize;
+                if var.vtype == VarType::Continuous {
+                    continue;
+                }
+                let frac = cand[j] - cand[j].floor();
+                let round_up = if t == 0 {
+                    frac >= 0.5
+                } else {
+                    rng.gen_bool(frac.clamp(0.05, 0.95))
+                };
+                cand[j] = if round_up { cand[j].ceil() } else { cand[j].floor() };
+                cand[j] = cand[j].clamp(ctx.local_lb[j], ctx.local_ub[j]);
+            }
+            let viol = Self::violations(ctx.model, &cand);
+            let obj = ctx.model.internal_obj(&cand);
+            let better = match &best {
+                None => true,
+                Some((bv, bo, _)) => viol < *bv || (viol == *bv && obj < *bo),
+            };
+            if better {
+                best = Some((viol, obj, cand));
+            }
+        }
+        best.map(|(_, _, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugins::CutBuffer;
+
+    fn run_heur(h: &mut dyn Heuristic, model: &Model, x: &[f64]) -> Option<Vec<f64>> {
+        let lb: Vec<f64> = model.vars().map(|(_, v)| v.lb).collect();
+        let ub: Vec<f64> = model.vars().map(|(_, v)| v.ub).collect();
+        let mut cuts = CutBuffer::default();
+        let mut tight = Vec::new();
+        let mut ctx = SolveCtx {
+            model,
+            depth: 0,
+            local_lb: &lb,
+            local_ub: &ub,
+            relax_x: Some(x),
+            relax_obj: Some(model.internal_obj(x)),
+            incumbent_obj: None,
+            incumbent_x: None,
+            reduced_costs: &[],
+            cuts: &mut cuts,
+            tightenings: &mut tight,
+            seed: 7,
+        };
+        h.run(&mut ctx)
+    }
+
+    #[test]
+    fn rounding_rounds_integers_only() {
+        let mut m = Model::new("t");
+        m.add_var("x", VarType::Integer, 0.0, 10.0, 1.0);
+        m.add_var("y", VarType::Continuous, 0.0, 10.0, 1.0);
+        let cand = run_heur(&mut SimpleRounding, &m, &[2.6, 3.4]).unwrap();
+        assert_eq!(cand[0], 3.0);
+        assert!((cand[1] - 3.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounding_respects_local_bounds() {
+        let mut m = Model::new("t");
+        m.add_var("x", VarType::Integer, 0.0, 2.0, 1.0);
+        let cand = run_heur(&mut SimpleRounding, &m, &[2.6]).unwrap();
+        assert_eq!(cand[0], 2.0); // clamped to ub
+    }
+
+    #[test]
+    fn shift_rounding_prefers_feasibility() {
+        let mut m = Model::new("t");
+        let x = m.add_var("x", VarType::Integer, 0.0, 1.0, 0.0);
+        let y = m.add_var("y", VarType::Integer, 0.0, 1.0, 0.0);
+        m.add_linear(f64::NEG_INFINITY, 1.0, &[(x, 1.0), (y, 1.0)]);
+        // Naive rounding of (0.6, 0.6) violates the row; shift rounding
+        // should find a candidate with fewer violations.
+        let cand = run_heur(&mut ShiftRounding::default(), &m, &[0.6, 0.6]).unwrap();
+        assert!(m.cons(0).is_satisfied(&cand, 1e-9));
+    }
+}

@@ -1,0 +1,172 @@
+//! Solver parameter settings and emphasis presets.
+//!
+//! UG's racing ramp-up (§2.2 of the paper) relies on running the same
+//! solver under *different parameter settings and permutations of
+//! variables* so that each racer explores a different tree. The knobs
+//! gathered here are exactly the ones the racing settings generator in
+//! `ugrs-glue` varies.
+
+/// Which rule picks the branching variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BranchingRule {
+    /// Most fractional variable.
+    MostFractional,
+    /// Pseudocost product score (SCIP-style), falling back to most
+    /// fractional while pseudocosts are uninitialized.
+    Pseudocost,
+    /// First fractional variable in (permuted) index order.
+    FirstIndex,
+}
+
+/// Node selection strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum NodeSelection {
+    /// Best dual bound first (default).
+    BestBound,
+    /// Depth-first (plunging; finds incumbents early, uses little memory).
+    DepthFirst,
+    /// Best bound, but prefer children of the last node (plunge a little).
+    Hybrid,
+}
+
+/// Emphasis presets mirroring SCIP's `set emphasis` / `easycip` settings
+/// referenced by the paper's Figure 1 discussion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Emphasis {
+    Default,
+    /// "easycip": light presolving/separation, cheap heuristics — the
+    /// emphasis most often winning the racing on CLS instances.
+    EasyCip,
+    /// Aggressive heuristics.
+    Feasibility,
+    /// Aggressive separation + propagation, fewer heuristics.
+    Optimality,
+}
+
+/// All tunable parameters of the [`crate::Solver`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Settings {
+    pub emphasis: Emphasis,
+    pub branching: BranchingRule,
+    pub node_selection: NodeSelection,
+    /// Maximum separation rounds at the root node.
+    pub root_sepa_rounds: usize,
+    /// Maximum separation rounds at non-root nodes.
+    pub node_sepa_rounds: usize,
+    /// Run primal heuristics at nodes whose depth is a multiple of this
+    /// (0 disables heuristics except at the root).
+    pub heur_frequency: usize,
+    /// Presolve fixpoint rounds (0 disables presolving).
+    pub presolve_rounds: usize,
+    /// Enable reduced-cost fixing.
+    pub use_redcost_fixing: bool,
+    /// Enable activity-based linear propagation.
+    pub use_propagation: bool,
+    /// Node limit (u64::MAX = unlimited).
+    pub node_limit: u64,
+    /// Wall-clock limit in seconds (f64::INFINITY = unlimited).
+    pub time_limit: f64,
+    /// Stop when gap (|primal−dual| / max(|primal|,1)) falls below this.
+    pub gap_limit: f64,
+    /// Seed for the variable permutation applied to tie-breaking in
+    /// pricing/branching — the racing diversification device of §2.2.
+    pub permutation_seed: u64,
+    /// Use a registered relaxator instead of the LP relaxation
+    /// (SCIP-SDP's "SDP settings"); ignored when no relaxator is present.
+    pub use_relaxator: bool,
+    /// LP iteration limit handed to the simplex per solve.
+    pub lp_iter_limit: usize,
+    /// Maximum cut rows kept in the LP; beyond this, aged-out cuts are
+    /// dropped and the LP is rebuilt (SCIP's cut aging).
+    pub max_cut_rows: usize,
+    /// A cut is dropped at rebuild when it has been slack (zero dual) for
+    /// this many consecutive LP solutions.
+    pub cut_max_age: u32,
+    /// Enable the LP diving heuristic (fix-and-resolve toward an integral
+    /// point, SCIP's fracdiving), run alongside the other heuristics.
+    pub use_diving: bool,
+    /// Maximum diving depth per invocation.
+    pub dive_depth: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            emphasis: Emphasis::Default,
+            branching: BranchingRule::Pseudocost,
+            node_selection: NodeSelection::BestBound,
+            root_sepa_rounds: 50,
+            node_sepa_rounds: 5,
+            heur_frequency: 10,
+            presolve_rounds: 5,
+            use_redcost_fixing: true,
+            use_propagation: true,
+            node_limit: u64::MAX,
+            time_limit: f64::INFINITY,
+            gap_limit: 0.0,
+            permutation_seed: 0,
+            use_relaxator: false,
+            lp_iter_limit: 5_000,
+            max_cut_rows: 250,
+            cut_max_age: 3,
+            use_diving: true,
+            dive_depth: 12,
+        }
+    }
+}
+
+impl Settings {
+    /// Applies an emphasis preset to the dependent knobs, returning the
+    /// adjusted settings (the explicit fields above keep their values
+    /// unless the preset overrides them).
+    pub fn with_emphasis(mut self, e: Emphasis) -> Self {
+        self.emphasis = e;
+        match e {
+            Emphasis::Default => {}
+            Emphasis::EasyCip => {
+                self.presolve_rounds = 1;
+                self.root_sepa_rounds = 10;
+                self.node_sepa_rounds = 1;
+                self.heur_frequency = 20;
+            }
+            Emphasis::Feasibility => {
+                self.heur_frequency = 1;
+                self.node_selection = NodeSelection::DepthFirst;
+            }
+            Emphasis::Optimality => {
+                self.root_sepa_rounds = 100;
+                self.node_sepa_rounds = 10;
+                self.heur_frequency = 50;
+            }
+        }
+        self
+    }
+
+    /// Seeded variant for racing diversification.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.permutation_seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emphasis_presets_change_knobs() {
+        let d = Settings::default();
+        let e = Settings::default().with_emphasis(Emphasis::EasyCip);
+        assert!(e.root_sepa_rounds < d.root_sepa_rounds);
+        assert_eq!(e.emphasis, Emphasis::EasyCip);
+        let f = Settings::default().with_emphasis(Emphasis::Feasibility);
+        assert_eq!(f.node_selection, NodeSelection::DepthFirst);
+        assert_eq!(f.heur_frequency, 1);
+    }
+
+    #[test]
+    fn seeding() {
+        let s = Settings::default().with_seed(42);
+        assert_eq!(s.permutation_seed, 42);
+    }
+}

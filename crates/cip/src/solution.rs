@@ -1,0 +1,94 @@
+//! Primal solutions.
+
+use crate::model::Model;
+
+/// A feasible primal solution with its objective value.
+///
+/// The objective is stored in the *internal* (minimization, offset-free)
+/// sense; use [`Model::external_obj`] for reporting.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Solution {
+    pub x: Vec<f64>,
+    /// Internal-sense objective value.
+    pub obj: f64,
+}
+
+impl Solution {
+    /// Builds a solution, computing its objective from the model.
+    pub fn new(model: &Model, x: Vec<f64>) -> Self {
+        let obj = model.internal_obj(&x);
+        Solution { x, obj }
+    }
+
+    /// Rounds all integer variables to the nearest integer in place
+    /// (useful after numerically noisy LP/SDP solves).
+    pub fn round_integers(&mut self, model: &Model) {
+        for (i, var) in model.vars.iter().enumerate() {
+            if var.vtype != crate::VarType::Continuous {
+                self.x[i] = self.x[i].round();
+            }
+        }
+        self.obj = model.internal_obj(&self.x);
+    }
+}
+
+/// Keeps the best-known solution and a bounded history of improvements
+/// (objective, at-node), mirroring SCIP's primal log.
+#[derive(Clone, Debug, Default)]
+pub struct Incumbents {
+    best: Option<Solution>,
+    /// (node count at improvement, internal objective).
+    pub history: Vec<(u64, f64)>,
+}
+
+impl Incumbents {
+    pub fn best(&self) -> Option<&Solution> {
+        self.best.as_ref()
+    }
+
+    pub fn best_obj(&self) -> Option<f64> {
+        self.best.as_ref().map(|s| s.obj)
+    }
+
+    /// Installs `sol` if it improves on the incumbent (strictly, by more
+    /// than `1e-9`). Returns true on improvement.
+    pub fn try_install(&mut self, sol: Solution, at_node: u64) -> bool {
+        let improves = match &self.best {
+            None => true,
+            Some(b) => sol.obj < b.obj - 1e-9,
+        };
+        if improves {
+            self.history.push((at_node, sol.obj));
+            self.best = Some(sol);
+        }
+        improves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, VarType};
+
+    #[test]
+    fn incumbent_keeps_best() {
+        let mut m = Model::new("t");
+        m.add_var("x", VarType::Continuous, 0.0, 10.0, 1.0);
+        let mut inc = Incumbents::default();
+        assert!(inc.try_install(Solution::new(&m, vec![5.0]), 0));
+        assert!(!inc.try_install(Solution::new(&m, vec![7.0]), 1));
+        assert!(inc.try_install(Solution::new(&m, vec![2.0]), 2));
+        assert_eq!(inc.best_obj(), Some(2.0));
+        assert_eq!(inc.history.len(), 2);
+    }
+
+    #[test]
+    fn round_integers_recomputes_obj() {
+        let mut m = Model::new("t");
+        m.add_var("x", VarType::Integer, 0.0, 10.0, 2.0);
+        let mut s = Solution::new(&m, vec![2.9999999]);
+        s.round_integers(&m);
+        assert_eq!(s.x[0], 3.0);
+        assert_eq!(s.obj, 6.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The message-passing layer.
+//!
+//! UG abstracts the transport behind base classes so that the *same*
+//! coordination logic runs over pthreads/C++11 threads (FiberSCIP) and
+//! MPI (ParaSCIP). We reproduce that boundary: [`ThreadComm`] is the
+//! in-process back-end built on crossbeam channels; a distributed
+//! back-end would implement the same two endpoint types over sockets or
+//! MPI. All coordination code talks *only* in rank-addressed
+//! [`Message`]s — no shared state crosses this boundary (the supervisor
+//! and workers share nothing but channels), which is what makes the
+//! substitution faithful to UG's design.
+
+use crate::messages::Message;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// The LoadCoordinator's endpoint: can send to any rank and receive from
+/// all of them.
+pub struct LcComm<Sub, Sol> {
+    to_workers: Vec<Sender<Message<Sub, Sol>>>,
+    from_workers: Receiver<Message<Sub, Sol>>,
+}
+
+/// A ParaSolver's endpoint: receives its own messages, sends upward.
+pub struct WorkerComm<Sub, Sol> {
+    pub rank: usize,
+    rx: Receiver<Message<Sub, Sol>>,
+    tx: Sender<Message<Sub, Sol>>,
+}
+
+/// Builds an in-process communicator for `n` workers.
+pub fn thread_comm<Sub, Sol>(n: usize) -> (LcComm<Sub, Sol>, Vec<WorkerComm<Sub, Sol>>) {
+    let (up_tx, up_rx) = unbounded();
+    let mut to_workers = Vec::with_capacity(n);
+    let mut endpoints = Vec::with_capacity(n);
+    for rank in 0..n {
+        let (tx, rx) = unbounded();
+        to_workers.push(tx);
+        endpoints.push(WorkerComm { rank, rx, tx: up_tx.clone() });
+    }
+    (LcComm { to_workers, from_workers: up_rx }, endpoints)
+}
+
+/// Marker alias documenting the substitution: the paper's experiments use
+/// MPI on supercomputers; our reproduction runs the identical protocol
+/// over [`ThreadComm`].
+pub type ThreadComm<Sub, Sol> = (LcComm<Sub, Sol>, Vec<WorkerComm<Sub, Sol>>);
+
+impl<Sub, Sol> LcComm<Sub, Sol> {
+    pub fn num_workers(&self) -> usize {
+        self.to_workers.len()
+    }
+
+    /// Sends `msg` to `rank`. Returns false if the worker is gone.
+    pub fn send_to(&self, rank: usize, msg: Message<Sub, Sol>) -> bool {
+        self.to_workers[rank].send(msg).is_ok()
+    }
+
+    /// Broadcasts clones of `msg` to every rank.
+    pub fn broadcast(&self, msg: &Message<Sub, Sol>)
+    where
+        Sub: Clone,
+        Sol: Clone,
+    {
+        for rank in 0..self.num_workers() {
+            let _ = self.to_workers[rank].send(msg.clone());
+        }
+    }
+
+    /// Blocking receive with timeout; `None` on timeout or when all
+    /// workers hung up.
+    pub fn recv_timeout(&self, d: Duration) -> Option<Message<Sub, Sol>> {
+        match self.from_workers.recv_timeout(d) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+}
+
+impl<Sub, Sol> WorkerComm<Sub, Sol> {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message<Sub, Sol>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocking receive; `None` when the coordinator hung up.
+    pub fn recv(&self) -> Option<Message<Sub, Sol>> {
+        self.rx.recv().ok()
+    }
+
+    /// Sends upward to the LoadCoordinator.
+    pub fn send(&self, msg: Message<Sub, Sol>) -> bool {
+        self.tx.send(msg).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_both_directions() {
+        let (lc, workers) = thread_comm::<u32, u32>(2);
+        assert_eq!(lc.num_workers(), 2);
+        assert!(lc.send_to(1, Message::StartCollecting));
+        assert!(matches!(workers[1].try_recv(), Some(Message::StartCollecting)));
+        assert!(workers[0].try_recv().is_none());
+
+        workers[0].send(Message::Status { rank: 0, dual_bound: 1.0, open: 2, nodes: 3 });
+        let got = lc.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(got.tag(), "status");
+    }
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let (lc, workers) = thread_comm::<u32, u32>(3);
+        lc.broadcast(&Message::Terminate);
+        for w in &workers {
+            assert!(matches!(w.recv(), Some(Message::Terminate)));
+        }
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (lc, _workers) = thread_comm::<u32, u32>(1);
+        assert!(lc.recv_timeout(Duration::from_millis(10)).is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! UG — the Ubiquity Generator framework, in Rust.
+//!
+//! This crate reproduces the architecture of UG as described in §2.2 of
+//! the paper: a generic framework that parallelizes *any existing
+//! state-of-the-art B&B-based solver* (the **base solver**) through a
+//! Supervisor–Worker coordination mechanism with subtree-level
+//! parallelism (Algorithms 1 and 2 of the paper):
+//!
+//! * the **LoadCoordinator** ([`supervisor`]) is the Supervisor: it owns
+//!   a small pool of subproblems extracted from the solvers, performs
+//!   dynamic load balancing via *collect mode* (requesting heavy open
+//!   subproblems from busy solvers), distributes incumbents, triggers
+//!   checkpoints and decides termination;
+//! * each **ParaSolver** ([`worker`]) wraps one base-solver instance; the
+//!   B&B tree lives *inside* the base solver, and only solver-independent
+//!   subproblem descriptions cross rank boundaries;
+//! * **ramp-up** is either *normal* (solvers spread branched nodes) or
+//!   *racing* ([`RampUp::Racing`]): all solvers attack the root under
+//!   different parameter settings / permutations, a winner is selected by
+//!   a (dual bound, open nodes) criterion, its open nodes are collected
+//!   and redistributed, and the losers' trees are discarded — keeping
+//!   only their solutions;
+//! * **layered presolving** happens because every ParaSolver re-presolves
+//!   each received subproblem (the base solver does this internally);
+//! * **checkpointing** ([`checkpoint`]) saves only *primitive nodes* —
+//!   the LoadCoordinator's queue plus the subproblem roots currently
+//!   assigned — exactly UG's strategy of saving subtree roots rather
+//!   than all open nodes, accepting re-search after restart.
+//!
+//! The message-passing layer ([`comm`]) is rank-addressed and typed; the
+//! in-process [`comm::ThreadComm`] (crossbeam channels) stands in for
+//! both the Pthreads/C++11 and the MPI back-ends of UG — the design
+//! point being, as in UG, that *only this layer* changes between shared
+//! and distributed memory.
+
+pub mod checkpoint;
+pub mod comm;
+pub mod messages;
+pub mod runner;
+pub mod settings;
+pub mod stats;
+pub mod supervisor;
+pub mod worker;
+
+pub use checkpoint::Checkpoint;
+pub use messages::{Message, SubproblemMsg};
+pub use runner::{solve_parallel, ParallelOptions, ParallelResult, RampUp};
+pub use settings::SolverSettings;
+pub use stats::UgStats;
+pub use worker::{BaseSolver, ParaControl, SubproblemOutcome};
+
+/// The internal objective sense across the whole framework is
+/// *minimization*; base solvers must convert at their boundary.
+pub const OBJ_EPS: f64 = 1e-9;

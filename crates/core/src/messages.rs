@@ -1,0 +1,83 @@
+//! The typed, tagged messages exchanged between the LoadCoordinator and
+//! the ParaSolvers — the protocol of Algorithms 1 and 2 of the paper
+//! (`subproblem`, `solutionFound`, `status`, `startCollecting`,
+//! `stopCollecting`, `terminated`, `termination`), extended with the
+//! racing ramp-up control messages.
+
+use crate::settings::SolverSettings;
+
+/// A solver-independent subproblem plus the dual bound known for it.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SubproblemMsg<Sub> {
+    pub sub: Sub,
+    /// Dual bound (internal minimization sense) valid for this subtree.
+    pub dual_bound: f64,
+}
+
+/// Every message of the protocol. `Sub`/`Sol` are the base solver's
+/// solver-independent subproblem and solution types.
+#[derive(Clone, Debug)]
+pub enum Message<Sub, Sol> {
+    // ---- LoadCoordinator → ParaSolver --------------------------------
+    /// Work assignment (tag `subproblem` in Algorithm 1): the subproblem,
+    /// the current incumbent, and — during racing — the settings bundle.
+    Subproblem {
+        sub: SubproblemMsg<Sub>,
+        incumbent: Option<(Sol, f64)>,
+        settings: Option<SolverSettings>,
+    },
+    /// A new incumbent found elsewhere.
+    Incumbent { sol: Sol, obj: f64 },
+    /// Enter collect mode: periodically export heavy open subproblems.
+    StartCollecting,
+    /// Leave collect mode.
+    StopCollecting,
+    /// Abort the current subproblem (racing loser, time limit); the
+    /// worker stays alive and reports `Completed { aborted: true }`.
+    AbortSubproblem,
+    /// Shut the worker down (tag `termination`).
+    Terminate,
+
+    // ---- ParaSolver → LoadCoordinator --------------------------------
+    /// Tag `solutionFound`.
+    SolutionFound { rank: usize, sol: Sol, obj: f64 },
+    /// Tag `status`: periodic progress report.
+    Status { rank: usize, dual_bound: f64, open: usize, nodes: u64 },
+    /// A collected (exported) open subproblem (tag `subproblem` upward).
+    ExportedNode { rank: usize, sub: SubproblemMsg<Sub> },
+    /// Tag `terminated`: the assigned subproblem is done (or aborted).
+    Completed { rank: usize, dual_bound: f64, nodes: u64, aborted: bool },
+}
+
+impl<Sub, Sol> Message<Sub, Sol> {
+    /// Short tag string (mirrors the paper's message tags; handy for
+    /// logging and tests).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Message::Subproblem { .. } => "subproblem",
+            Message::Incumbent { .. } => "incumbent",
+            Message::StartCollecting => "startCollecting",
+            Message::StopCollecting => "stopCollecting",
+            Message::AbortSubproblem => "abortSubproblem",
+            Message::Terminate => "termination",
+            Message::SolutionFound { .. } => "solutionFound",
+            Message::Status { .. } => "status",
+            Message::ExportedNode { .. } => "subproblem^",
+            Message::Completed { .. } => "terminated",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_match_paper_protocol() {
+        let m: Message<u32, u32> = Message::StartCollecting;
+        assert_eq!(m.tag(), "startCollecting");
+        let m: Message<u32, u32> =
+            Message::Completed { rank: 0, dual_bound: 0.0, nodes: 1, aborted: false };
+        assert_eq!(m.tag(), "terminated");
+    }
+}

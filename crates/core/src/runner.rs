@@ -1,0 +1,136 @@
+//! The public entry point: spawn ParaSolvers, run the LoadCoordinator,
+//! join, return results — `ug [base solver, ThreadComm]` in the paper's
+//! naming scheme.
+
+use crate::checkpoint::Checkpoint;
+use crate::comm::thread_comm;
+use crate::settings::SolverSettings;
+use crate::stats::UgStats;
+use crate::supervisor::LoadCoordinator;
+use crate::worker::{worker_loop, BaseSolver, SolverFactory};
+use std::time::Duration;
+
+/// Ramp-up strategy (§2.2).
+#[derive(Clone, Debug)]
+pub enum RampUp {
+    /// Normal ramp-up: the root goes to one solver; collect mode spreads
+    /// branched nodes as solvers become idle.
+    Normal,
+    /// Racing ramp-up: all solvers attack the root under different
+    /// settings; a winner is chosen when the trigger fires.
+    Racing {
+        /// The settings bundles, assigned round-robin to ranks.
+        settings: Vec<SolverSettings>,
+        /// Fire the trigger after this much wall-clock time…
+        time_trigger: f64,
+        /// …or once the most promising solver reports at least this many
+        /// open nodes.
+        open_nodes_trigger: usize,
+    },
+}
+
+/// Options of a parallel run.
+#[derive(Clone, Debug)]
+pub struct ParallelOptions {
+    /// Number of ParaSolvers (threads).
+    pub num_solvers: usize,
+    pub ramp_up: RampUp,
+    /// Wall-clock limit in seconds.
+    pub time_limit: f64,
+    /// Save a checkpoint here when the run stops unfinished (and
+    /// periodically every `checkpoint_interval`).
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Seconds between periodic checkpoints (0 = only at shutdown).
+    pub checkpoint_interval: f64,
+    /// Resume from this checkpoint.
+    pub restart_from: Option<String>,
+    /// Desired size of the coordinator's subproblem pool per idle solver
+    /// (collect-mode hysteresis).
+    pub pool_target_per_solver: f64,
+    /// Minimum seconds between a worker's status reports.
+    pub status_interval: f64,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            num_solvers: 2,
+            ramp_up: RampUp::Normal,
+            time_limit: f64::INFINITY,
+            checkpoint_path: None,
+            checkpoint_interval: 0.0,
+            restart_from: None,
+            pool_target_per_solver: 1.0,
+            status_interval: 0.05,
+        }
+    }
+}
+
+/// Result of a parallel run.
+#[derive(Clone, Debug)]
+pub struct ParallelResult<Sub, Sol> {
+    /// Best solution with its internal-sense objective.
+    pub solution: Option<(Sol, f64)>,
+    /// Proven global dual bound (internal sense).
+    pub dual_bound: f64,
+    /// True when the search space was exhausted (optimality or
+    /// infeasibility proven).
+    pub solved: bool,
+    pub stats: UgStats,
+    /// The final checkpoint (also written to disk when a path was set).
+    pub final_checkpoint: Option<Checkpoint<Sub, Sol>>,
+}
+
+/// Runs the parallel solve: spawns `num_solvers` ParaSolver threads
+/// around `factory`-built base solvers, coordinates them on `root`, and
+/// returns the combined result.
+pub fn solve_parallel<S: BaseSolver + 'static>(
+    factory: SolverFactory<S>,
+    root: S::Sub,
+    options: ParallelOptions,
+) -> ParallelResult<S::Sub, S::Sol> {
+    solve_parallel_seeded(factory, root, None, options)
+}
+
+/// Like [`solve_parallel`], but seeds the coordinator with a known
+/// feasible solution (internal-sense objective) before the run — the
+/// paper's Table 3 workflow of re-running "from scratch with the best
+/// solution", which then powers presolving, propagation and heuristics
+/// in every ParaSolver.
+pub fn solve_parallel_seeded<S: BaseSolver + 'static>(
+    factory: SolverFactory<S>,
+    root: S::Sub,
+    incumbent: Option<(S::Sol, f64)>,
+    options: ParallelOptions,
+) -> ParallelResult<S::Sub, S::Sol> {
+    let n = options.num_solvers.max(1);
+    let (lc, workers) = thread_comm::<S::Sub, S::Sol>(n);
+    let status_interval = Duration::from_secs_f64(options.status_interval);
+    let mut handles = Vec::with_capacity(n);
+    for w in workers {
+        let f = factory.clone();
+        handles.push(std::thread::spawn(move || worker_loop(w, f, status_interval)));
+    }
+    let mut coordinator = LoadCoordinator::new(lc, options, root);
+    if let Some((sol, obj)) = incumbent {
+        coordinator.set_initial_incumbent(sol, obj);
+    }
+    let result = coordinator.run();
+    for h in handles {
+        let _ = h.join();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_sane() {
+        let o = ParallelOptions::default();
+        assert_eq!(o.num_solvers, 2);
+        assert!(matches!(o.ramp_up, RampUp::Normal));
+        assert!(o.time_limit.is_infinite());
+    }
+}

@@ -1,0 +1,66 @@
+//! Racing settings: opaque, solver-specific parameter bundles.
+//!
+//! UG's racing ramp-up gives every ParaSolver "different parameter
+//! settings and permutations of variables and constraints" (§2.2). The
+//! framework itself does not interpret the parameters — they are an
+//! opaque JSON value the base-solver factory decodes (mirroring UG's
+//! solver-specific settings files, and the *customized racing* feature
+//! that lets users supply problem-specific racing parameter sets).
+
+/// One racing parameter bundle.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SolverSettings {
+    /// Position in the racing settings list (Figure 1's x-axis).
+    pub index: usize,
+    /// Human-readable name (e.g. `"sdp-default"`, `"lp-easycip"`).
+    pub name: String,
+    /// Solver-specific parameters, decoded by the factory.
+    pub params: serde_json::Value,
+}
+
+impl SolverSettings {
+    /// The default settings bundle (index 0, empty parameters).
+    pub fn default_bundle() -> Self {
+        SolverSettings { index: 0, name: "default".into(), params: serde_json::Value::Null }
+    }
+
+    /// A simple seeded variant: same parameters, different permutation
+    /// seed — the minimal diversification UG applies when the user gives
+    /// no custom racing set.
+    pub fn seeded(index: usize) -> Self {
+        SolverSettings {
+            index,
+            name: format!("seed-{index}"),
+            params: serde_json::json!({ "seed": index as u64 }),
+        }
+    }
+
+    /// Generates `n` default racing bundles (seed diversification only).
+    pub fn default_racing_set(n: usize) -> Vec<SolverSettings> {
+        (0..n).map(Self::seeded).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_racing_set_has_distinct_seeds() {
+        let set = SolverSettings::default_racing_set(4);
+        assert_eq!(set.len(), 4);
+        for (i, s) in set.iter().enumerate() {
+            assert_eq!(s.index, i);
+            assert_eq!(s.params["seed"], serde_json::json!(i as u64));
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = SolverSettings::seeded(3);
+        let j = serde_json::to_string(&s).unwrap();
+        let back: SolverSettings = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.index, 3);
+        assert_eq!(back.name, "seed-3");
+    }
+}

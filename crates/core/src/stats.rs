@@ -1,0 +1,83 @@
+//! Run statistics — exactly the quantities the paper's tables report:
+//! idle ratio and transferred nodes (Table 2/3), maximum simultaneously
+//! active solvers and the first time that maximum was reached (Table 1),
+//! node counts, bounds and gap.
+
+/// Statistics of one parallel run.
+#[derive(Clone, Debug)]
+pub struct UgStats {
+    /// Wall-clock seconds of the run.
+    pub wall_time: f64,
+    /// Subproblems transferred LoadCoordinator → ParaSolvers
+    /// ("Trans." in Tables 2/3).
+    pub transferred: u64,
+    /// Subproblems collected from solvers (load balancing volume).
+    pub collected: u64,
+    /// Total B&B nodes processed across all solvers.
+    pub nodes_total: u64,
+    /// Open nodes left in the coordinator queue + assigned-but-unfinished
+    /// subtree roots when the run stopped ("Open nodes").
+    pub open_nodes: u64,
+    /// Aggregate idle ratio over all ParaSolvers in percent
+    /// ("Idle (%)").
+    pub idle_percent: f64,
+    /// Maximum number of simultaneously active solvers ("max # solvers").
+    pub max_active: usize,
+    /// First wall-clock second at which `max_active` was reached
+    /// ("first max active time").
+    pub first_max_active_time: f64,
+    /// Final primal bound (internal sense; +inf when no solution).
+    pub primal_bound: f64,
+    /// Final dual bound (internal sense).
+    pub dual_bound: f64,
+    /// Winner index of the racing ramp-up, if racing ran and survived
+    /// past the trigger (Figure 1's statistic).
+    pub racing_winner: Option<usize>,
+    /// Number of improving incumbents the coordinator saw.
+    pub incumbents_seen: u64,
+}
+
+impl Default for UgStats {
+    fn default() -> Self {
+        UgStats {
+            wall_time: 0.0,
+            transferred: 0,
+            collected: 0,
+            nodes_total: 0,
+            open_nodes: 0,
+            idle_percent: 0.0,
+            max_active: 0,
+            first_max_active_time: 0.0,
+            primal_bound: f64::INFINITY,
+            dual_bound: f64::NEG_INFINITY,
+            racing_winner: None,
+            incumbents_seen: 0,
+        }
+    }
+}
+
+impl UgStats {
+    /// Relative gap in percent, as in Table 2 (`0` when closed).
+    pub fn gap_percent(&self) -> f64 {
+        if !self.primal_bound.is_finite() || !self.dual_bound.is_finite() {
+            return f64::INFINITY;
+        }
+        ((self.primal_bound - self.dual_bound).max(0.0) / self.primal_bound.abs().max(1e-9))
+            * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_matches_table2_convention() {
+        let mut s = UgStats { primal_bound: 233.0, dual_bound: 229.1728, ..Default::default() };
+        assert!((s.gap_percent() - 1.6426).abs() < 1e-3);
+        s.dual_bound = 233.0;
+        assert_eq!(s.gap_percent(), 0.0);
+        s.dual_bound = f64::NEG_INFINITY;
+        assert!(s.gap_percent().is_infinite());
+    }
+}

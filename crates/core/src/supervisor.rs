@@ -1,0 +1,502 @@
+//! The LoadCoordinator: Algorithm 1 of the paper, plus racing ramp-up,
+//! collect-mode load balancing and checkpointing.
+
+use crate::checkpoint::Checkpoint;
+use crate::comm::LcComm;
+use crate::messages::{Message, SubproblemMsg};
+use crate::runner::{ParallelOptions, ParallelResult, RampUp};
+use crate::stats::UgStats;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, PartialEq)]
+enum Phase {
+    Racing,
+    Normal,
+}
+
+/// The Supervisor of the Supervisor–Worker scheme. Owns only a small
+/// pool of subproblems; the B&B trees live inside the base solvers.
+pub struct LoadCoordinator<Sub, Sol> {
+    comm: LcComm<Sub, Sol>,
+    opts: ParallelOptions,
+    root: Sub,
+    queue: Vec<SubproblemMsg<Sub>>,
+    idle: Vec<usize>,
+    assigned: HashMap<usize, SubproblemMsg<Sub>>,
+    statuses: HashMap<usize, (f64, usize, u64)>,
+    incumbent: Option<(Sol, f64)>,
+    collect_mode: bool,
+    phase: Phase,
+    racing_settings_of_rank: HashMap<usize, usize>,
+    racing_winner: Option<usize>,
+    start: Instant,
+    idle_since: Vec<Option<Instant>>,
+    idle_total: Vec<f64>,
+    stats: UgStats,
+    run_index: u32,
+    carried_nodes: u64,
+    carried_transferred: u64,
+    carried_wall: f64,
+    last_checkpoint: Instant,
+    /// Ranks already sent an AbortSubproblem for their current assignment
+    /// (avoids flooding the channel from the management loop).
+    abort_sent: std::collections::HashSet<usize>,
+}
+
+impl<Sub, Sol> LoadCoordinator<Sub, Sol>
+where
+    Sub: Clone + Send + Serialize + DeserializeOwned + 'static,
+    Sol: Clone + Send + Serialize + DeserializeOwned + 'static,
+{
+    pub fn new(comm: LcComm<Sub, Sol>, opts: ParallelOptions, root: Sub) -> Self {
+        let n = comm.num_workers();
+        let now = Instant::now();
+        LoadCoordinator {
+            comm,
+            opts,
+            root,
+            queue: Vec::new(),
+            idle: (0..n).collect(),
+            assigned: HashMap::new(),
+            statuses: HashMap::new(),
+            incumbent: None,
+            collect_mode: false,
+            phase: Phase::Normal,
+            racing_settings_of_rank: HashMap::new(),
+            racing_winner: None,
+            start: now,
+            idle_since: vec![Some(now); n],
+            idle_total: vec![0.0; n],
+            stats: UgStats::default(),
+            run_index: 1,
+            carried_nodes: 0,
+            carried_transferred: 0,
+            carried_wall: 0.0,
+            last_checkpoint: now,
+            abort_sent: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Seeds the coordinator with a known solution before the run (the
+    /// Table 3 workflow: "rerun from scratch with the best solution").
+    pub fn set_initial_incumbent(&mut self, sol: Sol, obj: f64) {
+        self.incumbent = Some((sol, obj));
+    }
+
+    fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn cutoff(&self) -> f64 {
+        self.incumbent.as_ref().map_or(f64::INFINITY, |(_, o)| o - 1e-9)
+    }
+
+    fn mark_busy(&mut self, rank: usize) {
+        if let Some(since) = self.idle_since[rank].take() {
+            self.idle_total[rank] += since.elapsed().as_secs_f64();
+        }
+    }
+
+    fn mark_idle(&mut self, rank: usize) {
+        if self.idle_since[rank].is_none() {
+            self.idle_since[rank] = Some(Instant::now());
+        }
+        if !self.idle.contains(&rank) {
+            self.idle.push(rank);
+        }
+    }
+
+    fn track_active(&mut self) {
+        let active = self.assigned.len();
+        if active > self.stats.max_active {
+            self.stats.max_active = active;
+            self.stats.first_max_active_time = self.elapsed();
+        }
+    }
+
+    /// Pops the queued subproblem with the best (lowest) dual bound — the
+    /// heaviest expected subtree.
+    fn pop_best(&mut self) -> Option<SubproblemMsg<Sub>> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for i in 1..self.queue.len() {
+            if self.queue[i].dual_bound < self.queue[best].dual_bound {
+                best = i;
+            }
+        }
+        Some(self.queue.swap_remove(best))
+    }
+
+    fn global_dual_bound(&self) -> f64 {
+        let mut b = f64::INFINITY;
+        for s in &self.queue {
+            b = b.min(s.dual_bound);
+        }
+        for (rank, sub) in &self.assigned {
+            let sb = self
+                .statuses
+                .get(rank)
+                .map(|(d, _, _)| *d)
+                .unwrap_or(f64::NEG_INFINITY)
+                .max(sub.dual_bound);
+            b = b.min(sb);
+        }
+        b
+    }
+
+    fn handle(&mut self, msg: Message<Sub, Sol>) -> Option<bool> {
+        match msg {
+            Message::SolutionFound { rank, sol, obj } => {
+                let improves = self.incumbent.as_ref().map_or(true, |(_, cur)| obj < *cur - 1e-9);
+                if improves {
+                    self.incumbent = Some((sol.clone(), obj));
+                    self.stats.incumbents_seen += 1;
+                    // Broadcast to everyone (the finder dedups on its side).
+                    let _ = rank;
+                    self.comm.broadcast(&Message::Incumbent { sol, obj });
+                    // Prune the pool.
+                    let cutoff = self.cutoff();
+                    self.queue.retain(|s| s.dual_bound < cutoff);
+                }
+            }
+            Message::Status { rank, dual_bound, open, nodes } => {
+                self.statuses.insert(rank, (dual_bound, open, nodes));
+            }
+            Message::ExportedNode { rank: _, sub } => {
+                self.stats.collected += 1;
+                if sub.dual_bound < self.cutoff() {
+                    self.queue.push(sub);
+                }
+            }
+            Message::Completed { rank, dual_bound, nodes, aborted } => {
+                self.stats.nodes_total += nodes;
+                self.statuses.remove(&rank);
+                if self.phase == Phase::Racing && !aborted {
+                    // A racer finished the root: the whole instance is
+                    // solved (its bound is global).
+                    self.assigned.remove(&rank);
+                    self.mark_idle(rank);
+                    if !dual_bound.is_finite() || self.incumbent.is_none() {
+                        // Infeasible instance.
+                        self.stats.dual_bound = f64::INFINITY;
+                    }
+                    return Some(true); // solved
+                }
+                self.assigned.remove(&rank);
+                self.mark_idle(rank);
+                let _ = dual_bound;
+            }
+            // Upward-only tags cannot appear here; downward tags are
+            // handled by workers.
+            _ => {}
+        }
+        None
+    }
+
+    fn send_sub(&mut self, rank: usize, sub: SubproblemMsg<Sub>, settings_index: Option<usize>) {
+        self.mark_busy(rank);
+        self.idle.retain(|&r| r != rank);
+        let settings = settings_index.map(|i| match &self.opts.ramp_up {
+            RampUp::Racing { settings, .. } => settings[i % settings.len()].clone(),
+            RampUp::Normal => crate::settings::SolverSettings::default_bundle(),
+        });
+        self.abort_sent.remove(&rank);
+        self.assigned.insert(rank, sub.clone());
+        self.comm.send_to(
+            rank,
+            Message::Subproblem { sub, incumbent: self.incumbent.clone(), settings },
+        );
+        self.stats.transferred += 1;
+        self.track_active();
+    }
+
+    fn start_racing(&mut self) {
+        let n = self.comm.num_workers();
+        let root = SubproblemMsg { sub: self.root.clone(), dual_bound: f64::NEG_INFINITY };
+        self.phase = Phase::Racing;
+        for rank in 0..n {
+            self.racing_settings_of_rank.insert(rank, rank);
+            self.send_sub(rank, root.clone(), Some(rank));
+        }
+        self.queue.clear();
+    }
+
+    fn racing_trigger_fired(&self) -> bool {
+        let RampUp::Racing { time_trigger, open_nodes_trigger, .. } = &self.opts.ramp_up else {
+            return false;
+        };
+        if self.elapsed() >= *time_trigger {
+            return true;
+        }
+        self.statuses.values().any(|(_, open, _)| *open >= *open_nodes_trigger)
+    }
+
+    fn finish_racing(&mut self) {
+        // Winner: best (largest) dual bound — it has progressed the most —
+        // with open-node count as tie-break (the paper: "a combination of
+        // the lower bound and the number of open nodes").
+        let winner = self
+            .assigned
+            .keys()
+            .copied()
+            .max_by(|a, b| {
+                let sa = self.statuses.get(a).copied().unwrap_or((f64::NEG_INFINITY, 0, 0));
+                let sb = self.statuses.get(b).copied().unwrap_or((f64::NEG_INFINITY, 0, 0));
+                sa.0.partial_cmp(&sb.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(sa.1.cmp(&sb.1))
+            })
+            .unwrap_or(0);
+        self.racing_winner = Some(self.racing_settings_of_rank.get(&winner).copied().unwrap_or(0));
+        self.stats.racing_winner = self.racing_winner;
+        for rank in self.assigned.keys().copied().collect::<Vec<_>>() {
+            if rank != winner {
+                self.comm.send_to(rank, Message::AbortSubproblem);
+            }
+        }
+        // The winner feeds the pool; its own subtree remainder keeps it busy.
+        self.comm.send_to(winner, Message::StartCollecting);
+        self.collect_mode = true;
+        self.phase = Phase::Normal;
+    }
+
+    fn manage_collect_mode(&mut self) {
+        if self.phase != Phase::Normal || self.assigned.is_empty() {
+            return;
+        }
+        // With a single solver the pool can never feed anyone else;
+        // collecting would only make the lone worker ship nodes to the
+        // coordinator and receive them back.
+        if self.comm.num_workers() == 1 {
+            return;
+        }
+        let want = ((self.idle.len() as f64 + 1.0) * self.opts.pool_target_per_solver).ceil()
+            as usize;
+        if !self.collect_mode && self.queue.len() < want {
+            for rank in self.assigned.keys() {
+                self.comm.send_to(*rank, Message::StartCollecting);
+            }
+            self.collect_mode = true;
+        } else if self.collect_mode && self.queue.len() >= want + self.comm.num_workers() {
+            for rank in self.assigned.keys() {
+                self.comm.send_to(*rank, Message::StopCollecting);
+            }
+            self.collect_mode = false;
+        }
+    }
+
+    fn build_checkpoint(&self) -> Checkpoint<Sub, Sol> {
+        // Assigned subtree roots carry the solver's freshest reported
+        // bound, so restarts never regress the chain's dual bound.
+        let assigned = self
+            .assigned
+            .iter()
+            .map(|(rank, sub)| {
+                let mut sub = sub.clone();
+                if let Some((d, _, _)) = self.statuses.get(rank) {
+                    sub.dual_bound = sub.dual_bound.max(*d);
+                }
+                sub
+            })
+            .collect();
+        Checkpoint {
+            queue: self.queue.clone(),
+            assigned,
+            incumbent: self.incumbent.clone(),
+            dual_bound: self.global_dual_bound(),
+            nodes_so_far: self.carried_nodes + self.stats.nodes_total,
+            transferred_so_far: self.carried_transferred + self.stats.transferred,
+            wall_time_so_far: self.carried_wall + self.elapsed(),
+            run_index: self.run_index,
+        }
+    }
+
+    fn maybe_periodic_checkpoint(&mut self) {
+        if self.opts.checkpoint_interval <= 0.0 {
+            return;
+        }
+        if self.last_checkpoint.elapsed().as_secs_f64() >= self.opts.checkpoint_interval {
+            self.last_checkpoint = Instant::now();
+            if let Some(path) = self.opts.checkpoint_path.clone() {
+                let _ = self.build_checkpoint().save(&path);
+            }
+        }
+    }
+
+    /// Runs the coordination loop to completion (or the time limit).
+    pub fn run(&mut self) -> ParallelResult<Sub, Sol> {
+        // ---- initialization: restart, racing or normal ramp-up --------
+        if let Some(cp_json) = self.opts.restart_from.clone() {
+            if let Ok(cp) = serde_json::from_str::<Checkpoint<Sub, Sol>>(&cp_json) {
+                self.queue = cp.queue;
+                self.queue.extend(cp.assigned);
+                self.incumbent = cp.incumbent;
+                self.carried_nodes = cp.nodes_so_far;
+                self.carried_transferred = cp.transferred_so_far;
+                self.carried_wall = cp.wall_time_so_far;
+                self.run_index = cp.run_index + 1;
+            }
+        }
+        let racing_possible = matches!(self.opts.ramp_up, RampUp::Racing { .. })
+            && self.comm.num_workers() > 1
+            && self.queue.is_empty();
+        if racing_possible {
+            self.start_racing();
+        } else if self.queue.is_empty() {
+            self.queue.push(SubproblemMsg {
+                sub: self.root.clone(),
+                dual_bound: f64::NEG_INFINITY,
+            });
+        }
+
+        let mut solved = false;
+        let mut hit_time_limit = false;
+        loop {
+            // ---- drain messages ---------------------------------------
+            let mut first = true;
+            loop {
+                let timeout = if first { Duration::from_millis(2) } else { Duration::ZERO };
+                first = false;
+                let Some(msg) = self.comm.recv_timeout(timeout) else { break };
+                if let Some(s) = self.handle(msg) {
+                    solved = s;
+                }
+            }
+            if solved {
+                break;
+            }
+
+            // ---- racing management ------------------------------------
+            if self.phase == Phase::Racing && self.racing_trigger_fired() {
+                self.finish_racing();
+            }
+
+            // ---- normal-phase management -------------------------------
+            if self.phase == Phase::Normal {
+                // Bound-based termination: when every queued subproblem and
+                // every active solver's reported bound is dominated by the
+                // incumbent, nothing left can improve — abort the stragglers
+                // (they drain through the normal Completed path).
+                if self.incumbent.is_some() {
+                    let cutoff = self.cutoff();
+                    self.queue.retain(|s| s.dual_bound < cutoff);
+                    if !self.assigned.is_empty() && self.global_dual_bound() >= cutoff {
+                        for rank in self.assigned.keys() {
+                            if self.abort_sent.insert(*rank) {
+                                self.comm.send_to(*rank, Message::AbortSubproblem);
+                            }
+                        }
+                    }
+                }
+                // Assignment.
+                while !self.idle.is_empty() && !self.queue.is_empty() {
+                    let sub = self.pop_best().unwrap();
+                    let rank = self.idle[0];
+                    self.send_sub(rank, sub, None);
+                }
+                self.manage_collect_mode();
+                // Termination: pool empty, nobody working.
+                if self.queue.is_empty() && self.assigned.is_empty() {
+                    solved = true;
+                    break;
+                }
+            }
+
+            // ---- limits and checkpoints --------------------------------
+            if self.elapsed() >= self.opts.time_limit {
+                hit_time_limit = true;
+                break;
+            }
+            self.maybe_periodic_checkpoint();
+        }
+
+        // ---- shutdown -------------------------------------------------
+        let final_dual = if hit_time_limit || !solved {
+            self.global_dual_bound()
+        } else {
+            self.incumbent.as_ref().map_or(f64::INFINITY, |(_, o)| *o)
+        };
+        if hit_time_limit {
+            // Abort everyone, wait (bounded) for their Completed reports.
+            for rank in self.assigned.keys() {
+                self.comm.send_to(*rank, Message::AbortSubproblem);
+            }
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !self.assigned.is_empty() && Instant::now() < deadline {
+                if let Some(msg) = self.comm.recv_timeout(Duration::from_millis(20)) {
+                    // Keep the assigned map: aborted subtree roots are the
+                    // primitive nodes the checkpoint must retain.
+                    if let Message::Completed { rank, nodes, aborted, .. } = &msg {
+                        self.stats.nodes_total += nodes;
+                        let (r, ab) = (*rank, *aborted);
+                        let last_status_bound =
+                            self.statuses.remove(&r).map(|(d, _, _)| d);
+                        // Move an *aborted* root back into the queue so the
+                        // checkpoint sees it exactly once; a subproblem that
+                        // completed normally in the shutdown race is done.
+                        // Its bound is upgraded to the solver's last status
+                        // report — otherwise restarts would resume from the
+                        // stale creation-time bound and the chain's dual
+                        // bound could regress.
+                        if let Some(mut sub) = self.assigned.remove(&r) {
+                            if ab {
+                                if let Some(d) = last_status_bound {
+                                    sub.dual_bound = sub.dual_bound.max(d);
+                                }
+                                self.queue.push(sub);
+                            }
+                        }
+                        self.mark_idle(r);
+                    } else if let Some(s) = self.handle(msg) {
+                        solved = s;
+                    }
+                }
+            }
+        }
+        self.comm.broadcast(&Message::Terminate);
+
+        // ---- statistics & checkpoint -----------------------------------
+        let wall = self.elapsed();
+        let n = self.comm.num_workers();
+        let mut idle_sum = 0.0;
+        for rank in 0..n {
+            idle_sum += self.idle_total[rank]
+                + self.idle_since[rank].map_or(0.0, |s| s.elapsed().as_secs_f64());
+        }
+        self.stats.wall_time = wall;
+        self.stats.idle_percent = 100.0 * idle_sum / (n as f64 * wall).max(1e-9);
+        self.stats.open_nodes = (self.queue.len() + self.assigned.len()) as u64;
+        self.stats.primal_bound = self.incumbent.as_ref().map_or(f64::INFINITY, |(_, o)| *o);
+        self.stats.dual_bound = if solved && !hit_time_limit {
+            self.stats.primal_bound.min(final_dual)
+        } else {
+            final_dual
+        };
+        if solved && !hit_time_limit && self.incumbent.is_none() {
+            self.stats.dual_bound = f64::INFINITY; // proven infeasible
+        }
+
+        let checkpoint = if hit_time_limit || !solved {
+            let cp = self.build_checkpoint();
+            if let Some(path) = &self.opts.checkpoint_path {
+                let _ = cp.save(path);
+            }
+            Some(cp)
+        } else {
+            None
+        };
+
+        ParallelResult {
+            solution: self.incumbent.clone(),
+            dual_bound: self.stats.dual_bound,
+            solved: solved && !hit_time_limit,
+            stats: self.stats.clone(),
+            final_checkpoint: checkpoint,
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! End-to-end tests of the UG framework against a self-contained toy
+//! base solver: a DFS branch-and-bound for 0/1 knapsack. The toy solver
+//! implements the full Algorithm-2 contract — status reports, incumbent
+//! exchange, collect-mode node export, aborts — so these tests exercise
+//! every coordinator path without depending on the CIP stack.
+
+use std::sync::Arc;
+use ugrs_core::{
+    solve_parallel, BaseSolver, ParaControl, ParallelOptions, RampUp, SolverSettings,
+    SubproblemOutcome,
+};
+
+/// Knapsack instance shared by all solver instances.
+#[derive(Clone, Debug)]
+struct Knapsack {
+    weights: Vec<f64>,
+    profits: Vec<f64>,
+    capacity: f64,
+}
+
+impl Knapsack {
+    fn gen(n: usize, seed: u64) -> Self {
+        // Deterministic LCG so the test needs no rand dependency here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f64
+        };
+        let weights: Vec<f64> = (0..n).map(|_| 1.0 + next() % 97.0).collect();
+        let profits: Vec<f64> = (0..n).map(|_| 1.0 + next() % 89.0).collect();
+        let capacity = weights.iter().sum::<f64>() * 0.5;
+        Knapsack { weights, profits, capacity }
+    }
+
+    /// A strongly correlated instance (profit = weight + k): weak LP
+    /// bounds make these notoriously hard for B&B — ideal for forcing a
+    /// time-limit checkpoint.
+    fn gen_hard(n: usize, seed: u64) -> Self {
+        let mut k = Self::gen(n, seed);
+        k.profits = k.weights.iter().map(|w| w + 10.0).collect();
+        k
+    }
+
+    /// Exact optimum via exhaustive search (n ≤ 20).
+    fn brute_force(&self) -> f64 {
+        let n = self.weights.len();
+        assert!(n <= 20);
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let (mut w, mut p) = (0.0, 0.0);
+            for i in 0..n {
+                if mask >> i & 1 == 1 {
+                    w += self.weights[i];
+                    p += self.profits[i];
+                }
+            }
+            if w <= self.capacity {
+                best = best.max(p);
+            }
+        }
+        best
+    }
+}
+
+/// Subproblem: fixings for a prefix-free set of items, as (index, taken).
+type Sub = Vec<(u32, bool)>;
+/// Solution: the taken-set as a bit vector.
+type Sol = Vec<bool>;
+
+/// DFS B&B with fractional (greedy LP) bound. Internal objective =
+/// negative profit (UG minimizes).
+struct KnapsackSolver {
+    inst: Arc<Knapsack>,
+    /// artificial per-node delay so collect mode has time to engage
+    delay_us: u64,
+    /// node order permutation seed from the racing settings
+    seed: u64,
+}
+
+impl KnapsackSolver {
+    /// Greedy fractional bound on remaining profit (classic Dantzig).
+    fn bound(&self, fixed: &[Option<bool>], used_w: f64, got_p: f64) -> f64 {
+        let mut items: Vec<usize> = (0..self.inst.weights.len())
+            .filter(|&i| fixed[i].is_none())
+            .collect();
+        items.sort_by(|&a, &b| {
+            let ra = self.inst.profits[a] / self.inst.weights[a];
+            let rb = self.inst.profits[b] / self.inst.weights[b];
+            rb.partial_cmp(&ra).unwrap()
+        });
+        let mut cap = self.inst.capacity - used_w;
+        let mut p = got_p;
+        for i in items {
+            if cap <= 0.0 {
+                break;
+            }
+            let take = self.inst.weights[i].min(cap);
+            p += self.inst.profits[i] * take / self.inst.weights[i];
+            cap -= take;
+        }
+        p
+    }
+}
+
+impl BaseSolver for KnapsackSolver {
+    type Sub = Sub;
+    type Sol = Sol;
+
+    fn solve_subproblem(
+        &mut self,
+        sub: &Sub,
+        _known_bound: f64,
+        incumbent: Option<&Sol>,
+        ctl: &mut dyn ParaControl<Sub, Sol>,
+    ) -> SubproblemOutcome {
+        let n = self.inst.weights.len();
+        let mut best_obj = incumbent
+            .map(|s| {
+                -s.iter()
+                    .enumerate()
+                    .filter(|(_, t)| **t)
+                    .map(|(i, _)| self.inst.profits[i])
+                    .sum::<f64>()
+            })
+            .unwrap_or(0.0); // empty knapsack is always feasible
+        // The subproblem root's bound is a valid bound for everything in
+        // this subtree — that is what on_status must report.
+        let root_bound = {
+            let mut fixed: Vec<Option<bool>> = vec![None; n];
+            let (mut w, mut p) = (0.0, 0.0);
+            for &(i, t) in sub {
+                fixed[i as usize] = Some(t);
+                if t {
+                    w += self.inst.weights[i as usize];
+                    p += self.inst.profits[i as usize];
+                }
+            }
+            -self.bound(&fixed, w, p)
+        };
+        // DFS stack of (fixings). Each entry extends `sub`.
+        let mut stack: Vec<Sub> = vec![sub.clone()];
+        let mut nodes = 0u64;
+        let mut aborted = false;
+        let mut subtree_bound = f64::INFINITY; // min over pruned/open (internal)
+        while let Some(fixings) = stack.pop() {
+            nodes += 1;
+            if self.delay_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(self.delay_us));
+            }
+            if ctl.should_abort() {
+                aborted = true;
+                // Remaining open nodes are lost; their bounds cap ours.
+                subtree_bound = f64::NEG_INFINITY;
+                break;
+            }
+            if let Some((sol, obj)) = ctl.poll_incumbent() {
+                let _ = sol;
+                if obj < best_obj {
+                    best_obj = obj;
+                }
+            }
+            // Build the fixed view.
+            let mut fixed: Vec<Option<bool>> = vec![None; n];
+            let mut used_w = 0.0;
+            let mut got_p = 0.0;
+            let mut infeasible = false;
+            for &(i, t) in &fixings {
+                fixed[i as usize] = Some(t);
+                if t {
+                    used_w += self.inst.weights[i as usize];
+                    got_p += self.inst.profits[i as usize];
+                }
+            }
+            if used_w > self.inst.capacity {
+                infeasible = true;
+            }
+            if infeasible {
+                continue;
+            }
+            let ub_profit = self.bound(&fixed, used_w, got_p);
+            let dual = -ub_profit; // internal sense
+            if dual >= best_obj - 1e-9 {
+                subtree_bound = subtree_bound.min(best_obj);
+                continue; // pruned
+            }
+            // Export a node when the coordinator is collecting. The bound
+            // shipped with it must be valid for *that* node, so it is
+            // recomputed from the exported node's own fixings.
+            if ctl.collect_requested() && stack.len() >= 2 {
+                let exported = stack.remove(0);
+                let mut efixed: Vec<Option<bool>> = vec![None; n];
+                let (mut ew, mut ep) = (0.0, 0.0);
+                for &(i, t) in &exported {
+                    efixed[i as usize] = Some(t);
+                    if t {
+                        ew += self.inst.weights[i as usize];
+                        ep += self.inst.profits[i as usize];
+                    }
+                }
+                let ebound = -self.bound(&efixed, ew, ep);
+                ctl.export_subproblem(exported, ebound);
+            }
+            // Next undecided item (permuted by the racing seed).
+            let nexts: Vec<usize> = (0..n).filter(|&i| fixed[i].is_none()).collect();
+            match nexts.first() {
+                None => {
+                    // Complete assignment: feasible leaf.
+                    let obj = -got_p;
+                    if obj < best_obj - 1e-9 {
+                        best_obj = obj;
+                        let sol: Sol = fixed.iter().map(|f| f == &Some(true)).collect();
+                        ctl.on_solution(sol, obj);
+                    }
+                }
+                Some(&pick) => {
+                    let pick = if self.seed % 2 == 1 {
+                        *nexts.last().unwrap()
+                    } else {
+                        pick
+                    };
+                    let mut with = fixings.clone();
+                    with.push((pick as u32, true));
+                    let mut without = fixings.clone();
+                    without.push((pick as u32, false));
+                    stack.push(without);
+                    stack.push(with);
+                }
+            }
+            ctl.on_status(root_bound, stack.len(), nodes);
+        }
+        SubproblemOutcome {
+            dual_bound: if aborted { f64::NEG_INFINITY } else { best_obj },
+            nodes,
+            aborted,
+        }
+    }
+}
+
+fn factory(inst: Arc<Knapsack>, delay_us: u64) -> ugrs_core::worker::SolverFactory<KnapsackSolver> {
+    Arc::new(move |_rank, settings: &SolverSettings| KnapsackSolver {
+        inst: inst.clone(),
+        delay_us,
+        seed: settings.params.get("seed").and_then(|v| v.as_u64()).unwrap_or(0),
+    })
+}
+
+fn profit_of(inst: &Knapsack, sol: &Sol) -> f64 {
+    sol.iter()
+        .enumerate()
+        .filter(|(_, t)| **t)
+        .map(|(i, _)| inst.profits[i])
+        .sum()
+}
+
+#[test]
+fn parallel_matches_brute_force() {
+    let inst = Arc::new(Knapsack::gen(14, 3));
+    let expected = inst.brute_force();
+    for threads in [1, 2, 4] {
+        let opts = ParallelOptions { num_solvers: threads, ..Default::default() };
+        let res = solve_parallel(factory(inst.clone(), 20), Vec::new(), opts);
+        assert!(res.solved, "threads={threads}");
+        let (sol, obj) = res.solution.expect("must find the optimum");
+        assert!((profit_of(&inst, &sol) - expected).abs() < 1e-9, "threads={threads}");
+        assert!((obj + expected).abs() < 1e-9);
+        assert!((res.dual_bound + expected).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn collect_mode_transfers_nodes() {
+    let inst = Arc::new(Knapsack::gen(16, 7));
+    let opts = ParallelOptions { num_solvers: 4, ..Default::default() };
+    let res = solve_parallel(factory(inst.clone(), 50), Vec::new(), opts);
+    assert!(res.solved);
+    // With 4 solvers and a single root, work can only have spread through
+    // collect mode.
+    assert!(res.stats.transferred >= 2, "transferred = {}", res.stats.transferred);
+    assert!(res.stats.collected >= 1, "collected = {}", res.stats.collected);
+    assert!(res.stats.max_active >= 2, "max_active = {}", res.stats.max_active);
+}
+
+#[test]
+fn racing_ramp_up_picks_a_winner_or_solves_in_race() {
+    let inst = Arc::new(Knapsack::gen(16, 11));
+    let expected = inst.brute_force();
+    let opts = ParallelOptions {
+        num_solvers: 3,
+        ramp_up: RampUp::Racing {
+            settings: SolverSettings::default_racing_set(3),
+            time_trigger: 0.05,
+            open_nodes_trigger: 6,
+        },
+        ..Default::default()
+    };
+    let res = solve_parallel(factory(inst.clone(), 60), Vec::new(), opts);
+    assert!(res.solved);
+    let (sol, _) = res.solution.unwrap();
+    assert!((profit_of(&inst, &sol) - expected).abs() < 1e-9);
+    // Either the race was decided (winner recorded) or some racer solved
+    // the root before the trigger.
+    if let Some(w) = res.stats.racing_winner {
+        assert!(w < 3);
+    }
+}
+
+#[test]
+fn time_limit_checkpoints_and_restart_completes() {
+    let inst = Arc::new(Knapsack::gen_hard(18, 23));
+    let expected = inst.brute_force();
+    // Phase 1: absurdly small time limit → checkpoint.
+    let opts = ParallelOptions {
+        num_solvers: 3,
+        time_limit: 0.15,
+        ..Default::default()
+    };
+    let res1 = solve_parallel(factory(inst.clone(), 300), Vec::new(), opts);
+    assert!(!res1.solved, "phase 1 should hit the time limit");
+    let cp = res1.final_checkpoint.expect("checkpoint must exist");
+    assert!(cp.num_primitive_nodes() >= 1);
+    // Phase 2: restart and finish.
+    let opts2 = ParallelOptions {
+        num_solvers: 3,
+        restart_from: Some(serde_json::to_string(&cp).unwrap()),
+        ..Default::default()
+    };
+    let res2 = solve_parallel(factory(inst.clone(), 0), Vec::new(), opts2);
+    assert!(res2.solved, "restart must finish");
+    let (sol, _) = res2.solution.unwrap();
+    assert!((profit_of(&inst, &sol) - expected).abs() < 1e-9);
+}
+
+#[test]
+fn seeded_incumbent_survives() {
+    // Injecting the optimum as a starting incumbent must not be lost.
+    let inst = Arc::new(Knapsack::gen(12, 5));
+    let expected = inst.brute_force();
+    let opts = ParallelOptions { num_solvers: 2, ..Default::default() };
+    // No direct seeding API on solve_parallel; emulate Table 3's workflow
+    // by running twice: the first run's solution is re-validated by the
+    // second run reaching the same optimum.
+    let res1 = solve_parallel(factory(inst.clone(), 0), Vec::new(), opts.clone());
+    let res2 = solve_parallel(factory(inst.clone(), 0), Vec::new(), opts);
+    let p1 = profit_of(&inst, &res1.solution.unwrap().0);
+    let p2 = profit_of(&inst, &res2.solution.unwrap().0);
+    assert!((p1 - expected).abs() < 1e-9);
+    assert!((p1 - p2).abs() < 1e-9);
+}
+
+#[test]
+fn idle_statistics_are_consistent() {
+    let inst = Arc::new(Knapsack::gen(14, 9));
+    let opts = ParallelOptions { num_solvers: 4, ..Default::default() };
+    let res = solve_parallel(factory(inst, 20), Vec::new(), opts);
+    assert!(res.stats.idle_percent >= 0.0 && res.stats.idle_percent <= 100.0);
+    assert!(res.stats.wall_time > 0.0);
+    assert!(res.stats.nodes_total > 0);
+}
+
+/// A solver that reports a dominated bound and then spins until aborted —
+/// the coordinator's bound-based termination must reap it.
+struct DominatedSpinner;
+impl BaseSolver for DominatedSpinner {
+    type Sub = Sub;
+    type Sol = Sol;
+    fn solve_subproblem(
+        &mut self,
+        _sub: &Sub,
+        _known_bound: f64,
+        _inc: Option<&Sol>,
+        ctl: &mut dyn ParaControl<Sub, Sol>,
+    ) -> SubproblemOutcome {
+        // Report a feasible solution of value 5, then a bound equal to it.
+        ctl.on_solution(vec![true], 5.0);
+        let mut n = 0u64;
+        loop {
+            n += 1;
+            ctl.on_status(5.0, 1, n); // dual == incumbent: dominated
+            if ctl.should_abort() {
+                return SubproblemOutcome { dual_bound: 5.0, nodes: n, aborted: true };
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+}
+
+#[test]
+fn bound_based_termination_reaps_dominated_solvers() {
+    let opts = ParallelOptions {
+        num_solvers: 2,
+        time_limit: 20.0, // far beyond what bound termination needs
+        status_interval: 0.01,
+        ..Default::default()
+    };
+    let factory: ugrs_core::worker::SolverFactory<DominatedSpinner> =
+        std::sync::Arc::new(|_, _| DominatedSpinner);
+    let t0 = std::time::Instant::now();
+    let res = solve_parallel(factory, Vec::new(), opts);
+    assert!(res.solved, "dominated work must terminate the run");
+    assert!(t0.elapsed().as_secs_f64() < 10.0, "must not run to the time limit");
+    let (_, obj) = res.solution.unwrap();
+    assert_eq!(obj, 5.0);
+}
+
+#[test]
+fn serde_fidelity_wrapper_preserves_results() {
+    use ugrs_core::worker::SerdeFidelity;
+    let inst = Arc::new(Knapsack::gen(13, 17));
+    let expected = inst.brute_force();
+    let inner = factory(inst.clone(), 10);
+    let wrapped: ugrs_core::worker::SolverFactory<SerdeFidelity<KnapsackSolver>> =
+        Arc::new(move |rank, settings| SerdeFidelity(
+            // reuse the plain factory to build the inner solver
+            (inner)(rank, settings),
+        ));
+    let opts = ParallelOptions { num_solvers: 3, ..Default::default() };
+    let res = solve_parallel(wrapped, Vec::new(), opts);
+    assert!(res.solved);
+    let (sol, _) = res.solution.unwrap();
+    assert!((profit_of(&inst, &sol) - expected).abs() < 1e-9,
+        "byte-boundary round trips must not change the optimum");
+}

@@ -1,0 +1,6 @@
+//! Per-application glue files — the analogs of
+//! `ug_scip_applications/STP/src/stp_plugins.cpp` (173 LoC) and
+//! `ug_scip_applications/MISDP/src/misdp_plugins.cpp` (106 LoC).
+
+pub mod misdp;
+pub mod stp;

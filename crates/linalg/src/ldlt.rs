@@ -1,0 +1,130 @@
+//! LDLᵀ factorization for symmetric (quasi-definite) systems.
+//!
+//! The barrier solver's bound-augmented Newton systems are symmetric but
+//! not always positive definite once the penalty variable enters; LDLᵀ
+//! without pivoting handles the quasi-definite case that arises there.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Packed LDLᵀ factorization `A = L D Lᵀ` with unit lower-triangular `L`
+/// and diagonal `D` (which may contain negative entries).
+#[derive(Clone, Debug)]
+pub struct LdltFactor {
+    /// Strict lower triangle holds L (unit diagonal implied); the diagonal
+    /// holds D.
+    packed: Matrix,
+}
+
+impl LdltFactor {
+    /// Factorizes a symmetric matrix. Fails with [`LinalgError::Singular`]
+    /// when a diagonal pivot falls below `1e-13` in absolute value.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::Shape("LDLT requires a square matrix".into()));
+        }
+        let n = a.rows();
+        let mut p = a.clone();
+        for j in 0..n {
+            // d_j = a_jj - Σ_k<j L_jk² d_k
+            let mut d = p[(j, j)];
+            for k in 0..j {
+                let l = p[(j, k)];
+                d -= l * l * p[(k, k)];
+            }
+            if d.abs() < 1e-13 || !d.is_finite() {
+                return Err(LinalgError::Singular);
+            }
+            p[(j, j)] = d;
+            for i in (j + 1)..n {
+                let mut s = p[(i, j)];
+                for k in 0..j {
+                    s -= p[(i, k)] * p[(j, k)] * p[(k, k)];
+                }
+                p[(i, j)] = s / d;
+            }
+        }
+        Ok(LdltFactor { packed: p })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Number of negative pivots in `D` — the matrix inertia's negative
+    /// part, used by the SDP solver to detect loss of definiteness.
+    pub fn negative_pivots(&self) -> usize {
+        (0..self.order()).filter(|&i| self.packed[(i, i)] < 0.0).count()
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(LinalgError::Shape("rhs length mismatch".into()));
+        }
+        let mut x = b.to_vec();
+        // L y = b
+        for i in 0..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // D z = y
+        for i in 0..n {
+            x[i] /= self.packed[(i, i)];
+        }
+        // Lᵀ x = z
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.packed[(j, i)] * x[j];
+            }
+            x[i] = s;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_indefinite_symmetric_system() {
+        // Symmetric indefinite (saddle-point-like) matrix.
+        let a = Matrix::from_rows(
+            3,
+            3,
+            vec![4.0, 1.0, 2.0, 1.0, -3.0, 0.5, 2.0, 0.5, 2.0],
+        )
+        .unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let f = LdltFactor::new(&a).unwrap();
+        let x = f.solve(&b).unwrap();
+        let ax = a.matvec(&x);
+        for (p, q) in ax.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-9, "residual too large: {ax:?}");
+        }
+        assert_eq!(f.negative_pivots(), 1);
+    }
+
+    #[test]
+    fn spd_matrix_has_no_negative_pivots() {
+        let a = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(LdltFactor::new(&a).unwrap().negative_pivots(), 0);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(LdltFactor::new(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(LdltFactor::new(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! LU factorization with partial pivoting.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factorization `P A = L U` of a square matrix, stored packed: the
+/// strictly lower triangle of `lu` holds `L` (unit diagonal implied), the
+/// upper triangle holds `U`. `perm[i]` records the row of `A` that ended up
+/// in position `i`.
+#[derive(Clone, Debug)]
+pub struct LuFactor {
+    lu: Matrix,
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    sign: f64,
+}
+
+impl LuFactor {
+    /// Factorizes `a`. Returns [`LinalgError::Singular`] if a pivot smaller
+    /// than `pivot_tol` in absolute value is encountered.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        Self::with_pivot_tol(a, 1e-12)
+    }
+
+    /// Factorizes with an explicit pivot tolerance.
+    pub fn with_pivot_tol(a: &Matrix, pivot_tol: f64) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::Shape("LU requires a square matrix".into()));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivoting: largest |entry| in column k at or below row k.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < pivot_tol {
+                return Err(LinalgError::Singular);
+            }
+            if p != k {
+                perm.swap(k, p);
+                sign = -sign;
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let ukj = lu[(k, j)];
+                        lu[(i, j)] -= m * ukj;
+                    }
+                }
+            }
+        }
+        Ok(LuFactor { lu, perm, sign })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(LinalgError::Shape("rhs length mismatch".into()));
+        }
+        // Apply permutation, forward substitution with unit L.
+        let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `Aᵀ x = b` (used by simplex BTRAN).
+    pub fn solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(LinalgError::Shape("rhs length mismatch".into()));
+        }
+        // A = Pᵀ L U  ⇒  Aᵀ = Uᵀ Lᵀ P. Solve Uᵀ y = b, then Lᵀ z = y,
+        // then x = Pᵀ z (i.e. x[perm[i]] = z[i]).
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = s / self.lu[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = s;
+        }
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            x[self.perm[i]] = y[i];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.order() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Dense inverse (column-by-column solves). Intended for small systems.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.order();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.matvec(x);
+        ax.iter().zip(b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_small_system() {
+        let a = Matrix::from_rows(3, 3, vec![2.0, 1.0, 1.0, 1.0, 3.0, 2.0, 1.0, 0.0, 0.0]).unwrap();
+        let b = vec![4.0, 5.0, 6.0];
+        let f = LuFactor::new(&a).unwrap();
+        let x = f.solve(&b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn transposed_solve_matches_explicit_transpose() {
+        let a = Matrix::from_rows(3, 3, vec![4.0, -2.0, 1.0, 3.0, 6.0, -4.0, 2.0, 1.0, 8.0]).unwrap();
+        let b = vec![1.0, -2.0, 3.0];
+        let f = LuFactor::new(&a).unwrap();
+        let x = f.solve_transposed(&b).unwrap();
+        let at = a.transpose();
+        assert!(residual(&at, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(LuFactor::new(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn determinant_with_pivoting() {
+        // det = -2 for [[0,1],[2,3]] (requires a row swap).
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        let f = LuFactor::new(&a).unwrap();
+        assert!((f.det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(3, 3, vec![5.0, 1.0, 0.0, 1.0, 4.0, 2.0, 0.0, 2.0, 3.0]).unwrap();
+        let inv = LuFactor::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let mut err = 0.0f64;
+        for i in 0..3 {
+            for j in 0..3 {
+                let target = if i == j { 1.0 } else { 0.0 };
+                err = err.max((prod[(i, j)] - target).abs());
+            }
+        }
+        assert!(err < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(LuFactor::new(&a), Err(LinalgError::Shape(_))));
+    }
+}

@@ -1,0 +1,307 @@
+//! Row-major dense matrix type.
+
+use crate::{vector, LinalgError, Result};
+
+/// A dense, row-major `f64` matrix.
+///
+/// The storage is a single `Vec<f64>` of length `rows * cols`; entry
+/// `(i, j)` lives at `data[i * cols + j]`. Indexing via `m[(i, j)]` is
+/// bounds-checked in debug builds through the slice access.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data. Errors if `data.len() != rows*cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::Shape(format!(
+                "expected {} entries for a {}x{} matrix, got {}",
+                rows * cols,
+                rows,
+                cols,
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a diagonal matrix from its diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw row-major storage.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage (row-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Matrix-vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows).map(|i| vector::dot(self.row(i), x)).collect()
+    }
+
+    /// Transposed matrix-vector product `Aᵀ x`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            vector::axpy(x[i], self.row(i), &mut y);
+        }
+        y
+    }
+
+    /// Matrix-matrix product `A * B`.
+    pub fn matmul(&self, b: &Matrix) -> Result<Matrix> {
+        if self.cols != b.rows {
+            return Err(LinalgError::Shape(format!(
+                "cannot multiply {}x{} by {}x{}",
+                self.rows, self.cols, b.rows, b.cols
+            )));
+        }
+        let mut c = Matrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(k);
+                let crow = c.row_mut(i);
+                vector::axpy(aik, brow, crow);
+            }
+        }
+        Ok(c)
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// `self ← self + alpha * other`. Errors on shape mismatch.
+    pub fn add_scaled(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::Shape("add_scaled shape mismatch".into()));
+        }
+        vector::axpy(alpha, &other.data, &mut self.data);
+        Ok(())
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        vector::norm2(&self.data)
+    }
+
+    /// Maximum absolute deviation from symmetry; 0 for symmetric matrices.
+    pub fn asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols.min(self.rows) {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+
+    /// Symmetrizes in place: `A ← (A + Aᵀ)/2`. Requires a square matrix.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square());
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg;
+            }
+        }
+    }
+
+    /// Quadratic form `vᵀ A v` for a square matrix.
+    pub fn quad_form(&self, v: &[f64]) -> f64 {
+        assert!(self.is_square());
+        assert_eq!(v.len(), self.rows);
+        let av = self.matvec(v);
+        vector::dot(v, &av)
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square());
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn shape_and_indexing() {
+        let m = sample();
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m[(1, 2)], 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn from_rows_rejects_bad_len() {
+        assert!(Matrix::from_rows(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let m = sample();
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+        let t = m.transpose();
+        assert_eq!((t.rows(), t.cols()), (3, 2));
+        assert_eq!(t[(2, 0)], 3.0);
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let a = sample();
+        let b = a.transpose();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 14.0);
+        assert_eq!(c[(0, 1)], 32.0);
+        assert_eq!(c[(1, 1)], 77.0);
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = sample();
+        let i3 = Matrix::identity(3);
+        assert_eq!(a.matmul(&i3).unwrap(), a);
+    }
+
+    #[test]
+    fn symmetrize_and_asymmetry() {
+        let mut m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 4.0, 3.0]).unwrap();
+        assert_eq!(m.asymmetry(), 2.0);
+        m.symmetrize();
+        assert_eq!(m.asymmetry(), 0.0);
+        assert_eq!(m[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn quad_form_and_trace() {
+        let m = Matrix::from_diag(&[2.0, 3.0]);
+        assert_eq!(m.quad_form(&[1.0, 2.0]), 2.0 + 12.0);
+        assert_eq!(m.trace(), 5.0);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Matrix::identity(2);
+        let b = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        a.add_scaled(2.0, &b).unwrap();
+        assert_eq!(a[(0, 1)], 2.0);
+        assert!(a.add_scaled(1.0, &Matrix::zeros(3, 3)).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Basis factorization: LU plus an eta file (product-form updates).
+//!
+//! The simplex engine represents the basis inverse as
+//! `B⁻¹ = Eₖ⁻¹ ⋯ E₁⁻¹ (LU)⁻¹`, where each eta matrix `Eᵢ` is the identity
+//! with one column replaced by the pivot column of update `i`. FTRAN and
+//! BTRAN apply the factors in the appropriate order; the factorization is
+//! rebuilt from scratch every [`BasisFactor::REFACTOR_INTERVAL`] updates
+//! (or when an update pivot is too small to be trusted).
+
+use ugrs_linalg::{LuFactor, Matrix};
+
+/// One product-form update: basis position `pos` was replaced, with pivot
+/// column `col = B⁻¹ a_entering` (taken *before* the update).
+#[derive(Clone, Debug)]
+struct Eta {
+    pos: usize,
+    col: Vec<f64>,
+}
+
+/// Errors surfaced by the basis layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BasisError {
+    /// The candidate basis matrix was singular.
+    Singular,
+    /// An eta pivot was numerically unusable; the caller should
+    /// refactorize and retry the pivot.
+    UnstablePivot,
+}
+
+/// Maintains an invertible representation of the current basis matrix.
+pub struct BasisFactor {
+    m: usize,
+    lu: Option<LuFactor>,
+    etas: Vec<Eta>,
+}
+
+impl BasisFactor {
+    /// Refactorize after this many eta updates.
+    pub const REFACTOR_INTERVAL: usize = 60;
+
+    /// New, unfactorized container for bases of order `m`.
+    pub fn new(m: usize) -> Self {
+        BasisFactor { m, lu: None, etas: Vec::new() }
+    }
+
+    /// Basis order.
+    pub fn order(&self) -> usize {
+        self.m
+    }
+
+    /// Number of eta updates since the last refactorization.
+    pub fn num_updates(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// True if a refactorization is due (interval reached or never
+    /// factorized).
+    pub fn needs_refactor(&self) -> bool {
+        self.lu.is_none() || self.etas.len() >= Self::REFACTOR_INTERVAL
+    }
+
+    /// Factorizes the dense basis matrix `b` (columns already gathered by
+    /// the caller), discarding the eta file.
+    pub fn refactor(&mut self, b: &Matrix) -> Result<(), BasisError> {
+        debug_assert_eq!(b.rows(), self.m);
+        self.etas.clear();
+        match LuFactor::with_pivot_tol(b, 1e-11) {
+            Ok(f) => {
+                self.lu = Some(f);
+                Ok(())
+            }
+            Err(_) => {
+                self.lu = None;
+                Err(BasisError::Singular)
+            }
+        }
+    }
+
+    /// FTRAN: returns `B⁻¹ v`.
+    pub fn ftran(&self, v: &[f64]) -> Vec<f64> {
+        let lu = self.lu.as_ref().expect("basis not factorized");
+        let mut x = lu.solve(v).expect("factorized basis must solve");
+        for eta in &self.etas {
+            let xr = x[eta.pos] / eta.col[eta.pos];
+            for i in 0..self.m {
+                if i == eta.pos {
+                    continue;
+                }
+                let d = eta.col[i];
+                if d != 0.0 {
+                    x[i] -= d * xr;
+                }
+            }
+            x[eta.pos] = xr;
+        }
+        x
+    }
+
+    /// BTRAN: returns `B⁻ᵀ v` (equivalently the `y` with `yᵀB = vᵀ`).
+    pub fn btran(&self, v: &[f64]) -> Vec<f64> {
+        let lu = self.lu.as_ref().expect("basis not factorized");
+        let mut c = v.to_vec();
+        for eta in self.etas.iter().rev() {
+            // Solve Eᵀ u = c:  u_i = c_i (i ≠ pos),
+            // u_pos = (c_pos − Σ_{i≠pos} d_i c_i) / d_pos.
+            let mut s = c[eta.pos];
+            for i in 0..self.m {
+                if i != eta.pos {
+                    s -= eta.col[i] * c[i];
+                }
+            }
+            c[eta.pos] = s / eta.col[eta.pos];
+        }
+        lu.solve_transposed(&c).expect("factorized basis must solve")
+    }
+
+    /// Records the pivot that replaces basis position `pos`; `pivot_col`
+    /// must be `B⁻¹ a_entering` w.r.t. the *current* representation.
+    /// Fails with [`BasisError::UnstablePivot`] when the pivot element is
+    /// too small, in which case the caller should refactorize.
+    pub fn update(&mut self, pos: usize, pivot_col: Vec<f64>) -> Result<(), BasisError> {
+        let piv = pivot_col[pos];
+        if piv.abs() < 1e-10 || !piv.is_finite() {
+            return Err(BasisError::UnstablePivot);
+        }
+        self.etas.push(Eta { pos, col: pivot_col });
+        Ok(())
+    }
+
+    /// Drops all state (used when the row dimension changes).
+    pub fn reset(&mut self, m: usize) {
+        self.m = m;
+        self.lu = None;
+        self.etas.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(rows: usize, v: Vec<f64>) -> Matrix {
+        Matrix::from_rows(rows, rows, v).unwrap()
+    }
+
+    #[test]
+    fn ftran_btran_without_updates() {
+        let b = dense(2, vec![2.0, 0.0, 0.0, 4.0]);
+        let mut f = BasisFactor::new(2);
+        f.refactor(&b).unwrap();
+        assert_eq!(f.ftran(&[2.0, 4.0]), vec![1.0, 1.0]);
+        assert_eq!(f.btran(&[2.0, 4.0]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn update_matches_explicit_refactor() {
+        // Start with B = I, replace column 1 with a = [1, 3]ᵀ.
+        let mut f = BasisFactor::new(2);
+        f.refactor(&Matrix::identity(2)).unwrap();
+        let a = vec![1.0, 3.0];
+        let pivot_col = f.ftran(&a); // = a since B = I
+        f.update(1, pivot_col).unwrap();
+
+        let bnew = dense(2, vec![1.0, 1.0, 0.0, 3.0]);
+        let mut fresh = BasisFactor::new(2);
+        fresh.refactor(&bnew).unwrap();
+
+        let v = vec![5.0, -2.0];
+        let x1 = f.ftran(&v);
+        let x2 = fresh.ftran(&v);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-12);
+        }
+        let y1 = f.btran(&v);
+        let y2 = fresh.btran(&v);
+        for (p, q) in y1.iter().zip(&y2) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chained_updates_stay_consistent() {
+        let mut f = BasisFactor::new(3);
+        f.refactor(&Matrix::identity(3)).unwrap();
+        // Three successive column replacements; track the explicit basis.
+        let mut b = Matrix::identity(3);
+        let cols = [
+            (0usize, vec![2.0, 1.0, 0.0]),
+            (2usize, vec![0.0, 1.0, 3.0]),
+            (1usize, vec![1.0, 1.0, 1.0]),
+        ];
+        for (pos, a) in cols.iter() {
+            let pc = f.ftran(a);
+            f.update(*pos, pc).unwrap();
+            for i in 0..3 {
+                b[(i, *pos)] = a[i];
+            }
+        }
+        let mut fresh = BasisFactor::new(3);
+        fresh.refactor(&b).unwrap();
+        let v = vec![1.0, 2.0, 3.0];
+        let (x1, x2) = (f.ftran(&v), fresh.ftran(&v));
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-10);
+        }
+        let (y1, y2) = (f.btran(&v), fresh.btran(&v));
+        for (p, q) in y1.iter().zip(&y2) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_basis_rejected() {
+        let b = dense(2, vec![1.0, 2.0, 2.0, 4.0]);
+        let mut f = BasisFactor::new(2);
+        assert_eq!(f.refactor(&b), Err(BasisError::Singular));
+    }
+
+    #[test]
+    fn tiny_pivot_rejected() {
+        let mut f = BasisFactor::new(2);
+        f.refactor(&Matrix::identity(2)).unwrap();
+        assert_eq!(
+            f.update(0, vec![1e-13, 1.0]),
+            Err(BasisError::UnstablePivot)
+        );
+    }
+
+    #[test]
+    fn refactor_interval_flag() {
+        let mut f = BasisFactor::new(1);
+        assert!(f.needs_refactor());
+        f.refactor(&Matrix::identity(1)).unwrap();
+        assert!(!f.needs_refactor());
+        for _ in 0..BasisFactor::REFACTOR_INTERVAL {
+            f.update(0, vec![1.0]).unwrap();
+        }
+        assert!(f.needs_refactor());
+    }
+}

@@ -1,0 +1,1051 @@
+//! Revised simplex engine (primal with composite phase 1, and dual for
+//! warm starts after bound changes / row additions).
+//!
+//! Column numbering: `0..n` are the structural variables of the
+//! [`LpProblem`], `n..n+m` are the logical (slack) variables, one per row,
+//! entering the matrix as `[A | −I]`.
+
+use crate::basis::{BasisError, BasisFactor};
+use crate::problem::{LpProblem, VarId};
+use ugrs_linalg::Matrix;
+
+/// Termination status of a simplex run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpStatus {
+    /// `solve_*` has not run yet.
+    NotSolved,
+    /// Proven optimal (primal and dual feasible).
+    Optimal,
+    /// Proven primal infeasible.
+    Infeasible,
+    /// Proven unbounded.
+    Unbounded,
+    /// Iteration limit hit; bounds from the last iterate are still safe.
+    IterLimit,
+    /// Numerical trouble; treat the result as unusable.
+    Numerical,
+}
+
+/// Status of a column (structural or slack) w.r.t. the current basis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarStatus {
+    /// In the basis.
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+    /// Nonbasic free variable, held at zero.
+    Free,
+}
+
+/// Tunable parameters of the simplex engine.
+#[derive(Clone, Copy, Debug)]
+pub struct SimplexParams {
+    /// Primal feasibility tolerance on bounds.
+    pub feas_tol: f64,
+    /// Dual feasibility (reduced cost) tolerance.
+    pub opt_tol: f64,
+    /// Minimum acceptable pivot magnitude in the ratio test.
+    pub piv_tol: f64,
+    /// Iteration limit per `solve_*` call.
+    pub iter_limit: usize,
+    /// Consecutive degenerate iterations before switching to Bland's rule.
+    pub stall_limit: usize,
+}
+
+impl Default for SimplexParams {
+    fn default() -> Self {
+        SimplexParams {
+            feas_tol: crate::FEAS_TOL,
+            opt_tol: crate::OPT_TOL,
+            piv_tol: 1e-9,
+            iter_limit: 50_000,
+            stall_limit: 50,
+        }
+    }
+}
+
+/// A solved LP's output bundle.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    pub status: LpStatus,
+    /// Objective value `cᵀx + offset` of the final iterate.
+    pub obj: f64,
+    /// Structural variable values.
+    pub x: Vec<f64>,
+    /// Row dual multipliers `y` (so reduced costs are `c − Aᵀy`).
+    pub row_duals: Vec<f64>,
+    /// Reduced costs of the structural variables.
+    pub reduced_costs: Vec<f64>,
+    /// Row activities `Ax`.
+    pub row_activity: Vec<f64>,
+    /// Simplex iterations used by the last solve.
+    pub iterations: usize,
+}
+
+/// A compact basis description for warm starting (SCIP-style basis
+/// storage in branch-and-bound nodes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasisSnapshot {
+    /// Status for each of the `n + m` columns.
+    pub col_status: Vec<VarStatus>,
+}
+
+/// Revised simplex solver state. Owns a copy of the problem so bounds and
+/// rows can be modified between solves.
+pub struct Simplex {
+    prob: LpProblem,
+    params: SimplexParams,
+    /// Status per column (n structurals + m slacks).
+    vstat: Vec<VarStatus>,
+    /// Basis columns, one per row position.
+    basis_cols: Vec<usize>,
+    /// Current value of every column.
+    xval: Vec<f64>,
+    factor: BasisFactor,
+    status: LpStatus,
+    iterations: usize,
+    total_iterations: usize,
+    /// Scratch: dense column buffer.
+    colbuf: Vec<f64>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Phase {
+    One,
+    Two,
+}
+
+impl Simplex {
+    /// Creates a solver for `prob` with an all-slack starting basis.
+    pub fn new(prob: LpProblem, params: SimplexParams) -> Self {
+        let n = prob.num_vars();
+        let m = prob.num_rows();
+        let mut s = Simplex {
+            prob,
+            params,
+            vstat: Vec::new(),
+            basis_cols: Vec::new(),
+            xval: vec![0.0; n + m],
+            factor: BasisFactor::new(m),
+            status: LpStatus::NotSolved,
+            iterations: 0,
+            total_iterations: 0,
+            colbuf: vec![0.0; m],
+        };
+        s.install_slack_basis();
+        s
+    }
+
+    /// The problem as currently held by the solver (bounds may have been
+    /// modified via [`Simplex::set_var_bounds`], rows appended via
+    /// [`Simplex::add_row`]).
+    pub fn problem(&self) -> &LpProblem {
+        &self.prob
+    }
+
+    /// Status of the last solve.
+    pub fn status(&self) -> LpStatus {
+        self.status
+    }
+
+    /// Cumulative simplex iterations over the lifetime of this solver.
+    pub fn total_iterations(&self) -> usize {
+        self.total_iterations
+    }
+
+    fn n(&self) -> usize {
+        self.prob.num_vars()
+    }
+
+    fn m(&self) -> usize {
+        self.prob.num_rows()
+    }
+
+    #[inline]
+    fn col_lb(&self, j: usize) -> f64 {
+        if j < self.n() {
+            self.prob.lb[j]
+        } else {
+            self.prob.row_lhs[j - self.n()]
+        }
+    }
+
+    #[inline]
+    fn col_ub(&self, j: usize) -> f64 {
+        if j < self.n() {
+            self.prob.ub[j]
+        } else {
+            self.prob.row_rhs[j - self.n()]
+        }
+    }
+
+    #[inline]
+    fn col_obj(&self, j: usize) -> f64 {
+        if j < self.n() {
+            self.prob.obj[j]
+        } else {
+            0.0
+        }
+    }
+
+    /// Writes column `j` of `[A | −I]` into the dense scratch buffer.
+    fn gather_col(&mut self, j: usize) {
+        for v in self.colbuf.iter_mut() {
+            *v = 0.0;
+        }
+        if j < self.n() {
+            for &(r, c) in &self.prob.cols[j] {
+                self.colbuf[r as usize] = c;
+            }
+        } else {
+            let r = j - self.n();
+            self.colbuf[r] = -1.0;
+        }
+    }
+
+    /// Sparse dot of `y` with column `j`.
+    fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        if j < self.n() {
+            self.prob.cols[j]
+                .iter()
+                .map(|&(r, c)| c * y[r as usize])
+                .sum()
+        } else {
+            -y[j - self.n()]
+        }
+    }
+
+    fn nonbasic_resting_value(&self, j: usize) -> (f64, VarStatus) {
+        let (lb, ub) = (self.col_lb(j), self.col_ub(j));
+        let linf = LpProblem::is_neg_inf(lb);
+        let uinf = LpProblem::is_pos_inf(ub);
+        if linf && uinf {
+            (0.0, VarStatus::Free)
+        } else if linf {
+            (ub, VarStatus::AtUpper)
+        } else if uinf {
+            (lb, VarStatus::AtLower)
+        } else if lb.abs() <= ub.abs() {
+            (lb, VarStatus::AtLower)
+        } else {
+            (ub, VarStatus::AtUpper)
+        }
+    }
+
+    /// Installs the all-slack basis with structurals at their "resting"
+    /// bound. Always succeeds (the slack basis `−I` is nonsingular).
+    fn install_slack_basis(&mut self) {
+        let (n, m) = (self.n(), self.m());
+        self.vstat.clear();
+        self.vstat.reserve(n + m);
+        for j in 0..n {
+            let (v, st) = self.nonbasic_resting_value(j);
+            self.xval[j] = v;
+            self.vstat.push(st);
+        }
+        for _ in 0..m {
+            self.vstat.push(VarStatus::Basic);
+        }
+        self.basis_cols = (n..n + m).collect();
+        self.factor.reset(m);
+    }
+
+    /// Installs a caller-provided basis snapshot; falls back to the slack
+    /// basis when the snapshot's basic-column count does not match `m`.
+    pub fn set_basis(&mut self, snap: &BasisSnapshot) {
+        let (n, m) = (self.n(), self.m());
+        if snap.col_status.len() != n + m
+            || snap
+                .col_status
+                .iter()
+                .filter(|s| **s == VarStatus::Basic)
+                .count()
+                != m
+        {
+            self.install_slack_basis();
+            return;
+        }
+        self.vstat = snap.col_status.clone();
+        self.basis_cols = (0..n + m)
+            .filter(|&j| self.vstat[j] == VarStatus::Basic)
+            .collect();
+        for j in 0..n + m {
+            match self.vstat[j] {
+                VarStatus::AtLower => self.xval[j] = self.col_lb(j),
+                VarStatus::AtUpper => self.xval[j] = self.col_ub(j),
+                VarStatus::Free => self.xval[j] = 0.0,
+                VarStatus::Basic => {}
+            }
+        }
+        self.factor.reset(m);
+    }
+
+    /// Returns the current basis for storage in a B&B node.
+    pub fn basis_snapshot(&self) -> BasisSnapshot {
+        BasisSnapshot {
+            col_status: self.vstat.clone(),
+        }
+    }
+
+    /// Changes variable bounds between solves (branching). Keeps the basis;
+    /// snaps the value of a nonbasic variable onto the moved bound.
+    pub fn set_var_bounds(&mut self, v: VarId, lb: f64, ub: f64) {
+        self.prob.set_bounds(v, lb, ub);
+        let j = v.0 as usize;
+        match self.vstat[j] {
+            VarStatus::Basic => {}
+            _ => {
+                let (val, st) = self.nonbasic_resting_value(j);
+                // Keep the side the variable was resting on if it is still
+                // finite; otherwise fall back to the resting heuristic.
+                let (nlb, nub) = (self.col_lb(j), self.col_ub(j));
+                match self.vstat[j] {
+                    VarStatus::AtLower if !LpProblem::is_neg_inf(nlb) => self.xval[j] = nlb,
+                    VarStatus::AtUpper if !LpProblem::is_pos_inf(nub) => self.xval[j] = nub,
+                    _ => {
+                        self.xval[j] = val;
+                        self.vstat[j] = st;
+                    }
+                }
+            }
+        }
+        self.status = LpStatus::NotSolved;
+    }
+
+    /// Appends a row (cutting plane) between solves. The new slack enters
+    /// the basis, preserving dual feasibility, so [`Simplex::solve_dual`]
+    /// warm-starts cleanly.
+    pub fn add_row(&mut self, lhs: f64, rhs: f64, terms: &[(VarId, f64)]) {
+        self.prob.add_row(lhs, rhs, terms);
+        let m = self.m();
+        let slack = self.n() + m - 1;
+        // vstat currently has n + (m-1) entries, slack columns shifted:
+        // slack statuses are a suffix so pushing keeps indices valid.
+        self.vstat.push(VarStatus::Basic);
+        self.basis_cols.push(slack);
+        self.xval.push(0.0);
+        self.colbuf = vec![0.0; m];
+        self.factor.reset(m);
+        self.status = LpStatus::NotSolved;
+    }
+
+    /// Recomputes all basic values from the nonbasic ones:
+    /// `z_B = −B⁻¹ N z_N`.
+    fn compute_basics(&mut self) {
+        let m = self.m();
+        if m == 0 {
+            return;
+        }
+        let mut rhs = vec![0.0; m];
+        for j in 0..self.n() + m {
+            if self.vstat[j] == VarStatus::Basic {
+                continue;
+            }
+            let xj = self.xval[j];
+            if xj == 0.0 {
+                continue;
+            }
+            if j < self.n() {
+                for &(r, c) in &self.prob.cols[j] {
+                    rhs[r as usize] -= c * xj;
+                }
+            } else {
+                rhs[j - self.n()] += xj;
+            }
+        }
+        let xb = self.factor.ftran(&rhs);
+        for (pos, &col) in self.basis_cols.iter().enumerate() {
+            self.xval[col] = xb[pos];
+        }
+    }
+
+    /// (Re)factorizes the basis; on singularity falls back to the slack
+    /// basis. Returns `false` only if even that fails (cannot happen for
+    /// well-formed problems, but guard anyway).
+    fn ensure_factorized(&mut self) -> bool {
+        if !self.factor.needs_refactor() {
+            return true;
+        }
+        let m = self.m();
+        let mut b = Matrix::zeros(m, m);
+        let cols = self.basis_cols.clone();
+        for (pos, &col) in cols.iter().enumerate() {
+            self.gather_col(col);
+            for i in 0..m {
+                b[(i, pos)] = self.colbuf[i];
+            }
+        }
+        match self.factor.refactor(&b) {
+            Ok(()) => {
+                self.compute_basics();
+                true
+            }
+            Err(BasisError::Singular) => {
+                self.install_slack_basis();
+                let mut b = Matrix::zeros(m, m);
+                for i in 0..m {
+                    b[(i, i)] = -1.0;
+                }
+                if self.factor.refactor(&b).is_err() {
+                    return false;
+                }
+                self.compute_basics();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn force_refactor(&mut self) -> bool {
+        self.factor.reset(self.m());
+        self.ensure_factorized()
+    }
+
+    /// Total primal infeasibility of the basic variables.
+    fn primal_infeasibility(&self) -> f64 {
+        let tol = self.params.feas_tol;
+        let mut s = 0.0;
+        for &col in &self.basis_cols {
+            let v = self.xval[col];
+            let (lb, ub) = (self.col_lb(col), self.col_ub(col));
+            if v < lb - tol {
+                s += lb - v;
+            } else if v > ub + tol {
+                s += v - ub;
+            }
+        }
+        s
+    }
+
+    fn current_phase(&self) -> Phase {
+        if self.primal_infeasibility() > 0.0 {
+            Phase::One
+        } else {
+            Phase::Two
+        }
+    }
+
+    /// Phase-aware basic cost vector.
+    fn basic_costs(&self, phase: Phase) -> Vec<f64> {
+        let tol = self.params.feas_tol;
+        self.basis_cols
+            .iter()
+            .map(|&col| match phase {
+                Phase::Two => self.col_obj(col),
+                Phase::One => {
+                    let v = self.xval[col];
+                    if v < self.col_lb(col) - tol {
+                        -1.0
+                    } else if v > self.col_ub(col) + tol {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Prices all nonbasic columns; returns the entering column and its
+    /// movement direction (+1 increase / −1 decrease), or `None` when no
+    /// candidate violates dual feasibility.
+    fn price(&self, y: &[f64], phase: Phase, bland: bool) -> Option<(usize, f64)> {
+        let tol = self.params.opt_tol;
+        let mut best: Option<(usize, f64, f64)> = None; // (col, dir, score)
+        for j in 0..self.n() + self.m() {
+            let st = self.vstat[j];
+            if st == VarStatus::Basic {
+                continue;
+            }
+            let (lb, ub) = (self.col_lb(j), self.col_ub(j));
+            if lb == ub {
+                continue; // fixed: never enters
+            }
+            let cj = if phase == Phase::Two { self.col_obj(j) } else { 0.0 };
+            let d = cj - self.col_dot(j, y);
+            let (dir, score) = match st {
+                VarStatus::AtLower if d < -tol => (1.0, -d),
+                VarStatus::AtUpper if d > tol => (-1.0, d),
+                VarStatus::Free if d < -tol => (1.0, -d),
+                VarStatus::Free if d > tol => (-1.0, d),
+                _ => continue,
+            };
+            if bland {
+                return Some((j, dir));
+            }
+            if best.as_ref().map_or(true, |b| score > b.2) {
+                best = Some((j, dir, score));
+            }
+        }
+        best.map(|(j, dir, _)| (j, dir))
+    }
+
+    /// One primal ratio test. Returns `None` for an unbounded ray, or the
+    /// blocking event `(t, block)` where `block` is either the entering
+    /// column's own opposite bound (`Block::Flip`) or a basis position.
+    fn ratio_test(&self, q: usize, dir: f64, w: &[f64], phase: Phase) -> Option<(f64, Block)> {
+        let tol = self.params.feas_tol;
+        let ptol = self.params.piv_tol;
+        let mut t_best = f64::INFINITY;
+        let mut block = Block::Flip;
+        let mut piv_best = 0.0f64;
+
+        // Entering variable's own range (bound flip).
+        let (qlb, qub) = (self.col_lb(q), self.col_ub(q));
+        if !LpProblem::is_neg_inf(qlb) && !LpProblem::is_pos_inf(qub) {
+            t_best = qub - qlb;
+        }
+
+        for (pos, &col) in self.basis_cols.iter().enumerate() {
+            // z_col(t) = z_col − dir·w[pos]·t; rate of decrease g:
+            let g = dir * w[pos];
+            if g.abs() <= ptol {
+                continue;
+            }
+            let v = self.xval[col];
+            let (lb, ub) = (self.col_lb(col), self.col_ub(col));
+            let below = v < lb - tol;
+            let above = v > ub + tol;
+            let (t, leave_at_upper) = if phase == Phase::One && below {
+                if g < 0.0 {
+                    // moving up: blocks when reaching its violated lower bound
+                    ((lb - v) / (-g), false)
+                } else {
+                    continue; // moving further down: no block in phase 1
+                }
+            } else if phase == Phase::One && above {
+                if g > 0.0 {
+                    ((v - ub) / g, true)
+                } else {
+                    continue;
+                }
+            } else if g > 0.0 {
+                // decreasing toward lower bound
+                if LpProblem::is_neg_inf(lb) {
+                    continue;
+                }
+                (((v - lb) / g).max(0.0), false)
+            } else {
+                // increasing toward upper bound
+                if LpProblem::is_pos_inf(ub) {
+                    continue;
+                }
+                (((ub - v) / (-g)).max(0.0), true)
+            };
+            // Prefer strictly smaller t; on near-ties prefer larger |pivot|.
+            if t < t_best - 1e-10 || (t < t_best + 1e-10 && g.abs() > piv_best) {
+                t_best = t;
+                piv_best = g.abs();
+                block = Block::Leave { pos, at_upper: leave_at_upper };
+            }
+        }
+        if t_best.is_infinite() {
+            None
+        } else {
+            Some((t_best.max(0.0), block))
+        }
+    }
+
+    /// Core primal loop, used both from scratch (phase 1 → phase 2) and to
+    /// polish after a dual warm start.
+    pub fn solve_primal(&mut self) -> LpStatus {
+        self.iterations = 0;
+        let mut stall = 0usize;
+        if !self.ensure_factorized() {
+            self.status = LpStatus::Numerical;
+            return self.status;
+        }
+        self.compute_basics();
+        loop {
+            if self.iterations >= self.params.iter_limit {
+                self.status = LpStatus::IterLimit;
+                return self.status;
+            }
+            if self.factor.needs_refactor() && !self.ensure_factorized() {
+                self.status = LpStatus::Numerical;
+                return self.status;
+            }
+            let phase = self.current_phase();
+            let cb = self.basic_costs(phase);
+            let y = if self.m() > 0 { self.factor.btran(&cb) } else { vec![] };
+            let bland = stall > self.params.stall_limit;
+            let Some((q, dir)) = self.price(&y, phase, bland) else {
+                if phase == Phase::One {
+                    self.status = LpStatus::Infeasible;
+                } else {
+                    self.status = LpStatus::Optimal;
+                }
+                return self.status;
+            };
+            self.gather_col(q);
+            let w = if self.m() > 0 {
+                self.factor.ftran(&self.colbuf)
+            } else {
+                vec![]
+            };
+            let Some((t, block)) = self.ratio_test(q, dir, &w, phase) else {
+                if phase == Phase::One {
+                    // An improving phase-1 ray must hit a bound eventually;
+                    // reaching here means tolerances broke down.
+                    self.status = LpStatus::Numerical;
+                } else {
+                    self.status = LpStatus::Unbounded;
+                }
+                return self.status;
+            };
+            self.iterations += 1;
+            self.total_iterations += 1;
+            if t <= 1e-12 {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+            // Apply the step to the basic values and the entering column.
+            for (pos, &col) in self.basis_cols.iter().enumerate() {
+                self.xval[col] -= dir * w[pos] * t;
+            }
+            self.xval[q] += dir * t;
+            match block {
+                Block::Flip => {
+                    self.vstat[q] = if dir > 0.0 { VarStatus::AtUpper } else { VarStatus::AtLower };
+                    // snap exactly
+                    self.xval[q] = if dir > 0.0 { self.col_ub(q) } else { self.col_lb(q) };
+                }
+                Block::Leave { pos, at_upper } => {
+                    let leaving = self.basis_cols[pos];
+                    self.vstat[leaving] = if at_upper { VarStatus::AtUpper } else { VarStatus::AtLower };
+                    self.xval[leaving] = if at_upper { self.col_ub(leaving) } else { self.col_lb(leaving) };
+                    self.vstat[q] = VarStatus::Basic;
+                    self.basis_cols[pos] = q;
+                    if self.factor.update(pos, w.clone()).is_err() {
+                        if !self.force_refactor() {
+                            self.status = LpStatus::Numerical;
+                            return self.status;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dual simplex re-optimization from the current (dual feasible)
+    /// basis. Falls back to `solve_primal` when it detects that the basis
+    /// is not dual feasible or on numerical trouble.
+    pub fn solve_dual(&mut self) -> LpStatus {
+        self.iterations = 0;
+        // Refactorize only when the representation is stale (row added /
+        // never factorized / eta file full); otherwise just recompute the
+        // basic values under the (possibly changed) bounds.
+        if self.factor.needs_refactor() {
+            if !self.ensure_factorized() {
+                self.status = LpStatus::Numerical;
+                return self.status;
+            }
+        }
+        self.compute_basics();
+        let tol = self.params.feas_tol;
+        let dtol = self.params.opt_tol;
+        let mut stall = 0usize;
+        loop {
+            if self.iterations >= self.params.iter_limit {
+                self.status = LpStatus::IterLimit;
+                return self.status;
+            }
+            if self.factor.needs_refactor() && !self.ensure_factorized() {
+                self.status = LpStatus::Numerical;
+                return self.status;
+            }
+            // Leaving candidate: most infeasible basic.
+            let mut leave: Option<(usize, bool, f64)> = None; // (pos, below, viol)
+            for (pos, &col) in self.basis_cols.iter().enumerate() {
+                let v = self.xval[col];
+                let (lb, ub) = (self.col_lb(col), self.col_ub(col));
+                if v < lb - tol {
+                    let viol = lb - v;
+                    if leave.as_ref().map_or(true, |l| viol > l.2) {
+                        leave = Some((pos, true, viol));
+                    }
+                } else if v > ub + tol {
+                    let viol = v - ub;
+                    if leave.as_ref().map_or(true, |l| viol > l.2) {
+                        leave = Some((pos, false, viol));
+                    }
+                }
+            }
+            let Some((rpos, below, _)) = leave else {
+                // Primal feasible: polish with the primal loop, which will
+                // confirm optimality (or fix mild dual infeasibility).
+                return self.solve_primal();
+            };
+
+            // Row rpos of B⁻¹N: ρ = B⁻ᵀ e_r, ᾱ_j = ρᵀ a_j.
+            let mut e = vec![0.0; self.m()];
+            e[rpos] = 1.0;
+            let rho = self.factor.btran(&e);
+            // Current duals for the ratio test.
+            let cb = self.basic_costs(Phase::Two);
+            let y = self.factor.btran(&cb);
+
+            // sign = +1 when the leaving variable must increase.
+            let sgn = if below { 1.0 } else { -1.0 };
+            let bland = stall > self.params.stall_limit;
+            let mut enter: Option<(usize, f64)> = None; // (col, ratio)
+            let mut best_ratio = f64::INFINITY;
+            let mut best_alpha = 0.0f64;
+            for j in 0..self.n() + self.m() {
+                if self.vstat[j] == VarStatus::Basic {
+                    continue;
+                }
+                let (lb, ub) = (self.col_lb(j), self.col_ub(j));
+                if lb == ub {
+                    continue;
+                }
+                let alpha = self.col_dot(j, &rho) * sgn;
+                // x_Br changes by −ᾱ_j·Δx_j (with ᾱ in unsigned orientation);
+                // after sign-folding we need: at-lower j with alpha < 0 can
+                // increase, at-upper j with alpha > 0 can decrease, free j any.
+                let d = self.col_obj(j) - self.col_dot(j, &y);
+                let (ok, ratio) = match self.vstat[j] {
+                    VarStatus::AtLower | VarStatus::Free if alpha < -self.params.piv_tol => {
+                        (true, (d.max(0.0)) / (-alpha))
+                    }
+                    VarStatus::AtUpper | VarStatus::Free if alpha > self.params.piv_tol => {
+                        (true, ((-d).max(0.0)) / alpha)
+                    }
+                    _ => (false, 0.0),
+                };
+                if !ok {
+                    continue;
+                }
+                if bland {
+                    enter = Some((j, ratio));
+                    break;
+                }
+                if ratio < best_ratio - dtol
+                    || (ratio < best_ratio + dtol && alpha.abs() > best_alpha)
+                {
+                    best_ratio = ratio;
+                    best_alpha = alpha.abs();
+                    enter = Some((j, ratio));
+                }
+            }
+            let Some((q, _)) = enter else {
+                self.status = LpStatus::Infeasible;
+                return self.status;
+            };
+
+            self.iterations += 1;
+            self.total_iterations += 1;
+
+            // Pivot: q enters at position rpos; leaving goes to its
+            // violated bound.
+            self.gather_col(q);
+            let w = self.factor.ftran(&self.colbuf);
+            if w[rpos].abs() <= self.params.piv_tol {
+                // Numerically void pivot; refactorize and retry, falling
+                // back to primal if it persists.
+                if !self.force_refactor() {
+                    self.status = LpStatus::Numerical;
+                    return self.status;
+                }
+                stall += 1;
+                if stall > self.params.stall_limit + 20 {
+                    return self.solve_primal();
+                }
+                continue;
+            }
+            let leaving = self.basis_cols[rpos];
+            let (llb, lub) = (self.col_lb(leaving), self.col_ub(leaving));
+            let lv = self.xval[leaving];
+            let target = if below { llb } else { lub };
+            // Step length of entering variable: Δ such that leaving reaches
+            // its bound: x_leaving + (−w[rpos])·Δ... leaving moves by
+            // −w[rpos]·Δ when q moves by Δ (z_B = −B⁻¹N z_N).
+            let delta = (target - lv) / (-w[rpos]);
+            if delta.abs() <= 1e-12 {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+            for (pos, &col) in self.basis_cols.iter().enumerate() {
+                self.xval[col] -= w[pos] * delta;
+            }
+            self.xval[q] += delta;
+            self.vstat[leaving] = if below { VarStatus::AtLower } else { VarStatus::AtUpper };
+            self.xval[leaving] = target;
+            self.vstat[q] = VarStatus::Basic;
+            self.basis_cols[rpos] = q;
+            if self.factor.update(rpos, w).is_err() && !self.force_refactor() {
+                self.status = LpStatus::Numerical;
+                return self.status;
+            }
+        }
+    }
+
+    /// Objective value of the current iterate.
+    pub fn obj_value(&self) -> f64 {
+        self.prob.obj_offset
+            + (0..self.n())
+                .map(|j| self.prob.obj[j] * self.xval[j])
+                .sum::<f64>()
+    }
+
+    /// Extracts the full solution bundle for the last solve.
+    pub fn extract_solution(&mut self) -> LpSolution {
+        let n = self.n();
+        let m = self.m();
+        let x: Vec<f64> = self.xval[..n].to_vec();
+        let mut row_duals = vec![0.0; m];
+        let mut reduced = vec![0.0; n];
+        if m > 0 && matches!(self.status, LpStatus::Optimal | LpStatus::IterLimit) {
+            if self.factor.needs_refactor() {
+                let _ = self.ensure_factorized();
+            }
+            let cb = self.basic_costs(Phase::Two);
+            row_duals = self.factor.btran(&cb);
+        }
+        for j in 0..n {
+            reduced[j] = self.prob.obj[j] - self.col_dot(j, &row_duals);
+        }
+        let row_activity: Vec<f64> = (0..m)
+            .map(|r| {
+                self.prob.rows[r]
+                    .iter()
+                    .map(|&(j, c)| c * self.xval[j as usize])
+                    .sum()
+            })
+            .collect();
+        LpSolution {
+            status: self.status,
+            obj: self.obj_value(),
+            x,
+            row_duals,
+            reduced_costs: reduced,
+            row_activity,
+            iterations: self.iterations,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Block {
+    /// Entering variable hits its own opposite bound (no basis change).
+    Flip,
+    /// Basic variable at position `pos` leaves at its lower/upper bound.
+    Leave { pos: usize, at_upper: bool },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(p: &LpProblem) -> LpSolution {
+        let mut s = Simplex::new(p.clone(), SimplexParams::default());
+        s.solve_primal();
+        s.extract_solution()
+    }
+
+    #[test]
+    fn simple_max_as_min() {
+        // max x + y s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0  → (8/5, 6/5), obj 14/5
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, f64::INFINITY, -1.0);
+        let y = p.add_var(0.0, f64::INFINITY, -1.0);
+        p.add_row(f64::NEG_INFINITY, 4.0, &[(x, 1.0), (y, 2.0)]);
+        p.add_row(f64::NEG_INFINITY, 6.0, &[(x, 3.0), (y, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.obj + 14.0 / 5.0).abs() < 1e-7, "obj = {}", s.obj);
+        assert!((s.x[0] - 8.0 / 5.0).abs() < 1e-7);
+        assert!((s.x[1] - 6.0 / 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_rows_need_phase1() {
+        // min x + y s.t. x + y = 2, x - y = 0 → x=y=1, obj 2.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0, 1.0);
+        let y = p.add_var(0.0, 10.0, 1.0);
+        p.add_row(2.0, 2.0, &[(x, 1.0), (y, 1.0)]);
+        p.add_row(0.0, 0.0, &[(x, 1.0), (y, -1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.obj - 2.0).abs() < 1e-7);
+        assert!((s.x[0] - 1.0).abs() < 1e-7 && (s.x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0, 0.0);
+        p.add_row(5.0, f64::INFINITY, &[(x, 1.0)]);
+        assert_eq!(solve(&p).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, f64::INFINITY, -1.0);
+        let y = p.add_var(0.0, f64::INFINITY, 0.0);
+        p.add_row(0.0, f64::INFINITY, &[(x, -1.0), (y, 1.0)]);
+        assert_eq!(solve(&p).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn bound_flip_only_problem() {
+        // No rows at all: min -x, x in [2, 7] → x = 7.
+        let mut p = LpProblem::new();
+        p.add_var(2.0, 7.0, -1.0);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.x[0] - 7.0).abs() < 1e-9);
+        assert!((s.obj + 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranged_row_lower_side_binds() {
+        // min x + y s.t. 3 <= x + y <= 10 → obj 3.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0, 1.0);
+        let y = p.add_var(0.0, 10.0, 1.0);
+        p.add_row(3.0, 10.0, &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.obj - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x s.t. x >= -5 and x + y >= -3, y in [0, 1] → x = -4 (y=1).
+        let mut p = LpProblem::new();
+        let x = p.add_var(-5.0, f64::INFINITY, 1.0);
+        let y = p.add_var(0.0, 1.0, 0.0);
+        p.add_row(-3.0, f64::INFINITY, &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.x[0] + 4.0).abs() < 1e-7, "x = {}", s.x[0]);
+    }
+
+    #[test]
+    fn free_variable_enters() {
+        // min y s.t. y >= x - 2, y >= -x, x free → x = 1, y = -1.
+        let mut p = LpProblem::new();
+        let x = p.add_var(f64::NEG_INFINITY, f64::INFINITY, 0.0);
+        let y = p.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        p.add_row(-2.0, f64::INFINITY, &[(y, 1.0), (x, -1.0)]); // y - x >= -2
+        p.add_row(0.0, f64::INFINITY, &[(y, 1.0), (x, 1.0)]); // y + x >= 0
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.obj + 1.0).abs() < 1e-7, "obj = {}", s.obj);
+    }
+
+    #[test]
+    fn duals_satisfy_complementary_slackness() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, f64::INFINITY, -3.0);
+        let y = p.add_var(0.0, f64::INFINITY, -5.0);
+        p.add_row(f64::NEG_INFINITY, 4.0, &[(x, 1.0)]);
+        p.add_row(f64::NEG_INFINITY, 12.0, &[(y, 2.0)]);
+        p.add_row(f64::NEG_INFINITY, 18.0, &[(x, 3.0), (y, 2.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.obj + 36.0).abs() < 1e-6); // classic Dantzig example
+        // strong duality: obj = Σ y_i · rhs_i for binding rows
+        let dual_obj: f64 = s.row_duals[0] * 4.0 + s.row_duals[1] * 12.0 + s.row_duals[2] * 18.0;
+        assert!((dual_obj - s.obj).abs() < 1e-6, "dual {} vs {}", dual_obj, s.obj);
+    }
+
+    #[test]
+    fn warm_start_after_bound_change() {
+        // Solve, then branch-like bound change, dual simplex re-solve.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0, -1.0);
+        let y = p.add_var(0.0, 10.0, -2.0);
+        p.add_row(f64::NEG_INFINITY, 4.0, &[(x, 1.0), (y, 1.0)]);
+        let mut s = Simplex::new(p, SimplexParams::default());
+        assert_eq!(s.solve_primal(), LpStatus::Optimal);
+        let first = s.obj_value();
+        assert!((first + 8.0).abs() < 1e-7); // y=4 → wait y<=4 via row, y=4, obj -8
+
+        s.set_var_bounds(VarId(1), 0.0, 1.0); // y <= 1
+        assert_eq!(s.solve_dual(), LpStatus::Optimal);
+        let second = s.obj_value();
+        assert!((second + 5.0).abs() < 1e-7, "obj = {second}"); // x=3,y=1
+    }
+
+    #[test]
+    fn warm_start_after_adding_cut() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0, -1.0);
+        let y = p.add_var(0.0, 10.0, -1.0);
+        p.add_row(f64::NEG_INFINITY, 6.0, &[(x, 1.0), (y, 1.0)]);
+        let mut s = Simplex::new(p, SimplexParams::default());
+        assert_eq!(s.solve_primal(), LpStatus::Optimal);
+        assert!((s.obj_value() + 6.0).abs() < 1e-7);
+        // "cut": x <= 2
+        s.add_row(f64::NEG_INFINITY, 2.0, &[(VarId(0), 1.0)]);
+        assert_eq!(s.solve_dual(), LpStatus::Optimal);
+        assert!((s.obj_value() + 6.0).abs() < 1e-7); // still -6: x=2,y=4
+        s.add_row(f64::NEG_INFINITY, 3.0, &[(VarId(1), 1.0)]);
+        assert_eq!(s.solve_dual(), LpStatus::Optimal);
+        assert!((s.obj_value() + 5.0).abs() < 1e-7); // x=2,y=3
+    }
+
+    #[test]
+    fn dual_detects_infeasible_after_branching() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0, 1.0);
+        let y = p.add_var(0.0, 10.0, 1.0);
+        p.add_row(8.0, f64::INFINITY, &[(x, 1.0), (y, 1.0)]);
+        let mut s = Simplex::new(p, SimplexParams::default());
+        assert_eq!(s.solve_primal(), LpStatus::Optimal);
+        s.set_var_bounds(VarId(0), 0.0, 3.0);
+        s.set_var_bounds(VarId(1), 0.0, 3.0);
+        assert_eq!(s.solve_dual(), LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn basis_snapshot_round_trip() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0, -1.0);
+        let y = p.add_var(0.0, 10.0, -2.0);
+        p.add_row(f64::NEG_INFINITY, 4.0, &[(x, 1.0), (y, 1.0)]);
+        let mut s = Simplex::new(p.clone(), SimplexParams::default());
+        s.solve_primal();
+        let snap = s.basis_snapshot();
+
+        let mut s2 = Simplex::new(p, SimplexParams::default());
+        s2.set_basis(&snap);
+        assert_eq!(s2.solve_dual(), LpStatus::Optimal);
+        assert!((s2.obj_value() - s.obj_value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_variables_respected() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(3.0, 3.0, -1.0);
+        let y = p.add_var(0.0, 10.0, -1.0);
+        p.add_row(f64::NEG_INFINITY, 5.0, &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_eq!(s.x[0], 3.0);
+        assert!((s.x[1] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Many redundant rows through the same vertex.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, f64::INFINITY, -1.0);
+        let y = p.add_var(0.0, f64::INFINITY, -1.0);
+        for k in 1..=6 {
+            let kf = k as f64;
+            p.add_row(f64::NEG_INFINITY, 2.0 * kf, &[(x, kf), (y, kf)]);
+        }
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.obj + 2.0).abs() < 1e-7);
+    }
+}

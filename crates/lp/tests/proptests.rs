@@ -1,0 +1,175 @@
+//! Property tests for the simplex engine.
+//!
+//! The strongest oracle-free check for an LP solver is the KKT system:
+//! a claimed optimum must be primal feasible, its duals must be dual
+//! feasible, and complementary slackness must hold. On top of that we
+//! check warm-started dual simplex re-solves against fresh solves.
+
+use proptest::prelude::*;
+use ugrs_lp::{LpProblem, LpStatus, Simplex, SimplexParams, VarId};
+
+const TOL: f64 = 1e-5;
+
+#[derive(Clone, Debug)]
+struct RandomLp {
+    nvars: usize,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    obj: Vec<f64>,
+    rows: Vec<(f64, f64, Vec<(usize, f64)>)>,
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..6, 1usize..6).prop_flat_map(|(nvars, nrows)| {
+        let bounds = prop::collection::vec((-5.0f64..0.0, 0.0f64..5.0), nvars);
+        let obj = prop::collection::vec(-3.0f64..3.0, nvars);
+        let row = (
+            -8.0f64..0.0,
+            0.0f64..8.0,
+            prop::collection::vec((0..nvars, -3.0f64..3.0), 1..=nvars),
+        );
+        let rows = prop::collection::vec(row, nrows);
+        (bounds, obj, rows).prop_map(move |(bounds, obj, rows)| RandomLp {
+            nvars,
+            lb: bounds.iter().map(|b| b.0).collect(),
+            ub: bounds.iter().map(|b| b.1).collect(),
+            obj,
+            rows,
+        })
+    })
+}
+
+fn build(lp: &RandomLp) -> LpProblem {
+    let mut p = LpProblem::new();
+    let vars: Vec<VarId> = (0..lp.nvars)
+        .map(|j| p.add_var(lp.lb[j], lp.ub[j], lp.obj[j]))
+        .collect();
+    for (lhs, rhs, terms) in &lp.rows {
+        let t: Vec<(VarId, f64)> = terms.iter().map(|&(j, c)| (vars[j], c)).collect();
+        p.add_row(*lhs, *rhs, &t);
+    }
+    p
+}
+
+/// Checks the KKT conditions of a claimed optimal solution.
+fn assert_kkt(p: &LpProblem, sol: &ugrs_lp::LpSolution) {
+    // Primal feasibility.
+    assert!(p.is_feasible(&sol.x, TOL), "primal infeasible: {:?}", sol.x);
+    // Dual feasibility + complementary slackness per variable:
+    // reduced cost d_j >= -tol if x_j at lower, <= tol if at upper,
+    // |d_j| <= tol if strictly between bounds.
+    for j in 0..p.num_vars() {
+        let v = VarId(j as u32);
+        let (lb, ub) = p.bounds(v);
+        let x = sol.x[j];
+        let d = sol.reduced_costs[j];
+        let at_lb = (x - lb).abs() < 1e-6;
+        let at_ub = (ub - x).abs() < 1e-6;
+        if at_lb && at_ub {
+            continue; // fixed: any sign ok
+        }
+        if at_lb {
+            assert!(d >= -TOL, "var {j}: at lower but reduced cost {d}");
+        } else if at_ub {
+            assert!(d <= TOL, "var {j}: at upper but reduced cost {d}");
+        } else {
+            assert!(d.abs() <= TOL, "var {j}: interior but reduced cost {d}");
+        }
+    }
+    // Per-row dual sign + complementary slackness:
+    // y_i > 0 only if activity at lhs... sign convention: reduced cost
+    // d = c - A'y; for a row with activity strictly inside (lhs, rhs), y_i = 0.
+    for r in 0..p.num_rows() {
+        let (lhs, rhs) = p.row_sides(ugrs_lp::RowId(r as u32));
+        let a = sol.row_activity[r];
+        let y = sol.row_duals[r];
+        let at_lhs = !LpProblem::is_neg_inf(lhs) && (a - lhs).abs() < 1e-6;
+        let at_rhs = !LpProblem::is_pos_inf(rhs) && (rhs - a).abs() < 1e-6;
+        if !at_lhs && !at_rhs {
+            assert!(y.abs() <= TOL, "row {r}: slack but dual {y}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimal_solutions_satisfy_kkt(lp in random_lp()) {
+        let p = build(&lp);
+        let sol = p.solve();
+        match sol.status {
+            LpStatus::Optimal => assert_kkt(&p, &sol),
+            LpStatus::Infeasible => {
+                // Sanity: the all-zero point must indeed violate something
+                // (zero is within all variable bounds by construction).
+                let zeros = vec![0.0; p.num_vars()];
+                prop_assert!(!p.is_feasible(&zeros, 1e-9));
+            }
+            LpStatus::Unbounded => {
+                // All variables are boxed, so unbounded must never happen.
+                prop_assert!(false, "boxed LP cannot be unbounded");
+            }
+            other => prop_assert!(false, "unexpected status {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dual_warm_start_matches_fresh_solve(lp in random_lp(), tighten in 0.0f64..1.0) {
+        let p = build(&lp);
+        let mut s = Simplex::new(p.clone(), SimplexParams::default());
+        if s.solve_primal() != LpStatus::Optimal {
+            return Ok(());
+        }
+        // Branch-like tightening: halve the range of variable 0.
+        let (lb, ub) = p.bounds(VarId(0));
+        let mid = lb + tighten * (ub - lb);
+        s.set_var_bounds(VarId(0), lb, mid);
+        let st_warm = s.solve_dual();
+
+        let mut p2 = p.clone();
+        p2.set_bounds(VarId(0), lb, mid);
+        let fresh = p2.solve();
+        prop_assert_eq!(st_warm, fresh.status);
+        if st_warm == LpStatus::Optimal {
+            prop_assert!((s.obj_value() - fresh.obj).abs() < 1e-5,
+                "warm {} vs fresh {}", s.obj_value(), fresh.obj);
+        }
+    }
+
+    #[test]
+    fn added_rows_warm_start_matches_fresh(lp in random_lp()) {
+        let p = build(&lp);
+        let mut s = Simplex::new(p.clone(), SimplexParams::default());
+        if s.solve_primal() != LpStatus::Optimal {
+            return Ok(());
+        }
+        // Add the "cut" x_0 + x_1 <= 1 (random-ish but deterministic).
+        let terms = [(VarId(0), 1.0), (VarId(1), 1.0)];
+        s.add_row(f64::NEG_INFINITY, 1.0, &terms);
+        let st_warm = s.solve_dual();
+
+        let mut p2 = p.clone();
+        p2.add_row(f64::NEG_INFINITY, 1.0, &terms);
+        let fresh = p2.solve();
+        prop_assert_eq!(st_warm, fresh.status);
+        if st_warm == LpStatus::Optimal {
+            prop_assert!((s.obj_value() - fresh.obj).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn objective_never_above_any_feasible_point(lp in random_lp()) {
+        // The optimum must be <= the objective of the "resting point"
+        // whenever that point happens to be feasible.
+        let p = build(&lp);
+        let sol = p.solve();
+        if sol.status != LpStatus::Optimal {
+            return Ok(());
+        }
+        let zeros = vec![0.0; p.num_vars()];
+        if p.is_feasible(&zeros, 1e-9) {
+            prop_assert!(sol.obj <= p.obj_value(&zeros) + TOL);
+        }
+    }
+}

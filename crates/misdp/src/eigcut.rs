@@ -1,0 +1,205 @@
+//! The eigenvector-cut constraint handler (LP-based approach, §3.2).
+//!
+//! For a candidate `y*` violating `S(y) = C − Σ Aᵢ yᵢ ⪰ 0`, the
+//! eigenvector `v` of the most negative eigenvalue of `S(y*)` yields the
+//! valid inequality (9):
+//!
+//! ```text
+//! vᵀ C v − Σᵢ (vᵀ Aᵢ v) yᵢ ≥ 0,
+//! ```
+//!
+//! which cuts `y*` off because `vᵀ S(y*) v = λmin ‖v‖² < 0`.
+
+use crate::model::MisdpProblem;
+use std::sync::Arc;
+use ugrs_cip::{
+    ConstraintHandler, Cut, CutBuffer, EnforceResult, Model, SepaResult, SolveCtx, VarId,
+};
+use ugrs_linalg::eigen::symmetric_eigen;
+
+/// PSD feasibility tolerance for candidate checking.
+pub const PSD_TOL: f64 = 1e-6;
+
+/// The handler: owns the (immutable) problem and separates eigenvector
+/// cuts for fractional and integral candidates alike.
+pub struct EigenCutHandler {
+    pub problem: Arc<MisdpProblem>,
+    /// How many eigenvectors (from the most negative up) to turn into
+    /// cuts per violated block and round.
+    pub cuts_per_block: usize,
+}
+
+impl EigenCutHandler {
+    pub fn new(problem: Arc<MisdpProblem>) -> Self {
+        EigenCutHandler { problem, cuts_per_block: 2 }
+    }
+
+    /// Builds the cut for eigenvector `v` of block `blk`; `None` when the
+    /// cut is trivial (all coefficients ~0).
+    fn cut_for(&self, blk: usize, v: &[f64]) -> Option<Cut> {
+        let block = &self.problem.blocks[blk];
+        let rhs_free = block.c.quad_form(v); // vᵀCv
+        let mut terms = Vec::new();
+        for (i, ai) in block.a.iter().enumerate() {
+            if let Some(a) = ai {
+                let coef = a.quad_form(v);
+                if coef.abs() > 1e-10 {
+                    terms.push((VarId(i as u32), coef));
+                }
+            }
+        }
+        if terms.is_empty() {
+            return None;
+        }
+        // Σ (vᵀAᵢv) yᵢ ≤ vᵀCv.
+        Some(Cut::new("eigcut", f64::NEG_INFINITY, rhs_free, terms))
+    }
+
+    /// Separates all blocks at `y`; returns the number of cuts added.
+    fn separate_at(&mut self, y: &[f64], buf: &mut CutBuffer) -> usize {
+        let mut added = 0;
+        for (bi, block) in self.problem.blocks.iter().enumerate() {
+            let s = block.slack(y);
+            let Ok(e) = symmetric_eigen(&s) else { continue };
+            for k in 0..self.cuts_per_block.min(e.values.len()) {
+                if e.values[k] < -PSD_TOL {
+                    if let Some(cut) = self.cut_for(bi, &e.vectors.col(k)) {
+                        buf.add(cut);
+                        added += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        added
+    }
+}
+
+impl ConstraintHandler for EigenCutHandler {
+    fn name(&self) -> &str {
+        "misdp-eigcut"
+    }
+
+    fn check(&mut self, _model: &Model, x: &[f64]) -> bool {
+        self.problem.blocks.iter().all(|b| {
+            symmetric_eigen(&b.slack(x))
+                .map(|e| e.values[0] >= -PSD_TOL)
+                .unwrap_or(false)
+        })
+    }
+
+    fn enforce(&mut self, ctx: &mut SolveCtx) -> EnforceResult {
+        let y = ctx.relax_x.expect("enforce needs a relaxation solution").to_vec();
+        let mut buf = CutBuffer::default();
+        let n = self.separate_at(&y, &mut buf);
+        if n == 0 {
+            return EnforceResult::Feasible;
+        }
+        for c in buf.cuts {
+            ctx.cuts.add(c);
+        }
+        EnforceResult::AddedCuts(n)
+    }
+
+    fn separate(&mut self, ctx: &mut SolveCtx) -> SepaResult {
+        let Some(y) = ctx.relax_x else { return SepaResult::DidNotRun };
+        let y = y.to_vec();
+        let mut buf = CutBuffer::default();
+        let n = self.separate_at(&y, &mut buf);
+        for c in buf.cuts {
+            ctx.cuts.add(c);
+        }
+        if n == 0 {
+            SepaResult::NoCuts
+        } else {
+            SepaResult::AddedCuts(n)
+        }
+    }
+
+    fn init_lp(&mut self, _model: &Model, cuts: &mut CutBuffer) {
+        // Diagonal relaxation rows S_jj ≥ 0 — the standard starting
+        // polyhedral outer approximation.
+        for (bi, block) in self.problem.blocks.iter().enumerate() {
+            for j in 0..block.dim {
+                let mut v = vec![0.0; block.dim];
+                v[j] = 1.0;
+                if let Some(cut) = self.cut_for(bi, &v) {
+                    cuts.add(cut);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugrs_linalg::Matrix;
+    use ugrs_sdp::SdpBlock;
+
+    fn problem_2x2() -> Arc<MisdpProblem> {
+        // Block [[1, y0], [y0, 1]] ⪰ 0 ⇔ |y0| ≤ 1.
+        let mut p = MisdpProblem::new("t", 1);
+        p.b = vec![1.0];
+        p.lb = vec![-3.0];
+        p.ub = vec![3.0];
+        let mut blk = SdpBlock::new(2, 1);
+        blk.c = Matrix::identity(2);
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 1)] = -1.0;
+        a[(1, 0)] = -1.0;
+        blk.set_a(0, a);
+        p.blocks.push(blk);
+        Arc::new(p)
+    }
+
+    #[test]
+    fn check_validates_psd() {
+        let mut h = EigenCutHandler::new(problem_2x2());
+        let m = Model::new("x");
+        assert!(h.check(&m, &[0.5]));
+        assert!(!h.check(&m, &[2.0]));
+    }
+
+    #[test]
+    fn cut_separates_violator() {
+        let mut h = EigenCutHandler::new(problem_2x2());
+        let mut buf = CutBuffer::default();
+        let n = h.separate_at(&[2.0], &mut buf);
+        assert!(n >= 1);
+        // The produced cut must be violated at y=2 and valid at y=0.5.
+        let cut = &buf.cuts[0];
+        assert!(cut.violation(&[2.0]) > 1e-6, "cut must cut off y=2");
+        assert!(cut.violation(&[0.5]) <= 1e-9, "cut must keep y=0.5");
+    }
+
+    #[test]
+    fn no_cut_for_feasible_point() {
+        let mut h = EigenCutHandler::new(problem_2x2());
+        let mut buf = CutBuffer::default();
+        assert_eq!(h.separate_at(&[0.3], &mut buf), 0);
+    }
+
+    #[test]
+    fn init_lp_adds_diagonal_rows() {
+        let mut h = EigenCutHandler::new(problem_2x2());
+        let mut buf = CutBuffer::default();
+        h.init_lp(&Model::new("x"), &mut buf);
+        // Both diagonal rows have zero y-coefficient here (A has zero
+        // diagonal), so they are dropped as trivial — use a problem with
+        // diagonal structure instead.
+        let mut p = MisdpProblem::new("d", 1);
+        p.lb = vec![0.0];
+        p.ub = vec![9.0];
+        let mut blk = SdpBlock::new(1, 1);
+        blk.c = Matrix::from_rows(1, 1, vec![4.0]).unwrap();
+        blk.set_a(0, Matrix::from_rows(1, 1, vec![1.0]).unwrap());
+        p.blocks.push(blk);
+        let mut h2 = EigenCutHandler::new(Arc::new(p));
+        let mut buf2 = CutBuffer::default();
+        h2.init_lp(&Model::new("x"), &mut buf2);
+        assert_eq!(buf2.cuts.len(), 1); // 4 − y ≥ 0
+        assert!(buf2.cuts[0].violation(&[5.0]) > 0.9);
+    }
+}

@@ -1,0 +1,256 @@
+//! Generators for the three CBLIB application families of Table 4 /
+//! Figure 1, at laptop scale:
+//!
+//! * **TTD** — truss-topology-design-like: choose bars (binaries) whose
+//!   rank-1 stiffness contributions must dominate `τ·I`; minimize
+//!   material volume. Genuinely coupled PSD constraint → both
+//!   approaches work, LP slightly ahead (as in Figure 1).
+//! * **CLS** — cardinality-constrained least-squares-like (best subset
+//!   selection): pick at most `k` features so the regularized residual
+//!   operator `D(z) + t·I − Q` stays PSD with minimal `t`. The block is
+//!   diagonally dominated → eigenvector cuts converge fast, so LP-based
+//!   settings dominate (Figure 1's lopsided CLS column).
+//! * **MkP** — minimum-k-partitioning: the classic SDP formulation with
+//!   `X_ij ∈ {−1/(k−1), 1}` entries and `X ⪰ 0` (transitivity and the
+//!   cluster cap are enforced by positive semidefiniteness alone); the
+//!   SDP bound is far stronger than the polyhedral one, so SDP-based
+//!   settings win (Figure 1's MkP column).
+
+use crate::model::MisdpProblem;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ugrs_linalg::Matrix;
+use ugrs_sdp::SdpBlock;
+
+/// Truss-topology-like instance: `bars` candidate bars in a `dim`-DOF
+/// space; minimize Σ cost_j x_j s.t. Σ x_j K_j ⪰ τ·I, x binary.
+pub fn truss_topology(dim: usize, bars: usize, seed: u64) -> MisdpProblem {
+    assert!(bars >= dim);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7474_6400);
+    let mut p = MisdpProblem::new(&format!("ttd-{dim}-{bars}-{seed}"), bars);
+    let mut total = Matrix::zeros(dim, dim);
+    let mut ks = Vec::with_capacity(bars);
+    for j in 0..bars {
+        // Direction vector: axis-aligned for the first `dim` bars (so the
+        // full structure is nonsingular), random afterwards.
+        let mut g = vec![0.0; dim];
+        if j < dim {
+            g[j] = 1.0 + rng.gen_range(0.0..0.5);
+        } else {
+            for v in g.iter_mut() {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+        }
+        let mut k = Matrix::zeros(dim, dim);
+        for a in 0..dim {
+            for b in 0..dim {
+                k[(a, b)] = g[a] * g[b];
+            }
+        }
+        total.add_scaled(1.0, &k).unwrap();
+        ks.push(k);
+        p.b[j] = -(1.0 + rng.gen_range(0..5) as f64); // maximize −cost
+        p.lb[j] = 0.0;
+        p.ub[j] = 1.0;
+        p.integer[j] = true;
+    }
+    // τ = a fraction of λmin(Σ K): all-ones is strictly feasible.
+    let lam_min = ugrs_linalg::eigen::symmetric_eigen(&total).unwrap().values[0];
+    let tau = 0.3 * lam_min.max(0.1);
+    let mut blk = SdpBlock::new(dim, bars);
+    let mut c = Matrix::zeros(dim, dim);
+    for d in 0..dim {
+        c[(d, d)] = -tau;
+    }
+    blk.c = c;
+    for (j, k) in ks.into_iter().enumerate() {
+        let mut a = k;
+        ugrs_linalg::vector::scale(-1.0, a.data_mut()); // A_j = −K_j
+        blk.set_a(j, a);
+    }
+    p.blocks.push(blk);
+    p
+}
+
+/// Cardinality-constrained least-squares-like instance: variables
+/// `z_1..z_p` binary plus continuous `t`; maximize `−t` s.t.
+/// `diag(σ·z) + t·I − Q ⪰ 0` and `Σ z ≤ k`.
+pub fn cardinality_ls(pdim: usize, k: usize, seed: u64) -> MisdpProblem {
+    let m = pdim + 1; // z's then t
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x636c_7300);
+    let mut p = MisdpProblem::new(&format!("cls-{pdim}-{k}-{seed}"), m);
+    for i in 0..pdim {
+        p.b[i] = 0.0;
+        p.lb[i] = 0.0;
+        p.ub[i] = 1.0;
+        p.integer[i] = true;
+    }
+    let t = pdim;
+    p.b[t] = -1.0; // maximize −t
+    p.lb[t] = 0.0;
+    p.ub[t] = 1e4;
+    // Q: PSD with dominant diagonal and small couplings.
+    let mut q = Matrix::zeros(pdim, pdim);
+    for i in 0..pdim {
+        q[(i, i)] = 1.0 + rng.gen_range(0.0..3.0);
+        for j in (i + 1)..pdim {
+            let v = rng.gen_range(-0.15..0.15);
+            q[(i, j)] = v;
+            q[(j, i)] = v;
+        }
+    }
+    let sigmas: Vec<f64> = (0..pdim).map(|_| 1.0 + rng.gen_range(0.0..2.0)).collect();
+    // Block: diag(σ z) + t·I − Q ⪰ 0  ⇔  C − Σ A y ⪰ 0 with C = −Q,
+    // A_{z_i} = −σ_i e_i e_iᵀ, A_t = −I.
+    let mut blk = SdpBlock::new(pdim, m);
+    let mut c = q.clone();
+    ugrs_linalg::vector::scale(-1.0, c.data_mut());
+    blk.c = c;
+    for i in 0..pdim {
+        let mut a = Matrix::zeros(pdim, pdim);
+        a[(i, i)] = -sigmas[i];
+        blk.set_a(i, a);
+    }
+    let mut at = Matrix::zeros(pdim, pdim);
+    for d in 0..pdim {
+        at[(d, d)] = -1.0;
+    }
+    blk.set_a(t, at);
+    p.blocks.push(blk);
+    // Cardinality row.
+    p.lin.push(ugrs_sdp::LinRow {
+        lhs: f64::NEG_INFINITY,
+        rhs: k as f64,
+        terms: (0..pdim).map(|i| (i, 1.0)).collect(),
+    });
+    p
+}
+
+/// Minimum-k-partitioning instance on a random weighted graph with `n`
+/// vertices: variables `y_{ij} ∈ {0,1}` (1 = same cluster); minimize the
+/// weight inside clusters, under `X(y) ⪰ 0` with
+/// `X_ij = −1/(k−1) + y_ij·k/(k−1)`.
+pub fn min_k_partitioning(n: usize, k: usize, seed: u64) -> MisdpProblem {
+    assert!(k >= 2 && n >= 3);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6d6b_7000);
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    let m = pairs.len();
+    let mut p = MisdpProblem::new(&format!("mkp-{n}-{k}-{seed}"), m);
+    for (v, _) in pairs.iter().enumerate() {
+        p.b[v] = -(rng.gen_range(1..10) as f64); // maximize −(within weight)
+        p.lb[v] = 0.0;
+        p.ub[v] = 1.0;
+        p.integer[v] = true;
+    }
+    let off = -1.0 / (k as f64 - 1.0);
+    let step = k as f64 / (k as f64 - 1.0);
+    let mut blk = SdpBlock::new(n, m);
+    let mut c = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            c[(i, j)] = if i == j { 1.0 } else { off };
+        }
+    }
+    blk.c = c;
+    for (v, &(i, j)) in pairs.iter().enumerate() {
+        // X = C + step·y_ij (E_ij + E_ji) ⇒ A = −step (E_ij + E_ji).
+        let mut a = Matrix::zeros(n, n);
+        a[(i, j)] = -step;
+        a[(j, i)] = -step;
+        blk.set_a(v, a);
+    }
+    p.blocks.push(blk);
+    // Deliberately *no* triangle inequalities: for integral points the
+    // PSD constraint alone enforces transitivity (an intransitive triple
+    // gives a principal 3×3 submatrix [[1,1,o],[1,1,1],[o,1,1]] with
+    // determinant −(1−o)² < 0) and caps the number of clusters at k.
+    // This is what makes MkP the family where the semidefinite
+    // relaxation decisively beats the polyhedral one — the Figure 1
+    // signal.
+    p
+}
+
+/// The benchmark sets used by the Table 4 / Figure 1 harness:
+/// `(family name, instances)`.
+pub fn table4_testsets(per_family: usize) -> Vec<(&'static str, Vec<MisdpProblem>)> {
+    let ttd: Vec<MisdpProblem> = (0..per_family)
+        .map(|s| truss_topology(7 + s % 2, 18 + 2 * (s % 3), s as u64))
+        .collect();
+    let cls: Vec<MisdpProblem> = (0..per_family)
+        .map(|s| cardinality_ls(15 + s % 4, 5 + s % 2, s as u64))
+        .collect();
+    let mkp: Vec<MisdpProblem> = (0..per_family)
+        .map(|s| min_k_partitioning(10 + s % 2, 3, s as u64))
+        .collect();
+    vec![("TTD", ttd), ("CLS", cls), ("Mk-P", mkp)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ttd_all_ones_is_feasible() {
+        let p = truss_topology(4, 9, 1);
+        let y = vec![1.0; 9];
+        assert!(p.is_feasible(&y, 1e-7), "all bars chosen must be feasible");
+        assert!(p.obj(&y) < 0.0); // costs are negative in max sense
+    }
+
+    #[test]
+    fn cls_full_selection_with_big_t_is_feasible() {
+        let p = cardinality_ls(6, 2, 3);
+        // z = 0, t large: t·I − Q ⪰ 0 for t ≥ λmax(Q).
+        let mut y = vec![0.0; 7];
+        y[6] = 50.0;
+        assert!(p.is_feasible(&y, 1e-7));
+    }
+
+    #[test]
+    fn mkp_single_cluster_is_feasible() {
+        let p = min_k_partitioning(5, 3, 7);
+        let y = vec![1.0; p.m]; // everyone together: X = J ⪰ 0
+        assert!(p.is_feasible(&y, 1e-7));
+    }
+
+    #[test]
+    fn mkp_psd_catches_intransitivity() {
+        let p = min_k_partitioning(4, 2, 7);
+        // y_01 = 1, y_12 = 1 but y_02 = 0 violates transitivity — the PSD
+        // block alone must reject it (no triangle rows in the model).
+        let mut y = vec![0.0; p.m];
+        y[0] = 1.0; // (0,1)
+        y[3] = 1.0; // (1,2)
+        assert!(!p.is_feasible(&y, 1e-7));
+    }
+
+    #[test]
+    fn mkp_psd_caps_cluster_count() {
+        // k = 2 but three singleton clusters on 3 vertices: X = C (all
+        // off-diagonals −1) has eigenvalue 1 − 2 < 0 → infeasible.
+        let p = min_k_partitioning(3, 2, 7);
+        let y = vec![0.0; p.m];
+        assert!(!p.is_feasible(&y, 1e-7));
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let a = truss_topology(3, 7, 5);
+        let b = truss_topology(3, 7, 5);
+        assert_eq!(a.b, b.b);
+        let c = min_k_partitioning(5, 2, 9);
+        let d = min_k_partitioning(5, 2, 9);
+        assert_eq!(c.b, d.b);
+    }
+
+    #[test]
+    fn testsets_shape() {
+        let sets = table4_testsets(3);
+        assert_eq!(sets.len(), 3);
+        for (name, insts) in &sets {
+            assert_eq!(insts.len(), 3, "{name}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! SCIP-SDP's randomized rounding heuristic (§3.2 mentions "heuristics
+//! ... like dual fixing and randomized rounding"): round the relaxation
+//! solution's integer variables randomly, biased by their fractional
+//! parts, and keep the best PSD-feasible candidate.
+
+use crate::model::MisdpProblem;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use ugrs_cip::{Heuristic, SolveCtx};
+
+pub struct RandomizedRounding {
+    pub problem: Arc<MisdpProblem>,
+    pub tries: usize,
+}
+
+impl RandomizedRounding {
+    pub fn new(problem: Arc<MisdpProblem>) -> Self {
+        RandomizedRounding { problem, tries: 8 }
+    }
+}
+
+impl Heuristic for RandomizedRounding {
+    fn name(&self) -> &str {
+        "misdp-randround"
+    }
+
+    fn run(&mut self, ctx: &mut SolveCtx) -> Option<Vec<f64>> {
+        let y = ctx.relax_x?;
+        let mut rng = SmallRng::seed_from_u64(ctx.seed ^ 0x5d5d_0001);
+        let p = &self.problem;
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        for t in 0..self.tries {
+            let mut cand = y.to_vec();
+            for i in 0..p.m {
+                if !p.integer[i] {
+                    continue;
+                }
+                let frac = cand[i] - cand[i].floor();
+                let up = if t == 0 { frac >= 0.5 } else { rng.gen_bool(frac.clamp(0.02, 0.98)) };
+                cand[i] = if up { cand[i].ceil() } else { cand[i].floor() };
+                cand[i] = cand[i].clamp(ctx.local_lb[i], ctx.local_ub[i]);
+            }
+            if p.is_feasible(&cand, 1e-6) {
+                let obj = p.obj(&cand);
+                if best.as_ref().map_or(true, |(b, _)| obj > *b) {
+                    best = Some((obj, cand));
+                }
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugrs_cip::{CutBuffer, Model};
+    use ugrs_linalg::Matrix;
+    use ugrs_sdp::SdpBlock;
+
+    #[test]
+    fn rounds_to_feasible_candidate() {
+        // max y0 + y1 binary with block 1.5 − y0 − y1 ≥ 0 → best is one of
+        // them set to 1.
+        let mut p = MisdpProblem::new("t", 2);
+        p.b = vec![1.0, 1.0];
+        p.lb = vec![0.0, 0.0];
+        p.ub = vec![1.0, 1.0];
+        p.integer = vec![true, true];
+        let mut blk = SdpBlock::new(1, 2);
+        blk.c = Matrix::from_rows(1, 1, vec![1.5]).unwrap();
+        blk.set_a(0, Matrix::from_rows(1, 1, vec![1.0]).unwrap());
+        blk.set_a(1, Matrix::from_rows(1, 1, vec![1.0]).unwrap());
+        p.blocks.push(blk);
+        let p = Arc::new(p);
+
+        let mut h = RandomizedRounding::new(p.clone());
+        let model = Model::new("t");
+        let mut cuts = CutBuffer::default();
+        let mut tight = Vec::new();
+        let lb = vec![0.0, 0.0];
+        let ub = vec![1.0, 1.0];
+        let relax = vec![0.75, 0.75];
+        let mut ctx = SolveCtx {
+            model: &model,
+            depth: 0,
+            local_lb: &lb,
+            local_ub: &ub,
+            relax_x: Some(&relax),
+            relax_obj: Some(-1.5),
+            incumbent_obj: None,
+            incumbent_x: None,
+            reduced_costs: &[],
+            cuts: &mut cuts,
+            tightenings: &mut tight,
+            seed: 3,
+        };
+        let cand = h.run(&mut ctx).expect("some rounding must be feasible");
+        assert!(p.is_feasible(&cand, 1e-8));
+        assert!((p.obj(&cand) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,590 @@
+//! The barrier solver: damped-Newton log-det barrier maximization with a
+//! phase-1 feasibility search and the penalty formulation of §3.2.
+
+use crate::problem::{SdpBlock, SdpProblem};
+use ugrs_linalg::{CholeskyFactor, Matrix};
+
+/// Solver knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SdpOptions {
+    /// Target duality-gap estimate (ν / t).
+    pub tol: f64,
+    /// Barrier parameter growth factor.
+    pub mu: f64,
+    /// Initial barrier parameter.
+    pub t0: f64,
+    /// Newton iterations per centering step.
+    pub max_newton: usize,
+    /// Penalty coefficient Γ for [`solve_penalty`].
+    pub penalty_gamma: f64,
+}
+
+impl Default for SdpOptions {
+    fn default() -> Self {
+        SdpOptions { tol: 1e-7, mu: 10.0, t0: 1.0, max_newton: 60, penalty_gamma: 1e5 }
+    }
+}
+
+/// Termination status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SdpStatus {
+    Optimal,
+    Infeasible,
+    /// The barrier diverged towards unbounded objective.
+    Unbounded,
+    /// Numerical failure; the result values are unreliable. For B&B use,
+    /// retry via [`solve_penalty`] (the SCIP-SDP penalty approach).
+    Numerical,
+}
+
+/// Solve output.
+#[derive(Clone, Debug)]
+pub struct SdpResult {
+    pub status: SdpStatus,
+    pub y: Vec<f64>,
+    /// `bᵀy` of the returned point.
+    pub obj: f64,
+    /// The penalty variable's value when the penalty formulation was
+    /// used (`None` for plain solves).
+    pub penalty_z: Option<f64>,
+    /// Newton iterations spent.
+    pub iterations: usize,
+}
+
+const BOUND_INF: f64 = 1e8;
+
+/// Internal working form: linear rows folded into 1×1 blocks so that the
+/// phase-1 penalty uniformly covers every conic constraint.
+struct Work {
+    m: usize,
+    b: Vec<f64>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    blocks: Vec<SdpBlock>,
+    free: Vec<usize>,
+}
+
+impl Work {
+    fn from_problem(p: &SdpProblem) -> Self {
+        let mut blocks = p.blocks.clone();
+        for row in &p.lin {
+            // aᵀy ≤ rhs  →  1×1 block [rhs − aᵀy] ⪰ 0.
+            if row.rhs < BOUND_INF {
+                let mut blk = SdpBlock::new(1, p.m);
+                blk.c = Matrix::from_rows(1, 1, vec![row.rhs]).unwrap();
+                for &(i, c) in &row.terms {
+                    blk.set_a(i, Matrix::from_rows(1, 1, vec![c]).unwrap());
+                }
+                blocks.push(blk);
+            }
+            if row.lhs > -BOUND_INF {
+                let mut blk = SdpBlock::new(1, p.m);
+                blk.c = Matrix::from_rows(1, 1, vec![-row.lhs]).unwrap();
+                for &(i, c) in &row.terms {
+                    blk.set_a(i, Matrix::from_rows(1, 1, vec![-c]).unwrap());
+                }
+                blocks.push(blk);
+            }
+        }
+        let free = (0..p.m).filter(|&i| p.ub[i] - p.lb[i] > 1e-12).collect();
+        Work { m: p.m, b: p.b.clone(), lb: p.lb.clone(), ub: p.ub.clone(), blocks, free }
+    }
+
+    /// Barrier degree of the working form.
+    fn nu(&self) -> f64 {
+        let mut nu: f64 = self.blocks.iter().map(|b| b.dim as f64).sum();
+        for &i in &self.free {
+            if self.lb[i] > -BOUND_INF {
+                nu += 1.0;
+            }
+            if self.ub[i] < BOUND_INF {
+                nu += 1.0;
+            }
+        }
+        nu.max(1.0)
+    }
+
+    /// Strict feasibility (blocks PD, bounds strict) at `y`.
+    fn strictly_feasible(&self, y: &[f64]) -> bool {
+        for &i in &self.free {
+            if self.lb[i] > -BOUND_INF && y[i] <= self.lb[i] {
+                return false;
+            }
+            if self.ub[i] < BOUND_INF && y[i] >= self.ub[i] {
+                return false;
+            }
+        }
+        self.blocks.iter().all(|b| CholeskyFactor::new(&b.slack(y)).is_ok())
+    }
+
+    /// Barrier objective `t·bᵀy + Σ log det S + Σ log slacks`; `None`
+    /// when not strictly feasible.
+    fn f(&self, t: f64, y: &[f64]) -> Option<f64> {
+        let mut v = t * self.b.iter().zip(y).map(|(b, y)| b * y).sum::<f64>();
+        for blk in &self.blocks {
+            let chol = CholeskyFactor::new(&blk.slack(y)).ok()?;
+            v += chol.log_det();
+        }
+        for &i in &self.free {
+            if self.lb[i] > -BOUND_INF {
+                let s = y[i] - self.lb[i];
+                if s <= 0.0 {
+                    return None;
+                }
+                v += s.ln();
+            }
+            if self.ub[i] < BOUND_INF {
+                let s = self.ub[i] - y[i];
+                if s <= 0.0 {
+                    return None;
+                }
+                v += s.ln();
+            }
+        }
+        Some(v)
+    }
+
+    /// One centering: damped Newton maximization of `f(t, ·)` from `y`.
+    /// Returns the Newton iterations used, or `None` on numerical failure.
+    fn center(&self, t: f64, y: &mut [f64], max_newton: usize) -> Option<usize> {
+        let k = self.free.len();
+        if k == 0 {
+            return Some(0);
+        }
+        let mut iters = 0;
+        for _ in 0..max_newton {
+            iters += 1;
+            // Gradient and Hessian over the free variables.
+            let mut grad = vec![0.0; k];
+            for (gi, &i) in self.free.iter().enumerate() {
+                grad[gi] = t * self.b[i];
+                if self.lb[i] > -BOUND_INF {
+                    grad[gi] += 1.0 / (y[i] - self.lb[i]);
+                }
+                if self.ub[i] < BOUND_INF {
+                    grad[gi] -= 1.0 / (self.ub[i] - y[i]);
+                }
+            }
+            let mut h = Matrix::zeros(k, k); // will hold −Hessian (PSD)
+            for (gi, &i) in self.free.iter().enumerate() {
+                let mut d = 0.0;
+                if self.lb[i] > -BOUND_INF {
+                    let s = y[i] - self.lb[i];
+                    d += 1.0 / (s * s);
+                }
+                if self.ub[i] < BOUND_INF {
+                    let s = self.ub[i] - y[i];
+                    d += 1.0 / (s * s);
+                }
+                h[(gi, gi)] += d;
+            }
+            for blk in &self.blocks {
+                let chol = CholeskyFactor::new(&blk.slack(y)).ok()?;
+                // M_i = S⁻¹ A_i for the free vars present in this block.
+                let mut ms: Vec<Option<Matrix>> = vec![None; k];
+                for (gi, &i) in self.free.iter().enumerate() {
+                    if let Some(a) = &blk.a[i] {
+                        let mut m = Matrix::zeros(blk.dim, blk.dim);
+                        for col in 0..blk.dim {
+                            let x = chol.solve(&a.col(col)).ok()?;
+                            for rowi in 0..blk.dim {
+                                m[(rowi, col)] = x[rowi];
+                            }
+                        }
+                        // grad += −tr(S⁻¹ A_i)  (d logdet/dy_i)
+                        grad[gi] -= m.trace();
+                        ms[gi] = Some(m);
+                    }
+                }
+                for gi in 0..k {
+                    let Some(mi) = &ms[gi] else { continue };
+                    for gj in gi..k {
+                        let Some(mj) = &ms[gj] else { continue };
+                        // tr(M_i M_j)
+                        let mut tr = 0.0;
+                        for p in 0..blk.dim {
+                            for q in 0..blk.dim {
+                                tr += mi[(p, q)] * mj[(q, p)];
+                            }
+                        }
+                        h[(gi, gj)] += tr;
+                        if gi != gj {
+                            h[(gj, gi)] += tr;
+                        }
+                    }
+                }
+            }
+            // Newton direction: (−H) dx = grad.
+            let hc = CholeskyFactor::new_shifted(&h, 1e-12, 1e6).ok()?;
+            let dx = hc.solve(&grad).ok()?;
+            let decrement: f64 = grad.iter().zip(&dx).map(|(g, d)| g * d).sum();
+            if decrement < 1e-10 {
+                return Some(iters);
+            }
+            // Backtracking line search maintaining strict feasibility.
+            let f0 = self.f(t, y)?;
+            let mut alpha = 1.0;
+            let mut ok = false;
+            for _ in 0..60 {
+                let mut ytrial: Vec<f64> = y.to_vec();
+                for (gi, &i) in self.free.iter().enumerate() {
+                    ytrial[i] += alpha * dx[gi];
+                }
+                if let Some(ft) = self.f(t, &ytrial) {
+                    if ft >= f0 + 0.25 * alpha * decrement.min(1e18) - 1e-12 {
+                        y.copy_from_slice(&ytrial);
+                        ok = true;
+                        break;
+                    }
+                }
+                alpha *= 0.5;
+            }
+            if !ok {
+                // No progress possible: accept the current center.
+                return Some(iters);
+            }
+        }
+        Some(iters)
+    }
+
+    /// Full barrier path following from a strictly feasible `y`.
+    fn barrier(&self, y: &mut [f64], opts: &SdpOptions) -> Option<usize> {
+        let nu = self.nu();
+        let mut t = opts.t0;
+        let mut total = 0;
+        while nu / t > opts.tol {
+            total += self.center(t, y, opts.max_newton)?;
+            t *= opts.mu;
+            if total > 100_000 {
+                return None;
+            }
+        }
+        total += self.center(nu / opts.tol, y, opts.max_newton)?;
+        Some(total)
+    }
+
+    /// Extends this work problem with the penalty variable `z`
+    /// (`S + z·I ⪰ 0`), objective `b' = (obj_scale·b, −Γ)`.
+    fn penalized(&self, gamma: f64, obj_scale: f64, z_lb: f64) -> Work {
+        let m = self.m + 1;
+        let mut b: Vec<f64> = self.b.iter().map(|v| v * obj_scale).collect();
+        b.push(-gamma);
+        let mut lb = self.lb.clone();
+        let mut ub = self.ub.clone();
+        lb.push(z_lb);
+        ub.push(1e7);
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for blk in &self.blocks {
+            let mut nb = SdpBlock::new(blk.dim, m);
+            nb.c = blk.c.clone();
+            for i in 0..self.m {
+                if let Some(a) = &blk.a[i] {
+                    nb.a[i] = Some(a.clone());
+                }
+            }
+            // A_z = −I ⇒ S' = S + z·I.
+            let mut neg_i = Matrix::zeros(blk.dim, blk.dim);
+            for d in 0..blk.dim {
+                neg_i[(d, d)] = -1.0;
+            }
+            nb.a[self.m] = Some(neg_i);
+            blocks.push(nb);
+        }
+        let mut free: Vec<usize> = self.free.clone();
+        free.push(self.m);
+        Work { m, b, lb, ub, blocks, free }
+    }
+
+    /// A default interior-for-bounds starting point.
+    fn start_point(&self) -> Vec<f64> {
+        (0..self.m)
+            .map(|i| {
+                let (l, u) = (self.lb[i], self.ub[i]);
+                if u - l <= 1e-12 {
+                    l
+                } else if l > -BOUND_INF && u < BOUND_INF {
+                    0.5 * (l + u)
+                } else if l > -BOUND_INF {
+                    l + 1.0
+                } else if u < BOUND_INF {
+                    u - 1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Minimum over blocks of λmin(S(y)) (strictness margin).
+    fn min_slack_eigen(&self, y: &[f64]) -> f64 {
+        let mut worst = f64::INFINITY;
+        for blk in &self.blocks {
+            match ugrs_linalg::eigen::symmetric_eigen(&blk.slack(y)) {
+                Ok(e) => worst = worst.min(e.values[0]),
+                Err(_) => return f64::NEG_INFINITY,
+            }
+        }
+        worst
+    }
+}
+
+/// Solves the SDP: phase 1 (if the default start is not strictly
+/// feasible) followed by the barrier path.
+pub fn solve(p: &SdpProblem, opts: &SdpOptions) -> SdpResult {
+    let w = Work::from_problem(p);
+    let mut iters = 0usize;
+    let mut y = w.start_point();
+
+    if !w.strictly_feasible(&y) {
+        // Phase 1: max −z  s.t. S(y) + z·I ⪰ 0, z ≥ −1. Strict original
+        // feasibility ⇔ optimum has z < 0.
+        let ph1 = w.penalized(1.0, 0.0, -1.0);
+        let mut yz: Vec<f64> = y.clone();
+        let z0 = (-w.min_slack_eigen(&y)).max(0.0) + 1.0;
+        yz.push(z0.min(1e6));
+        if !ph1.strictly_feasible(&yz) {
+            let obj = p.obj(&y);
+            return SdpResult {
+                status: SdpStatus::Numerical,
+                y,
+                obj,
+                penalty_z: None,
+                iterations: 0,
+            };
+        }
+        match ph1.barrier(&mut yz, &SdpOptions { tol: 1e-6, ..*opts }) {
+            Some(it) => iters += it,
+            None => {
+                let obj = p.obj(&y);
+                return SdpResult {
+                    status: SdpStatus::Numerical,
+                    y,
+                    obj,
+                    penalty_z: None,
+                    iterations: iters,
+                }
+            }
+        }
+        let z = yz[w.m];
+        if z > 1e-5 {
+            return SdpResult {
+                status: SdpStatus::Infeasible,
+                y: yz[..w.m].to_vec(),
+                obj: 0.0,
+                penalty_z: Some(z),
+                iterations: iters,
+            };
+        }
+        y = yz[..w.m].to_vec();
+        if !w.strictly_feasible(&y) {
+            // Slater condition (practically) violated: fall back to the
+            // penalty formulation, as SCIP-SDP does after branching.
+            let mut res = solve_penalty(p, opts);
+            res.iterations += iters;
+            return res;
+        }
+    }
+
+    match w.barrier(&mut y, opts) {
+        Some(it) => iters += it,
+        None => {
+            return SdpResult {
+                status: SdpStatus::Numerical,
+                y: y.clone(),
+                obj: p.obj(&y),
+                penalty_z: None,
+                iterations: iters,
+            }
+        }
+    }
+    let obj = p.obj(&y);
+    let status = if obj.abs() > 1e10 { SdpStatus::Unbounded } else { SdpStatus::Optimal };
+    SdpResult { status, y, obj, penalty_z: None, iterations: iters }
+}
+
+/// The penalty formulation: `sup bᵀy − Γ·z  s.t.  S_k(y) + z·I ⪰ 0,
+/// z ≥ 0` — always strictly feasible, so it survives Slater-condition
+/// failures introduced by branching (§3.2). When the returned `z` is
+/// (near) zero the result is feasible for the original SDP.
+pub fn solve_penalty(p: &SdpProblem, opts: &SdpOptions) -> SdpResult {
+    let w = Work::from_problem(p);
+    let pen = w.penalized(opts.penalty_gamma, 1.0, 0.0);
+    let mut yz = w.start_point();
+    let z0 = (-w.min_slack_eigen(&yz)).max(0.0) + 1.0;
+    yz.push(z0.min(1e6));
+    if !pen.strictly_feasible(&yz) {
+        return SdpResult {
+            status: SdpStatus::Numerical,
+            y: yz[..w.m].to_vec(),
+            obj: 0.0,
+            penalty_z: None,
+            iterations: 0,
+        };
+    }
+    match pen.barrier(&mut yz, opts) {
+        Some(iters) => {
+            let z = yz[w.m].max(0.0);
+            let y = yz[..w.m].to_vec();
+            let obj = p.obj(&y);
+            let status = if z > 1e-5 { SdpStatus::Infeasible } else { SdpStatus::Optimal };
+            SdpResult { status, y, obj, penalty_z: Some(z), iterations: iters }
+        }
+        None => SdpResult {
+            status: SdpStatus::Numerical,
+            y: yz[..w.m].to_vec(),
+            obj: 0.0,
+            penalty_z: None,
+            iterations: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::SdpBlock;
+
+    fn scalar_problem() -> SdpProblem {
+        // max y s.t. 1 − y ≥ 0, y ∈ [−5, 5] → y* = 1.
+        let mut p = SdpProblem::new(1);
+        p.b = vec![1.0];
+        p.lb = vec![-5.0];
+        p.ub = vec![5.0];
+        let mut blk = SdpBlock::new(1, 1);
+        blk.c = Matrix::from_rows(1, 1, vec![1.0]).unwrap();
+        blk.set_a(0, Matrix::from_rows(1, 1, vec![1.0]).unwrap());
+        p.add_block(blk);
+        p
+    }
+
+    #[test]
+    fn scalar_sdp_is_lp() {
+        let res = solve(&scalar_problem(), &SdpOptions::default());
+        assert_eq!(res.status, SdpStatus::Optimal);
+        assert!((res.obj - 1.0).abs() < 1e-4, "obj = {}", res.obj);
+    }
+
+    #[test]
+    fn two_by_two_eigenvalue_constraint() {
+        // max y s.t. [[2−y, 1], [1, 2−y]] ⪰ 0 → λmin = (2−y) − 1 ≥ 0 → y* = 1.
+        let mut p = SdpProblem::new(1);
+        p.b = vec![1.0];
+        p.lb = vec![-10.0];
+        p.ub = vec![10.0];
+        let mut blk = SdpBlock::new(2, 1);
+        blk.c = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        blk.set_a(0, Matrix::identity(2));
+        p.add_block(blk);
+        let res = solve(&p, &SdpOptions::default());
+        assert_eq!(res.status, SdpStatus::Optimal);
+        assert!((res.obj - 1.0).abs() < 1e-4, "obj = {}", res.obj);
+        assert!(p.is_feasible(&res.y, 1e-6));
+    }
+
+    #[test]
+    fn linear_rows_respected() {
+        // max y, 1 − y ⪰ 0 but row y ≤ 0.4 binds.
+        let mut p = scalar_problem();
+        p.add_lin_row(f64::NEG_INFINITY, 0.4, vec![(0, 1.0)]);
+        let res = solve(&p, &SdpOptions::default());
+        assert_eq!(res.status, SdpStatus::Optimal);
+        assert!((res.obj - 0.4).abs() < 1e-4, "obj = {}", res.obj);
+    }
+
+    #[test]
+    fn off_diagonal_coupling() {
+        // max y1 + y2 s.t. [[1, y1], [y1, 1]] ⪰ 0, y2 ≤ 0.5 row, bounds.
+        // → y1* = 1 (PSD boundary), y2* = 0.5, obj 1.5.
+        let mut p = SdpProblem::new(2);
+        p.b = vec![1.0, 1.0];
+        p.lb = vec![-3.0, -3.0];
+        p.ub = vec![3.0, 3.0];
+        let mut blk = SdpBlock::new(2, 2);
+        blk.c = Matrix::identity(2);
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 1)] = -1.0;
+        a[(1, 0)] = -1.0;
+        blk.set_a(0, a); // C − A·y1 = [[1, y1], [y1, 1]]
+        p.add_block(blk);
+        p.add_lin_row(f64::NEG_INFINITY, 0.5, vec![(1, 1.0)]);
+        let res = solve(&p, &SdpOptions::default());
+        assert_eq!(res.status, SdpStatus::Optimal);
+        assert!((res.obj - 1.5).abs() < 1e-3, "obj = {}", res.obj);
+        assert!(p.is_feasible(&res.y, 1e-5));
+    }
+
+    #[test]
+    fn infeasible_block_detected() {
+        // −1 − 0·y ⪰ 0 is infeasible.
+        let mut p = SdpProblem::new(1);
+        p.b = vec![1.0];
+        p.lb = vec![0.0];
+        p.ub = vec![1.0];
+        let mut blk = SdpBlock::new(1, 1);
+        blk.c = Matrix::from_rows(1, 1, vec![-1.0]).unwrap();
+        p.add_block(blk);
+        let res = solve(&p, &SdpOptions::default());
+        assert_eq!(res.status, SdpStatus::Infeasible);
+    }
+
+    #[test]
+    fn penalty_handles_infeasibility_gracefully() {
+        let mut p = SdpProblem::new(1);
+        p.b = vec![1.0];
+        p.lb = vec![0.0];
+        p.ub = vec![1.0];
+        let mut blk = SdpBlock::new(1, 1);
+        blk.c = Matrix::from_rows(1, 1, vec![-2.0]).unwrap();
+        p.add_block(blk);
+        let res = solve_penalty(&p, &SdpOptions::default());
+        assert_eq!(res.status, SdpStatus::Infeasible);
+        // z must absorb the violation (≈ 2).
+        assert!((res.penalty_z.unwrap() - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn fixed_variables_are_respected() {
+        // y0 fixed to 0.3 by bounds, maximize y0 + y1 with y1 ≤ PSD cap 1.
+        let mut p = SdpProblem::new(2);
+        p.b = vec![1.0, 1.0];
+        p.lb = vec![0.3, -5.0];
+        p.ub = vec![0.3, 5.0];
+        let mut blk = SdpBlock::new(1, 2);
+        blk.c = Matrix::from_rows(1, 1, vec![1.0]).unwrap();
+        blk.set_a(1, Matrix::from_rows(1, 1, vec![1.0]).unwrap());
+        p.add_block(blk);
+        let res = solve(&p, &SdpOptions::default());
+        assert_eq!(res.status, SdpStatus::Optimal);
+        assert!((res.y[0] - 0.3).abs() < 1e-12);
+        assert!((res.obj - 1.3).abs() < 1e-4, "obj = {}", res.obj);
+    }
+
+    #[test]
+    fn max_cut_style_relaxation() {
+        // A classic: max Σ y_i s.t. Diag(y)... use: max y1+y2+y3 with
+        // C = [[1,.5,.5],[.5,1,.5],[.5,.5,1]], A_i = e_i e_iᵀ:
+        // S = C − Diag(y) ⪰ 0. Optimum pushes S to the PSD boundary.
+        let mut p = SdpProblem::new(3);
+        p.b = vec![1.0; 3];
+        p.lb = vec![-10.0; 3];
+        p.ub = vec![10.0; 3];
+        let mut blk = SdpBlock::new(3, 3);
+        blk.c = Matrix::from_rows(
+            3,
+            3,
+            vec![1.0, 0.5, 0.5, 0.5, 1.0, 0.5, 0.5, 0.5, 1.0],
+        )
+        .unwrap();
+        for i in 0..3 {
+            let mut a = Matrix::zeros(3, 3);
+            a[(i, i)] = 1.0;
+            blk.set_a(i, a);
+        }
+        p.add_block(blk);
+        let res = solve(&p, &SdpOptions::default());
+        assert_eq!(res.status, SdpStatus::Optimal);
+        assert!(p.is_feasible(&res.y, 1e-5));
+        // By symmetry y_i = c: S = C − cI ⪰ 0 ⇔ c ≤ λmin(C) = 0.5 → obj 1.5.
+        assert!((res.obj - 1.5).abs() < 1e-3, "obj = {}", res.obj);
+    }
+}

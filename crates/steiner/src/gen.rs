@@ -1,0 +1,245 @@
+//! PUC-like instance generators.
+//!
+//! The PUC benchmark [Rosseti et al. 2001] — "widely regarded as the most
+//! difficult Steiner tree test set" — consists of three families, which
+//! we generate at configurable (laptop) scale with deterministic seeds:
+//!
+//! * **hypercube (`hc{d}{u|p}`)** — the d-dimensional hypercube graph;
+//!   terminals are the even-parity vertices. `u` = unit costs, `p` =
+//!   perturbed integer costs.
+//! * **code covering (`cc{d}-{k}{u|p}`)** — the Hamming graph H(d, k)
+//!   (words of length d over a k-ary alphabet, edges between words at
+//!   Hamming distance 1) with a random terminal subset.
+//! * **bipartite (`bip{n}{u|p}`)** — bipartite-flavoured instances with a
+//!   terminal side, a Steiner side, and sparse random connections.
+//!
+//! These preserve what makes PUC hard for B&C solvers: high symmetry,
+//! small integrality gaps, and near-immunity to presolve reductions.
+
+use crate::graph::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Cost scheme of a PUC-like instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostScheme {
+    /// All edges cost 1 (the `u` instances).
+    Unit,
+    /// Small perturbed integer costs (the `p` instances).
+    Perturbed,
+}
+
+fn edge_cost(scheme: CostScheme, rng: &mut SmallRng) -> f64 {
+    match scheme {
+        CostScheme::Unit => 1.0,
+        CostScheme::Perturbed => rng.gen_range(100..=110) as f64,
+    }
+}
+
+/// Generates a `hc{d}`-like hypercube instance: 2^d vertices, d·2^(d−1)
+/// edges, terminals = even-parity vertices.
+pub fn hypercube(d: usize, scheme: CostScheme, seed: u64) -> Graph {
+    assert!(d >= 2 && d <= 16);
+    let n = 1usize << d;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6863_7075);
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for b in 0..d {
+            let w = v ^ (1 << b);
+            if w > v {
+                g.add_edge(v, w, edge_cost(scheme, &mut rng));
+            }
+        }
+    }
+    for v in 0..n {
+        if (v as u32).count_ones() % 2 == 0 {
+            g.set_terminal(v, true);
+        }
+    }
+    g
+}
+
+/// Like [`hypercube`], but keeps only every `stride`-th even-parity
+/// vertex as a terminal — a knob to tune hardness between the trivial
+/// `hc4` and the open-instance-hard `hc5+` regimes while preserving the
+/// family's structure.
+pub fn hypercube_sparse_terminals(
+    d: usize,
+    stride: usize,
+    scheme: CostScheme,
+    seed: u64,
+) -> Graph {
+    assert!(stride >= 1);
+    let mut g = hypercube(d, scheme, seed);
+    let terms: Vec<usize> = g.terminals().collect();
+    for (i, t) in terms.into_iter().enumerate() {
+        if i % stride != 0 {
+            g.set_terminal(t, false);
+        }
+    }
+    g
+}
+
+/// Generates a `cc{d}-{k}`-like code-covering instance on the Hamming
+/// graph H(d, k) with `num_terminals` random terminals.
+pub fn code_covering(
+    d: usize,
+    k: usize,
+    num_terminals: usize,
+    scheme: CostScheme,
+    seed: u64,
+) -> Graph {
+    assert!(k >= 2 && d >= 2);
+    let n = k.pow(d as u32);
+    assert!(n <= 1 << 20, "instance too large");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6363_7075);
+    let mut g = Graph::new(n);
+    // Words are numbers base k; neighbours differ in one digit.
+    for v in 0..n {
+        let mut place = 1usize;
+        for _pos in 0..d {
+            let digit = (v / place) % k;
+            for nd in 0..k {
+                if nd > digit {
+                    let w = v + (nd - digit) * place;
+                    g.add_edge(v, w, edge_cost(scheme, &mut rng));
+                }
+            }
+            place *= k;
+        }
+    }
+    // Random terminal subset (distinct).
+    let mut picked = std::collections::HashSet::new();
+    let want = num_terminals.min(n);
+    while picked.len() < want {
+        picked.insert(rng.gen_range(0..n));
+    }
+    for t in picked {
+        g.set_terminal(t, true);
+    }
+    g
+}
+
+/// Generates a `bip{n}`-like bipartite instance: `n_term` terminal
+/// vertices, `n_steiner` Steiner vertices, each terminal linked to
+/// `links` random Steiner vertices and the Steiner side sparsely
+/// interconnected.
+pub fn bipartite(
+    n_term: usize,
+    n_steiner: usize,
+    links: usize,
+    scheme: CostScheme,
+    seed: u64,
+) -> Graph {
+    let n = n_term + n_steiner;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6269_7075);
+    let mut g = Graph::new(n);
+    let mut seen = std::collections::HashSet::new();
+    for t in 0..n_term {
+        let mut made = 0;
+        let mut guard = 0;
+        while made < links && guard < 50 * links {
+            guard += 1;
+            let s = n_term + rng.gen_range(0..n_steiner);
+            if seen.insert((t, s)) {
+                g.add_edge(t, s, edge_cost(scheme, &mut rng));
+                made += 1;
+            }
+        }
+        g.set_terminal(t, true);
+    }
+    // Steiner-side ring + random chords keep the instance connected.
+    for i in 0..n_steiner {
+        let u = n_term + i;
+        let v = n_term + (i + 1) % n_steiner;
+        if u != v && seen.insert((u.min(v), u.max(v))) {
+            g.add_edge(u, v, edge_cost(scheme, &mut rng));
+        }
+    }
+    for _ in 0..n_steiner {
+        let u = n_term + rng.gen_range(0..n_steiner);
+        let v = n_term + rng.gen_range(0..n_steiner);
+        if u != v && seen.insert((u.min(v), u.max(v))) {
+            g.add_edge(u, v, edge_cost(scheme, &mut rng));
+        }
+    }
+    g
+}
+
+/// The named instance set mirroring Table 1's five PUC instances at
+/// reduced scale: `(paper name, generated analogue)`.
+pub fn table1_instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("cc3-4p*", code_covering(3, 4, 8, CostScheme::Perturbed, 1)),
+        ("cc3-5u*", code_covering(3, 5, 12, CostScheme::Unit, 2)),
+        ("cc5-3p*", code_covering(5, 3, 18, CostScheme::Perturbed, 3)),
+        ("hc7p*", hypercube(6, CostScheme::Perturbed, 4)),
+        ("hc7u*", hypercube(6, CostScheme::Unit, 5)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4, CostScheme::Unit, 7);
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(g.num_alive_edges(), 4 * 8);
+        assert_eq!(g.num_terminals(), 8); // even-parity half
+        assert!(g.terminals_connected());
+    }
+
+    #[test]
+    fn hypercube_unit_costs() {
+        let g = hypercube(3, CostScheme::Unit, 7);
+        assert!(g.alive_edges().all(|e| g.edge(e).cost == 1.0));
+    }
+
+    #[test]
+    fn hypercube_perturbed_costs_in_range() {
+        let g = hypercube(3, CostScheme::Perturbed, 7);
+        assert!(g
+            .alive_edges()
+            .all(|e| (100.0..=110.0).contains(&g.edge(e).cost)));
+    }
+
+    #[test]
+    fn code_covering_shape() {
+        let g = code_covering(3, 3, 6, CostScheme::Unit, 9);
+        assert_eq!(g.num_nodes(), 27);
+        // H(3,3): each vertex has d(k-1) = 6 neighbours → 27*6/2 = 81 edges.
+        assert_eq!(g.num_alive_edges(), 81);
+        assert_eq!(g.num_terminals(), 6);
+        assert!(g.terminals_connected());
+    }
+
+    #[test]
+    fn bipartite_connected_terminals() {
+        let g = bipartite(6, 10, 3, CostScheme::Unit, 11);
+        assert_eq!(g.num_terminals(), 6);
+        assert!(g.terminals_connected());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = code_covering(3, 3, 6, CostScheme::Perturbed, 42);
+        let b = code_covering(3, 3, 6, CostScheme::Perturbed, 42);
+        assert_eq!(a.num_alive_edges(), b.num_alive_edges());
+        let ea: Vec<f64> = a.alive_edges().map(|e| a.edge(e).cost).collect();
+        let eb: Vec<f64> = b.alive_edges().map(|e| b.edge(e).cost).collect();
+        assert_eq!(ea, eb);
+        let ta: Vec<usize> = a.terminals().collect();
+        let tb: Vec<usize> = b.terminals().collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn table1_set_is_well_formed() {
+        for (name, g) in table1_instances() {
+            assert!(g.num_terminals() >= 2, "{name}");
+            assert!(g.terminals_connected(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Primal heuristics of the SCIP-Jack kind (§3.1): the repeated
+//! shortest-path **TM heuristic** (Takahashi–Matsuyama) with optional
+//! edge-weight biasing (used LP-guided inside branch-and-cut), MST
+//! pruning, and a vertex insertion/elimination local search.
+
+use crate::graph::Graph;
+use crate::tree::SteinerTree;
+use crate::util::{mst_on_subset, UnionFind};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq)]
+struct Hi(f64, u32);
+impl Eq for Hi {}
+impl PartialOrd for Hi {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Hi {
+    fn cmp(&self, o: &Self) -> Ordering {
+        o.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal).then(o.1.cmp(&self.1))
+    }
+}
+
+/// Multi-source Dijkstra with per-edge weights; returns (dist, pred_edge).
+fn dijkstra_from_set(
+    g: &Graph,
+    sources: impl Iterator<Item = usize>,
+    weights: &[f64],
+) -> (Vec<f64>, Vec<u32>) {
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    for s in sources {
+        dist[s] = 0.0;
+        heap.push(Hi(0.0, s as u32));
+    }
+    while let Some(Hi(d, v)) = heap.pop() {
+        let v = v as usize;
+        if d > dist[v] {
+            continue;
+        }
+        for e in g.incident(v) {
+            let w = g.edge(e).other(v as u32) as usize;
+            let nd = d + weights[e as usize];
+            if nd < dist[w] - 1e-15 {
+                dist[w] = nd;
+                pred[w] = e;
+                heap.push(Hi(nd, w as u32));
+            }
+        }
+    }
+    (dist, pred)
+}
+
+/// Builds a pruned Steiner tree spanning the terminals using only the
+/// vertices in `in_set` (must contain all terminals). Returns `None`
+/// when the terminals are not connected within the subset.
+pub fn tree_from_vertices(g: &Graph, in_set: &[bool]) -> Option<SteinerTree> {
+    let forest = mst_on_subset(g, in_set);
+    // Check terminal connectivity within the forest.
+    let mut uf = UnionFind::new(g.num_nodes());
+    for &e in &forest {
+        let ed = g.edge(e);
+        uf.union(ed.u as usize, ed.v as usize);
+    }
+    let mut terms = g.terminals();
+    if let Some(first) = terms.next() {
+        for t in terms {
+            if !uf.same(first, t) {
+                return None;
+            }
+        }
+    }
+    Some(SteinerTree::new(g, forest).pruned(g))
+}
+
+/// The TM (repeated shortest path) construction heuristic from a given
+/// start terminal, walking shortest paths under `weights` but pricing the
+/// final tree with real costs. Returns `None` if some terminal is
+/// unreachable.
+pub fn tm_from(g: &Graph, start: usize, weights: &[f64]) -> Option<SteinerTree> {
+    let n = g.num_nodes();
+    let mut in_tree = vec![false; n];
+    in_tree[start] = true;
+    let mut remaining: usize = g.terminals().filter(|&t| t != start).count();
+    while remaining > 0 {
+        let (dist, pred) = dijkstra_from_set(
+            g,
+            (0..n).filter(|&v| in_tree[v]),
+            weights,
+        );
+        // Nearest unconnected terminal.
+        let t = g
+            .terminals()
+            .filter(|&t| !in_tree[t])
+            .min_by(|&a, &b| dist[a].partial_cmp(&dist[b]).unwrap_or(Ordering::Equal))?;
+        if !dist[t].is_finite() {
+            return None;
+        }
+        // Walk the path back into the tree.
+        let mut v = t;
+        while !in_tree[v] {
+            in_tree[v] = true;
+            let e = pred[v];
+            if e == u32::MAX {
+                break;
+            }
+            v = g.edge(e).other(v as u32) as usize;
+        }
+        remaining -= 1;
+    }
+    tree_from_vertices(g, &in_tree)
+}
+
+/// Runs TM from several start terminals (up to `starts`) and returns the
+/// best tree found, if any.
+pub fn tm_best(g: &Graph, starts: usize, weights: &[f64]) -> Option<SteinerTree> {
+    let mut best: Option<SteinerTree> = None;
+    for (i, t) in g.terminals().enumerate() {
+        if i >= starts {
+            break;
+        }
+        if let Some(tree) = tm_from(g, t, weights) {
+            if best.as_ref().map_or(true, |b| tree.cost < b.cost) {
+                best = Some(tree);
+            }
+        }
+    }
+    best
+}
+
+/// Unbiased real-cost weight vector for `g`.
+pub fn real_weights(g: &Graph) -> Vec<f64> {
+    g.edges.iter().map(|e| e.cost).collect()
+}
+
+/// LP-biased weights: `cost · (1 − y_e)` with `y_e` the (undirected) LP
+/// value of the edge — paths the LP likes become cheap, which is how
+/// SCIP-Jack guides TM inside branch-and-cut.
+pub fn lp_biased_weights(g: &Graph, edge_lp: &[f64]) -> Vec<f64> {
+    g.edges
+        .iter()
+        .enumerate()
+        .map(|(i, e)| e.cost * (1.0 - edge_lp.get(i).copied().unwrap_or(0.0).clamp(0.0, 1.0)) + 1e-9)
+        .collect()
+}
+
+/// Vertex insertion / elimination local search: repeatedly tries to add a
+/// promising non-tree vertex or drop a tree Steiner vertex, rebuilding
+/// the MST-pruned tree, and keeps strict improvements. `max_passes`
+/// bounds the outer loop.
+pub fn local_search(g: &Graph, tree: &SteinerTree, max_passes: usize) -> SteinerTree {
+    let n = g.num_nodes();
+    let mut best = tree.clone();
+    for _ in 0..max_passes {
+        let mut improved = false;
+        let mut in_set = vec![false; n];
+        for v in best.vertices(g) {
+            in_set[v] = true;
+        }
+        for t in g.terminals() {
+            in_set[t] = true;
+        }
+        // Insertion candidates: alive non-tree vertices with ≥ 2 tree
+        // neighbours.
+        for v in g.alive_nodes() {
+            if in_set[v] {
+                continue;
+            }
+            let nbrs = g
+                .incident(v)
+                .filter(|&e| in_set[g.edge(e).other(v as u32) as usize])
+                .count();
+            if nbrs < 2 {
+                continue;
+            }
+            in_set[v] = true;
+            if let Some(cand) = tree_from_vertices(g, &in_set) {
+                if cand.cost < best.cost - 1e-9 {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+            }
+            in_set[v] = false;
+        }
+        if improved {
+            continue;
+        }
+        // Elimination candidates: non-terminal tree vertices.
+        for v in best.vertices(g) {
+            if g.is_terminal(v) {
+                continue;
+            }
+            in_set[v] = false;
+            if let Some(cand) = tree_from_vertices(g, &in_set) {
+                if cand.cost < best.cost - 1e-9 {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+            }
+            in_set[v] = true;
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 6-vertex instance where the optimum uses a Steiner vertex.
+    fn steiner_instance() -> Graph {
+        // Terminals 0, 1, 2 in a triangle of cost-4 edges; center 3
+        // connected to each terminal with cost 2 → star via 3 costs 6 < 8.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 4.0);
+        g.add_edge(1, 2, 4.0);
+        g.add_edge(0, 2, 4.0);
+        g.add_edge(0, 3, 2.0);
+        g.add_edge(1, 3, 2.0);
+        g.add_edge(2, 3, 2.0);
+        g.set_terminal(0, true);
+        g.set_terminal(1, true);
+        g.set_terminal(2, true);
+        g
+    }
+
+    #[test]
+    fn tm_finds_a_valid_tree() {
+        let g = steiner_instance();
+        let w = real_weights(&g);
+        let t = tm_from(&g, 0, &w).unwrap();
+        assert!(t.is_valid(&g));
+        assert!(t.cost <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn tm_best_beats_single_start_or_ties() {
+        let g = steiner_instance();
+        let w = real_weights(&g);
+        let single = tm_from(&g, 0, &w).unwrap();
+        let multi = tm_best(&g, 3, &w).unwrap();
+        assert!(multi.cost <= single.cost + 1e-9);
+        assert!(multi.is_valid(&g));
+    }
+
+    #[test]
+    fn local_search_reaches_star_optimum() {
+        let g = steiner_instance();
+        let w = real_weights(&g);
+        let start = tm_from(&g, 0, &w).unwrap();
+        let improved = local_search(&g, &start, 10);
+        assert!(improved.is_valid(&g));
+        assert!((improved.cost - 6.0).abs() < 1e-9, "cost = {}", improved.cost);
+    }
+
+    #[test]
+    fn tm_detects_disconnected() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.set_terminal(0, true);
+        g.set_terminal(2, true);
+        let w = real_weights(&g);
+        assert!(tm_from(&g, 0, &w).is_none());
+    }
+
+    #[test]
+    fn lp_bias_prefers_lp_supported_edges() {
+        let g = steiner_instance();
+        // LP fully supports the star edges (ids 3, 4, 5).
+        let mut lp = vec![0.0; 6];
+        lp[3] = 1.0;
+        lp[4] = 1.0;
+        lp[5] = 1.0;
+        let w = lp_biased_weights(&g, &lp);
+        let t = tm_from(&g, 0, &w).unwrap();
+        assert!((t.cost - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_from_vertices_requires_connectivity() {
+        let g = steiner_instance();
+        let mut in_set = vec![false; 4];
+        in_set[0] = true;
+        in_set[1] = true;
+        in_set[2] = true; // terminals only: triangle connects them
+        let t = tree_from_vertices(&g, &in_set).unwrap();
+        assert!((t.cost - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,585 @@
+//! CIP plugins implementing SCIP-Jack's branch-and-cut core on the
+//! flow-balance directed cut formulation (Formulation 1 of the paper).
+//!
+//! The IP model built by [`build_model`]:
+//!
+//! * binary arc variables `y_a` for both orientations of every alive
+//!   edge (objective = arc cost),
+//! * binary coupling variables `z_v = y(δ⁻(v))` for non-terminals — these
+//!   make *vertex branching* a pure bound change (`z_v = 0` deletes the
+//!   vertex, `z_v = 1` adds it as a quasi-terminal), which is how the
+//!   branching-decision transfer of ug-0.8.6 (§4.1) is reproduced without
+//!   node-local constraints,
+//! * in-degree rows `y(δ⁻(t)) = 1` for terminals, `y(δ⁻(r)) = 0`,
+//! * flow-balance rows (5) `z_v ≤ y(δ⁺(v))` and (6) `y_a ≤ z_v`
+//!   for out-arcs of non-terminals,
+//! * antiparallel rows `y_a + y_ā ≤ 1`.
+//!
+//! The directed cut constraints (4) are exponentially many and live in
+//! [`DirectedCutHandler`], separated by max-flow/min-cut both for
+//! fractional LP solutions and integral candidates.
+
+use crate::dualascent::{arc_dijkstra, dist_to_terminals, dual_ascent};
+use crate::graph::Graph;
+use crate::heur::{lp_biased_weights, local_search, tm_best};
+use crate::maxflow::MaxFlow;
+use crate::sap::SapGraph;
+use crate::tree::SteinerTree;
+use std::sync::Arc;
+use ugrs_cip::{
+    BranchDecision, BranchRule, ConstraintHandler, Cut, CutBuffer, EnforceResult, Heuristic,
+    Model, PropResult, SepaResult, SolveCtx, VarId, VarType,
+};
+
+/// Shared immutable data tying the CIP model to the Steiner instance.
+#[derive(Debug)]
+pub struct SpgData {
+    pub graph: Graph,
+    pub sap: SapGraph,
+    /// CIP variable per SAP arc.
+    pub arc_var: Vec<VarId>,
+    /// Coupling variable per vertex (None for terminals/the root/dead).
+    pub node_var: Vec<Option<VarId>>,
+    pub root: usize,
+}
+
+impl SpgData {
+    /// Undirected LP value per arena edge: `y_a + y_ā`.
+    pub fn edge_lp_values(&self, x: &[f64]) -> Vec<f64> {
+        let mut vals = vec![0.0; self.graph.edges.len()];
+        for (i, arc) in self.sap.arcs.iter().enumerate() {
+            vals[arc.edge as usize] += x[self.arc_var[i].0 as usize];
+        }
+        vals
+    }
+
+    /// Converts a Steiner tree on the (reduced) graph into a full model
+    /// assignment (arcs oriented away from the root, couplings set).
+    pub fn tree_to_assignment(&self, model: &Model, tree: &SteinerTree) -> Option<Vec<f64>> {
+        let mut x = vec![0.0; model.num_vars()];
+        // Adjacency over tree edges.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); self.graph.num_nodes()];
+        for &e in &tree.edges {
+            let ed = self.graph.edge(e);
+            adj[ed.u as usize].push(e);
+            adj[ed.v as usize].push(e);
+        }
+        let mut seen = vec![false; self.graph.num_nodes()];
+        let mut stack = vec![self.root];
+        seen[self.root] = true;
+        while let Some(v) = stack.pop() {
+            for &e in &adj[v] {
+                let w = self.graph.edge(e).other(v as u32) as usize;
+                if seen[w] {
+                    continue;
+                }
+                seen[w] = true;
+                // Find the SAP arc v → w for edge e.
+                let arc = self.sap.out[v]
+                    .iter()
+                    .copied()
+                    .find(|&a| {
+                        self.sap.arcs[a as usize].edge == e
+                            && self.sap.arcs[a as usize].head as usize == w
+                    })?;
+                x[self.arc_var[arc as usize].0 as usize] = 1.0;
+                if let Some(z) = self.node_var[w] {
+                    x[z.0 as usize] = 1.0;
+                }
+                stack.push(w);
+            }
+        }
+        // All terminals must have been reached.
+        for t in self.graph.terminals() {
+            if !seen[t] {
+                return None;
+            }
+        }
+        Some(x)
+    }
+
+    /// Extracts the chosen edges (arena ids) from a model assignment.
+    pub fn assignment_to_edges(&self, x: &[f64]) -> Vec<u32> {
+        let mut edges = Vec::new();
+        for (i, arc) in self.sap.arcs.iter().enumerate() {
+            if x[self.arc_var[i].0 as usize] > 0.5 {
+                edges.push(arc.edge);
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+}
+
+/// Builds the CIP model and the shared data for a (reduced) graph.
+/// Panics if the graph has fewer than 2 terminals (those instances are
+/// solved by reduction alone).
+///
+/// The model always carries the in-degree rows, the `z` couplings and
+/// the aggregated flow-balance rows (5). The per-arc rows (6) and the
+/// antiparallel rows are *strengthenings* (the paper notes (6) does not
+/// change the LP bound but can speed up branch-and-cut); with our dense
+/// LP basis they cost more rows than they save, so [`build_model`] omits
+/// them — [`build_model_strong`] keeps them for the ablation bench.
+pub fn build_model(g: &Graph) -> (Model, Arc<SpgData>) {
+    build_model_opts(g, SapGraph::pick_root(g), false)
+}
+
+/// Like [`build_model`] with an explicitly chosen root terminal (needed
+/// by problem-class transformations whose gadgets assume a fixed root).
+pub fn build_model_rooted(g: &Graph, root: usize) -> (Model, Arc<SpgData>) {
+    build_model_opts(g, root, false)
+}
+
+/// Variant including the per-arc rows (6) and antiparallel rows.
+pub fn build_model_strong(g: &Graph) -> (Model, Arc<SpgData>) {
+    build_model_opts(g, SapGraph::pick_root(g), true)
+}
+
+fn build_model_opts(g: &Graph, root: usize, strong_rows: bool) -> (Model, Arc<SpgData>) {
+    assert!(g.num_terminals() >= 2, "build_model needs ≥ 2 terminals");
+    assert!(g.is_terminal(root), "root must be a terminal");
+    let sap = SapGraph::from_graph(g, root);
+    let mut model = Model::new("spg");
+    let arc_var: Vec<VarId> = sap
+        .arcs
+        .iter()
+        .map(|a| model.add_var("y", VarType::Binary, 0.0, 1.0, a.cost))
+        .collect();
+    let mut node_var: Vec<Option<VarId>> = vec![None; sap.n];
+    for v in 0..sap.n {
+        if sap.node_alive[v] && !sap.terminal[v] {
+            node_var[v] = Some(model.add_var("z", VarType::Binary, 0.0, 1.0, 0.0));
+        }
+    }
+    // In-degree rows.
+    for v in 0..sap.n {
+        if !sap.node_alive[v] {
+            continue;
+        }
+        let in_terms: Vec<(VarId, f64)> =
+            sap.inc[v].iter().map(|&a| (arc_var[a as usize], 1.0)).collect();
+        if v == root {
+            if !in_terms.is_empty() {
+                model.add_linear(0.0, 0.0, &in_terms);
+            }
+        } else if sap.terminal[v] {
+            model.add_linear(1.0, 1.0, &in_terms);
+        } else {
+            let z = node_var[v].unwrap();
+            let mut terms = in_terms;
+            terms.push((z, -1.0));
+            model.add_linear(0.0, 0.0, &terms);
+            // Flow balance (5): z_v ≤ y(δ⁺(v)).
+            let mut fb: Vec<(VarId, f64)> =
+                sap.out[v].iter().map(|&a| (arc_var[a as usize], 1.0)).collect();
+            fb.push((z, -1.0));
+            model.add_linear(0.0, f64::INFINITY, &fb);
+            if strong_rows {
+                // (6): each out-arc needs the coupling: y_a ≤ z_v.
+                for &a in &sap.out[v] {
+                    model.add_linear(
+                        0.0,
+                        f64::INFINITY,
+                        &[(z, 1.0), (arc_var[a as usize], -1.0)],
+                    );
+                }
+            }
+        }
+    }
+    if strong_rows {
+        // Antiparallel arcs exclude each other.
+        for e in 0..sap.num_arcs() / 2 {
+            let a = 2 * e as u32;
+            model.add_linear(
+                f64::NEG_INFINITY,
+                1.0,
+                &[(arc_var[a as usize], 1.0), (arc_var[(a + 1) as usize], 1.0)],
+            );
+        }
+    }
+    let data = Arc::new(SpgData { graph: g.clone(), sap, arc_var, node_var, root });
+    (model, data)
+}
+
+/// Registers the full SCIP-Jack plugin set on a solver for the model
+/// built by [`build_model`].
+pub fn register_plugins(solver: &mut ugrs_cip::Solver, data: Arc<SpgData>, in_tree_reductions: bool) {
+    solver.add_conshdlr(Box::new(DirectedCutHandler::new(data.clone(), in_tree_reductions)));
+    solver.add_heuristic(Box::new(TmHeuristic { data: data.clone() }));
+    solver.add_branchrule(Box::new(VertexBranching { data }));
+}
+
+/// The directed cut constraint handler: separation by max-flow, exact
+/// feasibility checking, dual-ascent initial rows, and dual-ascent-based
+/// in-tree reductions ("extended reductions deep in the B&B tree").
+pub struct DirectedCutHandler {
+    data: Arc<SpgData>,
+    /// Max cuts added per separation round.
+    max_cuts_per_round: usize,
+    /// Enable dual-ascent propagation at depth > 0.
+    in_tree_reductions: bool,
+    round_robin: usize,
+}
+
+impl DirectedCutHandler {
+    pub fn new(data: Arc<SpgData>, in_tree_reductions: bool) -> Self {
+        DirectedCutHandler { data, max_cuts_per_round: 25, in_tree_reductions, round_robin: 0 }
+    }
+
+    /// Runs min-cut separation against the capacities in `x`; adds up to
+    /// `max_cuts` violated cuts to `buf`. Returns the number added.
+    fn separate_cuts(&mut self, x: &[f64], buf: &mut CutBuffer, max_cuts: usize) -> usize {
+        let d = &self.data;
+        let sinks: Vec<usize> = d.sap.sinks().collect();
+        if sinks.is_empty() {
+            return 0;
+        }
+        let mut added = 0;
+        let k = sinks.len();
+        for i in 0..k {
+            if added >= max_cuts {
+                break;
+            }
+            let t = sinks[(self.round_robin + i) % k];
+            let mut mf = MaxFlow::new(d.sap.n);
+            let mut arc_ids: Vec<(usize, u32)> = Vec::with_capacity(d.sap.num_arcs());
+            for (ai, arc) in d.sap.arcs.iter().enumerate() {
+                let cap = x[d.arc_var[ai].0 as usize].max(0.0);
+                let id = mf.add_arc(arc.tail as usize, arc.head as usize, cap);
+                arc_ids.push((id, ai as u32));
+            }
+            let flow = mf.max_flow(d.root, t, 1.0);
+            if flow >= 1.0 - 1e-6 {
+                continue;
+            }
+            let source_side = mf.min_cut_source_side(d.root);
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for (ai, arc) in d.sap.arcs.iter().enumerate() {
+                if source_side[arc.tail as usize] && !source_side[arc.head as usize] {
+                    terms.push((d.arc_var[ai], 1.0));
+                }
+            }
+            if terms.is_empty() {
+                continue;
+            }
+            buf.add(Cut::new("dircut", 1.0, f64::INFINITY, terms));
+            added += 1;
+        }
+        self.round_robin = (self.round_robin + 1) % k.max(1);
+        added
+    }
+}
+
+impl ConstraintHandler for DirectedCutHandler {
+    fn name(&self) -> &str {
+        "steiner-directed-cut"
+    }
+
+    fn check(&mut self, _model: &Model, x: &[f64]) -> bool {
+        // Every terminal reachable from the root via arcs with y = 1.
+        let d = &self.data;
+        let mut seen = vec![false; d.sap.n];
+        let mut stack = vec![d.root];
+        seen[d.root] = true;
+        while let Some(v) = stack.pop() {
+            for &a in &d.sap.out[v] {
+                if x[d.arc_var[a as usize].0 as usize] > 0.5 {
+                    let w = d.sap.arcs[a as usize].head as usize;
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        d.sap.sinks().all(|t| seen[t])
+    }
+
+    fn enforce(&mut self, ctx: &mut SolveCtx) -> EnforceResult {
+        let x = ctx.relax_x.expect("enforce needs a relaxation solution");
+        let x = x.to_vec();
+        let mut buf = CutBuffer::default();
+        let n = self.separate_cuts(&x, &mut buf, self.max_cuts_per_round);
+        if n == 0 {
+            return EnforceResult::Feasible;
+        }
+        for c in buf.cuts {
+            ctx.cuts.add(c);
+        }
+        EnforceResult::AddedCuts(n)
+    }
+
+    fn separate(&mut self, ctx: &mut SolveCtx) -> SepaResult {
+        let Some(x) = ctx.relax_x else {
+            return SepaResult::DidNotRun;
+        };
+        let x = x.to_vec();
+        let mut buf = CutBuffer::default();
+        let n = self.separate_cuts(&x, &mut buf, self.max_cuts_per_round);
+        for c in buf.cuts {
+            ctx.cuts.add(c);
+        }
+        if n == 0 {
+            SepaResult::NoCuts
+        } else {
+            SepaResult::AddedCuts(n)
+        }
+    }
+
+    fn init_lp(&mut self, _model: &Model, cuts: &mut CutBuffer) {
+        // Dual-ascent cuts as the initial rows (§3.1: "a dual-ascent
+        // heuristic to select a set of constraints from (4) to be
+        // included into the initial LP").
+        let d = &self.data;
+        let da = dual_ascent(&d.sap, 32);
+        for mask in &da.cuts {
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for (ai, arc) in d.sap.arcs.iter().enumerate() {
+                if !mask[arc.tail as usize] && mask[arc.head as usize] {
+                    terms.push((d.arc_var[ai], 1.0));
+                }
+            }
+            if !terms.is_empty() {
+                cuts.add(Cut::new("da-cut", 1.0, f64::INFINITY, terms));
+            }
+        }
+    }
+
+    fn propagate(&mut self, ctx: &mut SolveCtx) -> PropResult {
+        // In-tree dual-ascent reductions: on down-branched subproblems
+        // (vertices deleted via z_v = 0), rebuild the reduced SAP and use
+        // the DA bound + reduced costs to prune or fix arcs — the paper's
+        // "extended reduction ... on these modified graphs" effect.
+        if !self.in_tree_reductions || ctx.depth == 0 || ctx.depth % 4 != 0 {
+            return PropResult::Nothing;
+        }
+        let Some(cutoff) = ctx.incumbent_obj else {
+            return PropResult::Nothing;
+        };
+        let d = &self.data;
+        // Only sound when nothing is forced *into* the solution locally.
+        for (i, _) in d.sap.arcs.iter().enumerate() {
+            if ctx.local_lb[d.arc_var[i].0 as usize] > 0.5 {
+                return PropResult::Nothing;
+            }
+        }
+        for v in 0..d.sap.n {
+            if let Some(z) = d.node_var[v] {
+                if ctx.local_lb[z.0 as usize] > 0.5 {
+                    return PropResult::Nothing;
+                }
+            }
+        }
+        // Build the locally reduced view.
+        let big = 1e12;
+        let mut local_sap = d.sap.clone();
+        for v in 0..local_sap.n {
+            if let Some(z) = d.node_var[v] {
+                if ctx.local_ub[z.0 as usize] < 0.5 {
+                    local_sap.node_alive[v] = false;
+                }
+            }
+        }
+        for (i, arc) in local_sap.arcs.iter_mut().enumerate() {
+            if ctx.local_ub[d.arc_var[i].0 as usize] < 0.5 {
+                arc.cost = big; // excluded arc
+            }
+        }
+        let da = dual_ascent(&local_sap, 0);
+        if da.bound >= big {
+            return PropResult::Infeasible; // some terminal got disconnected
+        }
+        // A child solution must *improve* on the incumbent; with integral
+        // costs that means being cheaper by at least 1.
+        let threshold = if integral_costs(&d.graph) {
+            cutoff - 1.0 + 1e-6
+        } else {
+            cutoff - 1e-9
+        };
+        if da.bound > threshold {
+            return PropResult::Infeasible;
+        }
+        // Arc fixing by reduced cost (the restricted extended test's base
+        // form, applied in-tree).
+        let dfr = arc_dijkstra(&local_sap, &da.redcost, d.root);
+        let dtt = dist_to_terminals(&local_sap, &da.redcost);
+        let mut fixed = 0;
+        for (i, arc) in local_sap.arcs.iter().enumerate() {
+            let var = d.arc_var[i];
+            if ctx.local_ub[var.0 as usize] < 0.5 {
+                continue;
+            }
+            let t = arc.tail as usize;
+            let h = arc.head as usize;
+            if !local_sap.node_alive[t] || !local_sap.node_alive[h] {
+                continue;
+            }
+            if da.bound + dfr[t] + da.redcost[i] + dtt[h] > threshold {
+                ctx.tighten_ub(var, 0.0);
+                fixed += 1;
+            }
+        }
+        if fixed > 0 {
+            PropResult::Reduced
+        } else {
+            PropResult::Nothing
+        }
+    }
+}
+
+fn integral_costs(g: &Graph) -> bool {
+    g.alive_edges().all(|e| {
+        let c = g.edge(e).cost;
+        (c - c.round()).abs() < 1e-12
+    })
+}
+
+/// The TM heuristic as a CIP plugin, biased by the LP solution.
+pub struct TmHeuristic {
+    pub data: Arc<SpgData>,
+}
+
+impl Heuristic for TmHeuristic {
+    fn name(&self) -> &str {
+        "steiner-tm"
+    }
+
+    fn run(&mut self, ctx: &mut SolveCtx) -> Option<Vec<f64>> {
+        let x = ctx.relax_x?;
+        let d = &self.data;
+        let edge_lp = d.edge_lp_values(x);
+        let weights = lp_biased_weights(&d.graph, &edge_lp);
+        let tree = tm_best(&d.graph, 3, &weights)?;
+        let tree = local_search(&d.graph, &tree, 2);
+        d.tree_to_assignment(ctx.model, &tree)
+    }
+}
+
+/// Vertex branching: pick the non-terminal whose coupling variable is
+/// most fractional (ties broken toward high degree). Falls back to the
+/// framework default (arc branching) when all couplings are integral.
+pub struct VertexBranching {
+    pub data: Arc<SpgData>,
+}
+
+impl BranchRule for VertexBranching {
+    fn name(&self) -> &str {
+        "steiner-vertex"
+    }
+
+    fn branch(&mut self, ctx: &mut SolveCtx) -> Option<BranchDecision> {
+        let x = ctx.relax_x?;
+        let d = &self.data;
+        let mut best: Option<(VarId, f64, f64)> = None; // (var, val, score)
+        for v in 0..d.sap.n {
+            let Some(z) = d.node_var[v] else { continue };
+            let val = x[z.0 as usize];
+            let frac = (val - val.round()).abs();
+            if frac <= 1e-6 {
+                continue;
+            }
+            let score = frac * (1.0 + d.graph.degree(v) as f64 / 8.0);
+            if best.map_or(true, |(_, _, s)| score > s) {
+                best = Some((z, val, score));
+            }
+        }
+        best.map(|(var, value, _)| BranchDecision {
+            var,
+            value,
+            // Explore the "add as terminal" side first: it tends to find
+            // solutions; deletion shrinks the graph for the other child.
+            down_first: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{code_covering, CostScheme};
+    use ugrs_cip::{Settings, SolveStatus, Solver};
+
+    fn solve_graph(g: &Graph) -> (f64, ugrs_cip::SolveResult, Arc<SpgData>) {
+        let (model, data) = build_model(g);
+        let mut solver = Solver::new(model, Settings::default());
+        register_plugins(&mut solver, data.clone(), true);
+        let res = solver.solve(&mut ugrs_cip::NoHooks);
+        (res.best_obj.unwrap_or(f64::NAN), res, data)
+    }
+
+    #[test]
+    fn solves_star_instance() {
+        // Optimal tree uses the Steiner center: cost 6.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 4.0);
+        g.add_edge(1, 2, 4.0);
+        g.add_edge(0, 2, 4.0);
+        g.add_edge(0, 3, 2.0);
+        g.add_edge(1, 3, 2.0);
+        g.add_edge(2, 3, 2.0);
+        g.set_terminal(0, true);
+        g.set_terminal(1, true);
+        g.set_terminal(2, true);
+        let (obj, res, data) = solve_graph(&g);
+        assert_eq!(res.status, SolveStatus::Optimal);
+        assert!((obj - 6.0).abs() < 1e-6, "obj = {obj}");
+        // Extract and validate the tree.
+        let edges = data.assignment_to_edges(&res.best_x.unwrap());
+        let tree = SteinerTree::new(&g, edges);
+        assert!(tree.is_valid(&g));
+        assert!((tree.cost - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solves_small_code_covering() {
+        let g = code_covering(2, 3, 4, CostScheme::Perturbed, 5);
+        let (obj, res, data) = solve_graph(&g);
+        assert_eq!(res.status, SolveStatus::Optimal);
+        let edges = data.assignment_to_edges(&res.best_x.unwrap());
+        let tree = SteinerTree::new(&g, edges);
+        assert!(tree.is_valid(&g));
+        assert!((tree.cost - obj).abs() < 1e-6);
+        // Cross-check with brute force.
+        let brute = brute(&g);
+        assert!((obj - brute).abs() < 1e-6, "obj {obj} vs brute {brute}");
+    }
+
+    fn brute(g: &Graph) -> f64 {
+        // Enumerate vertex subsets containing the terminals; MST each.
+        let opt_vertices: Vec<usize> = g.alive_nodes().filter(|&v| !g.is_terminal(v)).collect();
+        let k = opt_vertices.len();
+        assert!(k <= 16);
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << k) {
+            let mut in_set: Vec<bool> = (0..g.num_nodes())
+                .map(|v| g.is_node_alive(v) && g.is_terminal(v))
+                .collect();
+            for (i, &v) in opt_vertices.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    in_set[v] = true;
+                }
+            }
+            if let Some(t) = crate::heur::tree_from_vertices(g, &in_set) {
+                best = best.min(t.cost);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn tree_assignment_round_trip() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.set_terminal(0, true);
+        g.set_terminal(2, true);
+        let (model, data) = build_model(&g);
+        let tree = SteinerTree::new(&g, vec![0, 1]);
+        let x = data.tree_to_assignment(&model, &tree).unwrap();
+        let edges = data.assignment_to_edges(&x);
+        assert_eq!(edges, vec![0, 1]);
+        assert!(model.check_solution(&x, 1e-6), "assignment must satisfy the rows");
+    }
+}

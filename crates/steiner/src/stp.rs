@@ -1,0 +1,200 @@
+//! SteinLib `.stp` format I/O (the format of the PUC test set the paper's
+//! §4.1 experiments run on).
+
+use crate::graph::Graph;
+
+/// Errors when reading `.stp` data.
+#[derive(Debug)]
+pub enum StpError {
+    Io(std::io::Error),
+    Parse(String),
+}
+
+impl std::fmt::Display for StpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StpError::Io(e) => write!(f, "io error: {e}"),
+            StpError::Parse(s) => write!(f, "parse error: {s}"),
+        }
+    }
+}
+impl std::error::Error for StpError {}
+
+impl From<std::io::Error> for StpError {
+    fn from(e: std::io::Error) -> Self {
+        StpError::Io(e)
+    }
+}
+
+/// Parses SteinLib `.stp` text (sections `Graph` with `Nodes`/`Edges`/`E`
+/// lines and `Terminals` with `T` lines). Vertices in the file are
+/// 1-based; the returned graph is 0-based.
+pub fn parse_stp(text: &str) -> Result<Graph, StpError> {
+    let mut nodes: Option<usize> = None;
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let mut terminals: Vec<usize> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let Some(tag) = it.next() else { continue };
+        match tag.to_ascii_lowercase().as_str() {
+            "nodes" => {
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| StpError::Parse("Nodes needs a count".into()))?
+                    .parse()
+                    .map_err(|e| StpError::Parse(format!("bad node count: {e}")))?;
+                nodes = Some(n);
+            }
+            "e" | "a" => {
+                let u: usize = it
+                    .next()
+                    .ok_or_else(|| StpError::Parse("E needs endpoints".into()))?
+                    .parse()
+                    .map_err(|e| StpError::Parse(format!("bad endpoint: {e}")))?;
+                let v: usize = it
+                    .next()
+                    .ok_or_else(|| StpError::Parse("E needs endpoints".into()))?
+                    .parse()
+                    .map_err(|e| StpError::Parse(format!("bad endpoint: {e}")))?;
+                let c: f64 = it
+                    .next()
+                    .ok_or_else(|| StpError::Parse("E needs a cost".into()))?
+                    .parse()
+                    .map_err(|e| StpError::Parse(format!("bad cost: {e}")))?;
+                if u == 0 || v == 0 {
+                    return Err(StpError::Parse("stp vertices are 1-based".into()));
+                }
+                edges.push((u - 1, v - 1, c));
+            }
+            "t" => {
+                let t: usize = it
+                    .next()
+                    .ok_or_else(|| StpError::Parse("T needs a vertex".into()))?
+                    .parse()
+                    .map_err(|e| StpError::Parse(format!("bad terminal: {e}")))?;
+                if t == 0 {
+                    return Err(StpError::Parse("stp vertices are 1-based".into()));
+                }
+                terminals.push(t - 1);
+            }
+            _ => {} // headers, SECTION/END, comments, coordinates...
+        }
+    }
+    let n = nodes.ok_or_else(|| StpError::Parse("missing Nodes line".into()))?;
+    let mut g = Graph::new(n);
+    for (u, v, c) in edges {
+        if u >= n || v >= n {
+            return Err(StpError::Parse(format!("edge endpoint out of range: {u} {v}")));
+        }
+        if u != v {
+            g.add_edge(u, v, c);
+        }
+    }
+    for t in terminals {
+        if t >= n {
+            return Err(StpError::Parse(format!("terminal out of range: {t}")));
+        }
+        g.set_terminal(t, true);
+    }
+    Ok(g)
+}
+
+/// Reads an `.stp` file from disk.
+pub fn read_stp(path: &std::path::Path) -> Result<Graph, StpError> {
+    let text = std::fs::read_to_string(path)?;
+    parse_stp(&text)
+}
+
+/// Writes a graph in `.stp` format.
+pub fn write_stp(g: &Graph, name: &str) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    writeln!(s, "33D32945 STP File, STP Format Version 1.0").unwrap();
+    writeln!(s, "SECTION Comment").unwrap();
+    writeln!(s, "Name    \"{name}\"").unwrap();
+    writeln!(s, "Creator \"ugrs\"").unwrap();
+    writeln!(s, "END\n").unwrap();
+    writeln!(s, "SECTION Graph").unwrap();
+    writeln!(s, "Nodes {}", g.num_nodes()).unwrap();
+    writeln!(s, "Edges {}", g.num_alive_edges()).unwrap();
+    for e in g.alive_edges() {
+        let ed = g.edge(e);
+        writeln!(s, "E {} {} {}", ed.u + 1, ed.v + 1, ed.cost).unwrap();
+    }
+    writeln!(s, "END\n").unwrap();
+    writeln!(s, "SECTION Terminals").unwrap();
+    writeln!(s, "Terminals {}", g.num_terminals()).unwrap();
+    for t in g.terminals() {
+        writeln!(s, "T {}", t + 1).unwrap();
+    }
+    writeln!(s, "END\n").unwrap();
+    writeln!(s, "EOF").unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"33D32945 STP File, STP Format Version 1.0
+SECTION Comment
+Name "tiny"
+END
+
+SECTION Graph
+Nodes 3
+Edges 2
+E 1 2 1.5
+E 2 3 2.5
+END
+
+SECTION Terminals
+Terminals 2
+T 1
+T 3
+END
+
+EOF
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let g = parse_stp(SAMPLE).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_alive_edges(), 2);
+        assert_eq!(g.num_terminals(), 2);
+        assert!(g.is_terminal(0) && g.is_terminal(2));
+        assert_eq!(g.edge(0).cost, 1.5);
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = parse_stp(SAMPLE).unwrap();
+        let text = write_stp(&g, "tiny");
+        let g2 = parse_stp(&text).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_alive_edges(), g.num_alive_edges());
+        assert_eq!(g2.num_terminals(), g.num_terminals());
+    }
+
+    #[test]
+    fn rejects_zero_based() {
+        assert!(parse_stp("Nodes 2\nE 0 1 1.0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_nodes() {
+        assert!(parse_stp("E 1 2 1.0\n").is_err());
+    }
+
+    #[test]
+    fn ignores_unknown_sections() {
+        let text = "SECTION Comment\nRemark \"x\"\nEND\nNodes 2\nE 1 2 3\nT 1\nT 2\n";
+        let g = parse_stp(text).unwrap();
+        assert_eq!(g.num_alive_edges(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Steiner tree (solution) representation, validation and pruning.
+
+use crate::graph::Graph;
+use crate::util::UnionFind;
+
+/// A candidate Steiner tree: a set of alive arena edge ids of a graph.
+#[derive(Clone, Debug, Default)]
+pub struct SteinerTree {
+    pub edges: Vec<u32>,
+    pub cost: f64,
+}
+
+impl SteinerTree {
+    /// Builds a tree from edge ids, computing the cost from `g`.
+    pub fn new(g: &Graph, mut edges: Vec<u32>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        let cost = edges.iter().map(|&e| g.edge(e).cost).sum();
+        SteinerTree { edges, cost }
+    }
+
+    /// Checks that the edge set forms a tree (acyclic, connected on its
+    /// support) containing all alive terminals of `g`.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        let mut uf = UnionFind::new(g.num_nodes());
+        let mut used_nodes = std::collections::HashSet::new();
+        for &e in &self.edges {
+            let ed = g.edge(e);
+            if !uf.union(ed.u as usize, ed.v as usize) {
+                return false; // cycle
+            }
+            used_nodes.insert(ed.u as usize);
+            used_nodes.insert(ed.v as usize);
+        }
+        let mut terms = g.terminals();
+        let Some(first) = terms.next() else {
+            return true;
+        };
+        if !used_nodes.contains(&first) && g.terminals().count() > 1 {
+            return false;
+        }
+        for t in g.terminals() {
+            if t != first {
+                if !used_nodes.contains(&t) || !uf.same(first, t) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Removes non-terminal leaves iteratively (the classic prune step);
+    /// returns the pruned tree.
+    pub fn pruned(&self, g: &Graph) -> SteinerTree {
+        let n = g.num_nodes();
+        let mut deg = vec![0usize; n];
+        let mut alive: Vec<bool> = vec![true; self.edges.len()];
+        for &e in &self.edges {
+            let ed = g.edge(e);
+            deg[ed.u as usize] += 1;
+            deg[ed.v as usize] += 1;
+        }
+        loop {
+            let mut removed = false;
+            for (i, &e) in self.edges.iter().enumerate() {
+                if !alive[i] {
+                    continue;
+                }
+                let ed = g.edge(e);
+                for endpoint in [ed.u as usize, ed.v as usize] {
+                    if deg[endpoint] == 1 && !g.is_terminal(endpoint) {
+                        alive[i] = false;
+                        deg[ed.u as usize] -= 1;
+                        deg[ed.v as usize] -= 1;
+                        removed = true;
+                        break;
+                    }
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+        let kept: Vec<u32> = self
+            .edges
+            .iter()
+            .zip(&alive)
+            .filter(|(_, a)| **a)
+            .map(|(&e, _)| e)
+            .collect();
+        SteinerTree::new(g, kept)
+    }
+
+    /// Vertices spanned by the tree.
+    pub fn vertices(&self, g: &Graph) -> Vec<usize> {
+        let mut seen = std::collections::HashSet::new();
+        for &e in &self.edges {
+            let ed = g.edge(e);
+            seen.insert(ed.u as usize);
+            seen.insert(ed.v as usize);
+        }
+        let mut v: Vec<usize> = seen.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> Graph {
+        // center 0, leaves 1..4; terminals 1, 2.
+        let mut g = Graph::new(5);
+        for v in 1..5 {
+            g.add_edge(0, v, v as f64);
+        }
+        g.set_terminal(1, true);
+        g.set_terminal(2, true);
+        g
+    }
+
+    #[test]
+    fn validity_checks() {
+        let g = star();
+        let good = SteinerTree::new(&g, vec![0, 1]); // 0-1, 0-2
+        assert!(good.is_valid(&g));
+        assert_eq!(good.cost, 3.0);
+        let disconnected = SteinerTree::new(&g, vec![0]); // misses terminal 2
+        assert!(!disconnected.is_valid(&g));
+    }
+
+    #[test]
+    fn cycles_are_invalid() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 1.0);
+        g.set_terminal(0, true);
+        let cyc = SteinerTree::new(&g, vec![0, 1, 2]);
+        assert!(!cyc.is_valid(&g));
+    }
+
+    #[test]
+    fn pruning_removes_useless_leaves() {
+        let g = star();
+        let bloated = SteinerTree::new(&g, vec![0, 1, 2, 3]); // includes leaves 3, 4
+        let pruned = bloated.pruned(&g);
+        assert_eq!(pruned.cost, 3.0);
+        assert_eq!(pruned.edges, vec![0, 1]);
+        assert!(pruned.is_valid(&g));
+    }
+
+    #[test]
+    fn pruning_cascades_along_paths() {
+        // Path 0(T) - 1 - 2 - 3, plus branch 1 - 4 - 5 (all non-terminal).
+        let mut g = Graph::new(6);
+        let e01 = g.add_edge(0, 1, 1.0);
+        let e12 = g.add_edge(1, 2, 1.0);
+        let _e23 = g.add_edge(2, 3, 1.0);
+        let e14 = g.add_edge(1, 4, 1.0);
+        let e45 = g.add_edge(4, 5, 1.0);
+        g.set_terminal(0, true);
+        g.set_terminal(2, true);
+        let t = SteinerTree::new(&g, vec![e01, e12, e14, e45]);
+        let p = t.pruned(&g);
+        assert_eq!(p.edges, vec![e01, e12]);
+        assert_eq!(p.cost, 2.0);
+    }
+
+    #[test]
+    fn vertices_listed() {
+        let g = star();
+        let t = SteinerTree::new(&g, vec![0, 1]);
+        assert_eq!(t.vertices(&g), vec![0, 1, 2]);
+    }
+}

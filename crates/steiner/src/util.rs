@@ -1,0 +1,241 @@
+//! Small algorithmic utilities shared by the Steiner components:
+//! union–find, Dijkstra, Voronoi regions and minimum spanning trees.
+
+use crate::graph::Graph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Union–find with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let gp = self.parent[self.parent[x] as usize];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+        x
+    }
+
+    /// Unites the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: u32,
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // Min-heap via reversed compare.
+        o.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal).then(o.node.cmp(&self.node))
+    }
+}
+
+/// Dijkstra from `source` over the alive graph. Returns `(dist, pred_edge)`
+/// where `pred_edge[v]` is the edge id used to reach `v` (u32::MAX at the
+/// source / unreachable vertices, with `dist = ∞` for the latter).
+pub fn dijkstra(g: &Graph, source: usize) -> (Vec<f64>, Vec<u32>) {
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapItem { dist: 0.0, node: source as u32 });
+    while let Some(HeapItem { dist: d, node }) = heap.pop() {
+        let v = node as usize;
+        if d > dist[v] {
+            continue;
+        }
+        for e in g.incident(v) {
+            let edge = g.edge(e);
+            let w = edge.other(node) as usize;
+            let nd = d + edge.cost;
+            if nd < dist[w] - 1e-15 {
+                dist[w] = nd;
+                pred[w] = e;
+                heap.push(HeapItem { dist: nd, node: w as u32 });
+            }
+        }
+    }
+    (dist, pred)
+}
+
+/// Voronoi decomposition w.r.t. the terminals: for every vertex, the
+/// nearest terminal (`base`), the distance to it, and the predecessor
+/// edge on that shortest path. Used by bound-based reductions.
+pub struct Voronoi {
+    pub base: Vec<u32>,
+    pub dist: Vec<f64>,
+    pub pred: Vec<u32>,
+}
+
+pub fn voronoi(g: &Graph) -> Voronoi {
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut base = vec![u32::MAX; n];
+    let mut pred = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    for t in g.terminals() {
+        dist[t] = 0.0;
+        base[t] = t as u32;
+        heap.push(HeapItem { dist: 0.0, node: t as u32 });
+    }
+    while let Some(HeapItem { dist: d, node }) = heap.pop() {
+        let v = node as usize;
+        if d > dist[v] {
+            continue;
+        }
+        for e in g.incident(v) {
+            let edge = g.edge(e);
+            let w = edge.other(node) as usize;
+            let nd = d + edge.cost;
+            if nd < dist[w] - 1e-15 {
+                dist[w] = nd;
+                base[w] = base[v];
+                pred[w] = e;
+                heap.push(HeapItem { dist: nd, node: w as u32 });
+            }
+        }
+    }
+    Voronoi { base, dist, pred }
+}
+
+/// Kruskal MST over the subgraph induced by `in_set` (alive vertices with
+/// `in_set[v] = true`). Returns edge ids of the forest (an MST per
+/// connected component).
+pub fn mst_on_subset(g: &Graph, in_set: &[bool]) -> Vec<u32> {
+    let mut edges: Vec<u32> = g
+        .alive_edges()
+        .filter(|&e| {
+            let ed = g.edge(e);
+            in_set[ed.u as usize] && in_set[ed.v as usize]
+        })
+        .collect();
+    edges.sort_by(|&a, &b| {
+        g.edge(a)
+            .cost
+            .partial_cmp(&g.edge(b).cost)
+            .unwrap_or(Ordering::Equal)
+    });
+    let mut uf = UnionFind::new(g.num_nodes());
+    let mut out = Vec::new();
+    for e in edges {
+        let ed = g.edge(e);
+        if uf.union(ed.u as usize, ed.v as usize) {
+            out.push(e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        //    1
+        //  /   \
+        // 0     3       0-1:1, 1-3:1, 0-2:2, 2-3:2, 0-3:5
+        //  \   /
+        //    2
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(0, 2, 2.0);
+        g.add_edge(2, 3, 2.0);
+        g.add_edge(0, 3, 5.0);
+        g.set_terminal(0, true);
+        g.set_terminal(3, true);
+        g
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        uf.union(2, 3);
+        uf.union(0, 3);
+        assert!(uf.same(1, 2));
+    }
+
+    #[test]
+    fn dijkstra_distances() {
+        let g = diamond();
+        let (dist, pred) = dijkstra(&g, 0);
+        assert_eq!(dist[3], 2.0);
+        assert_eq!(dist[2], 2.0);
+        // Path to 3 goes via edge 1 (1-3).
+        assert_eq!(pred[3], 1);
+    }
+
+    #[test]
+    fn dijkstra_ignores_dead_edges() {
+        let mut g = diamond();
+        g.delete_edge(0); // remove 0-1
+        let (dist, _) = dijkstra(&g, 0);
+        assert_eq!(dist[3], 4.0); // via 2
+    }
+
+    #[test]
+    fn voronoi_assigns_nearest_terminal() {
+        let g = diamond();
+        let vor = voronoi(&g);
+        assert_eq!(vor.base[0], 0);
+        assert_eq!(vor.base[3], 3);
+        assert_eq!(vor.dist[1], 1.0);
+        // Vertex 1 is equidistant; base must be one of the terminals.
+        assert!(vor.base[1] == 0 || vor.base[1] == 3);
+    }
+
+    #[test]
+    fn mst_spans_cheaply() {
+        let g = diamond();
+        let in_set = vec![true; 4];
+        let mst = mst_on_subset(&g, &in_set);
+        let cost: f64 = mst.iter().map(|&e| g.edge(e).cost).sum();
+        assert_eq!(mst.len(), 3);
+        assert_eq!(cost, 4.0); // edges 0-1, 1-3, 0-2
+    }
+
+    #[test]
+    fn mst_respects_subset() {
+        let g = diamond();
+        let in_set = vec![true, false, true, true]; // exclude vertex 1
+        let mst = mst_on_subset(&g, &in_set);
+        let cost: f64 = mst.iter().map(|&e| g.edge(e).cost).sum();
+        assert_eq!(cost, 4.0); // 0-2 (2) + 2-3 (2)
+    }
+}

@@ -1,0 +1,47 @@
+//! Racing ramp-up as a hybrid LP/SDP solver — §3.2's headline feature:
+//! "racing ramp-up allows to dynamically choose between linear and
+//! semidefinite relaxations for solving MISDPs, depending on whichever
+//! approach works best for a particular instance."
+//!
+//! Runs one instance of each CBLIB-like family under a racing set whose
+//! odd (1-based) settings are SDP-based and even settings LP-based, and
+//! reports which approach won each race.
+//!
+//! Run with: `cargo run --release --example misdp_racing`
+
+use ugrs::glue::{misdp_racing_settings, ug_solve_misdp};
+use ugrs::misdp::gen::{cardinality_ls, min_k_partitioning, truss_topology};
+use ugrs::misdp::MisdpProblem;
+use ugrs::ug::{ParallelOptions, RampUp};
+
+fn race(p: &MisdpProblem) {
+    let n = 4;
+    let settings = misdp_racing_settings(n);
+    let names: Vec<String> = settings.iter().map(|s| s.name.clone()).collect();
+    let options = ParallelOptions {
+        num_solvers: n,
+        ramp_up: RampUp::Racing {
+            settings,
+            time_trigger: 0.5,
+            open_nodes_trigger: 12,
+        },
+        ..Default::default()
+    };
+    let res = ug_solve_misdp(p, options);
+    let winner = match res.stats.racing_winner {
+        Some(w) => format!("winner: #{} ({})", w + 1, names[w]),
+        None => "solved during racing (no winner declared)".to_string(),
+    };
+    println!(
+        "  {:<16} obj = {:>10.3?}  solved = {}  {}",
+        p.name, res.best_obj, res.solved, winner
+    );
+}
+
+fn main() {
+    println!("racing ug[ScipSdp,ThreadComm] on one instance per family:");
+    println!("(odd settings = SDP-based nonlinear B&B, even = LP + eigenvector cuts)");
+    race(&truss_topology(7, 18, 406));
+    race(&cardinality_ls(16, 5, 404));
+    race(&min_k_partitioning(10, 3, 401));
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the three layers of the suite in one file.
+//!
+//! 1. Solve a plain MIP with the CIP framework (no user plugins).
+//! 2. Solve a Steiner tree problem sequentially (SCIP-Jack style).
+//! 3. Parallelize the same Steiner solve through UG — the paper's point
+//!    being that step 3 needs no changes to step 2's solver at all.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ugrs::cip::{Model, Settings, SolveStatus, VarType};
+use ugrs::glue::ug_solve_stp;
+use ugrs::steiner::gen::{code_covering, CostScheme};
+use ugrs::steiner::reduce::ReduceParams;
+use ugrs::steiner::{SteinerOptions, SteinerSolver};
+use ugrs::ug::ParallelOptions;
+
+fn main() {
+    // ---- 1. A MIP on the CIP framework --------------------------------
+    println!("== 1. knapsack MIP on the CIP framework ==");
+    let mut m = Model::new("knapsack");
+    m.set_maximize();
+    let items = [(4.0, 12.0), (2.0, 7.0), (1.0, 4.0), (3.0, 9.0), (5.0, 14.0)];
+    let vars: Vec<_> = items
+        .iter()
+        .map(|&(_, profit)| m.add_var("x", VarType::Binary, 0.0, 1.0, profit))
+        .collect();
+    let weights: Vec<_> = vars.iter().zip(&items).map(|(&v, &(w, _))| (v, w)).collect();
+    m.add_linear(f64::NEG_INFINITY, 7.0, &weights);
+    let res = m.optimize(Settings::default());
+    println!(
+        "   status = {:?}, best profit = {:?}, nodes = {}",
+        res.status, res.best_obj, res.stats.nodes
+    );
+    assert_eq!(res.status, SolveStatus::Optimal);
+
+    // ---- 2. Sequential Steiner solve ----------------------------------
+    println!("== 2. sequential SCIP-Jack-style Steiner solve ==");
+    let graph = code_covering(3, 4, 16, CostScheme::Perturbed, 121);
+    println!(
+        "   instance: {} vertices, {} edges, {} terminals (PUC cc-like)",
+        graph.num_alive_nodes(),
+        graph.num_alive_edges(),
+        graph.num_terminals()
+    );
+    let mut solver = SteinerSolver::new(graph.clone(), SteinerOptions::default());
+    let seq = solver.solve();
+    println!(
+        "   status = {:?}, cost = {:?}, reductions eliminated {} graph elements",
+        seq.status,
+        seq.best_cost,
+        seq.reduce_stats.total_eliminations()
+    );
+
+    // ---- 3. The same solver, parallelized through UG ------------------
+    println!("== 3. ug[SteinerJack, ThreadComm] with 4 ParaSolvers ==");
+    let options = ParallelOptions { num_solvers: 4, ..Default::default() };
+    let par = ug_solve_stp(&graph, &ReduceParams::default(), options);
+    let (edges, cost) = par.tree.expect("parallel solve must find the tree");
+    println!(
+        "   solved = {}, cost = {cost}, tree edges = {}, transferred nodes = {}, idle = {:.1}%",
+        par.solved,
+        edges.len(),
+        par.stats.transferred,
+        par.stats.idle_percent
+    );
+    assert!((cost - seq.best_cost.unwrap()).abs() < 1e-6, "parallel must match sequential");
+    println!("   parallel == sequential ✓");
+}

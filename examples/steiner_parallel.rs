@@ -1,0 +1,55 @@
+//! Shared-memory scaling on a PUC-like Steiner instance — the §4.1
+//! workflow of the paper: solve the same hard instance with a growing
+//! number of ParaSolvers and watch where the speedup saturates (Table 1
+//! explains it through root time and the maximum number of active
+//! solvers).
+//!
+//! Run with: `cargo run --release --example steiner_parallel [threads...]`
+
+use std::time::Instant;
+use ugrs::glue::ug_solve_stp;
+use ugrs::steiner::gen::{code_covering, CostScheme};
+use ugrs::steiner::reduce::ReduceParams;
+use ugrs::ug::ParallelOptions;
+
+fn main() {
+    let thread_counts: Vec<usize> = {
+        let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        if args.is_empty() {
+            vec![1, 2, 4]
+        } else {
+            args
+        }
+    };
+    // hc-like instances are the PUC family that parallelizes best in
+    // Table 1 (short root phase, all solvers busy quickly).
+    let graph = code_covering(3, 4, 16, CostScheme::Perturbed, 121);
+    println!(
+        "instance cc3-4p-like: {} vertices, {} edges, {} terminals",
+        graph.num_alive_nodes(),
+        graph.num_alive_edges(),
+        graph.num_terminals()
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>14} {:>10}",
+        "threads", "time (s)", "cost", "max active", "first max (s)", "transfers"
+    );
+    let mut base_time = None;
+    for &threads in &thread_counts {
+        let t0 = Instant::now();
+        let options = ParallelOptions { num_solvers: threads, ..Default::default() };
+        let res = ug_solve_stp(&graph, &ReduceParams::default(), options);
+        let dt = t0.elapsed().as_secs_f64();
+        let cost = res.tree.as_ref().map(|(_, c)| *c).unwrap_or(f64::NAN);
+        println!(
+            "{:>8} {:>10.3} {:>10.1} {:>12} {:>14.3} {:>10}",
+            threads, dt, cost, res.stats.max_active, res.stats.first_max_active_time,
+            res.stats.transferred
+        );
+        let base = *base_time.get_or_insert(dt);
+        if threads > 1 && dt > 0.0 {
+            println!("{:>8}   speedup vs 1 thread: {:.2}x", "", base / dt);
+        }
+        assert!(res.solved);
+    }
+}
