@@ -83,7 +83,7 @@ fn bench_steiner_kernels(c: &mut Criterion) {
 }
 
 fn bench_sdp(c: &mut Criterion) {
-    let p = mgen::truss_topology(5, 12, 5).sdp_relaxation(&vec![0.0; 12], &vec![1.0; 12]);
+    let p = mgen::truss_topology(5, 12, 5).sdp_relaxation(&[0.0; 12], &[1.0; 12]);
     c.bench_function("sdp/barrier_ttd5x12", |b| {
         b.iter(|| black_box(sdp_solve(black_box(&p), &SdpOptions::default()).obj))
     });
@@ -118,12 +118,8 @@ fn bench_ablation_approach(c: &mut Criterion) {
         for (aname, approach) in [("sdp", Approach::Sdp), ("lp", Approach::Lp)] {
             c.bench_function(&format!("ablation/misdp_{name}_{aname}"), |b| {
                 b.iter(|| {
-                    let res = MisdpSolver::new(
-                        p.clone(),
-                        approach,
-                        ugrs_cip::Settings::default(),
-                    )
-                    .solve();
+                    let res = MisdpSolver::new(p.clone(), approach, ugrs_cip::Settings::default())
+                        .solve();
                     black_box(res.best_obj)
                 })
             });

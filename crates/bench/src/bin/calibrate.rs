@@ -31,8 +31,7 @@ fn stp(name: &str, g: Graph, limit: f64) {
 fn misdp(p: ugrs_misdp::MisdpProblem, approach: Approach, limit: f64) {
     let name = p.name.clone();
     let t0 = Instant::now();
-    let mut st = Settings::default();
-    st.time_limit = limit;
+    let st = Settings { time_limit: limit, ..Default::default() };
     let res = MisdpSolver::new(p, approach, st).solve();
     println!(
         "MISDP {name:<14} {:?}  status={:?} obj={:?} nodes={} time={}",

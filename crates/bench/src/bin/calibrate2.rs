@@ -26,8 +26,7 @@ fn stp_par(name: &str, g: &ugrs_steiner::Graph, threads: usize, limit: f64) {
 }
 
 fn misdp_seq(p: &ugrs_misdp::MisdpProblem, approach: Approach, limit: f64) {
-    let mut st = ugrs_cip::Settings::default();
-    st.time_limit = limit;
+    let st = ugrs_cip::Settings { time_limit: limit, ..Default::default() };
     let t0 = Instant::now();
     let res = MisdpSolver::new(p.clone(), approach, st).solve();
     println!(

@@ -51,8 +51,7 @@ fn main() {
     for (fam, insts) in mgen::table4_testsets(3) {
         for p in insts {
             for approach in [Approach::Sdp, Approach::Lp] {
-                let mut st = ugrs_cip::Settings::default();
-                st.time_limit = 30.0;
+                let st = ugrs_cip::Settings { time_limit: 30.0, ..Default::default() };
                 let t0 = Instant::now();
                 let res = MisdpSolver::new(p.clone(), approach, st).solve();
                 println!(

@@ -29,8 +29,7 @@ fn stp_par(name: &str, g: &ugrs_steiner::Graph, threads: usize, limit: f64) -> b
 
 fn misdp_both(p: &ugrs_misdp::MisdpProblem, limit: f64) {
     for approach in [Approach::Sdp, Approach::Lp] {
-        let mut st = ugrs_cip::Settings::default();
-        st.time_limit = limit;
+        let st = ugrs_cip::Settings { time_limit: limit, ..Default::default() };
         let t0 = Instant::now();
         let res = MisdpSolver::new(p.clone(), approach, st).solve();
         println!(

@@ -61,7 +61,7 @@ fn main() {
     println!("{:>8} {:>10} {:>6} {:>6} {:>6}  bar", "setting", "approach", "TTD", "CLS", "Mk-P");
     for s in 0..nsettings {
         let approach = if (s + 1) % 2 == 1 { "SDP" } else { "LP" };
-        let counts: Vec<usize> = (0..sets.len()).map(|si| winners[si][s]).collect();
+        let counts: Vec<usize> = winners.iter().map(|w| w[s]).collect();
         let total: usize = counts.iter().sum();
         println!(
             "{:>8} {:>10} {:>6} {:>6} {:>6}  {}",
@@ -84,8 +84,12 @@ fn main() {
             100.0 * lp as f64 / tot as f64
         }
     };
-    println!("\nLP-settings share of decided races: TTD {:.0}%, CLS {:.0}%, MkP {:.0}%",
-        lp_share(0), lp_share(1), lp_share(2));
+    println!(
+        "\nLP-settings share of decided races: TTD {:.0}%, CLS {:.0}%, MkP {:.0}%",
+        lp_share(0),
+        lp_share(1),
+        lp_share(2)
+    );
 }
 
 fn num_arg(args: &[String], key: &str) -> Option<f64> {

@@ -68,11 +68,8 @@ fn main() {
         let mut all_solved = true;
         for &t in &threads {
             let t0 = Instant::now();
-            let options = ParallelOptions {
-                num_solvers: t,
-                time_limit: limit,
-                ..Default::default()
-            };
+            let options =
+                ParallelOptions { num_solvers: t, time_limit: limit, ..Default::default() };
             let res = ug_solve_stp(&g, &ReduceParams::default(), options);
             times.push(t0.elapsed().as_secs_f64());
             all_solved &= res.solved;
@@ -91,7 +88,14 @@ fn main() {
                 }
             }
         }
-        cols.push(Column { name, times, root_time, max_solvers, first_max_active: first_max, all_solved });
+        cols.push(Column {
+            name,
+            times,
+            root_time,
+            max_solvers,
+            first_max_active: first_max,
+            all_solved,
+        });
     }
 
     // Print in the paper's layout: one column per instance.

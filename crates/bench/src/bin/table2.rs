@@ -39,7 +39,17 @@ fn main() {
     );
     println!(
         "{:>5} {:>10} {:>7} {:>9} {:>7} {:>8} {:>12} {:>12} {:>8} {:>12} {:>11}",
-        "Run", "Computer", "Cores", "Time(s)", "Idle%", "Trans.", "Primal", "Dual", "Gap%", "Nodes", "Open"
+        "Run",
+        "Computer",
+        "Cores",
+        "Time(s)",
+        "Idle%",
+        "Trans.",
+        "Primal",
+        "Dual",
+        "Gap%",
+        "Nodes",
+        "Open"
     );
 
     // Core schedule: grows like the paper's (72 → 12,288), laptop scale.
@@ -65,10 +75,7 @@ fn main() {
         // Monotonicity checks across the chain (the paper's tables show
         // exactly this carry-over).
         assert!(primal <= prev_primal + 1e-6, "primal must not regress");
-        assert!(
-            dual >= prev_dual - 1e-6,
-            "dual must not regress: {dual} < {prev_dual}"
-        );
+        assert!(dual >= prev_dual - 1e-6, "dual must not regress: {dual} < {prev_dual}");
         if dual <= prev_dual + 1e-9 {
             stalls += 1;
             if stalls >= 2 {
@@ -106,7 +113,9 @@ fn main() {
         if let Some(cp) = &res.ug.final_checkpoint {
             println!(
                 "{:>5} checkpoint: {} primitive nodes carried to run 1.{}",
-                "", cp.num_primitive_nodes(), i + 2
+                "",
+                cp.num_primitive_nodes(),
+                i + 2
             );
         }
     }

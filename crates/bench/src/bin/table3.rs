@@ -34,7 +34,17 @@ fn main() {
     );
     println!(
         "{:>4} {:>10} {:>7} {:>9} {:>7} {:>8} {:>12} {:>12} {:>8} {:>12} {:>11}",
-        "Run", "Computer", "Cores", "Time(s)", "Idle%", "Trans.", "Primal", "Dual", "Gap%", "Nodes", "Open"
+        "Run",
+        "Computer",
+        "Cores",
+        "Time(s)",
+        "Idle%",
+        "Trans.",
+        "Primal",
+        "Dual",
+        "Gap%",
+        "Nodes",
+        "Open"
     );
 
     let cores = 4usize;

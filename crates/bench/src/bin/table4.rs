@@ -32,7 +32,10 @@ fn main() {
 
     let sets = table4_testsets(per_family);
     println!("Table 4: results for ug[ScipSdp,ThreadComm] over the generated CBLIB-like sets");
-    println!("({} instances per set; per-instance limit {limit}s; shifted geometric mean, s=10)\n", per_family);
+    println!(
+        "({} instances per set; per-instance limit {limit}s; shifted geometric mean, s=10)\n",
+        per_family
+    );
 
     let mut rows: Vec<(String, Vec<Cell>)> = Vec::new();
 
@@ -41,8 +44,7 @@ fn main() {
     for (_, insts) in &sets {
         let mut c = Cell { solved: 0, times: Vec::new() };
         for p in insts {
-            let mut st = ugrs_cip::Settings::default();
-            st.time_limit = limit;
+            let st = ugrs_cip::Settings { time_limit: limit, ..Default::default() };
             let t0 = Instant::now();
             let res = MisdpSolver::new(p.clone(), Approach::Sdp, st).solve();
             let dt = t0.elapsed().as_secs_f64().min(limit);

@@ -61,7 +61,7 @@ mod tests {
 
     #[test]
     fn fmt_time_switches_precision() {
-        assert_eq!(fmt_time(3.14159), "3.14");
+        assert_eq!(fmt_time(3.2468), "3.25");
         assert_eq!(fmt_time(123.4), "123");
     }
 }

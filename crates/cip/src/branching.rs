@@ -105,9 +105,7 @@ pub fn select_branching_var(
             BranchingRule::FirstIndex => -((p as f64) + v.0 as f64),
             BranchingRule::Pseudocost => {
                 let f = val - val.floor();
-                pcost
-                    .score(v, f)
-                    .unwrap_or_else(|| 10.0 * (0.5 - (frac - 0.5).abs()))
+                pcost.score(v, f).unwrap_or_else(|| 10.0 * (0.5 - (frac - 0.5).abs()))
             }
         };
         let better = match best {
@@ -174,11 +172,7 @@ mod tests {
         let pc = Pseudocosts::new(3);
         let x = vec![1.5, 2.5, 0.0]; // exact tie on fractionality
         let picks: Vec<_> = (0..8)
-            .map(|s| {
-                select_branching_var(&m, &x, BranchingRule::MostFractional, &pc, s)
-                    .unwrap()
-                    .0
-            })
+            .map(|s| select_branching_var(&m, &x, BranchingRule::MostFractional, &pc, s).unwrap().0)
             .collect();
         // Different seeds must not all agree (diversification works).
         assert!(picks.iter().any(|&p| p != picks[0]));

@@ -25,9 +25,7 @@ impl Heuristic for SimpleRounding {
         for (v, var) in ctx.model.vars() {
             let j = v.0 as usize;
             if var.vtype != VarType::Continuous {
-                cand[j] = cand[j]
-                    .round()
-                    .clamp(ctx.local_lb[j], ctx.local_ub[j]);
+                cand[j] = cand[j].round().clamp(ctx.local_lb[j], ctx.local_ub[j]);
             }
         }
         Some(cand)
@@ -51,10 +49,7 @@ impl Default for ShiftRounding {
 
 impl ShiftRounding {
     fn violations(model: &Model, x: &[f64]) -> usize {
-        model
-            .conss()
-            .filter(|c| !c.is_satisfied(x, crate::FEAS_TOL))
-            .count()
+        model.conss().filter(|c| !c.is_satisfied(x, crate::FEAS_TOL)).count()
     }
 }
 
@@ -75,11 +70,8 @@ impl Heuristic for ShiftRounding {
                     continue;
                 }
                 let frac = cand[j] - cand[j].floor();
-                let round_up = if t == 0 {
-                    frac >= 0.5
-                } else {
-                    rng.gen_bool(frac.clamp(0.05, 0.95))
-                };
+                let round_up =
+                    if t == 0 { frac >= 0.5 } else { rng.gen_bool(frac.clamp(0.05, 0.95)) };
                 cand[j] = if round_up { cand[j].ceil() } else { cand[j].floor() };
                 cand[j] = cand[j].clamp(ctx.local_lb[j], ctx.local_ub[j]);
             }

@@ -4,7 +4,9 @@ use crate::settings::Settings;
 use crate::solver::{NoHooks, SolveResult, Solver};
 
 /// Index of a variable in a [`Model`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct VarId(pub u32);
 
 /// Variable integrality class.
@@ -105,12 +107,7 @@ impl Model {
                 merged.push((v, c));
             }
         }
-        self.conss.push(LinCons {
-            name: format!("c{idx}"),
-            lhs,
-            rhs,
-            terms: merged,
-        });
+        self.conss.push(LinCons { name: format!("c{idx}"), lhs, rhs, terms: merged });
         idx
     }
 

@@ -16,11 +16,7 @@ pub enum PropOutcome {
 /// Infinity guard for activity computations.
 const ACT_INF: f64 = 1e50;
 
-fn activity_bounds(
-    terms: &[(crate::model::VarId, f64)],
-    lb: &[f64],
-    ub: &[f64],
-) -> (f64, f64) {
+fn activity_bounds(terms: &[(crate::model::VarId, f64)], lb: &[f64], ub: &[f64]) -> (f64, f64) {
     let mut min = 0.0;
     let mut max = 0.0;
     for &(v, c) in terms {

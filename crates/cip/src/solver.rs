@@ -261,11 +261,8 @@ impl Solver {
             lp_prob.add_var(var.lb, var.ub, var.obj);
         }
         for cons in self.model.conss() {
-            let terms: Vec<(ugrs_lp::VarId, f64)> = cons
-                .terms
-                .iter()
-                .map(|&(v, c)| (ugrs_lp::VarId(v.0), c))
-                .collect();
+            let terms: Vec<(ugrs_lp::VarId, f64)> =
+                cons.terms.iter().map(|&(v, c)| (ugrs_lp::VarId(v.0), c)).collect();
             lp_prob.add_row(cons.lhs, cons.rhs, &terms);
         }
         let base_rows = lp_prob.num_rows();
@@ -343,9 +340,10 @@ impl Solver {
             let node_bound_in = tree.node(node_id).dual_bound;
 
             // global dual bound = min(open, this node)
-            let global_bound = tree.open_bound().min(node_bound_in).min(
-                self.incumbents.best_obj().unwrap_or(f64::INFINITY),
-            );
+            let global_bound = tree
+                .open_bound()
+                .min(node_bound_in)
+                .min(self.incumbents.best_obj().unwrap_or(f64::INFINITY));
             self.stats.record_dual_bound(global_bound);
             if self.gap_reached() {
                 status = SolveStatus::GapLimit;
@@ -493,7 +491,11 @@ impl Solver {
                         self.stats.record_dual_bound(
                             bound.min(self.incumbents.best_obj().unwrap_or(f64::INFINITY)),
                         );
-                        hooks.on_status(self.stats.dual_bound, tree.num_open() + 1, self.stats.nodes);
+                        hooks.on_status(
+                            self.stats.dual_bound,
+                            tree.num_open() + 1,
+                            self.stats.nodes,
+                        );
                     }
                     // Stop when the dual bound stalls ("as long as the
                     // dual-bound can be sufficiently improved", §3.1).
@@ -655,7 +657,7 @@ impl Solver {
 
             // ---- heuristics --------------------------------------------------
             let freq = self.settings.heur_frequency;
-            if depth == 0 || (freq > 0 && depth % freq == 0) {
+            if depth == 0 || (freq > 0 && depth.is_multiple_of(freq)) {
                 self.run_heuristics(depth, &lb, &ub, &relax_x, bound, hooks, &mut tree);
                 if !use_relax && self.settings.use_diving {
                     self.run_diving(&lb, &ub, &relax_x, &mut lp, hooks, &mut tree);
@@ -707,7 +709,11 @@ impl Solver {
     /// Solves the subproblem described by `desc` (UG ParaSolver mode):
     /// bound changes are applied, then the full machinery — including
     /// another presolve round (*layered presolving*) — runs.
-    pub fn solve_subproblem(&mut self, desc: &NodeDesc, hooks: &mut dyn ControlHooks) -> SolveResult {
+    pub fn solve_subproblem(
+        &mut self,
+        desc: &NodeDesc,
+        hooks: &mut dyn ControlHooks,
+    ) -> SolveResult {
         self.apply_node_desc(desc);
         self.solve(hooks)
     }
@@ -795,7 +801,8 @@ impl Solver {
                     let mut cuts = CutBuffer::default();
                     let mut tight = Vec::new();
                     let pr = {
-                        let mut ctx = self.ctx(depth, lb, ub, None, None, &[], &mut cuts, &mut tight);
+                        let mut ctx =
+                            self.ctx(depth, lb, ub, None, None, &[], &mut cuts, &mut tight);
                         if kind == 0 {
                             props[i].propagate(&mut ctx)
                         } else {
@@ -920,11 +927,8 @@ impl Solver {
             lp_prob.add_var(var.lb, var.ub, var.obj);
         }
         for cons in self.model.conss() {
-            let terms: Vec<(ugrs_lp::VarId, f64)> = cons
-                .terms
-                .iter()
-                .map(|&(v, c)| (ugrs_lp::VarId(v.0), c))
-                .collect();
+            let terms: Vec<(ugrs_lp::VarId, f64)> =
+                cons.terms.iter().map(|&(v, c)| (ugrs_lp::VarId(v.0), c)).collect();
             lp_prob.add_row(cons.lhs, cons.rhs, &terms);
         }
         debug_assert_eq!(lp_prob.num_rows(), base_rows);
@@ -1123,12 +1127,9 @@ mod tests {
         let mut m = Model::new("knap");
         m.set_maximize();
         let data = [(4.0, 12.0), (2.0, 7.0), (1.0, 4.0), (3.0, 9.0), (5.0, 14.0)];
-        let vars: Vec<VarId> = data
-            .iter()
-            .map(|&(_, p)| m.add_var("x", VarType::Binary, 0.0, 1.0, p))
-            .collect();
-        let terms: Vec<(VarId, f64)> =
-            vars.iter().zip(&data).map(|(&v, &(w, _))| (v, w)).collect();
+        let vars: Vec<VarId> =
+            data.iter().map(|&(_, p)| m.add_var("x", VarType::Binary, 0.0, 1.0, p)).collect();
+        let terms: Vec<(VarId, f64)> = vars.iter().zip(&data).map(|(&v, &(w, _))| (v, w)).collect();
         m.add_linear(f64::NEG_INFINITY, 7.0, &terms);
         m
     }
@@ -1185,16 +1186,11 @@ mod tests {
         let vars: Vec<VarId> = (0..12)
             .map(|i| m.add_var("x", VarType::Binary, 0.0, 1.0, ((i * 7) % 11) as f64 + 1.0))
             .collect();
-        let terms: Vec<(VarId, f64)> = vars
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, ((i * 5) % 9) as f64 + 1.0))
-            .collect();
+        let terms: Vec<(VarId, f64)> =
+            vars.iter().enumerate().map(|(i, &v)| (v, ((i * 5) % 9) as f64 + 1.0)).collect();
         m.add_linear(17.0, 17.0, &terms);
-        let mut st = Settings::default();
-        st.node_limit = 1;
-        st.presolve_rounds = 0;
-        st.heur_frequency = 0;
+        let st =
+            Settings { node_limit: 1, presolve_rounds: 0, heur_frequency: 0, ..Default::default() };
         let mut solver = Solver::new_bare(m, st);
         let res = solver.solve(&mut NoHooks);
         assert_eq!(res.status, SolveStatus::NodeLimit);
@@ -1262,8 +1258,7 @@ mod tests {
 
     #[test]
     fn depth_first_also_finds_optimum() {
-        let mut st = Settings::default();
-        st.node_selection = NodeSelection::DepthFirst;
+        let st = Settings { node_selection: NodeSelection::DepthFirst, ..Default::default() };
         let res = knapsack().optimize(st);
         assert_eq!(res.status, SolveStatus::Optimal);
         assert!((res.best_obj.unwrap() - 23.0).abs() < 1e-6);

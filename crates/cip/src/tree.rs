@@ -199,9 +199,7 @@ impl Tree {
             .iter()
             .filter(|n| n.open)
             .min_by(|a, b| {
-                a.depth
-                    .cmp(&b.depth)
-                    .then(a.dual_bound.partial_cmp(&b.dual_bound).unwrap())
+                a.depth.cmp(&b.depth).then(a.dual_bound.partial_cmp(&b.dual_bound).unwrap())
             })?
             .id;
         self.nodes[best].open = false;
@@ -237,11 +235,7 @@ impl Tree {
 
     /// Minimum dual bound over all open nodes (`+inf` when none).
     pub fn open_bound(&self) -> f64 {
-        self.nodes
-            .iter()
-            .filter(|n| n.open)
-            .map(|n| n.dual_bound)
-            .fold(f64::INFINITY, f64::min)
+        self.nodes.iter().filter(|n| n.open).map(|n| n.dual_bound).fold(f64::INFINITY, f64::min)
     }
 
     /// Accumulates the root-to-node bound changes for `id`.
@@ -260,20 +254,12 @@ impl Tree {
     /// Builds the transferable description of node `id`.
     pub fn describe(&self, id: usize) -> NodeDesc {
         let n = &self.nodes[id];
-        NodeDesc {
-            bound_changes: self.path_changes(id),
-            depth: n.depth,
-            dual_bound: n.dual_bound,
-        }
+        NodeDesc { bound_changes: self.path_changes(id), depth: n.depth, dual_bound: n.dual_bound }
     }
 
     /// Descriptions of all open nodes (checkpointing).
     pub fn describe_open(&self) -> Vec<NodeDesc> {
-        self.nodes
-            .iter()
-            .filter(|n| n.open)
-            .map(|n| self.describe(n.id))
-            .collect()
+        self.nodes.iter().filter(|n| n.open).map(|n| self.describe(n.id)).collect()
     }
 }
 

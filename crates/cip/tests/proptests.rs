@@ -4,21 +4,21 @@
 use proptest::prelude::*;
 use ugrs_cip::{Model, NodeDesc, Settings, SolveStatus, Solver, VarType};
 
+/// `(lhs, rhs, sparse coefficients)` of a generated row.
+type RandomRow = (f64, f64, Vec<(usize, f64)>);
+
 #[derive(Clone, Debug)]
 struct RandomBip {
     nvars: usize,
     obj: Vec<f64>,
-    rows: Vec<(f64, f64, Vec<(usize, f64)>)>,
+    rows: Vec<RandomRow>,
 }
 
 fn random_bip() -> impl Strategy<Value = RandomBip> {
     (2usize..8, 1usize..5).prop_flat_map(|(nvars, nrows)| {
         let obj = prop::collection::vec(-5.0f64..5.0, nvars);
-        let row = (
-            prop::collection::vec((0..nvars, -4.0f64..4.0), 1..=nvars),
-            -6.0f64..0.0,
-            0.0f64..6.0,
-        );
+        let row =
+            (prop::collection::vec((0..nvars, -4.0f64..4.0), 1..=nvars), -6.0f64..0.0, 0.0f64..6.0);
         let rows = prop::collection::vec(row, nrows);
         (obj, rows).prop_map(move |(obj, rows)| RandomBip {
             nvars,
@@ -30,11 +30,8 @@ fn random_bip() -> impl Strategy<Value = RandomBip> {
 
 fn build(bip: &RandomBip) -> Model {
     let mut m = Model::new("prop");
-    let vars: Vec<_> = bip
-        .obj
-        .iter()
-        .map(|&c| m.add_var("x", VarType::Binary, 0.0, 1.0, c))
-        .collect();
+    let vars: Vec<_> =
+        bip.obj.iter().map(|&c| m.add_var("x", VarType::Binary, 0.0, 1.0, c)).collect();
     for (lhs, rhs, terms) in &bip.rows {
         let t: Vec<_> = terms.iter().map(|&(j, c)| (vars[j], c)).collect();
         m.add_linear(*lhs, *rhs, &t);
@@ -55,7 +52,7 @@ fn brute_force(bip: &RandomBip) -> Option<f64> {
             }
         }
         let obj: f64 = bip.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
-        if best.map_or(true, |b| obj < b) {
+        if best.is_none_or(|b| obj < b) {
             best = Some(obj);
         }
     }
@@ -90,8 +87,7 @@ proptest! {
         let model = build(&bip);
         let mut objs = Vec::new();
         for sel in [NodeSelection::BestBound, NodeSelection::DepthFirst, NodeSelection::Hybrid] {
-            let mut st = Settings::default();
-            st.node_selection = sel;
+            let st = Settings { node_selection: sel, ..Default::default() };
             let res = model.optimize(st);
             objs.push((res.status, res.best_obj));
         }

@@ -2,58 +2,108 @@
 //!
 //! UG abstracts the transport behind base classes so that the *same*
 //! coordination logic runs over pthreads/C++11 threads (FiberSCIP) and
-//! MPI (ParaSCIP). We reproduce that boundary: [`ThreadComm`] is the
-//! in-process back-end built on crossbeam channels; a distributed
-//! back-end would implement the same two endpoint types over sockets or
-//! MPI. All coordination code talks *only* in rank-addressed
-//! [`Message`]s — no shared state crosses this boundary (the supervisor
-//! and workers share nothing but channels), which is what makes the
-//! substitution faithful to UG's design.
+//! MPI (ParaSCIP). We reproduce that boundary: [`LcComm`] and
+//! [`WorkerComm`] are enum-dispatched endpoints with two back-ends —
+//!
+//! * **ThreadComm** (this module): in-process, one `std::sync::mpsc`
+//!   channel pair per rank — the FiberSCIP half, `ug [ugrs-*,
+//!   ThreadComm]`;
+//! * **ProcessComm** ([`crate::process`]): length-prefixed frames
+//!   ([`crate::wire`]) over localhost TCP between a coordinator process
+//!   and spawned worker processes — the ParaSCIP half, `ug [ugrs-*,
+//!   ProcessComm]`, standing in for MPI.
+//!
+//! All coordination code talks *only* in rank-addressed [`Message`]s —
+//! no shared state crosses this boundary (the supervisor and workers
+//! share nothing but endpoints), which is what makes the substitution
+//! faithful to UG's design: `supervisor`, `worker` and `runner` never
+//! know which transport carries their messages. The process back-end
+//! additionally synthesizes [`Message::WorkerDied`] upward when a
+//! worker's connection drops or its heartbeat stops, so the coordinator
+//! can requeue in-flight work (the thread back-end never emits it —
+//! a panicked thread takes the whole process down anyway).
 
 use crate::messages::Message;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::process::{ProcessLcComm, ProcessWorkerComm};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
-/// The LoadCoordinator's endpoint: can send to any rank and receive from
-/// all of them.
-pub struct LcComm<Sub, Sol> {
+/// The LoadCoordinator's endpoint: can send to any rank and receive
+/// from all of them.
+pub enum LcComm<Sub, Sol> {
+    /// In-process channels (FiberSCIP-style).
+    Thread(ThreadLcComm<Sub, Sol>),
+    /// TCP to spawned worker processes (ParaSCIP-style).
+    Process(ProcessLcComm<Sub, Sol>),
+}
+
+/// A ParaSolver's endpoint: receives its own messages, sends upward.
+pub enum WorkerComm<Sub, Sol> {
+    Thread(ThreadWorkerComm<Sub, Sol>),
+    Process(ProcessWorkerComm<Sub, Sol>),
+}
+
+// ---------------------------------------------------------------------
+// Thread back-end
+// ---------------------------------------------------------------------
+
+/// Coordinator side of the in-process transport.
+pub struct ThreadLcComm<Sub, Sol> {
     to_workers: Vec<Sender<Message<Sub, Sol>>>,
     from_workers: Receiver<Message<Sub, Sol>>,
 }
 
-/// A ParaSolver's endpoint: receives its own messages, sends upward.
-pub struct WorkerComm<Sub, Sol> {
-    pub rank: usize,
+/// Worker side of the in-process transport.
+pub struct ThreadWorkerComm<Sub, Sol> {
+    rank: usize,
     rx: Receiver<Message<Sub, Sol>>,
     tx: Sender<Message<Sub, Sol>>,
 }
 
 /// Builds an in-process communicator for `n` workers.
 pub fn thread_comm<Sub, Sol>(n: usize) -> (LcComm<Sub, Sol>, Vec<WorkerComm<Sub, Sol>>) {
-    let (up_tx, up_rx) = unbounded();
+    let (up_tx, up_rx) = channel();
     let mut to_workers = Vec::with_capacity(n);
     let mut endpoints = Vec::with_capacity(n);
     for rank in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         to_workers.push(tx);
-        endpoints.push(WorkerComm { rank, rx, tx: up_tx.clone() });
+        endpoints.push(WorkerComm::Thread(ThreadWorkerComm { rank, rx, tx: up_tx.clone() }));
     }
-    (LcComm { to_workers, from_workers: up_rx }, endpoints)
+    (LcComm::Thread(ThreadLcComm { to_workers, from_workers: up_rx }), endpoints)
 }
 
-/// Marker alias documenting the substitution: the paper's experiments use
-/// MPI on supercomputers; our reproduction runs the identical protocol
-/// over [`ThreadComm`].
+/// Marker alias documenting the substitution: the paper's experiments
+/// use MPI on supercomputers; our shared-memory runs use the identical
+/// protocol over in-process channels.
 pub type ThreadComm<Sub, Sol> = (LcComm<Sub, Sol>, Vec<WorkerComm<Sub, Sol>>);
 
-impl<Sub, Sol> LcComm<Sub, Sol> {
+impl<Sub, Sol> LcComm<Sub, Sol>
+where
+    Sub: Serialize + DeserializeOwned,
+    Sol: Serialize + DeserializeOwned,
+{
     pub fn num_workers(&self) -> usize {
-        self.to_workers.len()
+        match self {
+            LcComm::Thread(c) => c.to_workers.len(),
+            LcComm::Process(c) => c.num_workers(),
+        }
     }
 
-    /// Sends `msg` to `rank`. Returns false if the worker is gone.
+    /// Sends `msg` to `rank`. Returns false — rather than panicking —
+    /// when the rank is out of range or the worker is gone, so the
+    /// coordinator treats a dead rank like a full channel instead of
+    /// crashing the whole run.
     pub fn send_to(&self, rank: usize, msg: Message<Sub, Sol>) -> bool {
-        self.to_workers[rank].send(msg).is_ok()
+        match self {
+            LcComm::Thread(c) => match c.to_workers.get(rank) {
+                Some(tx) => tx.send(msg).is_ok(),
+                None => false,
+            },
+            LcComm::Process(c) => c.send_to(rank, msg),
+        }
     }
 
     /// Broadcasts clones of `msg` to every rank.
@@ -63,34 +113,60 @@ impl<Sub, Sol> LcComm<Sub, Sol> {
         Sol: Clone,
     {
         for rank in 0..self.num_workers() {
-            let _ = self.to_workers[rank].send(msg.clone());
+            let _ = self.send_to(rank, msg.clone());
         }
     }
 
     /// Blocking receive with timeout; `None` on timeout or when all
-    /// workers hung up.
+    /// workers hung up. On the process transport this is also where
+    /// heartbeat liveness is checked: a rank silent past its deadline
+    /// comes back as a synthesized [`Message::WorkerDied`].
     pub fn recv_timeout(&self, d: Duration) -> Option<Message<Sub, Sol>> {
-        match self.from_workers.recv_timeout(d) {
-            Ok(m) => Some(m),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        match self {
+            LcComm::Thread(c) => match c.from_workers.recv_timeout(d) {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+            },
+            LcComm::Process(c) => c.recv_timeout(d),
         }
     }
 }
 
-impl<Sub, Sol> WorkerComm<Sub, Sol> {
+impl<Sub, Sol> WorkerComm<Sub, Sol>
+where
+    Sub: Serialize + DeserializeOwned,
+    Sol: Serialize + DeserializeOwned,
+{
+    /// This endpoint's rank as assigned by the communicator.
+    pub fn rank(&self) -> usize {
+        match self {
+            WorkerComm::Thread(c) => c.rank,
+            WorkerComm::Process(c) => c.rank(),
+        }
+    }
+
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Message<Sub, Sol>> {
-        self.rx.try_recv().ok()
+        match self {
+            WorkerComm::Thread(c) => c.rx.try_recv().ok(),
+            WorkerComm::Process(c) => c.try_recv(),
+        }
     }
 
     /// Blocking receive; `None` when the coordinator hung up.
     pub fn recv(&self) -> Option<Message<Sub, Sol>> {
-        self.rx.recv().ok()
+        match self {
+            WorkerComm::Thread(c) => c.rx.recv().ok(),
+            WorkerComm::Process(c) => c.recv(),
+        }
     }
 
     /// Sends upward to the LoadCoordinator.
     pub fn send(&self, msg: Message<Sub, Sol>) -> bool {
-        self.tx.send(msg).is_ok()
+        match self {
+            WorkerComm::Thread(c) => c.tx.send(msg).is_ok(),
+            WorkerComm::Process(c) => c.send(msg),
+        }
     }
 }
 
@@ -124,5 +200,12 @@ mod tests {
     fn recv_timeout_expires() {
         let (lc, _workers) = thread_comm::<u32, u32>(1);
         assert!(lc.recv_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn send_to_out_of_range_rank_is_rejected_not_a_panic() {
+        let (lc, _workers) = thread_comm::<u32, u32>(2);
+        assert!(!lc.send_to(2, Message::Terminate));
+        assert!(!lc.send_to(usize::MAX, Message::Terminate));
     }
 }

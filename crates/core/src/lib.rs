@@ -27,24 +27,32 @@
 //!   assigned — exactly UG's strategy of saving subtree roots rather
 //!   than all open nodes, accepting re-search after restart.
 //!
-//! The message-passing layer ([`comm`]) is rank-addressed and typed; the
-//! in-process [`comm::ThreadComm`] (crossbeam channels) stands in for
-//! both the Pthreads/C++11 and the MPI back-ends of UG — the design
-//! point being, as in UG, that *only this layer* changes between shared
-//! and distributed memory.
+//! The message-passing layer ([`comm`]) is rank-addressed and typed,
+//! with two interchangeable back-ends — the in-process **ThreadComm**
+//! (the Pthreads/C++11 half, FiberSCIP-style) and the multi-process
+//! **ProcessComm** ([`process`]: wire frames over localhost TCP, the
+//! MPI/ParaSCIP half) — proving UG's design point that *only this
+//! layer* changes between shared and distributed memory: supervisor,
+//! worker and runner are byte-identical across both.
 
 pub mod checkpoint;
 pub mod comm;
 pub mod messages;
+pub mod process;
 pub mod runner;
 pub mod settings;
 pub mod stats;
 pub mod supervisor;
+pub mod wire;
 pub mod worker;
 
 pub use checkpoint::Checkpoint;
 pub use messages::{Message, SubproblemMsg};
-pub use runner::{solve_parallel, ParallelOptions, ParallelResult, RampUp};
+pub use process::ProcessCommConfig;
+pub use runner::{
+    run_distributed_worker, solve_parallel, solve_parallel_distributed, DistributedOptions,
+    ParallelOptions, ParallelResult, RampUp,
+};
 pub use settings::SolverSettings;
 pub use stats::UgStats;
 pub use worker::{BaseSolver, ParaControl, SubproblemOutcome};

@@ -16,7 +16,12 @@ pub struct SubproblemMsg<Sub> {
 
 /// Every message of the protocol. `Sub`/`Sol` are the base solver's
 /// solver-independent subproblem and solution types.
-#[derive(Clone, Debug)]
+///
+/// The enum derives serde so the *whole protocol* is wire-shippable:
+/// the process transport ([`crate::process`]) moves exactly these
+/// values as length-prefixed frames, while the thread transport moves
+/// them in memory — same protocol, different carrier.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub enum Message<Sub, Sol> {
     // ---- LoadCoordinator → ParaSolver --------------------------------
     /// Work assignment (tag `subproblem` in Algorithm 1): the subproblem,
@@ -47,6 +52,13 @@ pub enum Message<Sub, Sol> {
     ExportedNode { rank: usize, sub: SubproblemMsg<Sub> },
     /// Tag `terminated`: the assigned subproblem is done (or aborted).
     Completed { rank: usize, dual_bound: f64, nodes: u64, aborted: bool },
+
+    // ---- transport → LoadCoordinator ---------------------------------
+    /// Synthesized by the communicator (never sent by a worker): the
+    /// connection to `rank` dropped or its heartbeat went silent. The
+    /// coordinator requeues whatever that rank had in flight and stops
+    /// assigning to it. Only the distributed back-end produces this.
+    WorkerDied { rank: usize },
 }
 
 impl<Sub, Sol> Message<Sub, Sol> {
@@ -64,6 +76,7 @@ impl<Sub, Sol> Message<Sub, Sol> {
             Message::Status { .. } => "status",
             Message::ExportedNode { .. } => "subproblem^",
             Message::Completed { .. } => "terminated",
+            Message::WorkerDied { .. } => "workerDied",
         }
     }
 }

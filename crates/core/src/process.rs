@@ -1,0 +1,537 @@
+//! The distributed back-end: **ProcessComm**, `ug [ugrs-*,
+//! ProcessComm]` — the ParaSCIP half of the paper's transport matrix,
+//! with localhost TCP standing in for MPI.
+//!
+//! Topology is a star, exactly like UG's LoadCoordinator-centric MPI
+//! layout: the coordinator process binds a [`ProcessListener`], spawns
+//! (or is joined by) worker processes, and each worker holds one
+//! connection carrying length-prefixed [`crate::wire`] frames both
+//! ways.
+//!
+//! **Handshake.** A connecting worker sends `Hello { protocol,
+//! rank_hint }`; the coordinator verifies the protocol version, assigns
+//! a rank (honoring the hint when free — this is what makes spawned
+//! worker *i* deterministically become rank *i*), and answers `Welcome
+//! { rank, num_workers }`. Version-mismatched or garbled connections
+//! are dropped before they can corrupt a run.
+//!
+//! **Robustness.** Every worker runs a heartbeat thread sending `Ping`
+//! at a fixed interval, independent of solving, so a busy-but-healthy
+//! worker deep in a subtree is never declared dead. On the coordinator
+//! side each connection has a dedicated reader thread; a read error or
+//! EOF (the kernel closes sockets when a worker is killed) synthesizes
+//! [`Message::WorkerDied`] upward immediately, and a liveness sweep in
+//! `recv_timeout` catches the hung-but-connected case when a rank's
+//! last frame is older than the configured timeout. The supervisor
+//! reacts by requeueing the dead rank's in-flight subproblem — solving
+//! continues on the survivors.
+
+use crate::messages::Message;
+use crate::wire::{self, FrameDecoder};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Bumped on any frame-format or protocol change; a mismatch at
+/// handshake drops the connection instead of desynchronizing mid-run.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Tuning knobs of the process transport.
+#[derive(Clone, Debug)]
+pub struct ProcessCommConfig {
+    /// How long the coordinator waits for all workers to connect and
+    /// complete the hello/welcome exchange.
+    pub handshake_timeout: Duration,
+    /// A rank whose last frame (of any kind) is older than this is
+    /// declared dead even though its socket is still open.
+    pub liveness_timeout: Duration,
+    /// Interval of the worker-side heartbeat `Ping`.
+    pub heartbeat_interval: Duration,
+}
+
+impl Default for ProcessCommConfig {
+    fn default() -> Self {
+        ProcessCommConfig {
+            handshake_timeout: Duration::from_secs(20),
+            liveness_timeout: Duration::from_secs(15),
+            heartbeat_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Everything that crosses a worker connection after the handshake.
+#[derive(serde::Serialize, serde::Deserialize)]
+enum WireMsg<Sub, Sol> {
+    /// Worker → coordinator keep-alive; consumed by the transport,
+    /// never surfaced to coordination logic.
+    Ping { rank: usize },
+    /// A protocol message, verbatim.
+    Msg(Message<Sub, Sol>),
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Hello {
+    protocol: u32,
+    rank_hint: Option<usize>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Welcome {
+    rank: usize,
+    num_workers: usize,
+}
+
+// ---------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------
+
+/// The coordinator's accept socket. Bind first, then spawn workers
+/// pointed at [`Self::local_addr`], then collect them with
+/// [`Self::accept_workers`].
+pub struct ProcessListener {
+    listener: TcpListener,
+}
+
+impl ProcessListener {
+    /// Binds; pass port 0 (e.g. `"127.0.0.1:0"`) to let the OS pick.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Ok(ProcessListener { listener: TcpListener::bind(addr)? })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and handshakes exactly `n` workers, then returns the
+    /// coordinator endpoint. Connections with the wrong protocol
+    /// version (or that fail to say hello in time) are dropped and do
+    /// not count toward `n`.
+    pub fn accept_workers<Sub, Sol>(
+        self,
+        n: usize,
+        config: &ProcessCommConfig,
+    ) -> io::Result<ProcessLcComm<Sub, Sol>>
+    where
+        Sub: Serialize + DeserializeOwned + Send + 'static,
+        Sol: Serialize + DeserializeOwned + Send + 'static,
+    {
+        let deadline = Instant::now() + config.handshake_timeout;
+        self.listener.set_nonblocking(true)?;
+        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut accepted = 0usize;
+        while accepted < n {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if let Ok(rank) = handshake_accept(&stream, &streams, n) {
+                        streams[rank] = Some(stream);
+                        accepted += 1;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("only {accepted}/{n} workers connected in time"),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Handshake done: switch to one blocking reader thread per rank.
+        let (up_tx, up_rx) = channel();
+        let last_heard = Arc::new(Mutex::new(vec![Instant::now(); n]));
+        let died: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+        let mut writers = Vec::with_capacity(n);
+        for (rank, slot) in streams.into_iter().enumerate() {
+            let stream = slot.expect("all ranks handshaken");
+            stream.set_nonblocking(false)?;
+            stream.set_read_timeout(None)?;
+            let reader = stream.try_clone()?;
+            spawn_lc_reader(rank, reader, up_tx.clone(), last_heard.clone(), died.clone());
+            writers.push(Mutex::new(Some(stream)));
+        }
+        Ok(ProcessLcComm {
+            writers,
+            up_rx,
+            last_heard,
+            died,
+            liveness_timeout: config.liveness_timeout,
+        })
+    }
+}
+
+/// Performs the coordinator half of the hello/welcome exchange and
+/// picks the connection's rank.
+fn handshake_accept(
+    stream: &TcpStream,
+    taken: &[Option<TcpStream>],
+    n: usize,
+) -> io::Result<usize> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = stream.try_clone()?;
+    let mut dec = FrameDecoder::new();
+    let hello: Hello = wire::read_msg(&mut reader, &mut dec)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed before hello"))?;
+    if hello.protocol != PROTOCOL_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("protocol {} != {}", hello.protocol, PROTOCOL_VERSION),
+        ));
+    }
+    let rank = match hello.rank_hint {
+        Some(h) if h < n && taken[h].is_none() => h,
+        _ => taken
+            .iter()
+            .position(|s| s.is_none())
+            .expect("accept loop only runs while a rank is free"),
+    };
+    wire::write_msg(&mut (&*stream), &Welcome { rank, num_workers: n })?;
+    Ok(rank)
+}
+
+fn spawn_lc_reader<Sub, Sol>(
+    rank: usize,
+    mut stream: TcpStream,
+    up_tx: Sender<Message<Sub, Sol>>,
+    last_heard: Arc<Mutex<Vec<Instant>>>,
+    died: Arc<Vec<AtomicBool>>,
+) where
+    Sub: DeserializeOwned + Send + 'static,
+    Sol: DeserializeOwned + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("lc-reader-{rank}"))
+        .spawn(move || {
+            let mut dec = FrameDecoder::new();
+            loop {
+                match wire::read_msg::<WireMsg<Sub, Sol>, _>(&mut stream, &mut dec) {
+                    Ok(Some(wire_msg)) => {
+                        last_heard.lock().unwrap()[rank] = Instant::now();
+                        if let WireMsg::Msg(msg) = wire_msg {
+                            if up_tx.send(msg).is_err() {
+                                return; // coordinator gone
+                            }
+                        }
+                    }
+                    Ok(None) | Err(_) => {
+                        // EOF or broken frame: the worker is gone (a
+                        // killed process closes its sockets at once).
+                        if !died[rank].swap(true, Ordering::SeqCst) {
+                            let _ = up_tx.send(Message::WorkerDied { rank });
+                        }
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawn lc reader thread");
+}
+
+/// Coordinator endpoint of the process transport.
+pub struct ProcessLcComm<Sub, Sol> {
+    writers: Vec<Mutex<Option<TcpStream>>>,
+    up_rx: Receiver<Message<Sub, Sol>>,
+    last_heard: Arc<Mutex<Vec<Instant>>>,
+    died: Arc<Vec<AtomicBool>>,
+    liveness_timeout: Duration,
+}
+
+impl<Sub, Sol> std::fmt::Debug for ProcessLcComm<Sub, Sol> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProcessLcComm(n={})", self.writers.len())
+    }
+}
+
+impl<Sub, Sol> ProcessLcComm<Sub, Sol>
+where
+    Sub: Serialize + DeserializeOwned,
+    Sol: Serialize + DeserializeOwned,
+{
+    pub fn num_workers(&self) -> usize {
+        self.writers.len()
+    }
+
+    /// Sends to one rank; false when the rank is out of range, already
+    /// dead, or the write fails (in which case the writer is retired).
+    pub fn send_to(&self, rank: usize, msg: Message<Sub, Sol>) -> bool {
+        let Some(slot) = self.writers.get(rank) else { return false };
+        let mut guard = slot.lock().unwrap();
+        let Some(stream) = guard.as_mut() else { return false };
+        match wire::write_msg(stream, &WireMsg::Msg(msg)) {
+            Ok(()) => true,
+            Err(_) => {
+                *guard = None;
+                false
+            }
+        }
+    }
+
+    /// Receives the next upward message, checking heartbeat liveness
+    /// first: a rank silent past the timeout is reported as
+    /// [`Message::WorkerDied`] exactly once.
+    pub fn recv_timeout(&self, d: Duration) -> Option<Message<Sub, Sol>> {
+        {
+            let heard = self.last_heard.lock().unwrap();
+            for rank in 0..heard.len() {
+                if heard[rank].elapsed() > self.liveness_timeout
+                    && !self.died[rank].swap(true, Ordering::SeqCst)
+                {
+                    return Some(Message::WorkerDied { rank });
+                }
+            }
+        }
+        match self.up_rx.recv_timeout(d) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/// Connects to the coordinator, retrying until it is listening (worker
+/// processes may win the race against the coordinator's bind), and
+/// completes the handshake. The returned endpoint already has its
+/// heartbeat running.
+pub fn connect_worker<Sub, Sol>(
+    addr: &str,
+    rank_hint: Option<usize>,
+    config: &ProcessCommConfig,
+) -> io::Result<ProcessWorkerComm<Sub, Sol>>
+where
+    Sub: Serialize + DeserializeOwned + Send + 'static,
+    Sol: Serialize + DeserializeOwned + Send + 'static,
+{
+    let deadline = Instant::now() + config.handshake_timeout;
+    let stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    wire::write_msg(&mut (&stream), &Hello { protocol: PROTOCOL_VERSION, rank_hint })?;
+    let mut reader = stream.try_clone()?;
+    let mut dec = FrameDecoder::new();
+    let welcome: Welcome = wire::read_msg(&mut reader, &mut dec)?.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::UnexpectedEof, "coordinator closed before welcome")
+    })?;
+    stream.set_read_timeout(None)?;
+
+    let rank = welcome.rank;
+    let (down_tx, down_rx) = channel();
+    spawn_worker_reader::<Sub, Sol>(rank, reader, dec, down_tx);
+
+    let writer = Arc::new(Mutex::new(stream));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    spawn_heartbeat::<Sub, Sol>(rank, writer.clone(), shutdown.clone(), config.heartbeat_interval);
+
+    Ok(ProcessWorkerComm { rank, writer, down_rx, shutdown })
+}
+
+fn spawn_worker_reader<Sub, Sol>(
+    rank: usize,
+    mut stream: TcpStream,
+    mut dec: FrameDecoder,
+    down_tx: Sender<Message<Sub, Sol>>,
+) where
+    Sub: DeserializeOwned + Send + 'static,
+    Sol: DeserializeOwned + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("worker-reader-{rank}"))
+        .spawn(move || loop {
+            match wire::read_msg::<WireMsg<Sub, Sol>, _>(&mut stream, &mut dec) {
+                Ok(Some(WireMsg::Msg(msg))) => {
+                    if down_tx.send(msg).is_err() {
+                        return;
+                    }
+                }
+                Ok(Some(WireMsg::Ping { .. })) => {} // not used downward
+                Ok(None) | Err(_) => return,         // coordinator gone: recv() yields None
+            }
+        })
+        .expect("spawn worker reader thread");
+}
+
+fn spawn_heartbeat<Sub, Sol>(
+    rank: usize,
+    writer: Arc<Mutex<TcpStream>>,
+    shutdown: Arc<AtomicBool>,
+    interval: Duration,
+) where
+    Sub: Serialize + Send + 'static,
+    Sol: Serialize + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("heartbeat-{rank}"))
+        .spawn(move || loop {
+            std::thread::sleep(interval);
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let ping: WireMsg<Sub, Sol> = WireMsg::Ping { rank };
+            let mut stream = writer.lock().unwrap();
+            if wire::write_msg(&mut *stream, &ping).is_err() {
+                return; // connection gone; the reader notices too
+            }
+        })
+        .expect("spawn heartbeat thread");
+}
+
+/// Worker endpoint of the process transport.
+pub struct ProcessWorkerComm<Sub, Sol> {
+    rank: usize,
+    writer: Arc<Mutex<TcpStream>>,
+    down_rx: Receiver<Message<Sub, Sol>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl<Sub, Sol> ProcessWorkerComm<Sub, Sol>
+where
+    Sub: Serialize + DeserializeOwned,
+    Sol: Serialize + DeserializeOwned,
+{
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn try_recv(&self) -> Option<Message<Sub, Sol>> {
+        self.down_rx.try_recv().ok()
+    }
+
+    pub fn recv(&self) -> Option<Message<Sub, Sol>> {
+        self.down_rx.recv().ok()
+    }
+
+    pub fn send(&self, msg: Message<Sub, Sol>) -> bool {
+        let mut stream = self.writer.lock().unwrap();
+        wire::write_msg(&mut *stream, &WireMsg::Msg(msg)).is_ok()
+    }
+}
+
+impl<Sub, Sol> Drop for ProcessWorkerComm<Sub, Sol> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // `shutdown` acts on the socket itself, past every `try_clone`
+        // dup the reader and heartbeat threads hold — they unblock with
+        // EOF/EPIPE and exit, and the coordinator sees the hang-up at
+        // once (even when the worker is dying abnormally).
+        if let Ok(stream) = self.writer.lock() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ProcessCommConfig {
+        ProcessCommConfig {
+            handshake_timeout: Duration::from_secs(10),
+            liveness_timeout: Duration::from_secs(30),
+            heartbeat_interval: Duration::from_millis(100),
+        }
+    }
+
+    /// Full in-process exercise of the socket path: handshake with rank
+    /// hints, both message directions, and worker-death synthesis.
+    #[test]
+    fn handshake_roundtrip_and_death_detection() {
+        let listener = ProcessListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let cfg = config();
+
+        let mut joins = Vec::new();
+        for rank in 0..2usize {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            joins.push(std::thread::spawn(move || {
+                let comm = connect_worker::<u32, u32>(&addr, Some(rank), &cfg).unwrap();
+                assert_eq!(comm.rank(), rank);
+                assert!(comm.send(Message::Status {
+                    rank,
+                    dual_bound: rank as f64,
+                    open: 1,
+                    nodes: 2
+                }));
+                // Wait for an echo from the coordinator, then hang up
+                // (rank 1 hangs up without being told — "dies").
+                if rank == 0 {
+                    match comm.recv() {
+                        Some(Message::Terminate) => {}
+                        other => panic!("expected terminate, got {other:?}"),
+                    }
+                }
+            }));
+        }
+
+        let lc = listener.accept_workers::<u32, u32>(2, &cfg).unwrap();
+        assert_eq!(lc.num_workers(), 2);
+        let mut status_ranks = Vec::new();
+        let mut died = Vec::new();
+        // Expect two statuses and one death notice (rank 1 exits after
+        // sending its status).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while (status_ranks.len() < 2 || died.is_empty()) && Instant::now() < deadline {
+            match lc.recv_timeout(Duration::from_millis(50)) {
+                Some(Message::Status { rank, .. }) => status_ranks.push(rank),
+                Some(Message::WorkerDied { rank }) => died.push(rank),
+                _ => {}
+            }
+        }
+        status_ranks.sort_unstable();
+        assert_eq!(status_ranks, vec![0, 1]);
+        assert_eq!(died, vec![1]);
+
+        assert!(lc.send_to(0, Message::Terminate));
+        for j in joins {
+            j.join().unwrap();
+        }
+        // Rank 1's writer should be retired by now or fail fast.
+        let _ = lc.send_to(1, Message::Terminate);
+    }
+
+    #[test]
+    fn protocol_mismatch_is_rejected() {
+        let listener = ProcessListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let cfg = ProcessCommConfig { handshake_timeout: Duration::from_millis(600), ..config() };
+
+        let bad = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            wire::write_msg(
+                &mut (&stream),
+                &Hello { protocol: PROTOCOL_VERSION + 1, rank_hint: None },
+            )
+            .unwrap();
+            // The coordinator must drop us without a welcome.
+            let mut reader = stream.try_clone().unwrap();
+            reader.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut dec = FrameDecoder::new();
+            assert!(matches!(
+                wire::read_msg::<Welcome, _>(&mut reader, &mut dec),
+                Ok(None) | Err(_)
+            ));
+        });
+
+        // With only a bad client around, the accept must time out.
+        let err = listener.accept_workers::<u32, u32>(1, &cfg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        bad.join().unwrap();
+    }
+}

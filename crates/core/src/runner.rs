@@ -1,13 +1,22 @@
-//! The public entry point: spawn ParaSolvers, run the LoadCoordinator,
-//! join, return results — `ug [base solver, ThreadComm]` in the paper's
-//! naming scheme.
+//! The public entry points: spawn ParaSolvers, run the LoadCoordinator,
+//! join, return results.
+//!
+//! [`solve_parallel`] runs `ug [base solver, ThreadComm]` — workers are
+//! threads of this process. [`solve_parallel_distributed`] runs `ug
+//! [base solver, ProcessComm]` — workers are spawned OS processes
+//! hosting the base solver (see [`run_distributed_worker`] for their
+//! half), connected over localhost TCP. Both drive the *same*
+//! [`LoadCoordinator`]; only the transport handed to it differs.
 
 use crate::checkpoint::Checkpoint;
-use crate::comm::thread_comm;
+use crate::comm::{thread_comm, LcComm, WorkerComm};
+use crate::process::{connect_worker, ProcessCommConfig, ProcessListener};
 use crate::settings::SolverSettings;
 use crate::stats::UgStats;
 use crate::supervisor::LoadCoordinator;
 use crate::worker::{worker_loop, BaseSolver, SolverFactory};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
 use std::time::Duration;
 
 /// Ramp-up strategy (§2.2).
@@ -120,6 +129,123 @@ pub fn solve_parallel_seeded<S: BaseSolver + 'static>(
         let _ = h.join();
     }
     result
+}
+
+/// How to launch and talk to distributed workers.
+#[derive(Clone, Debug)]
+pub struct DistributedOptions {
+    /// Worker executable followed by its fixed leading arguments (the
+    /// problem selector etc.). The runner appends `--connect <addr>
+    /// --rank <i> --status-interval <s>` per spawned worker.
+    pub worker_command: Vec<String>,
+    /// Coordinator listen address; `"127.0.0.1:0"` lets the OS pick a
+    /// free port.
+    pub listen_addr: String,
+    /// Transport tuning (handshake/liveness/heartbeat).
+    pub comm: ProcessCommConfig,
+}
+
+impl Default for DistributedOptions {
+    fn default() -> Self {
+        DistributedOptions {
+            worker_command: Vec::new(),
+            listen_addr: "127.0.0.1:0".into(),
+            comm: ProcessCommConfig::default(),
+        }
+    }
+}
+
+/// Runs the parallel solve with `num_solvers` *worker processes*
+/// spawned from `dist.worker_command` — `ug [base solver,
+/// ProcessComm]`. The subproblem and every protocol message cross
+/// process boundaries as wire frames; the coordinator logic is
+/// identical to the threaded run. Workers are reaped (waited for, then
+/// killed if unresponsive) before this returns.
+pub fn solve_parallel_distributed<Sub, Sol>(
+    root: Sub,
+    options: ParallelOptions,
+    dist: DistributedOptions,
+) -> std::io::Result<ParallelResult<Sub, Sol>>
+where
+    Sub: Clone + Send + Serialize + DeserializeOwned + 'static,
+    Sol: Clone + Send + Serialize + DeserializeOwned + 'static,
+{
+    let n = options.num_solvers.max(1);
+    let (program, fixed_args) = dist.worker_command.split_first().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "empty worker_command")
+    })?;
+    let listener = ProcessListener::bind(&dist.listen_addr)?;
+    let addr = listener.local_addr()?.to_string();
+    let mut children = Vec::with_capacity(n);
+    for rank in 0..n {
+        let child = std::process::Command::new(program)
+            .args(fixed_args)
+            .arg("--connect")
+            .arg(&addr)
+            .arg("--rank")
+            .arg(rank.to_string())
+            .arg("--status-interval")
+            .arg(options.status_interval.to_string())
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null())
+            .spawn();
+        match child {
+            Ok(c) => children.push(c),
+            Err(e) => {
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(e);
+            }
+        }
+    }
+
+    let result = (|| -> std::io::Result<ParallelResult<Sub, Sol>> {
+        let lc = LcComm::Process(listener.accept_workers::<Sub, Sol>(n, &dist.comm)?);
+        let mut coordinator = LoadCoordinator::new(lc, options, root);
+        Ok(coordinator.run())
+    })();
+    reap_children(&mut children);
+    result
+}
+
+/// Waits (bounded) for worker processes to exit after `Terminate`, then
+/// kills stragglers so a hung worker can never wedge the coordinator.
+fn reap_children(children: &mut [std::process::Child]) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let all_done = children.iter_mut().all(|c| matches!(c.try_wait(), Ok(Some(_))));
+        if all_done {
+            return;
+        }
+        if std::time::Instant::now() >= deadline {
+            for c in children.iter_mut() {
+                if !matches!(c.try_wait(), Ok(Some(_))) {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+            }
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The worker-process half of a distributed run: connect to the
+/// coordinator at `addr`, then serve subproblems with `factory`-built
+/// base solvers until `Terminate`. This is what a worker binary (e.g.
+/// `ugd-worker`) calls after parsing its command line.
+pub fn run_distributed_worker<S: BaseSolver + 'static>(
+    addr: &str,
+    rank_hint: Option<usize>,
+    factory: SolverFactory<S>,
+    status_interval: Duration,
+    config: &ProcessCommConfig,
+) -> std::io::Result<()> {
+    let comm = WorkerComm::Process(connect_worker::<S::Sub, S::Sol>(addr, rank_hint, config)?);
+    worker_loop(comm, factory, status_interval);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -35,6 +35,10 @@ pub struct UgStats {
     pub racing_winner: Option<usize>,
     /// Number of improving incumbents the coordinator saw.
     pub incumbents_seen: u64,
+    /// Workers lost mid-run (distributed transport only): their
+    /// in-flight subproblems were requeued and solving continued on the
+    /// survivors.
+    pub workers_died: u64,
 }
 
 impl Default for UgStats {
@@ -52,6 +56,7 @@ impl Default for UgStats {
             dual_bound: f64::NEG_INFINITY,
             racing_winner: None,
             incumbents_seen: 0,
+            workers_died: 0,
         }
     }
 }
@@ -62,8 +67,7 @@ impl UgStats {
         if !self.primal_bound.is_finite() || !self.dual_bound.is_finite() {
             return f64::INFINITY;
         }
-        ((self.primal_bound - self.dual_bound).max(0.0) / self.primal_bound.abs().max(1e-9))
-            * 100.0
+        ((self.primal_bound - self.dual_bound).max(0.0) / self.primal_bound.abs().max(1e-9)) * 100.0
     }
 }
 

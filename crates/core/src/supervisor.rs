@@ -44,6 +44,9 @@ pub struct LoadCoordinator<Sub, Sol> {
     /// Ranks already sent an AbortSubproblem for their current assignment
     /// (avoids flooding the channel from the management loop).
     abort_sent: std::collections::HashSet<usize>,
+    /// Ranks the transport reported dead (distributed runs): never
+    /// assigned again; their in-flight work was requeued.
+    dead: std::collections::HashSet<usize>,
 }
 
 impl<Sub, Sol> LoadCoordinator<Sub, Sol>
@@ -77,6 +80,7 @@ where
             carried_wall: 0.0,
             last_checkpoint: now,
             abort_sent: std::collections::HashSet::new(),
+            dead: std::collections::HashSet::new(),
         }
     }
 
@@ -152,7 +156,7 @@ where
     fn handle(&mut self, msg: Message<Sub, Sol>) -> Option<bool> {
         match msg {
             Message::SolutionFound { rank, sol, obj } => {
-                let improves = self.incumbent.as_ref().map_or(true, |(_, cur)| obj < *cur - 1e-9);
+                let improves = self.incumbent.as_ref().is_none_or(|(_, cur)| obj < *cur - 1e-9);
                 if improves {
                     self.incumbent = Some((sol.clone(), obj));
                     self.stats.incumbents_seen += 1;
@@ -191,8 +195,36 @@ where
                 self.mark_idle(rank);
                 let _ = dual_bound;
             }
-            // Upward-only tags cannot appear here; downward tags are
-            // handled by workers.
+            Message::WorkerDied { rank } if self.dead.insert(rank) => {
+                self.stats.workers_died += 1;
+                self.mark_busy(rank); // freeze its idle accounting
+                self.idle.retain(|&r| r != rank);
+                self.abort_sent.remove(&rank);
+                let last_status_bound = self.statuses.remove(&rank).map(|(d, _, _)| d);
+                if let Some(mut sub) = self.assigned.remove(&rank) {
+                    if self.phase == Phase::Racing {
+                        // The surviving racers still hold the same
+                        // root; only when the *last* racer dies is
+                        // there work to recover.
+                        if self.assigned.is_empty() {
+                            self.phase = Phase::Normal;
+                            self.queue.push(SubproblemMsg {
+                                sub: self.root.clone(),
+                                dual_bound: f64::NEG_INFINITY,
+                            });
+                        }
+                    } else {
+                        // Requeue at the freshest bound the dead
+                        // worker reported, so re-solving the subtree
+                        // never regresses the global dual bound.
+                        if let Some(d) = last_status_bound {
+                            sub.dual_bound = sub.dual_bound.max(d);
+                        }
+                        self.queue.push(sub);
+                    }
+                }
+            }
+            // Downward tags are handled by workers.
             _ => {}
         }
         None
@@ -247,9 +279,7 @@ where
             .max_by(|a, b| {
                 let sa = self.statuses.get(a).copied().unwrap_or((f64::NEG_INFINITY, 0, 0));
                 let sb = self.statuses.get(b).copied().unwrap_or((f64::NEG_INFINITY, 0, 0));
-                sa.0.partial_cmp(&sb.0)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(sa.1.cmp(&sb.1))
+                sa.0.partial_cmp(&sb.0).unwrap_or(std::cmp::Ordering::Equal).then(sa.1.cmp(&sb.1))
             })
             .unwrap_or(0);
         self.racing_winner = Some(self.racing_settings_of_rank.get(&winner).copied().unwrap_or(0));
@@ -275,8 +305,8 @@ where
         if self.comm.num_workers() == 1 {
             return;
         }
-        let want = ((self.idle.len() as f64 + 1.0) * self.opts.pool_target_per_solver).ceil()
-            as usize;
+        let want =
+            ((self.idle.len() as f64 + 1.0) * self.opts.pool_target_per_solver).ceil() as usize;
         if !self.collect_mode && self.queue.len() < want {
             for rank in self.assigned.keys() {
                 self.comm.send_to(*rank, Message::StartCollecting);
@@ -348,10 +378,8 @@ where
         if racing_possible {
             self.start_racing();
         } else if self.queue.is_empty() {
-            self.queue.push(SubproblemMsg {
-                sub: self.root.clone(),
-                dual_bound: f64::NEG_INFINITY,
-            });
+            self.queue
+                .push(SubproblemMsg { sub: self.root.clone(), dual_bound: f64::NEG_INFINITY });
         }
 
         let mut solved = false;
@@ -368,6 +396,14 @@ where
                 }
             }
             if solved {
+                break;
+            }
+
+            // ---- worker attrition -------------------------------------
+            // Every worker is gone: nobody is left to assign the
+            // requeued work to. Stop unsolved; the checkpoint below
+            // preserves the queue for a restart with fresh workers.
+            if self.dead.len() >= self.comm.num_workers() {
                 break;
             }
 
@@ -434,8 +470,7 @@ where
                     if let Message::Completed { rank, nodes, aborted, .. } = &msg {
                         self.stats.nodes_total += nodes;
                         let (r, ab) = (*rank, *aborted);
-                        let last_status_bound =
-                            self.statuses.remove(&r).map(|(d, _, _)| d);
+                        let last_status_bound = self.statuses.remove(&r).map(|(d, _, _)| d);
                         // Move an *aborted* root back into the queue so the
                         // checkpoint sees it exactly once; a subproblem that
                         // completed normally in the shutdown race is done.

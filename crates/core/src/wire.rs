@@ -1,0 +1,178 @@
+//! The wire codec of the distributed back-end: how a [`crate::Message`]
+//! becomes bytes on a socket and comes back out intact.
+//!
+//! Framing is 4-byte big-endian length prefix + JSON payload. JSON
+//! (rather than a binary format) keeps frames human-debuggable with
+//! `tcpdump`/`nc` and reuses the exact serde path the checkpoint files
+//! already exercise — including the non-finite-float extension, which
+//! matters because every root subproblem ships with a `-Infinity` dual
+//! bound. The decoder is incremental: bytes arrive in arbitrary chunks
+//! (TCP guarantees order, not boundaries) and are buffered until a
+//! whole frame is available.
+
+use bytes::{Bytes, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io::{Read, Write};
+
+/// Refuse frames larger than this (a corrupt or malicious length prefix
+/// would otherwise make the receiver try to buffer gigabytes).
+pub const MAX_FRAME_LEN: usize = 256 * 1024 * 1024;
+
+/// A decode-side failure: framing violation or malformed payload.
+#[derive(Debug)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for std::io::Error {
+    fn from(e: WireError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Serializes `msg` into one framed buffer (prefix + payload), ready
+/// for a single `write_all`.
+pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
+    let payload = serde_json::to_vec(msg).expect("wire messages must serialize");
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    framed.extend_from_slice(&payload);
+    framed
+}
+
+/// Deserializes one frame *payload* (without the length prefix).
+pub fn decode<T: DeserializeOwned>(payload: &[u8]) -> Result<T, WireError> {
+    serde_json::from_slice(payload).map_err(|e| WireError(format!("bad payload: {e:?}")))
+}
+
+/// Incremental frame extractor: push received chunks in, pull complete
+/// frame payloads out. Never blocks and never loses partial data.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    pub fn new() -> Self {
+        FrameDecoder { buf: BytesMut::new() }
+    }
+
+    /// Appends freshly received bytes (any chunking).
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Extracts the next complete frame payload, or `None` if more
+    /// bytes are needed. Errors only on an over-limit length prefix.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError(format!("frame length {len} exceeds {MAX_FRAME_LEN}")));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let mut frame = self.buf.split_to(4 + len);
+        let _prefix = frame.split_to(4);
+        Ok(Some(frame.freeze()))
+    }
+}
+
+/// Writes one message as a single frame.
+pub fn write_msg<T: Serialize, W: Write>(w: &mut W, msg: &T) -> std::io::Result<()> {
+    w.write_all(&encode(msg))?;
+    w.flush()
+}
+
+/// Reads until one whole message is decodable. Returns `Ok(None)` on a
+/// clean EOF *between* frames; EOF mid-frame is an error. Honors the
+/// reader's own timeout semantics (e.g. `TcpStream::set_read_timeout`)
+/// by propagating `WouldBlock`/`TimedOut` errors untouched.
+pub fn read_msg<T: DeserializeOwned, R: Read>(
+    r: &mut R,
+    dec: &mut FrameDecoder,
+) -> std::io::Result<Option<T>> {
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if let Some(frame) = dec.next_frame()? {
+            return Ok(Some(decode(&frame)?));
+        }
+        match r.read(&mut chunk) {
+            Ok(0) => {
+                return if dec.buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                }
+            }
+            Ok(n) => dec.push(&chunk[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let msg = vec![(1u32, f64::NEG_INFINITY), (2, 3.5)];
+        let framed = encode(&msg);
+        assert_eq!(&framed[..4], &((framed.len() as u32 - 4).to_be_bytes()));
+        let back: Vec<(u32, f64)> = decode(&framed[4..]).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decoder_handles_split_and_coalesced_frames() {
+        let a = encode(&"first".to_string());
+        let b = encode(&"second".to_string());
+        let mut stream: Vec<u8> = Vec::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+
+        let mut dec = FrameDecoder::new();
+        // Feed one byte at a time: worst-case fragmentation.
+        let mut out: Vec<String> = Vec::new();
+        for byte in stream {
+            dec.push(&[byte]);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                out.push(decode(&frame).unwrap());
+            }
+        }
+        assert_eq!(out, vec!["first".to_string(), "second".to_string()]);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&u32::MAX.to_be_bytes());
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn read_msg_round_trips_over_a_reader() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_msg(&mut buf, &42u64).unwrap();
+        write_msg(&mut buf, &43u64).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let mut dec = FrameDecoder::new();
+        assert_eq!(read_msg::<u64, _>(&mut cursor, &mut dec).unwrap(), Some(42));
+        assert_eq!(read_msg::<u64, _>(&mut cursor, &mut dec).unwrap(), Some(43));
+        assert_eq!(read_msg::<u64, _>(&mut cursor, &mut dec).unwrap(), None);
+    }
+}

@@ -79,7 +79,11 @@ pub struct WorkerCtl<'a, Sub, Sol> {
     exported: u64,
 }
 
-impl<'a, Sub, Sol> WorkerCtl<'a, Sub, Sol> {
+impl<'a, Sub, Sol> WorkerCtl<'a, Sub, Sol>
+where
+    Sub: serde::Serialize + serde::de::DeserializeOwned,
+    Sol: serde::Serialize + serde::de::DeserializeOwned,
+{
     fn new(comm: &'a WorkerComm<Sub, Sol>, rank: usize, status_interval: Duration) -> Self {
         WorkerCtl {
             comm,
@@ -99,10 +103,7 @@ impl<'a, Sub, Sol> WorkerCtl<'a, Sub, Sol> {
         while let Some(msg) = self.comm.try_recv() {
             match msg {
                 Message::Incumbent { sol, obj } => {
-                    let better = self
-                        .pending_incumbent
-                        .as_ref()
-                        .map_or(true, |(_, cur)| obj < *cur);
+                    let better = self.pending_incumbent.as_ref().is_none_or(|(_, cur)| obj < *cur);
                     if better {
                         self.pending_incumbent = Some((sol, obj));
                     }
@@ -121,7 +122,11 @@ impl<'a, Sub, Sol> WorkerCtl<'a, Sub, Sol> {
     }
 }
 
-impl<Sub, Sol> ParaControl<Sub, Sol> for WorkerCtl<'_, Sub, Sol> {
+impl<Sub, Sol> ParaControl<Sub, Sol> for WorkerCtl<'_, Sub, Sol>
+where
+    Sub: serde::Serialize + serde::de::DeserializeOwned,
+    Sol: serde::Serialize + serde::de::DeserializeOwned,
+{
     fn should_abort(&mut self) -> bool {
         self.pump();
         self.abort
@@ -139,8 +144,7 @@ impl<Sub, Sol> ParaControl<Sub, Sol> for WorkerCtl<'_, Sub, Sol> {
     fn on_status(&mut self, dual_bound: f64, open: usize, nodes: u64) {
         if self.last_status.elapsed() >= self.status_interval {
             self.last_status = Instant::now();
-            self.comm
-                .send(Message::Status { rank: self.rank, dual_bound, open, nodes });
+            self.comm.send(Message::Status { rank: self.rank, dual_bound, open, nodes });
         }
     }
 
@@ -231,7 +235,7 @@ pub fn worker_loop<S: BaseSolver>(
     factory: SolverFactory<S>,
     status_interval: Duration,
 ) {
-    let rank = comm.rank;
+    let rank = comm.rank();
     loop {
         let Some(msg) = comm.recv() else { return };
         match msg {

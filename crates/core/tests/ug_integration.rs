@@ -80,9 +80,8 @@ struct KnapsackSolver {
 impl KnapsackSolver {
     /// Greedy fractional bound on remaining profit (classic Dantzig).
     fn bound(&self, fixed: &[Option<bool>], used_w: f64, got_p: f64) -> f64 {
-        let mut items: Vec<usize> = (0..self.inst.weights.len())
-            .filter(|&i| fixed[i].is_none())
-            .collect();
+        let mut items: Vec<usize> =
+            (0..self.inst.weights.len()).filter(|&i| fixed[i].is_none()).collect();
         items.sort_by(|&a, &b| {
             let ra = self.inst.profits[a] / self.inst.weights[a];
             let rb = self.inst.profits[b] / self.inst.weights[b];
@@ -123,8 +122,8 @@ impl BaseSolver for KnapsackSolver {
                     .sum::<f64>()
             })
             .unwrap_or(0.0); // empty knapsack is always feasible
-        // The subproblem root's bound is a valid bound for everything in
-        // this subtree — that is what on_status must report.
+                             // The subproblem root's bound is a valid bound for everything in
+                             // this subtree — that is what on_status must report.
         let root_bound = {
             let mut fixed: Vec<Option<bool>> = vec![None; n];
             let (mut w, mut p) = (0.0, 0.0);
@@ -141,16 +140,15 @@ impl BaseSolver for KnapsackSolver {
         let mut stack: Vec<Sub> = vec![sub.clone()];
         let mut nodes = 0u64;
         let mut aborted = false;
-        let mut subtree_bound = f64::INFINITY; // min over pruned/open (internal)
         while let Some(fixings) = stack.pop() {
             nodes += 1;
             if self.delay_us > 0 {
                 std::thread::sleep(std::time::Duration::from_micros(self.delay_us));
             }
             if ctl.should_abort() {
+                // Remaining open nodes are lost; the outcome reports
+                // NEG_INFINITY for an aborted subtree.
                 aborted = true;
-                // Remaining open nodes are lost; their bounds cap ours.
-                subtree_bound = f64::NEG_INFINITY;
                 break;
             }
             if let Some((sol, obj)) = ctl.poll_incumbent() {
@@ -180,7 +178,6 @@ impl BaseSolver for KnapsackSolver {
             let ub_profit = self.bound(&fixed, used_w, got_p);
             let dual = -ub_profit; // internal sense
             if dual >= best_obj - 1e-9 {
-                subtree_bound = subtree_bound.min(best_obj);
                 continue; // pruned
             }
             // Export a node when the coordinator is collecting. The bound
@@ -213,11 +210,7 @@ impl BaseSolver for KnapsackSolver {
                     }
                 }
                 Some(&pick) => {
-                    let pick = if self.seed % 2 == 1 {
-                        *nexts.last().unwrap()
-                    } else {
-                        pick
-                    };
+                    let pick = if self.seed % 2 == 1 { *nexts.last().unwrap() } else { pick };
                     let mut with = fixings.clone();
                     with.push((pick as u32, true));
                     let mut without = fixings.clone();
@@ -245,11 +238,7 @@ fn factory(inst: Arc<Knapsack>, delay_us: u64) -> ugrs_core::worker::SolverFacto
 }
 
 fn profit_of(inst: &Knapsack, sol: &Sol) -> f64 {
-    sol.iter()
-        .enumerate()
-        .filter(|(_, t)| **t)
-        .map(|(i, _)| inst.profits[i])
-        .sum()
+    sol.iter().enumerate().filter(|(_, t)| **t).map(|(i, _)| inst.profits[i]).sum()
 }
 
 #[test]
@@ -309,11 +298,7 @@ fn time_limit_checkpoints_and_restart_completes() {
     let inst = Arc::new(Knapsack::gen_hard(18, 23));
     let expected = inst.brute_force();
     // Phase 1: absurdly small time limit → checkpoint.
-    let opts = ParallelOptions {
-        num_solvers: 3,
-        time_limit: 0.15,
-        ..Default::default()
-    };
+    let opts = ParallelOptions { num_solvers: 3, time_limit: 0.15, ..Default::default() };
     let res1 = solve_parallel(factory(inst.clone(), 300), Vec::new(), opts);
     assert!(!res1.solved, "phase 1 should hit the time limit");
     let cp = res1.final_checkpoint.expect("checkpoint must exist");
@@ -409,14 +394,18 @@ fn serde_fidelity_wrapper_preserves_results() {
     let expected = inst.brute_force();
     let inner = factory(inst.clone(), 10);
     let wrapped: ugrs_core::worker::SolverFactory<SerdeFidelity<KnapsackSolver>> =
-        Arc::new(move |rank, settings| SerdeFidelity(
-            // reuse the plain factory to build the inner solver
-            (inner)(rank, settings),
-        ));
+        Arc::new(move |rank, settings| {
+            SerdeFidelity(
+                // reuse the plain factory to build the inner solver
+                (inner)(rank, settings),
+            )
+        });
     let opts = ParallelOptions { num_solvers: 3, ..Default::default() };
     let res = solve_parallel(wrapped, Vec::new(), opts);
     assert!(res.solved);
     let (sol, _) = res.solution.unwrap();
-    assert!((profit_of(&inst, &sol) - expected).abs() < 1e-9,
-        "byte-boundary round trips must not change the optimum");
+    assert!(
+        (profit_of(&inst, &sol) - expected).abs() < 1e-9,
+        "byte-boundary round trips must not change the optimum"
+    );
 }

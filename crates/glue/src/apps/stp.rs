@@ -80,38 +80,74 @@ pub fn ug_solve_stp_seeded(
     ugrs_steiner::reduce::reduce(&mut g, reduce_params);
     if g.num_terminals() < 2 {
         // Solved by presolving alone.
-        let cost = g.fixed_cost;
-        let edges = g.fixed_edges.clone();
-        let mut stats = ugrs_core::UgStats::default();
-        stats.primal_bound = cost;
-        stats.dual_bound = cost;
-        return StpParallelResult {
-            tree: Some((edges, cost)),
-            dual_bound: cost,
-            solved: true,
-            stats: stats.clone(),
-            ug: ParallelResult {
-                solution: None,
-                dual_bound: cost,
-                solved: true,
-                stats,
-                final_checkpoint: None,
-            },
-        };
+        return trivial_result(&g);
     }
     let g = Arc::new(g);
     let plugins = Arc::new(StpPlugins { graph: g.clone(), in_tree_reductions: true });
     let factory = UgCipSolver::factory(plugins);
-    let res = ugrs_core::runner::solve_parallel_seeded(
-        factory,
-        NodeDesc::root(),
-        seed_solution,
-        options,
-    );
+    let res =
+        ugrs_core::runner::solve_parallel_seeded(factory, NodeDesc::root(), seed_solution, options);
+    map_back(&g, res)
+}
 
-    // Map the solution back: model assignment → reduced edges → original.
+/// `ug [SteinerJack, ProcessComm]`: the same solve, but the ParaSolvers
+/// are worker *processes* (`dist.worker_command`, typically the
+/// `ugd-worker` binary) on localhost. The reduced instance is written
+/// to a temp file whose path is appended as `--instance <path>`; every
+/// subproblem and solution then crosses the wire as frames. Workers
+/// dying mid-run are survived: their subproblems are requeued.
+pub fn ug_solve_stp_distributed(
+    graph: &Graph,
+    reduce_params: &ugrs_steiner::reduce::ReduceParams,
+    options: ParallelOptions,
+    mut dist: ugrs_core::DistributedOptions,
+) -> std::io::Result<StpParallelResult> {
+    let mut g = graph.clone();
+    ugrs_steiner::reduce::reduce(&mut g, reduce_params);
+    if g.num_terminals() < 2 {
+        // Solved by presolving alone — no workers needed.
+        return Ok(trivial_result(&g));
+    }
+
+    let instance_path = std::env::temp_dir().join(format!(
+        "ugrs-stp-{}-{:x}.json",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    ));
+    std::fs::write(&instance_path, serde_json::to_string(&g)?)?;
+    dist.worker_command.push("--instance".into());
+    dist.worker_command.push(instance_path.to_string_lossy().into_owned());
+
+    let res = ugrs_core::solve_parallel_distributed::<NodeDesc, Vec<f64>>(
+        NodeDesc::root(),
+        options,
+        dist,
+    );
+    let _ = std::fs::remove_file(&instance_path);
+    Ok(map_back(&g, res?))
+}
+
+/// Builds the factory a worker process uses to serve a distributed STP
+/// run: load the (already reduced) instance the coordinator wrote, then
+/// construct one SCIP-Jack-armed solver per received subproblem.
+pub fn stp_worker_factory(
+    instance_path: &std::path::Path,
+) -> std::io::Result<ugrs_core::worker::SolverFactory<UgCipSolver<StpPlugins>>> {
+    let text = std::fs::read_to_string(instance_path)?;
+    let graph: Graph = serde_json::from_str(&text)?;
+    let plugins = Arc::new(StpPlugins { graph: Arc::new(graph), in_tree_reductions: true });
+    Ok(UgCipSolver::factory(plugins))
+}
+
+/// Maps a UG result on the reduced graph back to original edge ids:
+/// model assignment → reduced edges → expanded original edges + fixed
+/// parts from presolving.
+fn map_back(g: &Graph, res: ParallelResult<NodeDesc, Vec<f64>>) -> StpParallelResult {
     let tree = res.solution.as_ref().map(|(x, obj)| {
-        let (_, data) = build_model(&g);
+        let (_, data) = build_model(g);
         let reduced = data.assignment_to_edges(x);
         let mut orig = g.fixed_edges.clone();
         for e in reduced {
@@ -127,5 +163,24 @@ pub fn ug_solve_stp_seeded(
         solved: res.solved,
         stats: res.stats.clone(),
         ug: res,
+    }
+}
+
+fn trivial_result(g: &Graph) -> StpParallelResult {
+    let cost = g.fixed_cost;
+    let edges = g.fixed_edges.clone();
+    let stats = ugrs_core::UgStats { primal_bound: cost, dual_bound: cost, ..Default::default() };
+    StpParallelResult {
+        tree: Some((edges, cost)),
+        dual_bound: cost,
+        solved: true,
+        stats: stats.clone(),
+        ug: ParallelResult {
+            solution: None,
+            dual_bound: cost,
+            solved: true,
+            stats,
+            final_checkpoint: None,
+        },
     }
 }

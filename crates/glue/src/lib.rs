@@ -25,5 +25,8 @@ pub mod apps;
 pub mod base;
 
 pub use apps::misdp::{misdp_racing_settings, ug_solve_misdp, MisdpPlugins};
-pub use apps::stp::{stp_racing_settings, ug_solve_stp, ug_solve_stp_seeded, StpPlugins};
+pub use apps::stp::{
+    stp_racing_settings, stp_worker_factory, ug_solve_stp, ug_solve_stp_distributed,
+    ug_solve_stp_seeded, StpParallelResult, StpPlugins,
+};
 pub use base::{CipUserPlugins, UgCipSolver};

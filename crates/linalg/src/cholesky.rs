@@ -97,16 +97,16 @@ impl CholeskyFactor {
         let mut x = b.to_vec();
         for i in 0..n {
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.l[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.l[(i, j)] * xj;
             }
             x[i] = s / self.l[(i, i)];
         }
         // Backward: Lᵀ x = y.
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.l[(j, i)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(j, i)] * xj;
             }
             x[i] = s / self.l[(i, i)];
         }
@@ -175,7 +175,7 @@ mod tests {
         let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
         let f = CholeskyFactor::new_shifted(&a, 1e-8, 1e4).unwrap();
         assert!(f.shift() >= 1.0 - 1e-9); // needs shift ≥ |λmin| = 1
-        // Solution solves the shifted system.
+                                          // Solution solves the shifted system.
         let b = vec![1.0, 0.0];
         let x = f.solve(&b).unwrap();
         let mut shifted = a.clone();

@@ -159,12 +159,8 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(
-            3,
-            3,
-            vec![4.0, 1.0, -2.0, 1.0, 2.0, 0.0, -2.0, 0.0, 3.0],
-        )
-        .unwrap();
+        let a =
+            Matrix::from_rows(3, 3, vec![4.0, 1.0, -2.0, 1.0, 2.0, 0.0, -2.0, 0.0, 3.0]).unwrap();
         let e = symmetric_eigen(&a).unwrap();
         let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
         for i in 0..3 {
@@ -180,9 +176,7 @@ mod tests {
         let a = Matrix::from_rows(
             4,
             4,
-            vec![
-                5.0, 1.0, 0.0, 2.0, 1.0, 4.0, 1.0, 0.0, 0.0, 1.0, 3.0, 1.0, 2.0, 0.0, 1.0, 6.0,
-            ],
+            vec![5.0, 1.0, 0.0, 2.0, 1.0, 4.0, 1.0, 0.0, 0.0, 1.0, 3.0, 1.0, 2.0, 0.0, 1.0, 6.0],
         )
         .unwrap();
         let e = symmetric_eigen(&a).unwrap();

@@ -67,20 +67,20 @@ impl LdltFactor {
         // L y = b
         for i in 0..n {
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.packed[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.packed[(i, j)] * xj;
             }
             x[i] = s;
         }
         // D z = y
-        for i in 0..n {
-            x[i] /= self.packed[(i, i)];
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi /= self.packed[(i, i)];
         }
         // Lᵀ x = z
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.packed[(j, i)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.packed[(j, i)] * xj;
             }
             x[i] = s;
         }
@@ -95,12 +95,8 @@ mod tests {
     #[test]
     fn solves_indefinite_symmetric_system() {
         // Symmetric indefinite (saddle-point-like) matrix.
-        let a = Matrix::from_rows(
-            3,
-            3,
-            vec![4.0, 1.0, 2.0, 1.0, -3.0, 0.5, 2.0, 0.5, 2.0],
-        )
-        .unwrap();
+        let a =
+            Matrix::from_rows(3, 3, vec![4.0, 1.0, 2.0, 1.0, -3.0, 0.5, 2.0, 0.5, 2.0]).unwrap();
         let b = vec![1.0, 2.0, 3.0];
         let f = LdltFactor::new(&a).unwrap();
         let x = f.solve(&b).unwrap();

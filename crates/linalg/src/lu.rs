@@ -83,16 +83,16 @@ impl LuFactor {
         let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
         for i in 1..n {
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s / self.lu[(i, i)];
         }
@@ -110,15 +110,15 @@ impl LuFactor {
         let mut y = b.to_vec();
         for i in 0..n {
             let mut s = y[i];
-            for j in 0..i {
-                s -= self.lu[(j, i)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                s -= self.lu[(j, i)] * yj;
             }
             y[i] = s / self.lu[(i, i)];
         }
         for i in (0..n).rev() {
             let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(j, i)] * y[j];
+            for (j, &yj) in y.iter().enumerate().skip(i + 1) {
+                s -= self.lu[(j, i)] * yj;
             }
             y[i] = s;
         }
@@ -175,7 +175,8 @@ mod tests {
 
     #[test]
     fn transposed_solve_matches_explicit_transpose() {
-        let a = Matrix::from_rows(3, 3, vec![4.0, -2.0, 1.0, 3.0, 6.0, -4.0, 2.0, 1.0, 8.0]).unwrap();
+        let a =
+            Matrix::from_rows(3, 3, vec![4.0, -2.0, 1.0, 3.0, 6.0, -4.0, 2.0, 1.0, 8.0]).unwrap();
         let b = vec![1.0, -2.0, 3.0];
         let f = LuFactor::new(&a).unwrap();
         let x = f.solve_transposed(&b).unwrap();

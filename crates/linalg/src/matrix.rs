@@ -123,8 +123,8 @@ impl Matrix {
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
         let mut y = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            vector::axpy(x[i], self.row(i), &mut y);
+        for (i, &xi) in x.iter().enumerate() {
+            vector::axpy(xi, self.row(i), &mut y);
         }
         y
     }

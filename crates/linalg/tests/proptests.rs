@@ -1,7 +1,9 @@
 //! Property-based tests for the linear algebra kernels.
 
 use proptest::prelude::*;
-use ugrs_linalg::{cholesky::is_positive_definite, symmetric_eigen, CholeskyFactor, LuFactor, Matrix};
+use ugrs_linalg::{
+    cholesky::is_positive_definite, symmetric_eigen, CholeskyFactor, LuFactor, Matrix,
+};
 
 /// Strategy: a well-conditioned-ish random square matrix (entries in
 /// [-5, 5] with a diagonal boost to avoid near-singularity most of the

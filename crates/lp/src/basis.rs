@@ -82,13 +82,9 @@ impl BasisFactor {
         let mut x = lu.solve(v).expect("factorized basis must solve");
         for eta in &self.etas {
             let xr = x[eta.pos] / eta.col[eta.pos];
-            for i in 0..self.m {
-                if i == eta.pos {
-                    continue;
-                }
-                let d = eta.col[i];
-                if d != 0.0 {
-                    x[i] -= d * xr;
+            for (i, (xi, &d)) in x.iter_mut().zip(&eta.col).enumerate() {
+                if i != eta.pos && d != 0.0 {
+                    *xi -= d * xr;
                 }
             }
             x[eta.pos] = xr;
@@ -104,9 +100,9 @@ impl BasisFactor {
             // Solve Eᵀ u = c:  u_i = c_i (i ≠ pos),
             // u_pos = (c_pos − Σ_{i≠pos} d_i c_i) / d_pos.
             let mut s = c[eta.pos];
-            for i in 0..self.m {
+            for (i, (&d, &ci)) in eta.col.iter().zip(&c).enumerate() {
                 if i != eta.pos {
-                    s -= eta.col[i] * c[i];
+                    s -= d * ci;
                 }
             }
             c[eta.pos] = s / eta.col[eta.pos];
@@ -220,10 +216,7 @@ mod tests {
     fn tiny_pivot_rejected() {
         let mut f = BasisFactor::new(2);
         f.refactor(&Matrix::identity(2)).unwrap();
-        assert_eq!(
-            f.update(0, vec![1e-13, 1.0]),
-            Err(BasisError::UnstablePivot)
-        );
+        assert_eq!(f.update(0, vec![1e-13, 1.0]), Err(BasisError::UnstablePivot));
     }
 
     #[test]

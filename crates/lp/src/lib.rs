@@ -58,11 +58,5 @@ pub const INF: f64 = 1e100;
 /// Clamp user-provided bounds to the solver's finite infinity.
 #[inline]
 pub(crate) fn clamp_bound(b: f64) -> f64 {
-    if b >= INF {
-        INF
-    } else if b <= -INF {
-        -INF
-    } else {
-        b
-    }
+    b.clamp(-INF, INF)
 }

@@ -119,21 +119,12 @@ impl LpProblem {
 
     /// Activity `Σ coef·x` of row `r` at the point `x`.
     pub fn row_activity(&self, r: RowId, x: &[f64]) -> f64 {
-        self.rows[r.0 as usize]
-            .iter()
-            .map(|&(j, c)| c * x[j as usize])
-            .sum()
+        self.rows[r.0 as usize].iter().map(|&(j, c)| c * x[j as usize]).sum()
     }
 
     /// Objective value `cᵀx + offset` at the point `x`.
     pub fn obj_value(&self, x: &[f64]) -> f64 {
-        self.obj_offset
-            + self
-                .obj
-                .iter()
-                .zip(x.iter())
-                .map(|(c, v)| c * v)
-                .sum::<f64>()
+        self.obj_offset + self.obj.iter().zip(x.iter()).map(|(c, v)| c * v).sum::<f64>()
     }
 
     /// Checks `x` for primal feasibility within `tol` (bounds and rows).
@@ -141,8 +132,8 @@ impl LpProblem {
         if x.len() != self.num_vars() {
             return false;
         }
-        for j in 0..self.num_vars() {
-            if x[j] < self.lb[j] - tol || x[j] > self.ub[j] + tol {
+        for (j, &xj) in x.iter().enumerate() {
+            if xj < self.lb[j] - tol || xj > self.ub[j] + tol {
                 return false;
             }
         }

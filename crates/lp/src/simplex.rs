@@ -208,10 +208,7 @@ impl Simplex {
     /// Sparse dot of `y` with column `j`.
     fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
         if j < self.n() {
-            self.prob.cols[j]
-                .iter()
-                .map(|&(r, c)| c * y[r as usize])
-                .sum()
+            self.prob.cols[j].iter().map(|&(r, c)| c * y[r as usize]).sum()
         } else {
             -y[j - self.n()]
         }
@@ -225,9 +222,7 @@ impl Simplex {
             (0.0, VarStatus::Free)
         } else if linf {
             (ub, VarStatus::AtUpper)
-        } else if uinf {
-            (lb, VarStatus::AtLower)
-        } else if lb.abs() <= ub.abs() {
+        } else if uinf || lb.abs() <= ub.abs() {
             (lb, VarStatus::AtLower)
         } else {
             (ub, VarStatus::AtUpper)
@@ -257,20 +252,13 @@ impl Simplex {
     pub fn set_basis(&mut self, snap: &BasisSnapshot) {
         let (n, m) = (self.n(), self.m());
         if snap.col_status.len() != n + m
-            || snap
-                .col_status
-                .iter()
-                .filter(|s| **s == VarStatus::Basic)
-                .count()
-                != m
+            || snap.col_status.iter().filter(|s| **s == VarStatus::Basic).count() != m
         {
             self.install_slack_basis();
             return;
         }
         self.vstat = snap.col_status.clone();
-        self.basis_cols = (0..n + m)
-            .filter(|&j| self.vstat[j] == VarStatus::Basic)
-            .collect();
+        self.basis_cols = (0..n + m).filter(|&j| self.vstat[j] == VarStatus::Basic).collect();
         for j in 0..n + m {
             match self.vstat[j] {
                 VarStatus::AtLower => self.xval[j] = self.col_lb(j),
@@ -284,9 +272,7 @@ impl Simplex {
 
     /// Returns the current basis for storage in a B&B node.
     pub fn basis_snapshot(&self) -> BasisSnapshot {
-        BasisSnapshot {
-            col_status: self.vstat.clone(),
-        }
+        BasisSnapshot { col_status: self.vstat.clone() }
     }
 
     /// Changes variable bounds between solves (branching). Keeps the basis;
@@ -475,7 +461,7 @@ impl Simplex {
             if bland {
                 return Some((j, dir));
             }
-            if best.as_ref().map_or(true, |b| score > b.2) {
+            if best.as_ref().is_none_or(|b| score > b.2) {
                 best = Some((j, dir, score));
             }
         }
@@ -580,11 +566,7 @@ impl Simplex {
                 return self.status;
             };
             self.gather_col(q);
-            let w = if self.m() > 0 {
-                self.factor.ftran(&self.colbuf)
-            } else {
-                vec![]
-            };
+            let w = if self.m() > 0 { self.factor.ftran(&self.colbuf) } else { vec![] };
             let Some((t, block)) = self.ratio_test(q, dir, &w, phase) else {
                 if phase == Phase::One {
                     // An improving phase-1 ray must hit a bound eventually;
@@ -615,15 +597,15 @@ impl Simplex {
                 }
                 Block::Leave { pos, at_upper } => {
                     let leaving = self.basis_cols[pos];
-                    self.vstat[leaving] = if at_upper { VarStatus::AtUpper } else { VarStatus::AtLower };
-                    self.xval[leaving] = if at_upper { self.col_ub(leaving) } else { self.col_lb(leaving) };
+                    self.vstat[leaving] =
+                        if at_upper { VarStatus::AtUpper } else { VarStatus::AtLower };
+                    self.xval[leaving] =
+                        if at_upper { self.col_ub(leaving) } else { self.col_lb(leaving) };
                     self.vstat[q] = VarStatus::Basic;
                     self.basis_cols[pos] = q;
-                    if self.factor.update(pos, w.clone()).is_err() {
-                        if !self.force_refactor() {
-                            self.status = LpStatus::Numerical;
-                            return self.status;
-                        }
+                    if self.factor.update(pos, w.clone()).is_err() && !self.force_refactor() {
+                        self.status = LpStatus::Numerical;
+                        return self.status;
                     }
                 }
             }
@@ -638,11 +620,9 @@ impl Simplex {
         // Refactorize only when the representation is stale (row added /
         // never factorized / eta file full); otherwise just recompute the
         // basic values under the (possibly changed) bounds.
-        if self.factor.needs_refactor() {
-            if !self.ensure_factorized() {
-                self.status = LpStatus::Numerical;
-                return self.status;
-            }
+        if self.factor.needs_refactor() && !self.ensure_factorized() {
+            self.status = LpStatus::Numerical;
+            return self.status;
         }
         self.compute_basics();
         let tol = self.params.feas_tol;
@@ -664,12 +644,12 @@ impl Simplex {
                 let (lb, ub) = (self.col_lb(col), self.col_ub(col));
                 if v < lb - tol {
                     let viol = lb - v;
-                    if leave.as_ref().map_or(true, |l| viol > l.2) {
+                    if leave.as_ref().is_none_or(|l| viol > l.2) {
                         leave = Some((pos, true, viol));
                     }
                 } else if v > ub + tol {
                     let viol = v - ub;
-                    if leave.as_ref().map_or(true, |l| viol > l.2) {
+                    if leave.as_ref().is_none_or(|l| viol > l.2) {
                         leave = Some((pos, false, viol));
                     }
                 }
@@ -786,10 +766,7 @@ impl Simplex {
 
     /// Objective value of the current iterate.
     pub fn obj_value(&self) -> f64 {
-        self.prob.obj_offset
-            + (0..self.n())
-                .map(|j| self.prob.obj[j] * self.xval[j])
-                .sum::<f64>()
+        self.prob.obj_offset + (0..self.n()).map(|j| self.prob.obj[j] * self.xval[j]).sum::<f64>()
     }
 
     /// Extracts the full solution bundle for the last solve.
@@ -806,16 +783,11 @@ impl Simplex {
             let cb = self.basic_costs(Phase::Two);
             row_duals = self.factor.btran(&cb);
         }
-        for j in 0..n {
-            reduced[j] = self.prob.obj[j] - self.col_dot(j, &row_duals);
+        for (j, rj) in reduced.iter_mut().enumerate() {
+            *rj = self.prob.obj[j] - self.col_dot(j, &row_duals);
         }
         let row_activity: Vec<f64> = (0..m)
-            .map(|r| {
-                self.prob.rows[r]
-                    .iter()
-                    .map(|&(j, c)| c * self.xval[j as usize])
-                    .sum()
-            })
+            .map(|r| self.prob.rows[r].iter().map(|&(j, c)| c * self.xval[j as usize]).sum())
             .collect();
         LpSolution {
             status: self.status,
@@ -952,7 +924,7 @@ mod tests {
         let s = solve(&p);
         assert_eq!(s.status, LpStatus::Optimal);
         assert!((s.obj + 36.0).abs() < 1e-6); // classic Dantzig example
-        // strong duality: obj = Σ y_i · rhs_i for binding rows
+                                              // strong duality: obj = Σ y_i · rhs_i for binding rows
         let dual_obj: f64 = s.row_duals[0] * 4.0 + s.row_duals[1] * 12.0 + s.row_duals[2] * 18.0;
         assert!((dual_obj - s.obj).abs() < 1e-6, "dual {} vs {}", dual_obj, s.obj);
     }

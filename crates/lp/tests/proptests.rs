@@ -10,24 +10,24 @@ use ugrs_lp::{LpProblem, LpStatus, Simplex, SimplexParams, VarId};
 
 const TOL: f64 = 1e-5;
 
+/// `(lhs, rhs, sparse coefficients)` of a generated row.
+type RandomRow = (f64, f64, Vec<(usize, f64)>);
+
 #[derive(Clone, Debug)]
 struct RandomLp {
     nvars: usize,
     lb: Vec<f64>,
     ub: Vec<f64>,
     obj: Vec<f64>,
-    rows: Vec<(f64, f64, Vec<(usize, f64)>)>,
+    rows: Vec<RandomRow>,
 }
 
 fn random_lp() -> impl Strategy<Value = RandomLp> {
     (2usize..6, 1usize..6).prop_flat_map(|(nvars, nrows)| {
         let bounds = prop::collection::vec((-5.0f64..0.0, 0.0f64..5.0), nvars);
         let obj = prop::collection::vec(-3.0f64..3.0, nvars);
-        let row = (
-            -8.0f64..0.0,
-            0.0f64..8.0,
-            prop::collection::vec((0..nvars, -3.0f64..3.0), 1..=nvars),
-        );
+        let row =
+            (-8.0f64..0.0, 0.0f64..8.0, prop::collection::vec((0..nvars, -3.0f64..3.0), 1..=nvars));
         let rows = prop::collection::vec(row, nrows);
         (bounds, obj, rows).prop_map(move |(bounds, obj, rows)| RandomLp {
             nvars,
@@ -41,9 +41,8 @@ fn random_lp() -> impl Strategy<Value = RandomLp> {
 
 fn build(lp: &RandomLp) -> LpProblem {
     let mut p = LpProblem::new();
-    let vars: Vec<VarId> = (0..lp.nvars)
-        .map(|j| p.add_var(lp.lb[j], lp.ub[j], lp.obj[j]))
-        .collect();
+    let vars: Vec<VarId> =
+        (0..lp.nvars).map(|j| p.add_var(lp.lb[j], lp.ub[j], lp.obj[j])).collect();
     for (lhs, rhs, terms) in &lp.rows {
         let t: Vec<(VarId, f64)> = terms.iter().map(|&(j, c)| (vars[j], c)).collect();
         p.add_row(*lhs, *rhs, &t);

@@ -13,8 +13,8 @@
 //! instances can be exported, inspected and re-imported.
 
 use crate::model::MisdpProblem;
-use ugrs_sdp::SdpBlock;
 use ugrs_linalg::Matrix;
+use ugrs_sdp::SdpBlock;
 
 /// Errors from CBF parsing.
 #[derive(Debug)]
@@ -37,6 +37,9 @@ impl From<std::io::Error> for CbfError {
         CbfError::Io(e)
     }
 }
+
+/// `(lhs, rhs, sparse coefficients)` of a parsed linear row.
+type LinearRow = (f64, f64, Vec<(usize, f64)>);
 
 fn perr(msg: impl Into<String>) -> CbfError {
     CbfError::Parse(msg.into())
@@ -144,7 +147,7 @@ pub fn parse_cbf(text: &str) -> Result<MisdpProblem, CbfError> {
     let mut dims: Vec<usize> = Vec::new();
     let mut hcoords: Vec<(usize, usize, usize, usize, f64)> = Vec::new();
     let mut dcoords: Vec<(usize, usize, usize, f64)> = Vec::new();
-    let mut lrows: Vec<(f64, f64, Vec<(usize, f64)>)> = Vec::new();
+    let mut lrows: Vec<LinearRow> = Vec::new();
 
     let next = |pos: &mut usize, tokens: &[&str]| -> Result<String, CbfError> {
         let t = tokens.get(*pos).ok_or_else(|| perr("unexpected end of file"))?;
@@ -420,7 +423,8 @@ mod tests {
         assert_eq!(q.blocks.len(), p.blocks.len());
         assert_eq!(q.lin.len(), p.lin.len());
         // Semantics: feasibility of reference points must agree.
-        let mid: Vec<f64> = (0..p.m).map(|i| 0.5 * (p.lb[i] + p.ub[i]).clamp(-10.0, 10.0)).collect();
+        let mid: Vec<f64> =
+            (0..p.m).map(|i| 0.5 * (p.lb[i] + p.ub[i]).clamp(-10.0, 10.0)).collect();
         assert_eq!(p.is_feasible(&mid, 1e-7), q.is_feasible(&mid, 1e-7));
         let ones: Vec<f64> = (0..p.m).map(|i| p.ub[i].min(1.0)).collect();
         assert_eq!(p.is_feasible(&ones, 1e-7), q.is_feasible(&ones, 1e-7));

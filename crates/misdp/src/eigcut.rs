@@ -82,11 +82,10 @@ impl ConstraintHandler for EigenCutHandler {
     }
 
     fn check(&mut self, _model: &Model, x: &[f64]) -> bool {
-        self.problem.blocks.iter().all(|b| {
-            symmetric_eigen(&b.slack(x))
-                .map(|e| e.values[0] >= -PSD_TOL)
-                .unwrap_or(false)
-        })
+        self.problem
+            .blocks
+            .iter()
+            .all(|b| symmetric_eigen(&b.slack(x)).map(|e| e.values[0] >= -PSD_TOL).unwrap_or(false))
     }
 
     fn enforce(&mut self, ctx: &mut SolveCtx) -> EnforceResult {

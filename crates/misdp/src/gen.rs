@@ -133,9 +133,8 @@ pub fn cardinality_ls(pdim: usize, k: usize, seed: u64) -> MisdpProblem {
 pub fn min_k_partitioning(n: usize, k: usize, seed: u64) -> MisdpProblem {
     assert!(k >= 2 && n >= 3);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x6d6b_7000);
-    let pairs: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-        .collect();
+    let pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|i| ((i + 1)..n).map(move |j| (i, j))).collect();
     let m = pairs.len();
     let mut p = MisdpProblem::new(&format!("mkp-{n}-{k}-{seed}"), m);
     for (v, _) in pairs.iter().enumerate() {
@@ -175,15 +174,12 @@ pub fn min_k_partitioning(n: usize, k: usize, seed: u64) -> MisdpProblem {
 /// The benchmark sets used by the Table 4 / Figure 1 harness:
 /// `(family name, instances)`.
 pub fn table4_testsets(per_family: usize) -> Vec<(&'static str, Vec<MisdpProblem>)> {
-    let ttd: Vec<MisdpProblem> = (0..per_family)
-        .map(|s| truss_topology(7 + s % 2, 18 + 2 * (s % 3), s as u64))
-        .collect();
-    let cls: Vec<MisdpProblem> = (0..per_family)
-        .map(|s| cardinality_ls(15 + s % 4, 5 + s % 2, s as u64))
-        .collect();
-    let mkp: Vec<MisdpProblem> = (0..per_family)
-        .map(|s| min_k_partitioning(10 + s % 2, 3, s as u64))
-        .collect();
+    let ttd: Vec<MisdpProblem> =
+        (0..per_family).map(|s| truss_topology(7 + s % 2, 18 + 2 * (s % 3), s as u64)).collect();
+    let cls: Vec<MisdpProblem> =
+        (0..per_family).map(|s| cardinality_ls(15 + s % 4, 5 + s % 2, s as u64)).collect();
+    let mkp: Vec<MisdpProblem> =
+        (0..per_family).map(|s| min_k_partitioning(10 + s % 2, 3, s as u64)).collect();
     vec![("TTD", ttd), ("CLS", cls), ("Mk-P", mkp)]
 }
 

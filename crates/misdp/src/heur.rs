@@ -32,18 +32,18 @@ impl Heuristic for RandomizedRounding {
         let mut best: Option<(f64, Vec<f64>)> = None;
         for t in 0..self.tries {
             let mut cand = y.to_vec();
-            for i in 0..p.m {
+            for (i, ci) in cand.iter_mut().enumerate() {
                 if !p.integer[i] {
                     continue;
                 }
-                let frac = cand[i] - cand[i].floor();
+                let frac = *ci - ci.floor();
                 let up = if t == 0 { frac >= 0.5 } else { rng.gen_bool(frac.clamp(0.02, 0.98)) };
-                cand[i] = if up { cand[i].ceil() } else { cand[i].floor() };
-                cand[i] = cand[i].clamp(ctx.local_lb[i], ctx.local_ub[i]);
+                *ci = if up { ci.ceil() } else { ci.floor() };
+                *ci = ci.clamp(ctx.local_lb[i], ctx.local_ub[i]);
             }
             if p.is_feasible(&cand, 1e-6) {
                 let obj = p.obj(&cand);
-                if best.as_ref().map_or(true, |(b, _)| obj > *b) {
+                if best.as_ref().is_none_or(|(b, _)| obj > *b) {
                     best = Some((obj, cand));
                 }
             }

@@ -52,8 +52,8 @@ impl MisdpProblem {
         if y.len() != self.m {
             return false;
         }
-        for i in 0..self.m {
-            if self.integer[i] && (y[i] - y[i].round()).abs() > tol {
+        for (i, &yi) in y.iter().enumerate() {
+            if self.integer[i] && (yi - yi.round()).abs() > tol {
                 return false;
             }
         }

@@ -19,12 +19,7 @@ pub struct SdpRelaxator {
 
 impl SdpRelaxator {
     pub fn new(problem: Arc<MisdpProblem>) -> Self {
-        SdpRelaxator {
-            problem,
-            options: SdpOptions::default(),
-            plain_solves: 0,
-            penalty_solves: 0,
-        }
+        SdpRelaxator { problem, options: SdpOptions::default(), plain_solves: 0, penalty_solves: 0 }
     }
 }
 

@@ -99,8 +99,8 @@ impl SdpProblem {
         if y.len() != self.m {
             return false;
         }
-        for i in 0..self.m {
-            if y[i] < self.lb[i] - tol || y[i] > self.ub[i] + tol {
+        for (i, &yi) in y.iter().enumerate() {
+            if yi < self.lb[i] - tol || yi > self.ub[i] + tol {
                 return false;
             }
         }

@@ -362,7 +362,7 @@ pub fn solve(p: &SdpProblem, opts: &SdpOptions) -> SdpResult {
                     obj,
                     penalty_z: None,
                     iterations: iters,
-                }
+                };
             }
         }
         let z = yz[w.m];
@@ -569,12 +569,7 @@ mod tests {
         p.lb = vec![-10.0; 3];
         p.ub = vec![10.0; 3];
         let mut blk = SdpBlock::new(3, 3);
-        blk.c = Matrix::from_rows(
-            3,
-            3,
-            vec![1.0, 0.5, 0.5, 0.5, 1.0, 0.5, 0.5, 0.5, 1.0],
-        )
-        .unwrap();
+        blk.c = Matrix::from_rows(3, 3, vec![1.0, 0.5, 0.5, 0.5, 1.0, 0.5, 0.5, 0.5, 1.0]).unwrap();
         for i in 0..3 {
             let mut a = Matrix::zeros(3, 3);
             a[(i, i)] = 1.0;

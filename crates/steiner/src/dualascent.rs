@@ -164,9 +164,9 @@ pub fn arc_dijkstra(sap: &SapGraph, weights: &[f64], source: usize) -> Vec<f64> 
 pub fn dist_to_terminals(sap: &SapGraph, weights: &[f64]) -> Vec<f64> {
     let mut dist = vec![f64::INFINITY; sap.n];
     let mut heap = BinaryHeap::new();
-    for t in 0..sap.n {
+    for (t, dt) in dist.iter_mut().enumerate() {
         if sap.terminal[t] {
-            dist[t] = 0.0;
+            *dt = 0.0;
             heap.push(Hi(0.0, t as u32));
         }
     }
@@ -271,8 +271,8 @@ mod tests {
         // After full ascent the path to the terminal is saturated.
         assert!(dfr[3] < 1e-9);
         let dtt = dist_to_terminals(&sap, &da.redcost);
-        for v in 0..4 {
-            assert!(dtt[v] < f64::INFINITY);
+        for &d in dtt.iter().take(4) {
+            assert!(d < f64::INFINITY);
         }
         assert_eq!(dtt[0], 0.0);
     }

@@ -39,7 +39,7 @@ fn edge_cost(scheme: CostScheme, rng: &mut SmallRng) -> f64 {
 /// Generates a `hc{d}`-like hypercube instance: 2^d vertices, d·2^(d−1)
 /// edges, terminals = even-parity vertices.
 pub fn hypercube(d: usize, scheme: CostScheme, seed: u64) -> Graph {
-    assert!(d >= 2 && d <= 16);
+    assert!((2..=16).contains(&d));
     let n = 1usize << d;
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x6863_7075);
     let mut g = Graph::new(n);
@@ -52,7 +52,7 @@ pub fn hypercube(d: usize, scheme: CostScheme, seed: u64) -> Graph {
         }
     }
     for v in 0..n {
-        if (v as u32).count_ones() % 2 == 0 {
+        if (v as u32).count_ones().is_multiple_of(2) {
             g.set_terminal(v, true);
         }
     }
@@ -63,12 +63,7 @@ pub fn hypercube(d: usize, scheme: CostScheme, seed: u64) -> Graph {
 /// vertex as a terminal — a knob to tune hardness between the trivial
 /// `hc4` and the open-instance-hard `hc5+` regimes while preserving the
 /// family's structure.
-pub fn hypercube_sparse_terminals(
-    d: usize,
-    stride: usize,
-    scheme: CostScheme,
-    seed: u64,
-) -> Graph {
+pub fn hypercube_sparse_terminals(d: usize, stride: usize, scheme: CostScheme, seed: u64) -> Graph {
     assert!(stride >= 1);
     let mut g = hypercube(d, scheme, seed);
     let terms: Vec<usize> = g.terminals().collect();
@@ -200,9 +195,7 @@ mod tests {
     #[test]
     fn hypercube_perturbed_costs_in_range() {
         let g = hypercube(3, CostScheme::Perturbed, 7);
-        assert!(g
-            .alive_edges()
-            .all(|e| (100.0..=110.0).contains(&g.edge(e).cost)));
+        assert!(g.alive_edges().all(|e| (100.0..=110.0).contains(&g.edge(e).cost)));
     }
 
     #[test]

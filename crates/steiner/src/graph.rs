@@ -5,7 +5,7 @@
 
 /// Edge provenance: how a (possibly reduced-graph) edge maps to original
 /// edges.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum EdgeOrigin {
     /// An edge of the original input graph (with its original id).
     Original(u32),
@@ -13,7 +13,7 @@ pub enum EdgeOrigin {
     Merged(u32, u32),
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Edge {
     pub u: u32,
     pub v: u32,
@@ -36,7 +36,9 @@ impl Edge {
 
 /// Undirected Steiner problem graph. Edges live in an append-only arena;
 /// deletion and merging toggle `alive` flags so provenance stays intact.
-#[derive(Clone, Debug, Default)]
+/// Serde derives make the (reduced) instance shippable to distributed
+/// worker processes, which rebuild their models from it.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct Graph {
     pub(crate) edges: Vec<Edge>,
     adj: Vec<Vec<u32>>,
@@ -85,7 +87,13 @@ impl Graph {
         id
     }
 
-    pub(crate) fn add_derived_edge(&mut self, u: u32, v: u32, cost: f64, origin: EdgeOrigin) -> u32 {
+    pub(crate) fn add_derived_edge(
+        &mut self,
+        u: u32,
+        v: u32,
+        cost: f64,
+        origin: EdgeOrigin,
+    ) -> u32 {
         let id = self.edges.len() as u32;
         self.edges.push(Edge { u, v, cost, alive: true, origin });
         self.adj[u as usize].push(id);
@@ -261,9 +269,7 @@ impl Graph {
             return None; // the two edges were parallel via v: a pure cycle
         }
         // If an existing a-b edge is at most as expensive, drop the path.
-        let existing = self
-            .incident(a as usize)
-            .find(|&e| self.edges[e as usize].other(a) == b);
+        let existing = self.incident(a as usize).find(|&e| self.edges[e as usize].other(a) == b);
         if let Some(existing) = existing {
             if self.edges[existing as usize].cost <= cost {
                 return None;

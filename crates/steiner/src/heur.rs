@@ -87,11 +87,7 @@ pub fn tm_from(g: &Graph, start: usize, weights: &[f64]) -> Option<SteinerTree> 
     in_tree[start] = true;
     let mut remaining: usize = g.terminals().filter(|&t| t != start).count();
     while remaining > 0 {
-        let (dist, pred) = dijkstra_from_set(
-            g,
-            (0..n).filter(|&v| in_tree[v]),
-            weights,
-        );
+        let (dist, pred) = dijkstra_from_set(g, (0..n).filter(|&v| in_tree[v]), weights);
         // Nearest unconnected terminal.
         let t = g
             .terminals()
@@ -124,7 +120,7 @@ pub fn tm_best(g: &Graph, starts: usize, weights: &[f64]) -> Option<SteinerTree>
             break;
         }
         if let Some(tree) = tm_from(g, t, weights) {
-            if best.as_ref().map_or(true, |b| tree.cost < b.cost) {
+            if best.as_ref().is_none_or(|b| tree.cost < b.cost) {
                 best = Some(tree);
             }
         }
@@ -144,7 +140,9 @@ pub fn lp_biased_weights(g: &Graph, edge_lp: &[f64]) -> Vec<f64> {
     g.edges
         .iter()
         .enumerate()
-        .map(|(i, e)| e.cost * (1.0 - edge_lp.get(i).copied().unwrap_or(0.0).clamp(0.0, 1.0)) + 1e-9)
+        .map(|(i, e)| {
+            e.cost * (1.0 - edge_lp.get(i).copied().unwrap_or(0.0).clamp(0.0, 1.0)) + 1e-9
+        })
         .collect()
 }
 
@@ -170,10 +168,8 @@ pub fn local_search(g: &Graph, tree: &SteinerTree, max_passes: usize) -> Steiner
             if in_set[v] {
                 continue;
             }
-            let nbrs = g
-                .incident(v)
-                .filter(|&e| in_set[g.edge(e).other(v as u32) as usize])
-                .count();
+            let nbrs =
+                g.incident(v).filter(|&e| in_set[g.edge(e).other(v as u32) as usize]).count();
             if nbrs < 2 {
                 continue;
             }

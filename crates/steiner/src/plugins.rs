@@ -21,14 +21,14 @@
 
 use crate::dualascent::{arc_dijkstra, dist_to_terminals, dual_ascent};
 use crate::graph::Graph;
-use crate::heur::{lp_biased_weights, local_search, tm_best};
+use crate::heur::{local_search, lp_biased_weights, tm_best};
 use crate::maxflow::MaxFlow;
 use crate::sap::SapGraph;
 use crate::tree::SteinerTree;
 use std::sync::Arc;
 use ugrs_cip::{
-    BranchDecision, BranchRule, ConstraintHandler, Cut, CutBuffer, EnforceResult, Heuristic,
-    Model, PropResult, SepaResult, SolveCtx, VarId, VarType,
+    BranchDecision, BranchRule, ConstraintHandler, Cut, CutBuffer, EnforceResult, Heuristic, Model,
+    PropResult, SepaResult, SolveCtx, VarId, VarType,
 };
 
 /// Shared immutable data tying the CIP model to the Steiner instance.
@@ -75,13 +75,10 @@ impl SpgData {
                 }
                 seen[w] = true;
                 // Find the SAP arc v → w for edge e.
-                let arc = self.sap.out[v]
-                    .iter()
-                    .copied()
-                    .find(|&a| {
-                        self.sap.arcs[a as usize].edge == e
-                            && self.sap.arcs[a as usize].head as usize == w
-                    })?;
+                let arc = self.sap.out[v].iter().copied().find(|&a| {
+                    self.sap.arcs[a as usize].edge == e
+                        && self.sap.arcs[a as usize].head as usize == w
+                })?;
                 x[self.arc_var[arc as usize].0 as usize] = 1.0;
                 if let Some(z) = self.node_var[w] {
                     x[z.0 as usize] = 1.0;
@@ -142,19 +139,16 @@ fn build_model_opts(g: &Graph, root: usize, strong_rows: bool) -> (Model, Arc<Sp
     assert!(g.is_terminal(root), "root must be a terminal");
     let sap = SapGraph::from_graph(g, root);
     let mut model = Model::new("spg");
-    let arc_var: Vec<VarId> = sap
-        .arcs
-        .iter()
-        .map(|a| model.add_var("y", VarType::Binary, 0.0, 1.0, a.cost))
-        .collect();
+    let arc_var: Vec<VarId> =
+        sap.arcs.iter().map(|a| model.add_var("y", VarType::Binary, 0.0, 1.0, a.cost)).collect();
     let mut node_var: Vec<Option<VarId>> = vec![None; sap.n];
-    for v in 0..sap.n {
+    for (v, nv) in node_var.iter_mut().enumerate() {
         if sap.node_alive[v] && !sap.terminal[v] {
-            node_var[v] = Some(model.add_var("z", VarType::Binary, 0.0, 1.0, 0.0));
+            *nv = Some(model.add_var("z", VarType::Binary, 0.0, 1.0, 0.0));
         }
     }
     // In-degree rows.
-    for v in 0..sap.n {
+    for (v, nv) in node_var.iter().enumerate() {
         if !sap.node_alive[v] {
             continue;
         }
@@ -167,7 +161,7 @@ fn build_model_opts(g: &Graph, root: usize, strong_rows: bool) -> (Model, Arc<Sp
         } else if sap.terminal[v] {
             model.add_linear(1.0, 1.0, &in_terms);
         } else {
-            let z = node_var[v].unwrap();
+            let z = nv.unwrap();
             let mut terms = in_terms;
             terms.push((z, -1.0));
             model.add_linear(0.0, 0.0, &terms);
@@ -179,11 +173,7 @@ fn build_model_opts(g: &Graph, root: usize, strong_rows: bool) -> (Model, Arc<Sp
             if strong_rows {
                 // (6): each out-arc needs the coupling: y_a ≤ z_v.
                 for &a in &sap.out[v] {
-                    model.add_linear(
-                        0.0,
-                        f64::INFINITY,
-                        &[(z, 1.0), (arc_var[a as usize], -1.0)],
-                    );
+                    model.add_linear(0.0, f64::INFINITY, &[(z, 1.0), (arc_var[a as usize], -1.0)]);
                 }
             }
         }
@@ -205,7 +195,11 @@ fn build_model_opts(g: &Graph, root: usize, strong_rows: bool) -> (Model, Arc<Sp
 
 /// Registers the full SCIP-Jack plugin set on a solver for the model
 /// built by [`build_model`].
-pub fn register_plugins(solver: &mut ugrs_cip::Solver, data: Arc<SpgData>, in_tree_reductions: bool) {
+pub fn register_plugins(
+    solver: &mut ugrs_cip::Solver,
+    data: Arc<SpgData>,
+    in_tree_reductions: bool,
+) {
     solver.add_conshdlr(Box::new(DirectedCutHandler::new(data.clone(), in_tree_reductions)));
     solver.add_heuristic(Box::new(TmHeuristic { data: data.clone() }));
     solver.add_branchrule(Box::new(VertexBranching { data }));
@@ -352,7 +346,7 @@ impl ConstraintHandler for DirectedCutHandler {
         // (vertices deleted via z_v = 0), rebuild the reduced SAP and use
         // the DA bound + reduced costs to prune or fix arcs — the paper's
         // "extended reduction ... on these modified graphs" effect.
-        if !self.in_tree_reductions || ctx.depth == 0 || ctx.depth % 4 != 0 {
+        if !self.in_tree_reductions || ctx.depth == 0 || !ctx.depth.is_multiple_of(4) {
             return PropResult::Nothing;
         }
         let Some(cutoff) = ctx.incumbent_obj else {
@@ -393,11 +387,7 @@ impl ConstraintHandler for DirectedCutHandler {
         }
         // A child solution must *improve* on the incumbent; with integral
         // costs that means being cheaper by at least 1.
-        let threshold = if integral_costs(&d.graph) {
-            cutoff - 1.0 + 1e-6
-        } else {
-            cutoff - 1e-9
-        };
+        let threshold = if integral_costs(&d.graph) { cutoff - 1.0 + 1e-6 } else { cutoff - 1e-9 };
         if da.bound > threshold {
             return PropResult::Infeasible;
         }
@@ -481,7 +471,7 @@ impl BranchRule for VertexBranching {
                 continue;
             }
             let score = frac * (1.0 + d.graph.degree(v) as f64 / 8.0);
-            if best.map_or(true, |(_, _, s)| score > s) {
+            if best.is_none_or(|(_, _, s)| score > s) {
                 best = Some((z, val, score));
             }
         }
@@ -553,9 +543,8 @@ mod tests {
         assert!(k <= 16);
         let mut best = f64::INFINITY;
         for mask in 0u32..(1 << k) {
-            let mut in_set: Vec<bool> = (0..g.num_nodes())
-                .map(|v| g.is_node_alive(v) && g.is_terminal(v))
-                .collect();
+            let mut in_set: Vec<bool> =
+                (0..g.num_nodes()).map(|v| g.is_node_alive(v) && g.is_terminal(v)).collect();
             for (i, &v) in opt_vertices.iter().enumerate() {
                 if mask >> i & 1 == 1 {
                     in_set[v] = true;

@@ -160,7 +160,7 @@ fn nnt_test(g: &mut Graph, stats: &mut ReduceStats) -> bool {
         'scan: for t in g.terminals() {
             let mut cheapest: Option<u32> = None;
             for e in g.incident(t) {
-                if cheapest.map_or(true, |c| g.edge(e).cost < g.edge(c).cost) {
+                if cheapest.is_none_or(|c| g.edge(e).cost < g.edge(c).cost) {
                     cheapest = Some(e);
                 }
             }
@@ -170,10 +170,7 @@ fn nnt_test(g: &mut Graph, stats: &mut ReduceStats) -> bool {
                 continue;
             }
             // e must also be minimal at u.
-            let min_u = g
-                .incident(u)
-                .map(|f| g.edge(f).cost)
-                .fold(f64::INFINITY, f64::min);
+            let min_u = g.incident(u).map(|f| g.edge(f).cost).fold(f64::INFINITY, f64::min);
             if g.edge(e).cost <= min_u + 1e-12 {
                 action = Some((e, u as u32, t as u32));
                 break 'scan;
@@ -494,7 +491,8 @@ mod tests {
         assert!(m <= 20);
         let mut best = f64::INFINITY;
         for mask in 0u32..(1 << m) {
-            let subset: Vec<u32> = (0..m).filter(|i| mask >> i & 1 == 1).map(|i| edges[i]).collect();
+            let subset: Vec<u32> =
+                (0..m).filter(|i| mask >> i & 1 == 1).map(|i| edges[i]).collect();
             let t = crate::tree::SteinerTree::new(g, subset);
             if t.is_valid(g) && t.cost < best {
                 best = t.cost;

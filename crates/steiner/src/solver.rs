@@ -49,6 +49,11 @@ pub struct SteinerResult {
     pub cip_stats: Option<ugrs_cip::Statistics>,
 }
 
+/// What [`SteinerSolver::prepare`] yields when presolve does not finish
+/// the job: the CIP model, the plugin data, the reduced graph, and the
+/// reduction statistics.
+pub type PreparedModel = (ugrs_cip::Model, Arc<SpgData>, Graph, ReduceStats);
+
 /// High-level solver: owns the original instance and the reduced working
 /// copy.
 pub struct SteinerSolver {
@@ -67,8 +72,8 @@ impl SteinerSolver {
 
     /// Presolves the graph and builds the CIP model + plugin data, for
     /// callers that drive the CIP solver themselves (the UG glue).
-    /// Returns `None` when reductions solve the instance outright.
-    pub fn prepare(&self) -> Result<(ugrs_cip::Model, Arc<SpgData>, Graph, ReduceStats), (Graph, ReduceStats)> {
+    /// The `Err` case means reductions solved the instance outright.
+    pub fn prepare(&self) -> Result<PreparedModel, Box<(Graph, ReduceStats)>> {
         let mut g = self.original.clone();
         let stats = if self.options.skip_reductions {
             ReduceStats::default()
@@ -76,7 +81,7 @@ impl SteinerSolver {
             reduce(&mut g, &self.options.reduce)
         };
         if g.num_terminals() < 2 {
-            return Err((g, stats));
+            return Err(Box::new((g, stats)));
         }
         let (model, data) = build_model(&g);
         Ok((model, data, g, stats))
@@ -90,7 +95,8 @@ impl SteinerSolver {
     /// Solve with UG control hooks.
     pub fn solve_hooked(&mut self, hooks: &mut dyn ControlHooks) -> SteinerResult {
         match self.prepare() {
-            Err((g, stats)) => {
+            Err(presolved) => {
+                let (g, stats) = *presolved;
                 // Reductions solved the instance: the fixed edges are the
                 // solution.
                 let tree = SteinerTree::new(&self.original, g.fixed_edges.clone());
@@ -191,10 +197,8 @@ mod tests {
         let g = code_covering(2, 3, 4, CostScheme::Perturbed, 13);
         let mut with = SteinerSolver::new(g.clone(), SteinerOptions::default());
         let r1 = with.solve();
-        let mut without = SteinerSolver::new(
-            g,
-            SteinerOptions { skip_reductions: true, ..Default::default() },
-        );
+        let mut without =
+            SteinerSolver::new(g, SteinerOptions { skip_reductions: true, ..Default::default() });
         let r2 = without.solve();
         assert_eq!(r1.status, SolveStatus::Optimal);
         assert_eq!(r2.status, SolveStatus::Optimal);

@@ -40,10 +40,8 @@ impl SteinerTree {
             return false;
         }
         for t in g.terminals() {
-            if t != first {
-                if !used_nodes.contains(&t) || !uf.same(first, t) {
-                    return false;
-                }
+            if t != first && (!used_nodes.contains(&t) || !uf.same(first, t)) {
+                return false;
             }
         }
         true
@@ -81,13 +79,8 @@ impl SteinerTree {
                 break;
             }
         }
-        let kept: Vec<u32> = self
-            .edges
-            .iter()
-            .zip(&alive)
-            .filter(|(_, a)| **a)
-            .map(|(&e, _)| e)
-            .collect();
+        let kept: Vec<u32> =
+            self.edges.iter().zip(&alive).filter(|(_, a)| **a).map(|(&e, _)| e).collect();
         SteinerTree::new(g, kept)
     }
 

@@ -141,12 +141,7 @@ pub fn mst_on_subset(g: &Graph, in_set: &[bool]) -> Vec<u32> {
             in_set[ed.u as usize] && in_set[ed.v as usize]
         })
         .collect();
-    edges.sort_by(|&a, &b| {
-        g.edge(a)
-            .cost
-            .partial_cmp(&g.edge(b).cost)
-            .unwrap_or(Ordering::Equal)
-    });
+    edges.sort_by(|&a, &b| g.edge(a).cost.partial_cmp(&g.edge(b).cost).unwrap_or(Ordering::Equal));
     let mut uf = UnionFind::new(g.num_nodes());
     let mut out = Vec::new();
     for e in edges {

@@ -126,11 +126,8 @@ impl PcstpInstance {
                 });
             }
         }
-        let desc = ugrs_cip::NodeDesc {
-            bound_changes: changes,
-            depth: 0,
-            dual_bound: f64::NEG_INFINITY,
-        };
+        let desc =
+            ugrs_cip::NodeDesc { bound_changes: changes, depth: 0, dual_bound: f64::NEG_INFINITY };
         let mut solver = ugrs_cip::Solver::new(model, options.settings.clone());
         crate::plugins::register_plugins(&mut solver, data.clone(), options.in_tree_reductions);
         let res = solver.solve_subproblem(&desc, &mut ugrs_cip::NoHooks);
@@ -175,10 +172,8 @@ impl PcstpInstance {
     /// noted as future work in DESIGN.md.
     pub fn solve_unrooted(&self, options: SteinerOptions) -> PcstpResult {
         let n = self.graph.num_nodes();
-        let total_prize: f64 = (0..n)
-            .filter(|&v| self.graph.is_node_alive(v))
-            .map(|v| self.prizes[v])
-            .sum();
+        let total_prize: f64 =
+            (0..n).filter(|&v| self.graph.is_node_alive(v)).map(|v| self.prizes[v]).sum();
         // Empty solution: collect nothing, pay every prize.
         let mut best = PcstpResult {
             status: SolveStatus::Optimal,
@@ -289,9 +284,8 @@ mod tests {
     fn unrooted_picks_best_root() {
         let inst = line_instance();
         let res = inst.solve_unrooted(SteinerOptions::default());
-        let expected = (0..4)
-            .map(|r| brute_rooted(&inst, r))
-            .fold((14.0f64).min(f64::INFINITY), f64::min); // 14 = pay all prizes
+        let expected =
+            (0..4).map(|r| brute_rooted(&inst, r)).fold((14.0f64).min(f64::INFINITY), f64::min); // 14 = pay all prizes
         assert!((res.objective.unwrap() - expected).abs() < 1e-6);
     }
 

@@ -23,13 +23,10 @@ fn random_spg() -> impl Strategy<Value = RandomSpg> {
         let backbone = prop::collection::vec(1.0f64..10.0, n - 1);
         let extra = prop::collection::vec((0..n, 0..n, 1.0f64..10.0), 0..(n + 2));
         let nterms = 2usize..=4.min(n).max(2);
-        (backbone, extra, nterms, prop::collection::vec(0..n, 4))
-            .prop_map(move |(bb, extra, nterms, tseeds)| {
-                let mut edges: Vec<(usize, usize, f64)> = bb
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, c)| (i, i + 1, c))
-                    .collect();
+        (backbone, extra, nterms, prop::collection::vec(0..n, 4)).prop_map(
+            move |(bb, extra, nterms, tseeds)| {
+                let mut edges: Vec<(usize, usize, f64)> =
+                    bb.into_iter().enumerate().map(|(i, c)| (i, i + 1, c)).collect();
                 for (u, v, c) in extra {
                     if u != v {
                         edges.push((u.min(v), u.max(v), c));
@@ -43,7 +40,8 @@ fn random_spg() -> impl Strategy<Value = RandomSpg> {
                     terminals = vec![0, n - 1];
                 }
                 RandomSpg { n, edges, terminals }
-            })
+            },
+        )
     })
 }
 

@@ -36,12 +36,8 @@ fn main() {
         };
         let res = ug_solve_stp(&graph, &ReduceParams::default(), options);
         let primal = res.tree.as_ref().map(|(_, c)| *c).unwrap_or(f64::INFINITY);
-        let primitive = res
-            .ug
-            .final_checkpoint
-            .as_ref()
-            .map(|cp| cp.num_primitive_nodes())
-            .unwrap_or(0);
+        let primitive =
+            res.ug.final_checkpoint.as_ref().map(|cp| cp.num_primitive_nodes()).unwrap_or(0);
         println!(
             "{:>5} {:>9.2} {:>9.1} {:>12.2} {:>12.2} {:>8} {:>11}",
             format!("1.{run}"),

@@ -20,11 +20,7 @@ fn race(p: &MisdpProblem) {
     let names: Vec<String> = settings.iter().map(|s| s.name.clone()).collect();
     let options = ParallelOptions {
         num_solvers: n,
-        ramp_up: RampUp::Racing {
-            settings,
-            time_trigger: 0.5,
-            open_nodes_trigger: 12,
-        },
+        ramp_up: RampUp::Racing { settings, time_trigger: 0.5, open_nodes_trigger: 12 },
         ..Default::default()
     };
     let res = ug_solve_misdp(p, options);
@@ -32,10 +28,7 @@ fn race(p: &MisdpProblem) {
         Some(w) => format!("winner: #{} ({})", w + 1, names[w]),
         None => "solved during racing (no winner declared)".to_string(),
     };
-    println!(
-        "  {:<16} obj = {:>10.3?}  solved = {}  {}",
-        p.name, res.best_obj, res.solved, winner
-    );
+    println!("  {:<16} obj = {:>10.3?}  solved = {}  {}", p.name, res.best_obj, res.solved, winner);
 }
 
 fn main() {

@@ -14,9 +14,8 @@ fn main() {
     // Take a cc-like graph, forget its terminals, and attach prizes.
     let graph = code_covering(2, 4, 4, CostScheme::Perturbed, 9);
     let n = graph.num_nodes();
-    let prizes: Vec<f64> = (0..n)
-        .map(|v| if v % 3 == 0 { 150.0 + (v * 7 % 50) as f64 } else { 0.0 })
-        .collect();
+    let prizes: Vec<f64> =
+        (0..n).map(|v| if v % 3 == 0 { 150.0 + (v * 7 % 50) as f64 } else { 0.0 }).collect();
     let inst = PcstpInstance::new(graph, prizes.clone());
     println!(
         "prize-collecting instance: {} vertices, {} edges, {} prized vertices",
@@ -30,10 +29,6 @@ fn main() {
     println!("objective = {:?} (tree cost + prizes of skipped vertices)", res.objective);
     println!("spanned   = {:?}", res.spanned);
     let collected: f64 = res.spanned.iter().map(|&v| prizes[v]).sum();
-    let tree_cost: f64 = res
-        .tree_edges
-        .iter()
-        .map(|&e| inst.graph.edge(e).cost)
-        .sum();
+    let tree_cost: f64 = res.tree_edges.iter().map(|&e| inst.graph.edge(e).cost).sum();
     println!("tree cost {tree_cost} buys {collected} in prizes");
 }

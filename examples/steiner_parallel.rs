@@ -43,7 +43,11 @@ fn main() {
         let cost = res.tree.as_ref().map(|(_, c)| *c).unwrap_or(f64::NAN);
         println!(
             "{:>8} {:>10.3} {:>10.1} {:>12} {:>14.3} {:>10}",
-            threads, dt, cost, res.stats.max_active, res.stats.first_max_active_time,
+            threads,
+            dt,
+            cost,
+            res.stats.max_active,
+            res.stats.first_max_active_time,
             res.stats.transferred
         );
         let base = *base_time.get_or_insert(dt);

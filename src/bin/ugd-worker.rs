@@ -1,0 +1,130 @@
+//! `ugd-worker` — the worker-process half of `ug [SteinerJack,
+//! ProcessComm]`.
+//!
+//! The coordinator (e.g. [`ugrs_glue::apps::stp::ug_solve_stp_distributed`])
+//! spawns one of these per rank. Each connects back over TCP, handshakes
+//! for its rank, loads the reduced instance the coordinator wrote, and
+//! serves subproblems until `Terminate`:
+//!
+//! ```text
+//! ugd-worker --connect 127.0.0.1:40123 --rank 2 \
+//!            --instance /tmp/ugrs-stp-1234-abc.json \
+//!            [--status-interval 0.05] [--handicap-ms 0]
+//! ```
+//!
+//! `--handicap-ms` delays every subproblem solve by the given amount —
+//! a test/benchmark knob that makes worker-death scenarios reproducible
+//! (a handicapped worker is reliably mid-subproblem when killed).
+
+use std::time::Duration;
+use ugrs_core::worker::{BaseSolver, ParaControl, SubproblemOutcome};
+use ugrs_core::{run_distributed_worker, ProcessCommConfig};
+use ugrs_glue::apps::stp::stp_worker_factory;
+
+/// Wraps a base solver with a fixed pre-solve delay, polling the abort
+/// flag while waiting so `Terminate`/`AbortSubproblem` stay responsive.
+struct DelaySolver<S> {
+    inner: S,
+    delay: Duration,
+}
+
+impl<S: BaseSolver> BaseSolver for DelaySolver<S> {
+    type Sub = S::Sub;
+    type Sol = S::Sol;
+
+    fn solve_subproblem(
+        &mut self,
+        sub: &S::Sub,
+        known_bound: f64,
+        incumbent: Option<&S::Sol>,
+        ctl: &mut dyn ParaControl<S::Sub, S::Sol>,
+    ) -> SubproblemOutcome {
+        let deadline = std::time::Instant::now() + self.delay;
+        while std::time::Instant::now() < deadline {
+            if ctl.should_abort() {
+                return SubproblemOutcome { dual_bound: known_bound, nodes: 0, aborted: true };
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.inner.solve_subproblem(sub, known_bound, incumbent, ctl)
+    }
+}
+
+struct Args {
+    connect: String,
+    rank: Option<usize>,
+    instance: std::path::PathBuf,
+    status_interval: f64,
+    handicap: Duration,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut connect = None;
+    let mut rank = None;
+    let mut instance = None;
+    let mut status_interval = 0.05f64;
+    let mut handicap = Duration::ZERO;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--connect" => connect = Some(value("--connect")?),
+            "--rank" => rank = Some(value("--rank")?.parse::<usize>().map_err(|e| e.to_string())?),
+            "--instance" => instance = Some(std::path::PathBuf::from(value("--instance")?)),
+            "--status-interval" => {
+                status_interval =
+                    value("--status-interval")?.parse::<f64>().map_err(|e| e.to_string())?
+            }
+            "--handicap-ms" => {
+                handicap = Duration::from_millis(
+                    value("--handicap-ms")?.parse::<u64>().map_err(|e| e.to_string())?,
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        connect: connect.ok_or("--connect is required")?,
+        rank,
+        instance: instance.ok_or("--instance is required")?,
+        status_interval,
+        handicap,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ugd-worker: {e}");
+            eprintln!(
+                "usage: ugd-worker --connect <addr> --instance <path> \
+                 [--rank <n>] [--status-interval <secs>] [--handicap-ms <ms>]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let inner_factory = match stp_worker_factory(&args.instance) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ugd-worker: cannot load instance {}: {e}", args.instance.display());
+            std::process::exit(2);
+        }
+    };
+    let delay = args.handicap;
+    let factory: ugrs_core::worker::SolverFactory<DelaySolver<_>> =
+        std::sync::Arc::new(move |rank, settings| DelaySolver {
+            inner: inner_factory(rank, settings),
+            delay,
+        });
+    if let Err(e) = run_distributed_worker(
+        &args.connect,
+        args.rank,
+        factory,
+        Duration::from_secs_f64(args.status_interval),
+        &ProcessCommConfig::default(),
+    ) {
+        eprintln!("ugd-worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -5,9 +5,7 @@
 //! framework knows about independent sets.
 
 use std::sync::Arc;
-use ugrs::cip::{
-    Heuristic, Model, NodeDesc, Settings, SolveCtx, Solver as CipSolver, VarType,
-};
+use ugrs::cip::{Heuristic, Model, NodeDesc, SolveCtx, Solver as CipSolver, VarType};
 use ugrs::glue::{CipUserPlugins, UgCipSolver};
 use ugrs::ug::{solve_parallel, ParallelOptions, SolverSettings};
 
@@ -74,9 +72,9 @@ impl Heuristic for GreedyMis {
             }
         }
         // Honour forced-in vertices.
-        for v in 0..self.inst.n {
+        for (v, tv) in taken.iter_mut().enumerate() {
             if ctx.local_lb[v] > 0.5 {
-                taken[v] = true;
+                *tv = true;
             }
         }
         Some(taken.iter().map(|&t| if t { 1.0 } else { 0.0 }).collect())
@@ -96,9 +94,8 @@ impl CipUserPlugins for MisPlugins {
     fn create_solver(&self, settings: &SolverSettings) -> CipSolver {
         let mut model = Model::new("mis");
         model.set_maximize();
-        let vars: Vec<_> = (0..self.inst.n)
-            .map(|_| model.add_var("x", VarType::Binary, 0.0, 1.0, 1.0))
-            .collect();
+        let vars: Vec<_> =
+            (0..self.inst.n).map(|_| model.add_var("x", VarType::Binary, 0.0, 1.0, 1.0)).collect();
         for &(u, v) in &self.inst.edges {
             model.add_linear(f64::NEG_INFINITY, 1.0, &[(vars[u], 1.0), (vars[v], 1.0)]);
         }

@@ -2,9 +2,9 @@
 //! approaches against each other and against exhaustive enumeration of
 //! the integer assignments, sequentially and under UG.
 
+use ugrs::glue::ug_solve_misdp;
 use ugrs::misdp::gen::{cardinality_ls, min_k_partitioning, truss_topology};
 use ugrs::misdp::{Approach, MisdpProblem, MisdpSolver};
-use ugrs::glue::ug_solve_misdp;
 use ugrs::sdp::{solve as sdp_solve, SdpOptions, SdpStatus};
 use ugrs::ug::ParallelOptions;
 
@@ -32,7 +32,7 @@ fn brute_force(p: &MisdpProblem) -> Option<f64> {
         let res = sdp_solve(&sdp, &SdpOptions::default());
         if res.status == SdpStatus::Optimal {
             let obj = res.obj;
-            if best.map_or(true, |b| obj > b) {
+            if best.is_none_or(|b| obj > b) {
                 best = Some(obj);
             }
         }

@@ -36,10 +36,7 @@ fn check_instance(g: Graph) {
     let mut seq = SteinerSolver::new(g.clone(), SteinerOptions::default());
     let res = seq.solve();
     let cost = res.best_cost.expect("sequential must solve");
-    assert!(
-        (cost - expected).abs() < 1e-6,
-        "sequential {cost} vs brute force {expected}"
-    );
+    assert!((cost - expected).abs() < 1e-6, "sequential {cost} vs brute force {expected}");
     let tree = res.tree.unwrap();
     assert!(tree.is_valid(&g));
 
@@ -88,10 +85,8 @@ fn reductions_never_change_the_optimum() {
         let g = code_covering(2, 3, 4, CostScheme::Perturbed, seed);
         let expected = brute_force(&g);
         let mut with = SteinerSolver::new(g.clone(), SteinerOptions::default());
-        let mut without = SteinerSolver::new(
-            g,
-            SteinerOptions { skip_reductions: true, ..Default::default() },
-        );
+        let mut without =
+            SteinerSolver::new(g, SteinerOptions { skip_reductions: true, ..Default::default() });
         let c1 = with.solve().best_cost.unwrap();
         let c2 = without.solve().best_cost.unwrap();
         assert!((c1 - expected).abs() < 1e-6, "seed {seed}: reduced {c1} vs {expected}");

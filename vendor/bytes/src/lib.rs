@@ -1,0 +1,170 @@
+//! Offline stand-in for `bytes` with the API subset the wire codec
+//! uses: `BytesMut` as a growable receive buffer with cheap front
+//! splitting, and immutable `Bytes` frames produced by `freeze`.
+//!
+//! Unlike the real crate there is no shared-region refcounting:
+//! `split_to` copies the split-off prefix. Frames here are tiny
+//! length-prefixed messages, so the copy is irrelevant next to the
+//! socket round trip.
+
+use std::ops::{Deref, DerefMut};
+
+/// Immutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes { data: Vec::new() }
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes { data: src.to_vec() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes(len={})", self.data.len())
+    }
+}
+
+/// Growable byte buffer with front splitting.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Removes and returns the first `at` bytes, leaving the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.data.len(), "split_to out of bounds");
+        let rest = self.data.split_off(at);
+        BytesMut { data: std::mem::replace(&mut self.data, rest) }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { data: src.to_vec() }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut(len={})", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_freeze() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"hello world");
+        let head = buf.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&buf[..], b" world");
+        let frozen = head.freeze();
+        assert_eq!(frozen.as_ref(), b"hello");
+        assert_eq!(frozen.len(), 5);
+    }
+
+    #[test]
+    fn split_all_and_none() {
+        let mut buf = BytesMut::from(&b"ab"[..]);
+        let none = buf.split_to(0);
+        assert!(none.is_empty());
+        let all = buf.split_to(2);
+        assert_eq!(&all[..], b"ab");
+        assert!(buf.is_empty());
+    }
+}

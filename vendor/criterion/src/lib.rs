@@ -1,0 +1,141 @@
+//! Offline stand-in for `criterion` with the API subset this workspace
+//! uses: `Criterion::default().sample_size(..).measurement_time(..)`,
+//! `bench_function`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is plain wall-clock sampling: each sample times a batch
+//! of iterations sized so a sample takes roughly
+//! `measurement_time / sample_size`, then median / min / max per-iter
+//! times are printed. No statistical analysis, plots, or baselines —
+//! good enough to compare kernels on one machine, which is all the
+//! bench crate needs.
+
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up + calibration: run single iterations until we know
+        // roughly how long one takes (capped so huge benches still move on).
+        let mut bench = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < self.measurement_time / 10 && calib_iters < 1000 {
+            f(&mut bench);
+            calib_iters += 1;
+        }
+        let per_iter = if calib_iters > 0 {
+            calib_start.elapsed() / calib_iters as u32
+        } else {
+            Duration::from_secs(1)
+        };
+
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample =
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bench.iters = iters_per_sample;
+            bench.elapsed = Duration::ZERO;
+            f(&mut bench);
+            samples.push(bench.elapsed / iters_per_sample as u32);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{id:<44} time: [{:>12?} {:>12?} {:>12?}]  ({} samples x {} iters)",
+            samples[0],
+            median,
+            samples[samples.len() - 1],
+            self.sample_size,
+            iters_per_sample
+        );
+        self
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the batch size chosen by the harness.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export so `criterion::black_box` works like the real crate.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; nothing to parse offline.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(20));
+        let mut count = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| count = count.wrapping_add(1)));
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,455 @@
+//! Offline stand-in for `serde`, providing the API subset this workspace
+//! uses. The container this repository builds in has no network access
+//! and no vendored registry, so the real serde cannot be fetched; this
+//! crate keeps the same import paths (`serde::Serialize`,
+//! `serde::Deserialize`, `serde::de::DeserializeOwned`, derive macros
+//! via the `derive` feature) over a much simpler design: instead of the
+//! visitor-based zero-copy data model, types convert to and from a JSON
+//! value tree ([`Value`]). `serde_json` (also vendored) renders that
+//! tree to text/bytes.
+//!
+//! Deliberate deviations from real serde, chosen because both ends of
+//! every (de)serialization in this workspace are this implementation:
+//!
+//! * Non-finite floats round-trip losslessly (rendered as `Infinity`,
+//!   `-Infinity`, `NaN` tokens by the vendored `serde_json`). The UG
+//!   checkpoint format relies on this: subproblem dual bounds start at
+//!   `-inf`.
+//! * Enums use externally tagged representation only (the serde
+//!   default); no `#[serde(...)]` attributes are interpreted.
+
+pub use crate::error::Error;
+pub use crate::value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+mod error {
+    /// Serialization/deserialization error: a message string.
+    #[derive(Debug, Clone)]
+    pub struct Error(String);
+
+    impl Error {
+        pub fn msg(m: impl Into<String>) -> Self {
+            Error(m.into())
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    // The real serde_json offers this conversion; callers rely on `?`
+    // promoting codec failures into `io::Error` paths.
+    impl From<Error> for std::io::Error {
+        fn from(e: Error) -> Self {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+        }
+    }
+}
+
+mod value {
+    /// A JSON-like value tree — the data model every [`crate::Serialize`]
+    /// type converts through. Objects preserve insertion order.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Int(i64),
+        Float(f64),
+        Str(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    static NULL: Value = Value::Null;
+
+    impl Value {
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Int(i) => Some(*i),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Int(i) if *i >= 0 => Some(*i as u64),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Int(i) => Some(*i as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        /// Object field lookup (first match); `None` for non-objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        fn index(&self, i: usize) -> &Value {
+            self.as_array().and_then(|a| a.get(i)).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::IndexMut<&str> for Value {
+        /// `v["key"] = x` semantics of the real crate: `Null` becomes
+        /// an object, a missing key is inserted as `Null`, and
+        /// indexing a non-object panics.
+        fn index_mut(&mut self, key: &str) -> &mut Value {
+            if matches!(self, Value::Null) {
+                *self = Value::Object(Vec::new());
+            }
+            let Value::Object(entries) = self else {
+                panic!("cannot index non-object value with a string key");
+            };
+            if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+                return &mut entries[pos].1;
+            }
+            entries.push((key.to_string(), Value::Null));
+            &mut entries.last_mut().expect("just pushed").1
+        }
+    }
+}
+
+/// Types that can convert themselves into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// Alias of [`Deserialize`] (this model has no borrowed
+    /// deserialization, so every `Deserialize` type is owned).
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Fetches a required object field during derived deserialization.
+#[doc(hidden)]
+pub fn __get_field<'a>(
+    obj: &'a [(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<&'a Value, Error> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::msg(format!("missing field `{key}` for {ty}")))
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::msg(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(Error::msg(format!(
+                        "expected integer for {}, got {other:?}", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, i8, i16, i32, i64, isize);
+
+// u64/usize can exceed i64 in theory; values in this workspace (node
+// counts, seeds, ranks) stay far below 2^63, so the Int lane is used.
+macro_rules! uint_big_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) if *i >= 0 => Ok(*i as $t),
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as $t),
+                    other => Err(Error::msg(format!(
+                        "expected non-negative integer for {}, got {other:?}", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+uint_big_impls!(u64, usize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::Float(f) => Ok(*f as $t),
+                    other => Err(Error::msg(format!(
+                        "expected number for {}, got {other:?}", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::msg(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(|s| s.to_string())
+            .ok_or_else(|| Error::msg(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array()
+                    .ok_or_else(|| Error::msg(format!("expected tuple array, got {v:?}")))?;
+                let expect = [$($n,)+].len();
+                if a.len() != expect {
+                    return Err(Error::msg(format!(
+                        "expected tuple of {expect}, got {} elements", a.len())));
+                }
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.as_ref().to_string(), v.to_value())).collect();
+        items.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::Int(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let t = (1u32, true, "x".to_string());
+        let v = t.to_value();
+        let back = <(u32, bool, String)>::from_value(&v).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn nonfinite_floats_survive() {
+        let v = f64::NEG_INFINITY.to_value();
+        assert_eq!(f64::from_value(&v).unwrap(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert!(v["b"].is_null());
+        assert_eq!(v["a"].as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,462 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` targeting the vendored `serde` value model
+//! (`to_value`/`from_value` over `serde::Value`).
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input
+//! `TokenStream` is parsed directly. Supported shapes — which cover
+//! every derived type in this workspace:
+//!
+//! * unit structs, tuple structs, named-field structs;
+//! * enums with unit, tuple and struct variants (externally tagged);
+//! * type generics without bounds (each parameter gets a
+//!   `Serialize`/`Deserialize` bound on the generated impl).
+//!
+//! `#[serde(...)]` attributes are not interpreted (none are used in
+//! this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+}
+
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Shape {
+    Struct(Body),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => generate(&parsed, mode).parse().expect("serde_derive: generated code"),
+        Err(e) => format!("compile_error!({e:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    let generics = parse_generics(&toks, &mut i)?;
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_body(&toks, &mut i)?),
+        "enum" => Shape::Enum(parse_variants(&toks, &mut i)?),
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+    Ok(Input { name, generics, shape })
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]` attribute: punct plus bracket group.
+                if matches!(toks.get(*i + 1), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 2;
+                    continue;
+                }
+                return;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<A, B, ...>` (bounds after `:` are skipped; the generated
+/// impl re-adds its own trait bounds). Leaves `i` after the closing `>`.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    if !matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Ok(params);
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                params.push(id.to_string());
+                expect_param = false;
+            }
+            Some(_) => {}
+            None => return Err("unterminated generics".into()),
+        }
+        *i += 1;
+    }
+    Ok(params)
+}
+
+fn parse_struct_body(toks: &[TokenTree], i: &mut usize) -> Result<Body, String> {
+    match toks.get(*i) {
+        None | Some(TokenTree::Punct(_)) => Ok(Body::Unit), // `struct X;`
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream())?;
+            Ok(Body::Named(fields))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Body::Tuple(count_tuple_fields(g.stream())))
+        }
+        other => Err(format!("unexpected struct body: {other:?}")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(&toks, &mut i);
+        fields.push(Field { name });
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a `,` outside all angle brackets.
+/// Grouped delimiters `()`/`[]`/`{}` arrive as single `Group` trees, so
+/// only `<`/`>` depth needs manual tracking.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0usize;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0usize;
+    let mut j = 0;
+    while j < toks.len() {
+        match &toks[j] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            // A trailing comma does not start a new field.
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 && j + 1 < toks.len() => {
+                count += 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    count
+}
+
+fn parse_variants(toks: &[TokenTree], i: &mut usize) -> Result<Vec<Variant>, String> {
+    let group = match toks.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => return Err(format!("expected enum body, got {other:?}")),
+    };
+    let vt: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0;
+    while j < vt.len() {
+        skip_attrs_and_vis(&vt, &mut j);
+        let name = match vt.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        j += 1;
+        let body = match vt.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                j += 1;
+                Body::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                j += 1;
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Body::Unit,
+        };
+        // Skip a discriminant (`= expr`) if present, then the comma.
+        while j < vt.len() && !matches!(&vt[j], TokenTree::Punct(p) if p.as_char() == ',') {
+            j += 1;
+        }
+        j += 1;
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    let bounds: Vec<String> =
+        input.generics.iter().map(|g| format!("{g}: ::serde::{trait_name}")).collect();
+    let params = input.generics.join(", ");
+    let ty =
+        if params.is_empty() { input.name.clone() } else { format!("{}<{}>", input.name, params) };
+    if bounds.is_empty() {
+        format!("impl ::serde::{trait_name} for {ty}")
+    } else {
+        format!("impl<{}> ::serde::{trait_name} for {ty}", bounds.join(", "))
+    }
+}
+
+fn generate(input: &Input, mode: Mode) -> String {
+    match mode {
+        Mode::Serialize => generate_serialize(input),
+        Mode::Deserialize => generate_deserialize(input),
+    }
+}
+
+fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({:?}), ::serde::Serialize::to_value(&{}{}))",
+                f.name, access_prefix, f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", items.join(", "))
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let header = impl_header(input, "Serialize");
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Body::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Struct(Body::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Body::Named(fields)) => ser_named_fields(fields, "self."),
+        Shape::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                let arm = match &v.body {
+                    Body::Unit => format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                    ),
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vn:?}), {payload})])",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    Body::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({:?}), \
+                                     ::serde::Serialize::to_value({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                             ::serde::Value::Object(::std::vec![{items}]))])",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!("{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}")
+}
+
+fn de_named_fields(name: &str, ctor: &str, fields: &[Field], obj_expr: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{}: ::serde::Deserialize::from_value(::serde::__get_field({obj_expr}, {:?}, {name:?})?)?",
+                f.name, f.name
+            )
+        })
+        .collect();
+    format!("::std::result::Result::Ok({ctor} {{ {} }})", items.join(", "))
+}
+
+fn de_tuple(ctor: &str, n: usize, payload_expr: &str, ty_name: &str) -> String {
+    if n == 1 {
+        return format!(
+            "::std::result::Result::Ok({ctor}(::serde::Deserialize::from_value({payload_expr})?))"
+        );
+    }
+    let items: Vec<String> =
+        (0..n).map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?")).collect();
+    format!(
+        "{{ let __a = {payload_expr}.as_array().ok_or_else(|| ::serde::Error::msg(\
+         format!(\"expected array for {ty_name}\")))?; \
+         if __a.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::msg(\
+         format!(\"expected {n} elements for {ty_name}, got {{}}\", __a.len()))); }} \
+         ::std::result::Result::Ok({ctor}({items})) }}",
+        items = items.join(", ")
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let header = impl_header(input, "Deserialize");
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Body::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Shape::Struct(Body::Tuple(n)) => de_tuple(name, *n, "__v", name),
+        Shape::Struct(Body::Named(fields)) => {
+            let inner = de_named_fields(name, name, fields, "__obj");
+            format!(
+                "{{ let __obj = __v.as_object().ok_or_else(|| ::serde::Error::msg(\
+                 format!(\"expected object for {name}, got {{:?}}\", __v)))?; {inner} }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => {
+                        unit_arms.push(format!("{vn:?} => ::std::result::Result::Ok({name}::{vn})"))
+                    }
+                    Body::Tuple(n) => payload_arms.push(format!(
+                        "{vn:?} => {}",
+                        de_tuple(&format!("{name}::{vn}"), *n, "__pv", name)
+                    )),
+                    Body::Named(fields) => {
+                        let inner =
+                            de_named_fields(name, &format!("{name}::{vn}"), fields, "__fobj");
+                        payload_arms.push(format!(
+                            "{vn:?} => {{ let __fobj = __pv.as_object().ok_or_else(|| \
+                             ::serde::Error::msg(format!(\"expected object payload for \
+                             {name}::{vn}\")))?; {inner} }}"
+                        ));
+                    }
+                }
+            }
+            let unit_match = format!(
+                "match __s.as_str() {{ {arms}{sep}__other => ::std::result::Result::Err(\
+                 ::serde::Error::msg(format!(\"unknown variant {{}} for {name}\", __other))) }}",
+                arms = unit_arms.join(", "),
+                sep = if unit_arms.is_empty() { "" } else { ", " }
+            );
+            let payload_match = format!(
+                "match __k.as_str() {{ {arms}{sep}__other => ::std::result::Result::Err(\
+                 ::serde::Error::msg(format!(\"unknown variant {{}} for {name}\", __other))) }}",
+                arms = payload_arms.join(", "),
+                sep = if payload_arms.is_empty() { "" } else { ", " }
+            );
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => {unit_match}, \
+                 ::serde::Value::Object(__o) if __o.len() == 1 => {{ \
+                 let (__k, __pv) = &__o[0]; {payload_match} }}, \
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 format!(\"bad enum encoding for {name}: {{:?}}\", __other))) }}"
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
