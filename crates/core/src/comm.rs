@@ -25,6 +25,7 @@
 
 use crate::messages::Message;
 use crate::process::{ProcessLcComm, ProcessWorkerComm};
+use crate::server::JobComm;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -37,6 +38,10 @@ pub enum LcComm<Sub, Sol> {
     Thread(ThreadLcComm<Sub, Sol>),
     /// TCP to spawned worker processes (ParaSCIP-style).
     Process(ProcessLcComm<Sub, Sol>),
+    /// Leased standing-pool workers of one `ugd-server` job
+    /// ([`crate::server`]): same frames as `Process`, but multiplexed
+    /// over connections that outlive the job.
+    Job(JobComm<Sub, Sol>),
 }
 
 /// A ParaSolver's endpoint: receives its own messages, sends upward.
@@ -89,6 +94,7 @@ where
         match self {
             LcComm::Thread(c) => c.to_workers.len(),
             LcComm::Process(c) => c.num_workers(),
+            LcComm::Job(c) => c.num_workers(),
         }
     }
 
@@ -103,6 +109,7 @@ where
                 None => false,
             },
             LcComm::Process(c) => c.send_to(rank, msg),
+            LcComm::Job(c) => c.send_to(rank, msg),
         }
     }
 
@@ -128,6 +135,7 @@ where
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
             },
             LcComm::Process(c) => c.recv_timeout(d),
+            LcComm::Job(c) => c.recv_timeout(d),
         }
     }
 }

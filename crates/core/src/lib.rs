@@ -40,6 +40,7 @@ pub mod comm;
 pub mod messages;
 pub mod process;
 pub mod runner;
+pub mod server;
 pub mod settings;
 pub mod stats;
 pub mod supervisor;
@@ -52,6 +53,11 @@ pub use process::ProcessCommConfig;
 pub use runner::{
     run_distributed_worker, solve_parallel, solve_parallel_distributed, DistributedOptions,
     ParallelOptions, ParallelResult, RampUp,
+};
+pub use server::{
+    serve_worker, ClientRequest, JobClient, JobEvent, JobEventKind, JobSpec, JobState, JobSummary,
+    PoolDown, PoolHello, PoolUp, PoolWelcome, Server, ServerConfig, ServerReply, ServerStatus,
+    WireType, WorkerInfo, POOL_PROTOCOL_VERSION,
 };
 pub use settings::SolverSettings;
 pub use stats::UgStats;

@@ -58,6 +58,12 @@ pub struct ParallelOptions {
     pub pool_target_per_solver: f64,
     /// Minimum seconds between a worker's status reports.
     pub status_interval: f64,
+    /// Stop (like the time limit: abort, drain, checkpoint) once the
+    /// total processed B&B nodes reach this count.
+    pub node_limit: Option<u64>,
+    /// External cancellation: when the flag flips to true the run stops
+    /// through the same orderly shutdown path as the time limit.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Default for ParallelOptions {
@@ -71,6 +77,8 @@ impl Default for ParallelOptions {
             restart_from: None,
             pool_target_per_solver: 1.0,
             status_interval: 0.05,
+            node_limit: None,
+            cancel: None,
         }
     }
 }
@@ -176,7 +184,7 @@ where
     })?;
     let listener = ProcessListener::bind(&dist.listen_addr)?;
     let addr = listener.local_addr()?.to_string();
-    let mut children = Vec::with_capacity(n);
+    let mut children = ChildReaper(Vec::with_capacity(n));
     for rank in 0..n {
         let child = std::process::Command::new(program)
             .args(fixed_args)
@@ -186,28 +194,50 @@ where
             .arg(rank.to_string())
             .arg("--status-interval")
             .arg(options.status_interval.to_string())
+            .arg("--heartbeat-ms")
+            .arg(dist.comm.heartbeat_interval.as_millis().to_string())
+            .arg("--handshake-ms")
+            .arg(dist.comm.handshake_timeout.as_millis().to_string())
             .stdin(std::process::Stdio::null())
             .stdout(std::process::Stdio::null())
-            .spawn();
-        match child {
-            Ok(c) => children.push(c),
-            Err(e) => {
-                for mut c in children {
-                    let _ = c.kill();
-                    let _ = c.wait();
-                }
-                return Err(e);
+            .spawn()?;
+        children.0.push(child);
+    }
+
+    let lc = LcComm::Process(listener.accept_workers::<Sub, Sol>(n, &dist.comm)?);
+    let mut coordinator = LoadCoordinator::new(lc, options, root);
+    let result = coordinator.run();
+    children.reap();
+    Ok(result)
+}
+
+/// Drop guard around the spawned worker fleet: any exit path that skips
+/// the graceful [`ChildReaper::reap`] — a `?` during spawn or handshake,
+/// or a panic inside the coordinator — still kills and waits on every
+/// child, so no `ugd-worker` can outlive its run.
+struct ChildReaper(Vec<std::process::Child>);
+
+impl ChildReaper {
+    /// Graceful reap after `Terminate` was broadcast: bounded wait for
+    /// voluntary exits, then kill stragglers.
+    fn reap(mut self) {
+        reap_children(&mut self.0);
+        self.0.clear();
+    }
+}
+
+impl Drop for ChildReaper {
+    fn drop(&mut self) {
+        // Non-graceful path: nobody told the workers to terminate, so
+        // waiting first would only stall the error/panic propagation —
+        // kill immediately.
+        for c in self.0.iter_mut() {
+            if !matches!(c.try_wait(), Ok(Some(_))) {
+                let _ = c.kill();
+                let _ = c.wait();
             }
         }
     }
-
-    let result = (|| -> std::io::Result<ParallelResult<Sub, Sol>> {
-        let lc = LcComm::Process(listener.accept_workers::<Sub, Sol>(n, &dist.comm)?);
-        let mut coordinator = LoadCoordinator::new(lc, options, root);
-        Ok(coordinator.run())
-    })();
-    reap_children(&mut children);
-    result
 }
 
 /// Waits (bounded) for worker processes to exit after `Terminate`, then

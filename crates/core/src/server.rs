@@ -1,0 +1,1802 @@
+//! The job-serving subsystem: a persistent solve service with a shared
+//! worker pool — `ugd-server`'s core.
+//!
+//! PR 1's [`crate::runner::solve_parallel_distributed`] spawns and reaps
+//! an entire worker fleet *per call*. The deployment model of the paper
+//! (ParaSCIP on a standing HLRN III allocation, Table 2's multi-run
+//! restart chains) presumes the opposite: a long-lived coordinator that
+//! amortizes worker startup across many solves. This module provides
+//! that layer:
+//!
+//! * a [`Server`] accepts **jobs** (instance + root subproblem +
+//!   limits) from clients over the same length-prefixed wire codec the
+//!   transport already uses, and holds a standing pool of worker
+//!   processes that survive across jobs;
+//! * a **scheduler** leases free pool workers to queued jobs by
+//!   (priority, FIFO) order, bounded by `max_concurrent_jobs`; each
+//!   running job gets its own [`crate::supervisor::LoadCoordinator`]
+//!   driving its leased workers through a [`JobComm`] — the third
+//!   [`crate::comm::LcComm`] back-end;
+//! * jobs move through a lifecycle `Queued → Running → {Solved,
+//!   Infeasible, TimedOut, Cancelled, Failed}` ([`JobState`]), with
+//!   progress streamed to watching clients as [`JobEvent`]s;
+//! * a worker that dies mid-job is reported to that job's coordinator
+//!   as [`Message::WorkerDied`] (triggering the existing requeue path)
+//!   *and* replaced by a pool-refill respawn, so the server degrades
+//!   gracefully instead of shrinking forever.
+//!
+//! Wire protocols (all length-prefixed JSON frames, [`crate::wire`]):
+//! clients speak [`ClientRequest`]/[`ServerReply`]; pool workers speak
+//! [`PoolHello`]/[`PoolWelcome`] at handshake and then
+//! [`PoolDown`]/[`PoolUp`]. The `Begin` frame carrying the instance is
+//! encoded **once** per job and the same bytes are written to every
+//! leased worker — the instance never re-serializes per rank.
+
+use crate::comm::LcComm;
+use crate::messages::Message;
+use crate::process::ProcessCommConfig;
+use crate::runner::{ParallelOptions, ParallelResult};
+use crate::settings::SolverSettings;
+use crate::supervisor::LoadCoordinator;
+use crate::wire::{self, FrameDecoder};
+use crate::worker::{BaseSolver, ParaControl, SolverFactory};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Write};
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::Child;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything that crosses a wire in this module: the bound shared by
+/// instance, subproblem and solution types.
+pub trait WireType: Clone + Send + Serialize + DeserializeOwned + 'static {}
+impl<T: Clone + Send + Serialize + DeserializeOwned + 'static> WireType for T {}
+
+/// Bumped on any change to the pool or client protocol; a mismatch at
+/// handshake drops the connection instead of desynchronizing the pool.
+pub const POOL_PROTOCOL_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------
+// Pool protocol (server ⇄ standing workers)
+// ---------------------------------------------------------------------
+
+/// First frame of a connecting pool worker.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PoolHello {
+    pub protocol: u32,
+    /// The spawn tag the server passed on the command line, so the
+    /// server can marry the connection back to the `Child` it spawned.
+    /// `None` for externally started workers.
+    pub tag: Option<u64>,
+    /// The worker's OS pid (reported even when externally started, so
+    /// `ServerStatus` can expose it for targeted kills in tests).
+    pub pid: Option<u32>,
+}
+
+/// The server's handshake answer: the worker's permanent pool id.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PoolWelcome {
+    pub worker: u64,
+}
+
+/// Server → worker frames after the handshake.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub enum PoolDown<Inst, Sub, Sol> {
+    /// A new job starts on this worker: load the instance. Encoded once
+    /// per job; every leased worker receives the identical bytes.
+    Begin { job: u64, instance: Inst },
+    /// A coordination message of the named job, verbatim.
+    Ug { job: u64, msg: Message<Sub, Sol> },
+}
+
+/// Worker → server frames after the handshake.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub enum PoolUp<Sub, Sol> {
+    /// Keep-alive, independent of solving.
+    Ping { worker: u64 },
+    /// A coordination message of the named job. The worker always says
+    /// rank 0 about itself; the server rewrites the rank from its lease
+    /// table before forwarding to the job's coordinator.
+    Ug { job: u64, worker: u64, msg: Message<Sub, Sol> },
+    /// The worker acknowledged the job's `Terminate` and is free again.
+    /// Leases are only released on this frame, so a worker still
+    /// draining one job can never receive the next job's `Begin`.
+    JobDone { job: u64, worker: u64 },
+}
+
+/// Serialize-only mirror of [`PoolDown::Ug`] without the instance type
+/// parameter: [`JobComm`] does not know `Inst`, and the vendored serde
+/// has no `Serialize` for `()` to plug the hole with. Externally-tagged
+/// encoding makes this byte-identical to `PoolDown::Ug` — keep the
+/// variant shape in sync (covered by a unit test below).
+#[derive(serde::Serialize)]
+enum PoolDownUg<Sub, Sol> {
+    Ug { job: u64, msg: Message<Sub, Sol> },
+}
+
+// ---------------------------------------------------------------------
+// Client protocol
+// ---------------------------------------------------------------------
+
+/// A solve job as submitted by a client.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct JobSpec<Inst, Sub> {
+    /// Free-form label, echoed in status and events.
+    pub name: String,
+    /// The solver-independent instance (shipped to every leased worker).
+    pub instance: Inst,
+    /// The root subproblem handed to the job's coordinator.
+    pub root: Sub,
+    /// Higher runs first; ties broken FIFO by job id.
+    pub priority: i32,
+    /// Pool workers to lease (clamped to the pool size).
+    pub num_solvers: usize,
+    /// Per-job wall-clock limit in seconds.
+    pub time_limit: f64,
+    /// Per-job B&B node limit.
+    pub node_limit: Option<u64>,
+}
+
+impl<Inst, Sub> JobSpec<Inst, Sub> {
+    /// A spec with default priority 0, two solvers and no limits.
+    pub fn new(name: impl Into<String>, instance: Inst, root: Sub) -> Self {
+        JobSpec {
+            name: name.into(),
+            instance,
+            root,
+            priority: 0,
+            num_solvers: 2,
+            time_limit: f64::INFINITY,
+            node_limit: None,
+        }
+    }
+}
+
+/// Client → server requests.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub enum ClientRequest<Inst, Sub> {
+    Submit {
+        spec: JobSpec<Inst, Sub>,
+    },
+    /// Cancel a queued or running job (`ok: false` when already done).
+    Cancel {
+        job: u64,
+    },
+    /// Stream the job's events starting at `from_seq`; the server keeps
+    /// sending until the terminal `Finished` event.
+    Watch {
+        job: u64,
+        from_seq: usize,
+    },
+    Status,
+    Shutdown,
+}
+
+/// Server → client replies.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub enum ServerReply<Sol> {
+    Submitted { job: u64 },
+    CancelResult { job: u64, ok: bool },
+    Event { event: JobEvent<Sol> },
+    Status { status: ServerStatus },
+    ShuttingDown,
+    Error { message: String },
+}
+
+/// The job lifecycle: `Queued → Running →` one terminal state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum JobState {
+    Queued,
+    Running,
+    /// Search space exhausted with a solution: proven optimal.
+    Solved,
+    /// Search space exhausted without a solution.
+    Infeasible,
+    /// Stopped on the wall-clock or node limit.
+    TimedOut,
+    Cancelled,
+    /// Every leased worker died before the job could finish.
+    Failed,
+}
+
+impl JobState {
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+/// One entry of a job's append-only event log. `seq` is dense from 0,
+/// so a watcher can resume with `Watch { from_seq }` after a dropped
+/// connection without missing or repeating events.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct JobEvent<Sol> {
+    pub job: u64,
+    pub seq: usize,
+    pub kind: JobEventKind<Sol>,
+}
+
+/// What happened. Progress events (`Incumbent`, `Bound`) are deduped:
+/// only strict improvements are logged.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub enum JobEventKind<Sol> {
+    Queued,
+    Started {
+        workers: usize,
+    },
+    /// An improving incumbent (internal-sense objective).
+    Incumbent {
+        obj: f64,
+    },
+    /// An improving global dual bound (internal sense).
+    Bound {
+        dual_bound: f64,
+    },
+    /// A leased worker died mid-job; its work was requeued.
+    WorkerLost {
+        rank: usize,
+    },
+    /// Terminal: the job reached `state`.
+    Finished {
+        state: JobState,
+        obj: Option<f64>,
+        dual_bound: f64,
+        solution: Option<Sol>,
+        nodes: u64,
+        workers_lost: u64,
+        wall_time: f64,
+    },
+}
+
+/// A point-in-time snapshot for `ugd status`.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ServerStatus {
+    /// Configured pool size (the scheduler refills toward this).
+    pub pool_target: usize,
+    pub workers: Vec<WorkerInfo>,
+    /// Job ids still waiting, in submission order.
+    pub queued: Vec<u64>,
+    pub jobs: Vec<JobSummary>,
+}
+
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct WorkerInfo {
+    pub id: u64,
+    pub pid: Option<u32>,
+    /// The job this worker is leased to, if any.
+    pub job: Option<u64>,
+    /// Its rank within that job.
+    pub rank: Option<usize>,
+    /// True between a job's end and the worker's `JobDone` ack.
+    pub draining: bool,
+}
+
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct JobSummary {
+    pub job: u64,
+    pub name: String,
+    pub state: JobState,
+    pub priority: i32,
+    pub num_solvers: usize,
+}
+
+// ---------------------------------------------------------------------
+// Server configuration and shared state
+// ---------------------------------------------------------------------
+
+/// Tuning of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker executable + fixed leading arguments. The server appends
+    /// `--serve --connect <addr> --pool-tag <tag> --status-interval <s>
+    /// --heartbeat-ms <ms> --handshake-ms <ms>` per spawn. Leave empty
+    /// to run with externally started workers only (no refill).
+    pub worker_command: Vec<String>,
+    /// Standing pool size the scheduler maintains.
+    pub pool_size: usize,
+    /// Upper bound on simultaneously running jobs.
+    pub max_concurrent_jobs: usize,
+    /// Client listener address (`"127.0.0.1:0"` = OS-picked port).
+    pub client_addr: String,
+    /// Worker listener address.
+    pub worker_addr: String,
+    /// Transport tuning shared with the per-call distributed runner.
+    pub comm: ProcessCommConfig,
+    /// `status_interval` handed to each job's coordinator options.
+    pub status_interval: f64,
+    /// How long a worker may drain (job end → `JobDone`) or a running
+    /// job may outlive shutdown before being killed.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            worker_command: Vec::new(),
+            pool_size: 4,
+            max_concurrent_jobs: 2,
+            client_addr: "127.0.0.1:0".into(),
+            worker_addr: "127.0.0.1:0".into(),
+            comm: ProcessCommConfig::default(),
+            status_interval: 0.05,
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+type SharedWriter = Arc<Mutex<Option<TcpStream>>>;
+
+struct WorkerEntry {
+    writer: SharedWriter,
+    /// The `Child` when the server spawned this worker itself.
+    child: Option<Child>,
+    pid: Option<u32>,
+    /// `(job, rank)` while leased.
+    lease: Option<(u64, usize)>,
+    /// Set when the leased job finished; cleared by `JobDone`.
+    draining_since: Option<Instant>,
+    /// Last frame of any kind (heartbeats included).
+    last_heard: Instant,
+}
+
+struct PendingSpawn {
+    child: Child,
+    since: Instant,
+}
+
+struct JobRecord<Inst, Sub, Sol> {
+    spec: JobSpec<Inst, Sub>,
+    state: JobState,
+    cancel: Arc<AtomicBool>,
+    /// Upward channel into the running job's coordinator.
+    inbox: Option<Sender<Message<Sub, Sol>>>,
+}
+
+struct ServerState<Inst, Sub, Sol> {
+    workers: HashMap<u64, WorkerEntry>,
+    /// Spawned but not yet handshaken, keyed by spawn tag.
+    pending: HashMap<u64, PendingSpawn>,
+    next_worker_tag: u64,
+    /// Waiting job ids in submission order.
+    queue: Vec<u64>,
+    jobs: BTreeMap<u64, JobRecord<Inst, Sub, Sol>>,
+    next_job: u64,
+    running: usize,
+    shutdown: bool,
+}
+
+/// One job's append-only event log plus progress-dedup watermarks.
+struct JobLog<Sol> {
+    events: Vec<JobEvent<Sol>>,
+    done: bool,
+    best_obj: Option<f64>,
+    best_bound: f64,
+}
+
+impl<Sol> Default for JobLog<Sol> {
+    fn default() -> Self {
+        JobLog { events: Vec::new(), done: false, best_obj: None, best_bound: f64::NEG_INFINITY }
+    }
+}
+
+struct SharedState<Inst, Sub, Sol> {
+    state: Mutex<ServerState<Inst, Sub, Sol>>,
+    /// Wakes the scheduler (submission, worker change, job end).
+    sched: Condvar,
+    events: Mutex<HashMap<u64, JobLog<Sol>>>,
+    /// Wakes watchers streaming a job's events.
+    events_cv: Condvar,
+    config: ServerConfig,
+    /// Resolved worker-listener address workers are spawned against.
+    worker_addr: String,
+    shutdown: AtomicBool,
+}
+
+/// Everything a job thread needs, collected under the state lock and
+/// handed out of it (threads are spawned lock-free in phase B).
+struct StartedJob<Inst, Sub, Sol> {
+    jid: u64,
+    spec: JobSpec<Inst, Sub>,
+    cancel: Arc<AtomicBool>,
+    writers: Vec<SharedWriter>,
+    inbox: Receiver<Message<Sub, Sol>>,
+}
+
+// ---------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------
+
+fn emit<Inst, Sub, Sol: Clone>(
+    shared: &SharedState<Inst, Sub, Sol>,
+    job: u64,
+    kind: JobEventKind<Sol>,
+) {
+    let mut logs = shared.events.lock().unwrap();
+    let log = logs.entry(job).or_default();
+    if log.done {
+        return;
+    }
+    if matches!(kind, JobEventKind::Finished { .. }) {
+        log.done = true;
+    }
+    let seq = log.events.len();
+    log.events.push(JobEvent { job, seq, kind });
+    shared.events_cv.notify_all();
+}
+
+/// Turns upward coordination traffic into deduped progress events:
+/// improving incumbents and finite improving dual bounds.
+fn emit_progress<Inst, Sub, Sol: Clone>(
+    shared: &SharedState<Inst, Sub, Sol>,
+    job: u64,
+    msg: &Message<Sub, Sol>,
+) {
+    let (is_obj, value) = match msg {
+        Message::SolutionFound { obj, .. } => (true, *obj),
+        Message::Status { dual_bound, .. } if dual_bound.is_finite() => (false, *dual_bound),
+        _ => return,
+    };
+    let mut logs = shared.events.lock().unwrap();
+    let log = logs.entry(job).or_default();
+    if log.done {
+        return;
+    }
+    let kind = if is_obj {
+        if !log.best_obj.is_none_or(|cur| value < cur - crate::OBJ_EPS) {
+            return;
+        }
+        log.best_obj = Some(value);
+        JobEventKind::Incumbent { obj: value }
+    } else {
+        if value <= log.best_bound + crate::OBJ_EPS {
+            return;
+        }
+        log.best_bound = value;
+        JobEventKind::Bound { dual_bound: value }
+    };
+    let seq = log.events.len();
+    log.events.push(JobEvent { job, seq, kind });
+    shared.events_cv.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// The job-side communicator: LcComm's third back-end
+// ---------------------------------------------------------------------
+
+/// The coordinator endpoint of one *job*: sends to its leased pool
+/// workers (wrapped as [`PoolDown::Ug`] frames), receives from the
+/// inbox the server's pool readers forward into. `WorkerDied` for a
+/// lost lease is injected by the server, mirroring what the process
+/// transport synthesizes.
+pub struct JobComm<Sub, Sol> {
+    job: u64,
+    writers: Vec<SharedWriter>,
+    inbox: Receiver<Message<Sub, Sol>>,
+}
+
+impl<Sub, Sol> JobComm<Sub, Sol>
+where
+    Sub: Serialize + DeserializeOwned,
+    Sol: Serialize + DeserializeOwned,
+{
+    pub fn num_workers(&self) -> usize {
+        self.writers.len()
+    }
+
+    /// Sends to the worker leased as `rank`; false when the rank is out
+    /// of range or its connection is gone (the writer is retired).
+    pub fn send_to(&self, rank: usize, msg: Message<Sub, Sol>) -> bool {
+        let Some(slot) = self.writers.get(rank) else { return false };
+        let mut guard = slot.lock().unwrap();
+        let Some(stream) = guard.as_mut() else { return false };
+        match wire::write_msg(stream, &PoolDownUg::Ug { job: self.job, msg }) {
+            Ok(()) => true,
+            Err(_) => {
+                *guard = None;
+                false
+            }
+        }
+    }
+
+    pub fn recv_timeout(&self, d: Duration) -> Option<Message<Sub, Sol>> {
+        match self.inbox.recv_timeout(d) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+}
+
+/// Rewrites the rank a worker reported (always 0 about itself) to the
+/// rank its lease assigns within the job.
+fn set_rank<Sub, Sol>(msg: &mut Message<Sub, Sol>, rank: usize) {
+    match msg {
+        Message::SolutionFound { rank: r, .. }
+        | Message::Status { rank: r, .. }
+        | Message::ExportedNode { rank: r, .. }
+        | Message::Completed { rank: r, .. }
+        | Message::WorkerDied { rank: r } => *r = rank,
+        _ => {}
+    }
+}
+
+/// Classifies a finished run into the job lifecycle's terminal states.
+fn classify<Sub, Sol>(
+    res: &ParallelResult<Sub, Sol>,
+    cancelled: bool,
+    num_workers: usize,
+) -> JobState {
+    if res.solved {
+        if res.solution.is_some() {
+            JobState::Solved
+        } else {
+            JobState::Infeasible
+        }
+    } else if cancelled {
+        JobState::Cancelled
+    } else if res.stats.workers_died >= num_workers as u64 {
+        JobState::Failed
+    } else {
+        // The coordinator only stops unsolved on attrition (above) or on
+        // a limit — wall-clock or node count both report TimedOut.
+        JobState::TimedOut
+    }
+}
+
+// ---------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------
+
+/// A running job service: worker pool + scheduler + client listener.
+pub struct Server<Inst: WireType, Sub: WireType, Sol: WireType> {
+    shared: Arc<SharedState<Inst, Sub, Sol>>,
+    client_addr: SocketAddr,
+    worker_addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<Inst: WireType, Sub: WireType, Sol: WireType> Server<Inst, Sub, Sol> {
+    /// Binds both listeners and starts the scheduler; returns once the
+    /// server is accepting (workers fill in asynchronously).
+    pub fn start(config: ServerConfig) -> io::Result<Self> {
+        let client_listener = TcpListener::bind(&config.client_addr)?;
+        let worker_listener = TcpListener::bind(&config.worker_addr)?;
+        let client_addr = client_listener.local_addr()?;
+        let worker_addr = worker_listener.local_addr()?;
+        let shared = Arc::new(SharedState {
+            state: Mutex::new(ServerState {
+                workers: HashMap::new(),
+                pending: HashMap::new(),
+                next_worker_tag: 0,
+                queue: Vec::new(),
+                jobs: BTreeMap::new(),
+                next_job: 0,
+                running: 0,
+                shutdown: false,
+            }),
+            sched: Condvar::new(),
+            events: Mutex::new(HashMap::new()),
+            events_cv: Condvar::new(),
+            config,
+            worker_addr: worker_addr.to_string(),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut threads = Vec::new();
+        let sh = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("ugd-scheduler".into())
+                .spawn(move || scheduler_loop(sh))?,
+        );
+        let sh = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("ugd-worker-accept".into())
+                .spawn(move || worker_accept_loop(sh, worker_listener))?,
+        );
+        let sh = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("ugd-client-accept".into())
+                .spawn(move || client_accept_loop(sh, client_listener))?,
+        );
+        Ok(Server { shared, client_addr, worker_addr, threads })
+    }
+
+    /// Where clients connect.
+    pub fn client_addr(&self) -> SocketAddr {
+        self.client_addr
+    }
+
+    /// Where pool workers connect.
+    pub fn worker_addr(&self) -> SocketAddr {
+        self.worker_addr
+    }
+
+    /// Begins shutdown: queued jobs are cancelled, running jobs get
+    /// their cancel flag, the pool is torn down once they drain.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Joins the service threads (call after [`Self::shutdown`]).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+fn initiate_shutdown<Inst, Sub, Sol>(shared: &SharedState<Inst, Sub, Sol>) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.state.lock().unwrap().shutdown = true;
+    shared.sched.notify_all();
+    shared.events_cv.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+fn spawn_pool_worker(config: &ServerConfig, worker_addr: &str, tag: u64) -> io::Result<Child> {
+    let (program, fixed_args) = config
+        .worker_command
+        .split_first()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "empty worker_command"))?;
+    std::process::Command::new(program)
+        .args(fixed_args)
+        .arg("--serve")
+        .arg("--connect")
+        .arg(worker_addr)
+        .arg("--pool-tag")
+        .arg(tag.to_string())
+        .arg("--status-interval")
+        .arg(config.status_interval.to_string())
+        .arg("--heartbeat-ms")
+        .arg(config.comm.heartbeat_interval.as_millis().to_string())
+        .arg("--handshake-ms")
+        .arg(config.comm.handshake_timeout.as_millis().to_string())
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .spawn()
+}
+
+/// The scheduler: pool refill, liveness, and job starts. Each pass has
+/// three phases — decide under the state lock (A), act lock-free (B:
+/// kill lost workers, spawn job threads, emit events), then block on
+/// the condvar (C). Nothing slow ever runs under the lock.
+fn scheduler_loop<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: Arc<SharedState<Inst, Sub, Sol>>,
+) {
+    loop {
+        let mut lost: Vec<u64> = Vec::new();
+        let mut starts: Vec<StartedJob<Inst, Sub, Sol>> = Vec::new();
+        {
+            let mut st = shared.state.lock().unwrap();
+            if st.shutdown {
+                break;
+            }
+            // Prune pending spawns that died or never handshook.
+            let handshake_grace = shared.config.comm.handshake_timeout * 2;
+            st.pending.retain(|_, p| {
+                if matches!(p.child.try_wait(), Ok(Some(_))) {
+                    return false;
+                }
+                if p.since.elapsed() > handshake_grace {
+                    let _ = p.child.kill();
+                    let _ = p.child.wait();
+                    return false;
+                }
+                true
+            });
+            // Refill toward the target pool size.
+            if !shared.config.worker_command.is_empty() {
+                while st.workers.len() + st.pending.len() < shared.config.pool_size {
+                    let tag = st.next_worker_tag;
+                    st.next_worker_tag += 1;
+                    match spawn_pool_worker(&shared.config, &shared.worker_addr, tag) {
+                        Ok(child) => {
+                            st.pending.insert(tag, PendingSpawn { child, since: Instant::now() });
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            // Liveness sweep + expired drains.
+            for (id, w) in st.workers.iter() {
+                if w.last_heard.elapsed() > shared.config.comm.liveness_timeout {
+                    lost.push(*id);
+                } else if let Some(t) = w.draining_since {
+                    if t.elapsed() > shared.config.drain_timeout {
+                        lost.push(*id);
+                    }
+                }
+            }
+            // Start queued jobs while capacity and free workers allow.
+            while st.running < shared.config.max_concurrent_jobs {
+                let mut free: Vec<u64> = st
+                    .workers
+                    .iter()
+                    .filter(|(id, w)| {
+                        w.lease.is_none() && w.draining_since.is_none() && !lost.contains(id)
+                    })
+                    .map(|(id, _)| *id)
+                    .collect();
+                free.sort_unstable();
+                // Best-priority queued job that fits the free workers
+                // (smaller jobs may overtake one that does not fit yet).
+                let mut pick: Option<(usize, u64)> = None;
+                for (i, &jid) in st.queue.iter().enumerate() {
+                    let spec = &st.jobs[&jid].spec;
+                    let want = spec.num_solvers.clamp(1, shared.config.pool_size.max(1));
+                    if want > free.len() {
+                        continue;
+                    }
+                    let better = match pick {
+                        None => true,
+                        Some((_, best)) => {
+                            let b = &st.jobs[&best].spec;
+                            (spec.priority, std::cmp::Reverse(jid))
+                                > (b.priority, std::cmp::Reverse(best))
+                        }
+                    };
+                    if better {
+                        pick = Some((i, jid));
+                    }
+                }
+                let Some((qi, jid)) = pick else { break };
+                let want = st.jobs[&jid].spec.num_solvers.clamp(1, shared.config.pool_size.max(1));
+                st.queue.remove(qi);
+                let chosen: Vec<u64> = free[..want].to_vec();
+                let mut writers = Vec::with_capacity(want);
+                for (rank, wid) in chosen.iter().enumerate() {
+                    let w = st.workers.get_mut(wid).expect("chosen from live workers");
+                    w.lease = Some((jid, rank));
+                    writers.push(w.writer.clone());
+                }
+                let (tx, rx) = channel();
+                st.running += 1;
+                let job = st.jobs.get_mut(&jid).expect("queued job has a record");
+                job.state = JobState::Running;
+                job.inbox = Some(tx);
+                starts.push(StartedJob {
+                    jid,
+                    spec: job.spec.clone(),
+                    cancel: job.cancel.clone(),
+                    writers,
+                    inbox: rx,
+                });
+            }
+        }
+        for id in lost {
+            worker_lost(&shared, id);
+        }
+        for s in starts {
+            emit(&shared, s.jid, JobEventKind::Started { workers: s.writers.len() });
+            let sh = shared.clone();
+            let name = format!("ugd-job-{}", s.jid);
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(move || run_job(sh, s))
+                .expect("spawn job thread");
+        }
+        let st = shared.state.lock().unwrap();
+        if st.shutdown {
+            break;
+        }
+        let _ = shared.sched.wait_timeout(st, Duration::from_millis(100)).unwrap();
+    }
+    shutdown_cleanup(&shared);
+}
+
+/// Removes a dead/stuck worker: retire its connection, kill its
+/// process, tell its job's coordinator (requeue path), wake the
+/// scheduler (refill path). Idempotent — the pool reader and the
+/// liveness sweep may both report the same worker.
+fn worker_lost<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>, id: u64) {
+    let (child, notify) = {
+        let mut st = shared.state.lock().unwrap();
+        let Some(mut w) = st.workers.remove(&id) else { return };
+        if let Ok(mut g) = w.writer.lock() {
+            if let Some(s) = g.take() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        let mut notify = None;
+        if let Some((jid, rank)) = w.lease {
+            if let Some(job) = st.jobs.get(&jid) {
+                if job.state == JobState::Running {
+                    if let Some(tx) = &job.inbox {
+                        notify = Some((tx.clone(), jid, rank));
+                    }
+                }
+            }
+        }
+        (w.child.take(), notify)
+    };
+    if let Some(mut c) = child {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
+    if let Some((tx, jid, rank)) = notify {
+        let _ = tx.send(Message::WorkerDied { rank });
+        emit(shared, jid, JobEventKind::WorkerLost { rank });
+    }
+    shared.sched.notify_all();
+}
+
+/// Runs one job to completion on its leased workers (the job thread).
+fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: Arc<SharedState<Inst, Sub, Sol>>,
+    start: StartedJob<Inst, Sub, Sol>,
+) {
+    let StartedJob { jid, spec, cancel, writers, inbox } = start;
+    let n = writers.len();
+    // One encode, n identical writes: the worker-pool amortization.
+    let begin = wire::encode(&PoolDown::<Inst, Sub, Sol>::Begin {
+        job: jid,
+        instance: spec.instance.clone(),
+    });
+    for w in &writers {
+        let mut guard = w.lock().unwrap();
+        if let Some(stream) = guard.as_mut() {
+            if stream.write_all(&begin).and_then(|_| stream.flush()).is_err() {
+                *guard = None;
+            }
+        }
+    }
+    let options = ParallelOptions {
+        num_solvers: n,
+        time_limit: spec.time_limit,
+        node_limit: spec.node_limit,
+        cancel: Some(cancel.clone()),
+        status_interval: shared.config.status_interval,
+        ..ParallelOptions::default()
+    };
+    let comm = LcComm::Job(JobComm { job: jid, writers, inbox });
+    let mut coordinator = LoadCoordinator::new(comm, options, spec.root.clone());
+    let res = coordinator.run();
+    let state = classify(&res, cancel.load(Ordering::SeqCst), n);
+    {
+        let mut st = shared.state.lock().unwrap();
+        if let Some(job) = st.jobs.get_mut(&jid) {
+            job.state = state;
+            job.inbox = None;
+        }
+        // Leases release on JobDone; stamp the drain clock so a worker
+        // that never acks is eventually recycled.
+        for w in st.workers.values_mut() {
+            if matches!(w.lease, Some((j, _)) if j == jid) {
+                w.draining_since = Some(Instant::now());
+            }
+        }
+        st.running -= 1;
+    }
+    emit(
+        &shared,
+        jid,
+        JobEventKind::Finished {
+            state,
+            obj: res.solution.as_ref().map(|(_, o)| *o),
+            dual_bound: res.dual_bound,
+            solution: res.solution.map(|(s, _)| s),
+            nodes: res.stats.nodes_total,
+            workers_lost: res.stats.workers_died,
+            wall_time: res.stats.wall_time,
+        },
+    );
+    shared.sched.notify_all();
+}
+
+fn shutdown_cleanup<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>) {
+    let queued: Vec<u64> = {
+        let mut st = shared.state.lock().unwrap();
+        let queued = std::mem::take(&mut st.queue);
+        for &j in &queued {
+            if let Some(r) = st.jobs.get_mut(&j) {
+                r.state = JobState::Cancelled;
+            }
+        }
+        for r in st.jobs.values() {
+            if r.state == JobState::Running {
+                r.cancel.store(true, Ordering::SeqCst);
+            }
+        }
+        queued
+    };
+    for j in queued {
+        emit(
+            shared,
+            j,
+            JobEventKind::Finished {
+                state: JobState::Cancelled,
+                obj: None,
+                dual_bound: f64::NEG_INFINITY,
+                solution: None,
+                nodes: 0,
+                workers_lost: 0,
+                wall_time: 0.0,
+            },
+        );
+    }
+    // Let running jobs drain through their cancel flags, bounded.
+    let deadline = Instant::now() + shared.config.drain_timeout;
+    let mut st = shared.state.lock().unwrap();
+    while st.running > 0 && Instant::now() < deadline {
+        let (guard, _) = shared.sched.wait_timeout(st, Duration::from_millis(50)).unwrap();
+        st = guard;
+    }
+    let mut children: Vec<Child> = Vec::new();
+    for (_, mut w) in st.workers.drain() {
+        if let Ok(mut g) = w.writer.lock() {
+            if let Some(s) = g.take() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(c) = w.child.take() {
+            children.push(c);
+        }
+    }
+    for (_, p) in st.pending.drain() {
+        children.push(p.child);
+    }
+    drop(st);
+    for mut c in children {
+        if !matches!(c.try_wait(), Ok(Some(_))) {
+            let _ = c.kill();
+        }
+        let _ = c.wait();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker pool: accept, handshake, per-worker readers
+// ---------------------------------------------------------------------
+
+fn worker_accept_loop<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: Arc<SharedState<Inst, Sub, Sol>>,
+    listener: TcpListener,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = admit_worker(&shared, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn admit_worker<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: &Arc<SharedState<Inst, Sub, Sol>>,
+    stream: TcpStream,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = stream.try_clone()?;
+    let mut dec = FrameDecoder::new();
+    let hello: PoolHello = wire::read_msg(&mut reader, &mut dec)?.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::UnexpectedEof, "worker closed before hello")
+    })?;
+    if hello.protocol != POOL_PROTOCOL_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("pool protocol {} != {}", hello.protocol, POOL_PROTOCOL_VERSION),
+        ));
+    }
+    let (id, mut child) = {
+        let mut st = shared.state.lock().unwrap();
+        match hello.tag {
+            Some(t) if st.pending.contains_key(&t) => {
+                (t, Some(st.pending.remove(&t).expect("checked").child))
+            }
+            _ => {
+                let id = st.next_worker_tag;
+                st.next_worker_tag += 1;
+                (id, None)
+            }
+        }
+    };
+    let finish = (|| -> io::Result<TcpStream> {
+        wire::write_msg(&mut (&stream), &PoolWelcome { worker: id })?;
+        stream.set_read_timeout(None)?;
+        stream.try_clone()
+    })();
+    let writer_stream = match finish {
+        Ok(s) => s,
+        Err(e) => {
+            // An adopted child whose handshake failed must not leak.
+            if let Some(c) = child.as_mut() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            return Err(e);
+        }
+    };
+    let pid = hello.pid.or_else(|| child.as_ref().map(|c| c.id()));
+    {
+        let mut st = shared.state.lock().unwrap();
+        st.workers.insert(
+            id,
+            WorkerEntry {
+                writer: Arc::new(Mutex::new(Some(writer_stream))),
+                child,
+                pid,
+                lease: None,
+                draining_since: None,
+                last_heard: Instant::now(),
+            },
+        );
+    }
+    spawn_pool_reader(shared.clone(), id, reader, dec);
+    shared.sched.notify_all();
+    Ok(())
+}
+
+fn spawn_pool_reader<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: Arc<SharedState<Inst, Sub, Sol>>,
+    id: u64,
+    mut stream: TcpStream,
+    mut dec: FrameDecoder,
+) {
+    std::thread::Builder::new()
+        .name(format!("pool-reader-{id}"))
+        .spawn(move || loop {
+            match wire::read_msg::<PoolUp<Sub, Sol>, _>(&mut stream, &mut dec) {
+                Ok(Some(up)) => handle_pool_up(&shared, id, up),
+                Ok(None) | Err(_) => {
+                    worker_lost(&shared, id);
+                    return;
+                }
+            }
+        })
+        .expect("spawn pool reader thread");
+}
+
+fn handle_pool_up<Inst, Sub, Sol: Clone>(
+    shared: &SharedState<Inst, Sub, Sol>,
+    id: u64,
+    up: PoolUp<Sub, Sol>,
+) {
+    match up {
+        PoolUp::Ping { .. } => {
+            if let Some(w) = shared.state.lock().unwrap().workers.get_mut(&id) {
+                w.last_heard = Instant::now();
+            }
+        }
+        PoolUp::JobDone { .. } => {
+            {
+                let mut st = shared.state.lock().unwrap();
+                if let Some(w) = st.workers.get_mut(&id) {
+                    w.last_heard = Instant::now();
+                    w.lease = None;
+                    w.draining_since = None;
+                }
+            }
+            shared.sched.notify_all();
+        }
+        PoolUp::Ug { job, mut msg, .. } => {
+            let tx = {
+                let mut st = shared.state.lock().unwrap();
+                let Some(w) = st.workers.get_mut(&id) else { return };
+                w.last_heard = Instant::now();
+                let Some((jid, rank)) = w.lease else { return };
+                if jid != job {
+                    return; // stale frame of a previous job
+                }
+                set_rank(&mut msg, rank);
+                st.jobs.get(&jid).and_then(|j| j.inbox.clone())
+            };
+            if let Some(tx) = tx {
+                emit_progress(shared, job, &msg);
+                let _ = tx.send(msg);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client connections
+// ---------------------------------------------------------------------
+
+fn client_accept_loop<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: Arc<SharedState<Inst, Sub, Sol>>,
+    listener: TcpListener,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let sh = shared.clone();
+                let _ = std::thread::Builder::new().name("ugd-client".into()).spawn(move || {
+                    let _ = serve_client(&sh, stream);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_client<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: &Arc<SharedState<Inst, Sub, Sol>>,
+    stream: TcpStream,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    let mut dec = FrameDecoder::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let req = match wire::read_msg::<ClientRequest<Inst, Sub>, _>(&mut reader, &mut dec) {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()), // client hung up
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        match req {
+            ClientRequest::Submit { spec } => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    wire::write_msg(
+                        &mut writer,
+                        &ServerReply::<Sol>::Error { message: "server shutting down".into() },
+                    )?;
+                } else {
+                    let job = submit_job(shared, spec);
+                    wire::write_msg(&mut writer, &ServerReply::<Sol>::Submitted { job })?;
+                }
+            }
+            ClientRequest::Cancel { job } => {
+                let ok = cancel_job(shared, job);
+                wire::write_msg(&mut writer, &ServerReply::<Sol>::CancelResult { job, ok })?;
+            }
+            ClientRequest::Status => {
+                let status = server_status(shared);
+                wire::write_msg(&mut writer, &ServerReply::<Sol>::Status { status })?;
+            }
+            ClientRequest::Watch { job, from_seq } => {
+                stream_events(shared, &mut writer, job, from_seq)?;
+            }
+            ClientRequest::Shutdown => {
+                wire::write_msg(&mut writer, &ServerReply::<Sol>::ShuttingDown)?;
+                initiate_shutdown(shared);
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn submit_job<Inst, Sub, Sol: Clone>(
+    shared: &SharedState<Inst, Sub, Sol>,
+    spec: JobSpec<Inst, Sub>,
+) -> u64 {
+    let jid = {
+        let mut st = shared.state.lock().unwrap();
+        let jid = st.next_job;
+        st.next_job += 1;
+        st.jobs.insert(
+            jid,
+            JobRecord {
+                spec,
+                state: JobState::Queued,
+                cancel: Arc::new(AtomicBool::new(false)),
+                inbox: None,
+            },
+        );
+        st.queue.push(jid);
+        jid
+    };
+    emit(shared, jid, JobEventKind::Queued);
+    shared.sched.notify_all();
+    jid
+}
+
+fn cancel_job<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>, job: u64) -> bool {
+    enum Outcome {
+        NotCancellable,
+        WasQueued,
+        WasRunning,
+    }
+    let outcome = {
+        let mut st = shared.state.lock().unwrap();
+        let outcome = match st.jobs.get_mut(&job) {
+            None => Outcome::NotCancellable,
+            Some(rec) => match rec.state {
+                JobState::Queued => {
+                    rec.state = JobState::Cancelled;
+                    Outcome::WasQueued
+                }
+                JobState::Running => {
+                    rec.cancel.store(true, Ordering::SeqCst);
+                    Outcome::WasRunning
+                }
+                _ => Outcome::NotCancellable,
+            },
+        };
+        if matches!(outcome, Outcome::WasQueued) {
+            st.queue.retain(|&j| j != job);
+        }
+        outcome
+    };
+    match outcome {
+        Outcome::WasQueued => {
+            emit(
+                shared,
+                job,
+                JobEventKind::Finished {
+                    state: JobState::Cancelled,
+                    obj: None,
+                    dual_bound: f64::NEG_INFINITY,
+                    solution: None,
+                    nodes: 0,
+                    workers_lost: 0,
+                    wall_time: 0.0,
+                },
+            );
+            shared.sched.notify_all();
+            true
+        }
+        Outcome::WasRunning => true,
+        Outcome::NotCancellable => false,
+    }
+}
+
+fn server_status<Inst, Sub, Sol>(shared: &SharedState<Inst, Sub, Sol>) -> ServerStatus {
+    let st = shared.state.lock().unwrap();
+    let mut workers: Vec<WorkerInfo> = st
+        .workers
+        .iter()
+        .map(|(id, w)| WorkerInfo {
+            id: *id,
+            pid: w.pid,
+            job: w.lease.map(|(j, _)| j),
+            rank: w.lease.map(|(_, r)| r),
+            draining: w.draining_since.is_some(),
+        })
+        .collect();
+    workers.sort_by_key(|w| w.id);
+    let jobs = st
+        .jobs
+        .iter()
+        .map(|(j, r)| JobSummary {
+            job: *j,
+            name: r.spec.name.clone(),
+            state: r.state,
+            priority: r.spec.priority,
+            num_solvers: r.spec.num_solvers,
+        })
+        .collect();
+    ServerStatus { pool_target: shared.config.pool_size, workers, queued: st.queue.clone(), jobs }
+}
+
+fn stream_events<Inst, Sub, Sol: WireType>(
+    shared: &SharedState<Inst, Sub, Sol>,
+    writer: &mut TcpStream,
+    job: u64,
+    from_seq: usize,
+) -> io::Result<()> {
+    {
+        let logs = shared.events.lock().unwrap();
+        if !logs.contains_key(&job) {
+            return wire::write_msg(
+                writer,
+                &ServerReply::<Sol>::Error { message: format!("unknown job {job}") },
+            );
+        }
+    }
+    let mut next = from_seq;
+    loop {
+        let (batch, done_len) = {
+            let logs = shared.events.lock().unwrap();
+            let log = &logs[&job];
+            let batch: Vec<JobEvent<Sol>> =
+                log.events.get(next..).map(|s| s.to_vec()).unwrap_or_default();
+            let done_len = if log.done { Some(log.events.len()) } else { None };
+            (batch, done_len)
+        };
+        next += batch.len();
+        for event in batch {
+            wire::write_msg(writer, &ServerReply::<Sol>::Event { event })?;
+        }
+        // `done` means the Finished event is in the log; once everything
+        // up to the log's end is sent there is nothing more to stream.
+        if matches!(done_len, Some(len) if next >= len) {
+            return Ok(());
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let logs = shared.events.lock().unwrap();
+        let _ = shared.events_cv.wait_timeout(logs, Duration::from_millis(200)).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The worker side: a standing pool member
+// ---------------------------------------------------------------------
+
+/// Joins a server's worker pool and serves jobs until the server hangs
+/// up: the pool analogue of [`crate::runner::run_distributed_worker`].
+/// `make_factory` turns each received instance into the base-solver
+/// factory used for that job's subproblems.
+pub fn serve_worker<Inst, S, F>(
+    addr: &str,
+    tag: Option<u64>,
+    make_factory: F,
+    status_interval: Duration,
+    config: &ProcessCommConfig,
+) -> io::Result<()>
+where
+    Inst: WireType,
+    S: BaseSolver + 'static,
+    F: Fn(&Inst) -> SolverFactory<S>,
+{
+    let deadline = Instant::now() + config.handshake_timeout;
+    let stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    wire::write_msg(
+        &mut (&stream),
+        &PoolHello { protocol: POOL_PROTOCOL_VERSION, tag, pid: Some(std::process::id()) },
+    )?;
+    let mut reader = stream.try_clone()?;
+    let mut dec = FrameDecoder::new();
+    let welcome: PoolWelcome = wire::read_msg(&mut reader, &mut dec)?.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::UnexpectedEof, "server closed before welcome")
+    })?;
+    stream.set_read_timeout(None)?;
+    let worker = welcome.worker;
+
+    let writer = Arc::new(Mutex::new(stream));
+    let hb_shutdown = Arc::new(AtomicBool::new(false));
+    {
+        let writer = writer.clone();
+        let hb_shutdown = hb_shutdown.clone();
+        let interval = config.heartbeat_interval;
+        std::thread::Builder::new()
+            .name(format!("pool-heartbeat-{worker}"))
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                if hb_shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let ping: PoolUp<S::Sub, S::Sol> = PoolUp::Ping { worker };
+                let mut stream = writer.lock().unwrap();
+                if wire::write_msg(&mut *stream, &ping).is_err() {
+                    return;
+                }
+            })
+            .expect("spawn pool heartbeat thread");
+    }
+    let (down_tx, down_rx) = channel::<PoolDown<Inst, S::Sub, S::Sol>>();
+    std::thread::Builder::new()
+        .name(format!("pool-downlink-{worker}"))
+        .spawn(move || loop {
+            match wire::read_msg::<PoolDown<Inst, S::Sub, S::Sol>, _>(&mut reader, &mut dec) {
+                Ok(Some(m)) => {
+                    if down_tx.send(m).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) | Err(_) => return, // server gone: recv() errors out
+            }
+        })
+        .expect("spawn pool downlink thread");
+
+    let result = serve_loop::<Inst, S>(worker, &writer, &down_rx, &make_factory, status_interval);
+    hb_shutdown.store(true, Ordering::SeqCst);
+    if let Ok(stream) = writer.lock() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    result
+}
+
+fn serve_loop<Inst, S>(
+    worker: u64,
+    writer: &Mutex<TcpStream>,
+    down_rx: &Receiver<PoolDown<Inst, S::Sub, S::Sol>>,
+    make_factory: &dyn Fn(&Inst) -> SolverFactory<S>,
+    status_interval: Duration,
+) -> io::Result<()>
+where
+    Inst: WireType,
+    S: BaseSolver + 'static,
+{
+    let mut current: Option<(u64, SolverFactory<S>)> = None;
+    loop {
+        let Ok(down) = down_rx.recv() else { return Ok(()) };
+        match down {
+            PoolDown::Begin { job, instance } => current = Some((job, make_factory(&instance))),
+            PoolDown::Ug { job, msg } => {
+                let (cur, factory) = match current.as_ref() {
+                    Some((c, f)) => (*c, f.clone()),
+                    None => continue,
+                };
+                if cur != job {
+                    continue; // stale frame of a finished job
+                }
+                match msg {
+                    Message::Terminate => {
+                        send_up(writer, &PoolUp::<S::Sub, S::Sol>::JobDone { job, worker });
+                        current = None;
+                    }
+                    Message::Subproblem { sub, incumbent, settings } => {
+                        let settings = settings.unwrap_or_else(SolverSettings::default_bundle);
+                        let mut solver = factory(worker as usize, &settings);
+                        let mut ctl = ServeCtl {
+                            writer,
+                            down_rx,
+                            job,
+                            worker,
+                            collect: false,
+                            abort: false,
+                            terminate_seen: false,
+                            pending_incumbent: incumbent,
+                            last_status: Instant::now(),
+                            status_interval,
+                        };
+                        let outcome = solver.solve_subproblem(
+                            &sub.sub,
+                            sub.dual_bound,
+                            ctl.pending_incumbent.clone().map(|p| p.0).as_ref(),
+                            &mut ctl,
+                        );
+                        let terminate_after = ctl.terminate_seen;
+                        send_up(
+                            writer,
+                            &PoolUp::Ug {
+                                job,
+                                worker,
+                                msg: Message::<S::Sub, S::Sol>::Completed {
+                                    rank: 0,
+                                    dual_bound: outcome.dual_bound.max(sub.dual_bound),
+                                    nodes: outcome.nodes,
+                                    aborted: outcome.aborted,
+                                },
+                            },
+                        );
+                        if terminate_after {
+                            send_up(writer, &PoolUp::<S::Sub, S::Sol>::JobDone { job, worker });
+                            current = None;
+                        }
+                    }
+                    _ => {} // stale control while idle
+                }
+            }
+        }
+    }
+}
+
+fn send_up<Sub: Serialize, Sol: Serialize>(
+    writer: &Mutex<TcpStream>,
+    msg: &PoolUp<Sub, Sol>,
+) -> bool {
+    let mut stream = writer.lock().unwrap();
+    wire::write_msg(&mut *stream, msg).is_ok()
+}
+
+/// [`ParaControl`] of a pool worker: like the plain worker's control
+/// surface, but frames travel as [`PoolUp::Ug`] tagged with the job id,
+/// and the downlink multiplexes [`PoolDown`] (job-tagged) instead of
+/// raw messages. Reports itself as rank 0 — the server rewrites.
+struct ServeCtl<'a, Inst, Sub, Sol> {
+    writer: &'a Mutex<TcpStream>,
+    down_rx: &'a Receiver<PoolDown<Inst, Sub, Sol>>,
+    job: u64,
+    worker: u64,
+    collect: bool,
+    abort: bool,
+    terminate_seen: bool,
+    pending_incumbent: Option<(Sol, f64)>,
+    last_status: Instant,
+    status_interval: Duration,
+}
+
+impl<Inst, Sub, Sol> ServeCtl<'_, Inst, Sub, Sol>
+where
+    Sub: Serialize + DeserializeOwned,
+    Sol: Serialize + DeserializeOwned,
+{
+    fn pump(&mut self) {
+        while let Ok(down) = self.down_rx.try_recv() {
+            // `Begin` mid-solve cannot happen (leases release on
+            // JobDone only); drop it and wrong-job frames defensively.
+            let PoolDown::Ug { job, msg } = down else { continue };
+            if job != self.job {
+                continue;
+            }
+            match msg {
+                Message::Incumbent { sol, obj } => {
+                    let better = self.pending_incumbent.as_ref().is_none_or(|(_, cur)| obj < *cur);
+                    if better {
+                        self.pending_incumbent = Some((sol, obj));
+                    }
+                }
+                Message::StartCollecting => self.collect = true,
+                Message::StopCollecting => self.collect = false,
+                Message::AbortSubproblem => self.abort = true,
+                Message::Terminate => {
+                    self.abort = true;
+                    self.terminate_seen = true;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn send(&self, msg: Message<Sub, Sol>) {
+        send_up(self.writer, &PoolUp::Ug { job: self.job, worker: self.worker, msg });
+    }
+}
+
+impl<Inst, Sub, Sol> ParaControl<Sub, Sol> for ServeCtl<'_, Inst, Sub, Sol>
+where
+    Sub: Serialize + DeserializeOwned,
+    Sol: Serialize + DeserializeOwned,
+{
+    fn should_abort(&mut self) -> bool {
+        self.pump();
+        self.abort
+    }
+
+    fn on_solution(&mut self, sol: Sol, obj: f64) {
+        self.send(Message::SolutionFound { rank: 0, sol, obj });
+    }
+
+    fn poll_incumbent(&mut self) -> Option<(Sol, f64)> {
+        self.pump();
+        self.pending_incumbent.take()
+    }
+
+    fn on_status(&mut self, dual_bound: f64, open: usize, nodes: u64) {
+        if self.last_status.elapsed() >= self.status_interval {
+            self.last_status = Instant::now();
+            self.send(Message::Status { rank: 0, dual_bound, open, nodes });
+        }
+    }
+
+    fn collect_requested(&mut self) -> bool {
+        self.pump();
+        self.collect
+    }
+
+    fn export_subproblem(&mut self, sub: Sub, dual_bound: f64) {
+        self.send(Message::ExportedNode {
+            rank: 0,
+            sub: crate::messages::SubproblemMsg { sub, dual_bound },
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// Zero-sized marker pinning a client to its server's wire types.
+type ClientTypes<Inst, Sub, Sol> = PhantomData<fn() -> (Inst, Sub, Sol)>;
+
+/// A blocking client of one [`Server`] (one TCP connection).
+pub struct JobClient<Inst, Sub, Sol> {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    _types: ClientTypes<Inst, Sub, Sol>,
+}
+
+impl<Inst: WireType, Sub: WireType, Sol: WireType> JobClient<Inst, Sub, Sol> {
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(JobClient { stream, dec: FrameDecoder::new(), _types: PhantomData })
+    }
+
+    fn read_reply(&mut self) -> io::Result<ServerReply<Sol>> {
+        wire::read_msg(&mut self.stream, &mut self.dec)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    fn request(&mut self, req: &ClientRequest<Inst, Sub>) -> io::Result<ServerReply<Sol>> {
+        wire::write_msg(&mut self.stream, req)?;
+        self.read_reply()
+    }
+
+    /// Submits a job; returns its id.
+    pub fn submit(&mut self, spec: JobSpec<Inst, Sub>) -> io::Result<u64> {
+        match self.request(&ClientRequest::Submit { spec })? {
+            ServerReply::Submitted { job } => Ok(job),
+            ServerReply::Error { message } => Err(io::Error::other(message)),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Cancels a job; `Ok(false)` when it already reached a terminal
+    /// state (or is unknown).
+    pub fn cancel(&mut self, job: u64) -> io::Result<bool> {
+        match self.request(&ClientRequest::Cancel { job })? {
+            ServerReply::CancelResult { ok, .. } => Ok(ok),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    pub fn status(&mut self) -> io::Result<ServerStatus> {
+        match self.request(&ClientRequest::Status)? {
+            ServerReply::Status { status } => Ok(status),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Streams the job's events from `from_seq`, invoking `on_event`
+    /// for each, until (and including) the terminal `Finished` event,
+    /// which is returned.
+    pub fn watch(
+        &mut self,
+        job: u64,
+        from_seq: usize,
+        mut on_event: impl FnMut(&JobEvent<Sol>),
+    ) -> io::Result<JobEvent<Sol>> {
+        wire::write_msg(&mut self.stream, &ClientRequest::<Inst, Sub>::Watch { job, from_seq })?;
+        loop {
+            match self.read_reply()? {
+                ServerReply::Event { event } => {
+                    on_event(&event);
+                    if matches!(event.kind, JobEventKind::Finished { .. }) {
+                        return Ok(event);
+                    }
+                }
+                ServerReply::Error { message } => {
+                    return Err(io::Error::new(io::ErrorKind::NotFound, message));
+                }
+                _ => return Err(unexpected_reply()),
+            }
+        }
+    }
+
+    /// Blocks until the job finishes; returns the terminal event.
+    pub fn wait(&mut self, job: u64) -> io::Result<JobEvent<Sol>> {
+        self.watch(job, 0, |_| {})
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        match self.request(&ClientRequest::Shutdown)? {
+            ServerReply::ShuttingDown => Ok(()),
+            _ => Err(unexpected_reply()),
+        }
+    }
+}
+
+fn unexpected_reply() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, "unexpected reply kind")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::UgStats;
+
+    #[test]
+    fn job_state_terminality() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        for s in [
+            JobState::Solved,
+            JobState::Infeasible,
+            JobState::TimedOut,
+            JobState::Cancelled,
+            JobState::Failed,
+        ] {
+            assert!(s.is_terminal());
+        }
+    }
+
+    fn result(
+        solved: bool,
+        solution: Option<(u32, f64)>,
+        workers_died: u64,
+    ) -> ParallelResult<u32, u32> {
+        ParallelResult {
+            solution,
+            dual_bound: 0.0,
+            solved,
+            stats: UgStats { workers_died, ..UgStats::default() },
+            final_checkpoint: None,
+        }
+    }
+
+    #[test]
+    fn classify_covers_every_terminal_state() {
+        assert_eq!(classify(&result(true, Some((1, 5.0)), 0), false, 2), JobState::Solved);
+        assert_eq!(classify(&result(true, None, 0), false, 2), JobState::Infeasible);
+        assert_eq!(classify(&result(false, None, 0), true, 2), JobState::Cancelled);
+        assert_eq!(classify(&result(false, None, 2), false, 2), JobState::Failed);
+        assert_eq!(classify(&result(false, None, 1), false, 2), JobState::TimedOut);
+        // A cancel that arrives after the proof changes nothing.
+        assert_eq!(classify(&result(true, Some((1, 5.0)), 0), true, 2), JobState::Solved);
+    }
+
+    #[test]
+    fn set_rank_rewrites_every_upward_variant() {
+        let mut msgs: Vec<Message<u32, u32>> = vec![
+            Message::SolutionFound { rank: 0, sol: 1, obj: 2.0 },
+            Message::Status { rank: 0, dual_bound: 1.0, open: 2, nodes: 3 },
+            Message::ExportedNode {
+                rank: 0,
+                sub: crate::messages::SubproblemMsg { sub: 1, dual_bound: 0.0 },
+            },
+            Message::Completed { rank: 0, dual_bound: 1.0, nodes: 2, aborted: false },
+            Message::WorkerDied { rank: 0 },
+        ];
+        for m in msgs.iter_mut() {
+            set_rank(m, 7);
+        }
+        for m in &msgs {
+            let got = match m {
+                Message::SolutionFound { rank, .. }
+                | Message::Status { rank, .. }
+                | Message::ExportedNode { rank, .. }
+                | Message::Completed { rank, .. }
+                | Message::WorkerDied { rank } => *rank,
+                _ => unreachable!(),
+            };
+            assert_eq!(got, 7);
+        }
+        // Downward messages are untouched.
+        let mut down: Message<u32, u32> = Message::Terminate;
+        set_rank(&mut down, 7);
+        assert_eq!(down.tag(), "termination");
+    }
+
+    #[test]
+    fn pool_down_ug_mirror_is_wire_compatible() {
+        let mirror: PoolDownUg<u32, u32> =
+            PoolDownUg::Ug { job: 9, msg: Message::Incumbent { sol: 3, obj: 1.5 } };
+        let bytes = wire::encode(&mirror);
+        let full: PoolDown<String, u32, u32> = wire::decode(&bytes[4..]).unwrap();
+        match full {
+            PoolDown::Ug { job, msg } => {
+                assert_eq!(job, 9);
+                assert_eq!(msg.tag(), "incumbent");
+            }
+            other => panic!("mirror decoded as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn job_spec_new_has_sane_defaults() {
+        let spec: JobSpec<String, u32> = JobSpec::new("j", "inst".into(), 0);
+        assert_eq!(spec.priority, 0);
+        assert_eq!(spec.num_solvers, 2);
+        assert!(spec.time_limit.is_infinite());
+        assert!(spec.node_limit.is_none());
+    }
+}

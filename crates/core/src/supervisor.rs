@@ -346,6 +346,29 @@ where
         }
     }
 
+    /// True when the run must stop *unfinished*: wall-clock limit, node
+    /// limit, or an external cancellation flag. All three funnel into
+    /// the same orderly shutdown (abort everyone, drain `Completed`
+    /// reports, checkpoint the primitive nodes).
+    fn hit_limit(&self) -> bool {
+        if self.elapsed() >= self.opts.time_limit {
+            return true;
+        }
+        if let Some(cancel) = &self.opts.cancel {
+            if cancel.load(std::sync::atomic::Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(limit) = self.opts.node_limit {
+            // Completed subtrees plus the freshest in-flight counts.
+            let in_flight: u64 = self.statuses.values().map(|(_, _, n)| *n).sum();
+            if self.stats.nodes_total + in_flight >= limit {
+                return true;
+            }
+        }
+        false
+    }
+
     fn maybe_periodic_checkpoint(&mut self) {
         if self.opts.checkpoint_interval <= 0.0 {
             return;
@@ -444,7 +467,7 @@ where
             }
 
             // ---- limits and checkpoints --------------------------------
-            if self.elapsed() >= self.opts.time_limit {
+            if self.hit_limit() {
                 hit_time_limit = true;
                 break;
             }

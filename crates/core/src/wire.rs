@@ -70,13 +70,17 @@ impl FrameDecoder {
     }
 
     /// Extracts the next complete frame payload, or `None` if more
-    /// bytes are needed. Errors only on an over-limit length prefix.
+    /// bytes are needed. Errors only on an over-limit length prefix; the
+    /// buffered bytes are discarded then, so a decoder that is handed a
+    /// fresh, valid frame afterwards (e.g. on a new connection) resumes
+    /// cleanly instead of re-reporting the same poisoned prefix forever.
     pub fn next_frame(&mut self) -> Result<Option<Bytes>, WireError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
         let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
         if len > MAX_FRAME_LEN {
+            self.buf.clear();
             return Err(WireError(format!("frame length {len} exceeds {MAX_FRAME_LEN}")));
         }
         if self.buf.len() < 4 + len {

@@ -1,0 +1,56 @@
+//! Boundary tests of the wire codec's frame-length limit: a frame of
+//! exactly [`MAX_FRAME_LEN`] must pass, one byte more must be refused,
+//! and the refusal must not poison the decoder for subsequent valid
+//! frames on a fresh connection.
+
+use ugrs_core::wire::{decode, encode, FrameDecoder, MAX_FRAME_LEN};
+
+/// Feeds a length prefix plus `len` payload bytes in 1 MiB chunks, so
+/// the test never materializes a second full-size copy of the payload.
+fn push_frame_of(dec: &mut FrameDecoder, len: usize) {
+    dec.push(&(len as u32).to_be_bytes());
+    let chunk = vec![0u8; 1024 * 1024];
+    let mut remaining = len;
+    while remaining > 0 {
+        let n = remaining.min(chunk.len());
+        dec.push(&chunk[..n]);
+        remaining -= n;
+    }
+}
+
+#[test]
+fn frame_of_exactly_max_len_decodes() {
+    let mut dec = FrameDecoder::new();
+    push_frame_of(&mut dec, MAX_FRAME_LEN);
+    let frame = dec.next_frame().expect("limit is inclusive").expect("frame is complete");
+    assert_eq!(frame.len(), MAX_FRAME_LEN);
+    assert!(frame.iter().all(|&b| b == 0));
+    assert!(dec.next_frame().unwrap().is_none(), "no bytes may linger");
+}
+
+#[test]
+fn frame_one_byte_over_max_len_is_refused() {
+    let mut dec = FrameDecoder::new();
+    // The refusal happens on the prefix alone — no payload needed.
+    dec.push(&((MAX_FRAME_LEN + 1) as u32).to_be_bytes());
+    let err = dec.next_frame().expect_err("one byte over the limit must error");
+    assert!(err.to_string().contains("exceeds"), "unexpected error: {err}");
+}
+
+/// After an over-limit prefix the decoder must discard the poisoned
+/// bytes and decode a subsequent valid frame normally — the behavior a
+/// reconnect handler relies on when it reuses its decoder.
+#[test]
+fn decoder_recovers_after_over_limit_error() {
+    let mut dec = FrameDecoder::new();
+    dec.push(&u32::MAX.to_be_bytes());
+    assert!(dec.next_frame().is_err());
+
+    // Same decoder, fresh valid frame: must come out intact, once.
+    let msg = vec![1u64, 2, 3];
+    dec.push(&encode(&msg));
+    let frame = dec.next_frame().expect("recovered").expect("complete");
+    let back: Vec<u64> = decode(&frame).expect("payload intact");
+    assert_eq!(back, msg);
+    assert!(dec.next_frame().unwrap().is_none());
+}

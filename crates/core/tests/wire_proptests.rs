@@ -10,10 +10,15 @@
 
 use proptest::prelude::*;
 use ugrs_core::messages::{Message, SubproblemMsg};
+use ugrs_core::server::{JobEvent, JobEventKind, JobSummary, PoolDown, PoolUp, WorkerInfo};
 use ugrs_core::wire::{decode, encode, FrameDecoder};
-use ugrs_core::SolverSettings;
+use ugrs_core::{ClientRequest, JobSpec, JobState, ServerReply, ServerStatus, SolverSettings};
 
 type Msg = Message<Vec<u32>, Vec<f64>>;
+type Req = ClientRequest<String, Vec<u32>>;
+type Reply = ServerReply<Vec<f64>>;
+type Down = PoolDown<String, Vec<u32>, Vec<f64>>;
+type Up = PoolUp<Vec<u32>, Vec<f64>>;
 
 /// Finite and non-finite doubles — the bound fields routinely carry
 /// `-inf` (unbounded dual) and must round-trip through the JSON frames.
@@ -75,6 +80,177 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
         })
 }
 
+// -------------------------------------------------------------------
+// Job-control protocol strategies (the `ugd-server` PR's messages)
+// -------------------------------------------------------------------
+
+fn arb_job_state() -> impl Strategy<Value = JobState> {
+    (0usize..7).prop_map(|k| match k {
+        0 => JobState::Queued,
+        1 => JobState::Running,
+        2 => JobState::Solved,
+        3 => JobState::Infeasible,
+        4 => JobState::TimedOut,
+        5 => JobState::Cancelled,
+        _ => JobState::Failed,
+    })
+}
+
+fn arb_job_spec() -> impl Strategy<Value = JobSpec<String, Vec<u32>>> {
+    (
+        0usize..1_000,
+        proptest::collection::vec(0u32..10_000, 0..8),
+        -4i32..4,
+        0usize..16,
+        arb_f64(),
+        (any::<bool>(), 0u64..1_000_000_000),
+    )
+        .prop_map(|(n, root, priority, num_solvers, time_limit, (has_limit, limit))| JobSpec {
+            name: format!("job-{n}"),
+            instance: format!("inst-{n}"),
+            root,
+            priority,
+            num_solvers,
+            time_limit,
+            node_limit: has_limit.then_some(limit),
+        })
+}
+
+fn arb_client_request() -> impl Strategy<Value = Req> {
+    (0usize..5, arb_job_spec(), 0u64..1_000, 0usize..1_000).prop_map(
+        |(variant, spec, job, from_seq)| match variant {
+            0 => ClientRequest::Submit { spec },
+            1 => ClientRequest::Cancel { job },
+            2 => ClientRequest::Watch { job, from_seq },
+            3 => ClientRequest::Status,
+            _ => ClientRequest::Shutdown,
+        },
+    )
+}
+
+fn arb_event_kind() -> impl Strategy<Value = JobEventKind<Vec<f64>>> {
+    (
+        0usize..6,
+        (arb_f64(), arb_f64(), (any::<bool>(), arb_sol())),
+        (arb_job_state(), 0u64..1_000_000, 0u64..16, 0usize..64),
+    )
+        .prop_map(
+            |(variant, (obj, dual_bound, (has_sol, sol)), (state, nodes, workers_lost, rank))| {
+                let solution = has_sol.then_some(sol);
+                match variant {
+                    0 => JobEventKind::Queued,
+                    1 => JobEventKind::Started { workers: rank },
+                    2 => JobEventKind::Incumbent { obj },
+                    3 => JobEventKind::Bound { dual_bound },
+                    4 => JobEventKind::WorkerLost { rank },
+                    _ => JobEventKind::Finished {
+                        state,
+                        obj: if nodes % 2 == 0 { Some(obj) } else { None },
+                        dual_bound,
+                        solution,
+                        nodes,
+                        workers_lost,
+                        wall_time: obj.abs().min(1e6),
+                    },
+                }
+            },
+        )
+}
+
+fn arb_status() -> impl Strategy<Value = ServerStatus> {
+    let worker = (0u64..64, (any::<bool>(), 1u32..99_999), 0usize..2, any::<bool>()).prop_map(
+        |(id, (has_pid, pid), kind, draining)| WorkerInfo {
+            id,
+            pid: has_pid.then_some(pid),
+            job: if kind == 0 { None } else { Some(id + 1) },
+            rank: if kind == 0 { None } else { Some(kind) },
+            draining,
+        },
+    );
+    let job = (0usize..1_000, 0u64..64, arb_job_state(), -4i32..4, 0usize..16).prop_map(
+        |(n, job, state, priority, num_solvers)| JobSummary {
+            job,
+            name: format!("job-{n}"),
+            state,
+            priority,
+            num_solvers,
+        },
+    );
+    (
+        0usize..32,
+        proptest::collection::vec(worker, 0..4),
+        proptest::collection::vec(0u64..64, 0..4),
+        proptest::collection::vec(job, 0..4),
+    )
+        .prop_map(|(pool_target, workers, queued, jobs)| ServerStatus {
+            pool_target,
+            workers,
+            queued,
+            jobs,
+        })
+}
+
+fn arb_server_reply() -> impl Strategy<Value = Reply> {
+    (
+        0usize..6,
+        (0u64..1_000, any::<bool>(), 0usize..1_000),
+        (0usize..1_000, arb_event_kind()),
+        arb_status(),
+    )
+        .prop_map(|(variant, (job, ok, err), (seq, kind), status)| match variant {
+            0 => ServerReply::Submitted { job },
+            1 => ServerReply::CancelResult { job, ok },
+            2 => ServerReply::Event { event: JobEvent { job, seq, kind } },
+            3 => ServerReply::Status { status },
+            4 => ServerReply::ShuttingDown,
+            _ => ServerReply::Error { message: format!("error #{err}: \"quoted\"\n") },
+        })
+}
+
+fn arb_pool_down() -> impl Strategy<Value = Down> {
+    (any::<bool>(), 0u64..1_000, 0usize..1_000, arb_msg()).prop_map(|(begin, job, n, msg)| {
+        if begin {
+            PoolDown::Begin { job, instance: format!("inst-{n}") }
+        } else {
+            PoolDown::Ug { job, msg }
+        }
+    })
+}
+
+fn arb_pool_up() -> impl Strategy<Value = Up> {
+    (0usize..3, 0u64..1_000, 0u64..64, arb_msg()).prop_map(|(variant, job, worker, msg)| {
+        match variant {
+            0 => PoolUp::Ping { worker },
+            1 => PoolUp::Ug { job, worker, msg },
+            _ => PoolUp::JobDone { job, worker },
+        }
+    })
+}
+
+/// Canonical-bytes round trip through worst-case-ish chunking, shared
+/// by all four job-control protocol directions.
+fn roundtrip_canonical<T: serde::Serialize + serde::de::DeserializeOwned>(
+    msgs: &[T],
+    chunk: usize,
+) -> Result<(), TestCaseError> {
+    let frames: Vec<Vec<u8>> = msgs.iter().map(encode).collect();
+    let stream: Vec<u8> = frames.concat();
+    let mut dec = FrameDecoder::new();
+    let mut out: Vec<T> = Vec::new();
+    for piece in stream.chunks(chunk) {
+        dec.push(piece);
+        while let Some(payload) = dec.next_frame().unwrap() {
+            out.push(decode(&payload).unwrap());
+        }
+    }
+    prop_assert!(dec.next_frame().unwrap().is_none());
+    prop_assert_eq!(out.len(), msgs.len());
+    for (orig, decoded) in frames.iter().zip(&out) {
+        prop_assert_eq!(orig, &encode(decoded));
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -124,6 +300,44 @@ proptest! {
         let got = got.expect("frame never completed");
         prop_assert_eq!(got.tag(), msg.tag());
     }
+
+    /// Every client-request variant survives the codec under arbitrary
+    /// chunking.
+    #[test]
+    fn client_requests_roundtrip(
+        msgs in proptest::collection::vec(arb_client_request(), 1..5),
+        chunk in 1usize..23,
+    ) {
+        roundtrip_canonical(&msgs, chunk)?;
+    }
+
+    /// Every server-reply variant — including full status snapshots and
+    /// event streams — survives the codec.
+    #[test]
+    fn server_replies_roundtrip(
+        msgs in proptest::collection::vec(arb_server_reply(), 1..5),
+        chunk in 1usize..23,
+    ) {
+        roundtrip_canonical(&msgs, chunk)?;
+    }
+
+    /// Pool downlink frames (`Begin` + wrapped coordination messages).
+    #[test]
+    fn pool_down_roundtrip(
+        msgs in proptest::collection::vec(arb_pool_down(), 1..5),
+        chunk in 1usize..23,
+    ) {
+        roundtrip_canonical(&msgs, chunk)?;
+    }
+
+    /// Pool uplink frames (heartbeats, wrapped messages, `JobDone`).
+    #[test]
+    fn pool_up_roundtrip(
+        msgs in proptest::collection::vec(arb_pool_up(), 1..5),
+        chunk in 1usize..23,
+    ) {
+        roundtrip_canonical(&msgs, chunk)?;
+    }
 }
 
 /// Compile-time guard: if someone adds a `Message` variant, this match
@@ -142,5 +356,53 @@ fn variant_count(m: &Msg) {
         | Message::ExportedNode { .. }
         | Message::Completed { .. }
         | Message::WorkerDied { .. } => {}
+    }
+}
+
+/// Same guards for the job-control protocol: a new variant without a
+/// generator in the strategies above stops compiling here.
+#[allow(dead_code)]
+fn job_protocol_variant_count(req: &Req, reply: &Reply, down: &Down, up: &Up, state: &JobState) {
+    match req {
+        ClientRequest::Submit { .. }
+        | ClientRequest::Cancel { .. }
+        | ClientRequest::Watch { .. }
+        | ClientRequest::Status
+        | ClientRequest::Shutdown => {}
+    }
+    match reply {
+        ServerReply::Submitted { .. }
+        | ServerReply::CancelResult { .. }
+        | ServerReply::Event {
+            event:
+                JobEvent {
+                    kind:
+                        JobEventKind::Queued
+                        | JobEventKind::Started { .. }
+                        | JobEventKind::Incumbent { .. }
+                        | JobEventKind::Bound { .. }
+                        | JobEventKind::WorkerLost { .. }
+                        | JobEventKind::Finished { .. },
+                    ..
+                },
+        }
+        | ServerReply::Status { .. }
+        | ServerReply::ShuttingDown
+        | ServerReply::Error { .. } => {}
+    }
+    match down {
+        PoolDown::Begin { .. } | PoolDown::Ug { .. } => {}
+    }
+    match up {
+        PoolUp::Ping { .. } | PoolUp::Ug { .. } | PoolUp::JobDone { .. } => {}
+    }
+    match state {
+        JobState::Queued
+        | JobState::Running
+        | JobState::Solved
+        | JobState::Infeasible
+        | JobState::TimedOut
+        | JobState::Cancelled
+        | JobState::Failed => {}
     }
 }

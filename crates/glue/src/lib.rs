@@ -23,6 +23,7 @@
 
 pub mod apps;
 pub mod base;
+pub mod serve;
 
 pub use apps::misdp::{misdp_racing_settings, ug_solve_misdp, MisdpPlugins};
 pub use apps::stp::{
@@ -30,3 +31,7 @@ pub use apps::stp::{
     ug_solve_stp_seeded, StpParallelResult, StpPlugins,
 };
 pub use base::{CipUserPlugins, UgCipSolver};
+pub use serve::{
+    job_factory, misdp_job, serve_jobs, stp_job, DelaySolver, JobInstance, JobSolver, SolveClient,
+    SolveJobEvent, SolveJobSpec, SolveServer,
+};

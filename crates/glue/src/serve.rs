@@ -1,0 +1,206 @@
+//! Job-service glue: what makes `ugd-server` a *mixed* STP/MISDP
+//! service.
+//!
+//! The core server ([`ugrs_core::server`]) is generic over an instance
+//! type; this module instantiates it with [`JobInstance`] — an enum
+//! over both customized solvers of the paper — so one standing worker
+//! pool serves Steiner tree and MISDP jobs interleaved. A pool worker
+//! receives the instance with the job's `Begin` frame and builds the
+//! matching plugin set per subproblem, exactly like the per-call
+//! distributed workers do from their `--instance` file.
+
+use crate::apps::misdp::MisdpPlugins;
+use crate::apps::stp::StpPlugins;
+use crate::base::UgCipSolver;
+use std::sync::Arc;
+use std::time::Duration;
+use ugrs_cip::NodeDesc;
+use ugrs_core::worker::{BaseSolver, ParaControl, SolverFactory, SubproblemOutcome};
+use ugrs_core::{JobSpec, ProcessCommConfig};
+use ugrs_misdp::MisdpProblem;
+use ugrs_steiner::Graph;
+
+/// The instance a job ships to every leased pool worker.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub enum JobInstance {
+    /// A (pre-reduced) Steiner tree instance.
+    Stp { graph: Graph },
+    /// A mixed integer semidefinite program.
+    Misdp { problem: MisdpProblem },
+}
+
+impl JobInstance {
+    /// Maps an internal-sense (minimization) objective back to the
+    /// instance's external convention: STP adds the cost fixed by
+    /// presolving; MISDP negates (it maximizes `bᵀy`).
+    pub fn external_objective(&self, internal: f64) -> f64 {
+        match self {
+            JobInstance::Stp { graph } => internal + graph.fixed_cost,
+            JobInstance::Misdp { .. } => -internal,
+        }
+    }
+}
+
+/// A base solver serving either application, chosen by the job's
+/// instance — the pool worker's reason to exist.
+pub enum JobSolver {
+    Stp(UgCipSolver<StpPlugins>),
+    Misdp(UgCipSolver<MisdpPlugins>),
+    /// The instance was fully solved by presolving (an STP graph left
+    /// with fewer than two terminals): report the empty solution at
+    /// internal objective 0 and exhaust the subproblem immediately.
+    /// The per-call path short-circuits this case coordinator-side
+    /// ([`crate::apps::stp::ug_solve_stp_distributed`]); a job service
+    /// must also survive it arriving over the wire.
+    Trivial,
+}
+
+impl BaseSolver for JobSolver {
+    type Sub = NodeDesc;
+    type Sol = Vec<f64>;
+
+    fn solve_subproblem(
+        &mut self,
+        sub: &NodeDesc,
+        known_bound: f64,
+        incumbent: Option<&Vec<f64>>,
+        ctl: &mut dyn ParaControl<NodeDesc, Vec<f64>>,
+    ) -> SubproblemOutcome {
+        match self {
+            JobSolver::Stp(s) => s.solve_subproblem(sub, known_bound, incumbent, ctl),
+            JobSolver::Misdp(s) => s.solve_subproblem(sub, known_bound, incumbent, ctl),
+            JobSolver::Trivial => {
+                ctl.on_solution(Vec::new(), 0.0);
+                SubproblemOutcome { dual_bound: 0.0, nodes: 1, aborted: false }
+            }
+        }
+    }
+}
+
+/// Builds the per-job solver factory from a received instance.
+pub fn job_factory(instance: &JobInstance) -> SolverFactory<JobSolver> {
+    match instance {
+        JobInstance::Stp { graph } if graph.num_terminals() < 2 => {
+            Arc::new(|_, _| JobSolver::Trivial)
+        }
+        JobInstance::Stp { graph } => {
+            let plugins =
+                Arc::new(StpPlugins { graph: Arc::new(graph.clone()), in_tree_reductions: true });
+            let inner = UgCipSolver::factory(plugins);
+            Arc::new(move |rank, settings| JobSolver::Stp(inner(rank, settings)))
+        }
+        JobInstance::Misdp { problem } => {
+            let plugins = Arc::new(MisdpPlugins { problem: Arc::new(problem.clone()) });
+            let inner = UgCipSolver::factory(plugins);
+            Arc::new(move |rank, settings| JobSolver::Misdp(inner(rank, settings)))
+        }
+    }
+}
+
+/// Wraps a base solver with a fixed pre-solve delay, polling the abort
+/// flag while waiting so `Terminate`/`AbortSubproblem` stay responsive.
+/// A test/benchmark knob: a handicapped worker is reliably
+/// mid-subproblem when killed, making death scenarios reproducible.
+pub struct DelaySolver<S> {
+    pub inner: S,
+    pub delay: Duration,
+}
+
+impl<S: BaseSolver> BaseSolver for DelaySolver<S> {
+    type Sub = S::Sub;
+    type Sol = S::Sol;
+
+    fn solve_subproblem(
+        &mut self,
+        sub: &S::Sub,
+        known_bound: f64,
+        incumbent: Option<&S::Sol>,
+        ctl: &mut dyn ParaControl<S::Sub, S::Sol>,
+    ) -> SubproblemOutcome {
+        let deadline = std::time::Instant::now() + self.delay;
+        while std::time::Instant::now() < deadline {
+            if ctl.should_abort() {
+                return SubproblemOutcome { dual_bound: known_bound, nodes: 0, aborted: true };
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.inner.solve_subproblem(sub, known_bound, incumbent, ctl)
+    }
+}
+
+/// Joins a `ugd-server` pool and serves mixed STP/MISDP jobs until the
+/// server hangs up — what `ugd-worker --serve` calls after parsing its
+/// command line.
+pub fn serve_jobs(
+    addr: &str,
+    tag: Option<u64>,
+    handicap: Duration,
+    status_interval: Duration,
+    config: &ProcessCommConfig,
+) -> std::io::Result<()> {
+    ugrs_core::serve_worker(
+        addr,
+        tag,
+        move |instance: &JobInstance| {
+            let inner = job_factory(instance);
+            let delay = handicap;
+            let factory: SolverFactory<DelaySolver<JobSolver>> =
+                Arc::new(move |rank, settings| DelaySolver { inner: inner(rank, settings), delay });
+            factory
+        },
+        status_interval,
+        config,
+    )
+}
+
+/// Builds an STP job spec: reduce coordinator-side (the same §2.2
+/// presolve split the per-call path uses), ship the reduced graph.
+pub fn stp_job(
+    name: impl Into<String>,
+    graph: &Graph,
+    reduce_params: &ugrs_steiner::reduce::ReduceParams,
+) -> SolveJobSpec {
+    let mut g = graph.clone();
+    ugrs_steiner::reduce::reduce(&mut g, reduce_params);
+    JobSpec::new(name, JobInstance::Stp { graph: g }, NodeDesc::root())
+}
+
+/// Builds a MISDP job spec.
+pub fn misdp_job(name: impl Into<String>, problem: &MisdpProblem) -> SolveJobSpec {
+    JobSpec::new(name, JobInstance::Misdp { problem: problem.clone() }, NodeDesc::root())
+}
+
+/// The concrete server/client/spec types of the mixed solve service.
+pub type SolveServer = ugrs_core::Server<JobInstance, NodeDesc, Vec<f64>>;
+pub type SolveClient = ugrs_core::JobClient<JobInstance, NodeDesc, Vec<f64>>;
+pub type SolveJobSpec = JobSpec<JobInstance, NodeDesc>;
+pub type SolveJobEvent = ugrs_core::JobEvent<Vec<f64>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_objective_per_application() {
+        let mut g = Graph::default();
+        g.fixed_cost = 2.5;
+        let stp = JobInstance::Stp { graph: g };
+        assert_eq!(stp.external_objective(10.0), 12.5);
+        let misdp = JobInstance::Misdp { problem: MisdpProblem::new("t", 1) };
+        assert_eq!(misdp.external_objective(-3.0), 3.0);
+    }
+
+    #[test]
+    fn job_instance_round_trips_through_the_wire_codec() {
+        let inst = JobInstance::Misdp { problem: MisdpProblem::new("rt", 2) };
+        let framed = ugrs_core::wire::encode(&inst);
+        let back: JobInstance = ugrs_core::wire::decode(&framed[4..]).unwrap();
+        match back {
+            JobInstance::Misdp { problem } => {
+                assert_eq!(problem.name, "rt");
+                assert_eq!(problem.m, 2);
+            }
+            other => panic!("decoded as {other:?}"),
+        }
+    }
+}

@@ -7,7 +7,7 @@ use crate::{vector, LinalgError, Result};
 /// The storage is a single `Vec<f64>` of length `rows * cols`; entry
 /// `(i, j)` lives at `data[i * cols + j]`. Indexing via `m[(i, j)]` is
 /// bounds-checked in debug builds through the slice access.
-#[derive(Clone, PartialEq)]
+#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

@@ -3,7 +3,7 @@
 use ugrs_sdp::{LinRow, SdpBlock, SdpProblem};
 
 /// A mixed integer semidefinite program, maximized: `sup bᵀy`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct MisdpProblem {
     pub name: String,
     pub m: usize,

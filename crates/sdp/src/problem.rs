@@ -3,7 +3,7 @@
 use ugrs_linalg::Matrix;
 
 /// One PSD block `C − Σᵢ Aᵢ yᵢ ⪰ 0`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct SdpBlock {
     pub dim: usize,
     pub c: Matrix,
@@ -39,7 +39,7 @@ impl SdpBlock {
 }
 
 /// A two-sided linear row `lhs ≤ aᵀy ≤ rhs`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct LinRow {
     pub lhs: f64,
     pub rhs: f64,

@@ -1,0 +1,115 @@
+//! `ugd-server` — a persistent solve-job service over a shared worker
+//! pool.
+//!
+//! Where `ug [*, ProcessComm]` spawns workers per call, this daemon
+//! keeps a standing pool of `ugd-worker --serve` processes and runs a
+//! queue of mixed STP/MISDP jobs over them, each job under its own
+//! `LoadCoordinator`, with priorities, per-job limits, cancellation and
+//! streaming progress for `ugd` clients:
+//!
+//! ```text
+//! ugd-server [--client-addr 127.0.0.1:7163] [--worker-addr 127.0.0.1:0]
+//!            [--pool-size 4] [--max-jobs 2] [--worker <path>]
+//!            [--status-interval 0.05] [--handicap-ms 0]
+//! ```
+//!
+//! `--worker` defaults to the `ugd-worker` binary next to this
+//! executable. The process runs until a client sends `shutdown`.
+
+use ugrs_core::ServerConfig;
+use ugrs_glue::SolveServer;
+
+struct Args {
+    config: ServerConfig,
+    handicap_ms: u64,
+    worker: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = ServerConfig { client_addr: "127.0.0.1:7163".into(), ..Default::default() };
+    let mut handicap_ms = 0u64;
+    let mut worker = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--client-addr" => config.client_addr = value("--client-addr")?,
+            "--worker-addr" => config.worker_addr = value("--worker-addr")?,
+            "--pool-size" => {
+                config.pool_size = value("--pool-size")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--max-jobs" => {
+                config.max_concurrent_jobs =
+                    value("--max-jobs")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--status-interval" => {
+                config.status_interval =
+                    value("--status-interval")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--handicap-ms" => {
+                handicap_ms = value("--handicap-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--worker" => worker = Some(value("--worker")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args { config, handicap_ms, worker })
+}
+
+/// The `ugd-worker` binary: explicit flag, or the sibling of this
+/// executable (the cargo layout puts both in the same target dir).
+fn worker_binary(explicit: Option<String>) -> Result<String, String> {
+    if let Some(w) = explicit {
+        return Ok(w);
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate self: {e}"))?;
+    let sibling = exe.with_file_name("ugd-worker");
+    if sibling.exists() {
+        Ok(sibling.display().to_string())
+    } else {
+        Err(format!("no ugd-worker next to {} — pass --worker <path>", exe.display()))
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ugd-server: {e}");
+            eprintln!(
+                "usage: ugd-server [--client-addr <a>] [--worker-addr <a>] [--pool-size <n>]\n\
+                 \x20       [--max-jobs <n>] [--worker <path>] [--status-interval <secs>]\n\
+                 \x20       [--handicap-ms <ms>]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let mut config = args.config;
+    match worker_binary(args.worker) {
+        Ok(w) => {
+            config.worker_command = vec![w];
+            if args.handicap_ms > 0 {
+                config
+                    .worker_command
+                    .extend(["--handicap-ms".into(), args.handicap_ms.to_string()]);
+            }
+        }
+        Err(e) => {
+            eprintln!("ugd-server: {e}");
+            std::process::exit(2);
+        }
+    }
+    let server = match SolveServer::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ugd-server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "ugd-server listening on {} (workers: {})",
+        server.client_addr(),
+        server.worker_addr()
+    );
+    server.join();
+}

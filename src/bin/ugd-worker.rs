@@ -1,8 +1,10 @@
-//! `ugd-worker` — the worker-process half of `ug [SteinerJack,
-//! ProcessComm]`.
+//! `ugd-worker` — the worker-process half of `ug [SCIP-*, ProcessComm]`.
 //!
-//! The coordinator (e.g. [`ugrs_glue::apps::stp::ug_solve_stp_distributed`])
-//! spawns one of these per rank. Each connects back over TCP, handshakes
+//! Two modes share this binary:
+//!
+//! **Per-call mode** (the original ParaSCIP shape): a coordinator such as
+//! [`ugrs_glue::apps::stp::ug_solve_stp_distributed`] spawns one worker
+//! per rank for a single solve. Each connects back over TCP, handshakes
 //! for its rank, loads the reduced instance the coordinator wrote, and
 //! serves subproblems until `Terminate`:
 //!
@@ -12,64 +14,56 @@
 //!            [--status-interval 0.05] [--handicap-ms 0]
 //! ```
 //!
+//! **Pool mode** (`--serve`): the worker joins a `ugd-server` pool and
+//! stays alive across jobs. It receives each job's instance over the
+//! wire with the job's `Begin` frame — no instance file — and serves
+//! mixed STP/MISDP jobs until the server hangs up:
+//!
+//! ```text
+//! ugd-worker --serve --connect 127.0.0.1:40123 [--pool-tag 7]
+//! ```
+//!
 //! `--handicap-ms` delays every subproblem solve by the given amount —
 //! a test/benchmark knob that makes worker-death scenarios reproducible
 //! (a handicapped worker is reliably mid-subproblem when killed).
+//! `--heartbeat-ms` / `--handshake-ms` tune the transport to match the
+//! coordinator's [`ProcessCommConfig`] instead of assuming defaults.
 
 use std::time::Duration;
-use ugrs_core::worker::{BaseSolver, ParaControl, SubproblemOutcome};
 use ugrs_core::{run_distributed_worker, ProcessCommConfig};
 use ugrs_glue::apps::stp::stp_worker_factory;
-
-/// Wraps a base solver with a fixed pre-solve delay, polling the abort
-/// flag while waiting so `Terminate`/`AbortSubproblem` stay responsive.
-struct DelaySolver<S> {
-    inner: S,
-    delay: Duration,
-}
-
-impl<S: BaseSolver> BaseSolver for DelaySolver<S> {
-    type Sub = S::Sub;
-    type Sol = S::Sol;
-
-    fn solve_subproblem(
-        &mut self,
-        sub: &S::Sub,
-        known_bound: f64,
-        incumbent: Option<&S::Sol>,
-        ctl: &mut dyn ParaControl<S::Sub, S::Sol>,
-    ) -> SubproblemOutcome {
-        let deadline = std::time::Instant::now() + self.delay;
-        while std::time::Instant::now() < deadline {
-            if ctl.should_abort() {
-                return SubproblemOutcome { dual_bound: known_bound, nodes: 0, aborted: true };
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        self.inner.solve_subproblem(sub, known_bound, incumbent, ctl)
-    }
-}
+use ugrs_glue::DelaySolver;
 
 struct Args {
+    serve: bool,
     connect: String,
     rank: Option<usize>,
-    instance: std::path::PathBuf,
+    pool_tag: Option<u64>,
+    instance: Option<std::path::PathBuf>,
     status_interval: f64,
     handicap: Duration,
+    comm: ProcessCommConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let mut serve = false;
     let mut connect = None;
     let mut rank = None;
+    let mut pool_tag = None;
     let mut instance = None;
     let mut status_interval = 0.05f64;
     let mut handicap = Duration::ZERO;
+    let mut comm = ProcessCommConfig::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
+            "--serve" => serve = true,
             "--connect" => connect = Some(value("--connect")?),
             "--rank" => rank = Some(value("--rank")?.parse::<usize>().map_err(|e| e.to_string())?),
+            "--pool-tag" => {
+                pool_tag = Some(value("--pool-tag")?.parse::<u64>().map_err(|e| e.to_string())?)
+            }
             "--instance" => instance = Some(std::path::PathBuf::from(value("--instance")?)),
             "--status-interval" => {
                 status_interval =
@@ -80,16 +74,24 @@ fn parse_args() -> Result<Args, String> {
                     value("--handicap-ms")?.parse::<u64>().map_err(|e| e.to_string())?,
                 )
             }
+            "--heartbeat-ms" => {
+                comm.heartbeat_interval = Duration::from_millis(
+                    value("--heartbeat-ms")?.parse::<u64>().map_err(|e| e.to_string())?,
+                )
+            }
+            "--handshake-ms" => {
+                comm.handshake_timeout = Duration::from_millis(
+                    value("--handshake-ms")?.parse::<u64>().map_err(|e| e.to_string())?,
+                )
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(Args {
-        connect: connect.ok_or("--connect is required")?,
-        rank,
-        instance: instance.ok_or("--instance is required")?,
-        status_interval,
-        handicap,
-    })
+    let connect = connect.ok_or("--connect is required")?;
+    if !serve && instance.is_none() {
+        return Err("--instance is required (unless --serve)".into());
+    }
+    Ok(Args { serve, connect, rank, pool_tag, instance, status_interval, handicap, comm })
 }
 
 fn main() {
@@ -98,16 +100,33 @@ fn main() {
         Err(e) => {
             eprintln!("ugd-worker: {e}");
             eprintln!(
-                "usage: ugd-worker --connect <addr> --instance <path> \
-                 [--rank <n>] [--status-interval <secs>] [--handicap-ms <ms>]"
+                "usage: ugd-worker --connect <addr> --instance <path> [--rank <n>]\n\
+                 \x20      ugd-worker --serve --connect <addr> [--pool-tag <t>]\n\
+                 common: [--status-interval <secs>] [--handicap-ms <ms>]\n\
+                 \x20       [--heartbeat-ms <ms>] [--handshake-ms <ms>]"
             );
             std::process::exit(2);
         }
     };
-    let inner_factory = match stp_worker_factory(&args.instance) {
+    let status_interval = Duration::from_secs_f64(args.status_interval);
+    if args.serve {
+        if let Err(e) = ugrs_glue::serve_jobs(
+            &args.connect,
+            args.pool_tag,
+            args.handicap,
+            status_interval,
+            &args.comm,
+        ) {
+            eprintln!("ugd-worker: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let instance = args.instance.expect("checked in parse_args");
+    let inner_factory = match stp_worker_factory(&instance) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("ugd-worker: cannot load instance {}: {e}", args.instance.display());
+            eprintln!("ugd-worker: cannot load instance {}: {e}", instance.display());
             std::process::exit(2);
         }
     };
@@ -117,13 +136,9 @@ fn main() {
             inner: inner_factory(rank, settings),
             delay,
         });
-    if let Err(e) = run_distributed_worker(
-        &args.connect,
-        args.rank,
-        factory,
-        Duration::from_secs_f64(args.status_interval),
-        &ProcessCommConfig::default(),
-    ) {
+    if let Err(e) =
+        run_distributed_worker(&args.connect, args.rank, factory, status_interval, &args.comm)
+    {
         eprintln!("ugd-worker: {e}");
         std::process::exit(1);
     }

@@ -1,0 +1,246 @@
+//! `ugd` — the command-line client of `ugd-server`.
+//!
+//! ```text
+//! ugd submit <file.stp|file.cbf> [--addr 127.0.0.1:7163] [--name <s>]
+//!            [--priority <p>] [--solvers <n>] [--time-limit <secs>]
+//!            [--node-limit <n>] [--no-watch]
+//! ugd watch <job>   [--addr <a>] [--from <seq>]
+//! ugd cancel <job>  [--addr <a>]
+//! ugd status        [--addr <a>]
+//! ugd shutdown      [--addr <a>]
+//! ```
+//!
+//! `submit` detects the application by extension: `.stp` (SteinLib) is
+//! reduced client-side and submitted as a Steiner job, `.cbf` as a
+//! MISDP job. By default it then watches the job to completion and
+//! prints the objective in the instance's external sense (STP: reduced
+//! plus fixed cost; MISDP: maximized `bᵀy`). Watching is resumable: on
+//! a dropped connection, re-run `ugd watch <job> --from <seq>`.
+
+use ugrs_core::{JobEvent, JobEventKind, JobState};
+use ugrs_glue::{misdp_job, stp_job, SolveClient, SolveJobSpec};
+use ugrs_steiner::reduce::ReduceParams;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7163";
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("ugd: {msg}");
+    std::process::exit(1);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ugd submit <file.stp|file.cbf> [--addr <a>] [--name <s>] [--priority <p>]\n\
+         \x20                [--solvers <n>] [--time-limit <secs>] [--node-limit <n>] [--no-watch]\n\
+         \x20      ugd watch <job> [--addr <a>] [--from <seq>]\n\
+         \x20      ugd cancel <job> [--addr <a>]\n\
+         \x20      ugd status [--addr <a>]\n\
+         \x20      ugd shutdown [--addr <a>]"
+    );
+    std::process::exit(2);
+}
+
+/// Flags shared by every subcommand, plus the positional operand.
+struct Opts {
+    addr: String,
+    positional: Option<String>,
+    name: Option<String>,
+    priority: i32,
+    solvers: usize,
+    time_limit: f64,
+    node_limit: Option<u64>,
+    from_seq: usize,
+    watch: bool,
+}
+
+fn parse_opts(mut it: std::env::Args) -> Result<Opts, String> {
+    let mut o = Opts {
+        addr: DEFAULT_ADDR.into(),
+        positional: None,
+        name: None,
+        priority: 0,
+        solvers: 2,
+        time_limit: f64::INFINITY,
+        node_limit: None,
+        from_seq: 0,
+        watch: true,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => o.addr = value("--addr")?,
+            "--name" => o.name = Some(value("--name")?),
+            "--priority" => {
+                o.priority = value("--priority")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--solvers" => o.solvers = value("--solvers")?.parse().map_err(|e| format!("{e}"))?,
+            "--time-limit" => {
+                o.time_limit = value("--time-limit")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--node-limit" => {
+                o.node_limit = Some(value("--node-limit")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--from" => o.from_seq = value("--from")?.parse().map_err(|e| format!("{e}"))?,
+            "--no-watch" => o.watch = false,
+            other if !other.starts_with('-') && o.positional.is_none() => {
+                o.positional = Some(other.to_string())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn connect(addr: &str) -> SolveClient {
+    SolveClient::connect(addr).unwrap_or_else(|e| fail(format!("cannot reach server {addr}: {e}")))
+}
+
+/// Builds the spec from the instance file; returns it with the
+/// external-objective mapper for progress printing.
+fn load_spec(path: &str, o: &Opts) -> SolveJobSpec {
+    let p = std::path::Path::new(path);
+    let name = o.name.clone().unwrap_or_else(|| {
+        p.file_stem().map_or_else(|| path.to_string(), |s| s.to_string_lossy().into_owned())
+    });
+    let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let mut spec = match ext {
+        "stp" => {
+            let graph = ugrs_steiner::stp::read_stp(p)
+                .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+            stp_job(name, &graph, &ReduceParams::default())
+        }
+        "cbf" => {
+            let problem = ugrs_misdp::cbf::read_cbf(p)
+                .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+            misdp_job(name, &problem)
+        }
+        _ => fail(format!("unknown instance type {path:?} (expected .stp or .cbf)")),
+    };
+    spec.priority = o.priority;
+    spec.num_solvers = o.solvers;
+    spec.time_limit = o.time_limit;
+    spec.node_limit = o.node_limit;
+    spec
+}
+
+/// Prints one event; `external` maps internal-sense objectives when the
+/// client knows the instance (submit path), otherwise identity.
+fn print_event(ev: &JobEvent<Vec<f64>>, external: &dyn Fn(f64) -> f64) {
+    match &ev.kind {
+        JobEventKind::Queued => println!("job {} queued", ev.job),
+        JobEventKind::Started { workers } => {
+            println!("job {} started on {workers} workers", ev.job)
+        }
+        JobEventKind::Incumbent { obj } => {
+            println!("job {} incumbent {:.6}", ev.job, external(*obj))
+        }
+        JobEventKind::Bound { dual_bound } => {
+            println!("job {} bound {:.6}", ev.job, external(*dual_bound))
+        }
+        JobEventKind::WorkerLost { rank } => {
+            println!("job {} lost worker rank {rank} (requeued)", ev.job)
+        }
+        JobEventKind::Finished { state, obj, nodes, workers_lost, wall_time, .. } => {
+            let obj = obj.map_or("-".to_string(), |o| format!("{:.6}", external(o)));
+            println!(
+                "job {} finished: {state:?} obj={obj} nodes={nodes} \
+                 workers_lost={workers_lost} wall={wall_time:.2}s",
+                ev.job
+            );
+        }
+    }
+}
+
+fn exit_code(state: JobState) -> i32 {
+    match state {
+        JobState::Solved | JobState::Infeasible => 0,
+        JobState::TimedOut => 3,
+        JobState::Cancelled => 4,
+        _ => 1,
+    }
+}
+
+fn main() {
+    let mut argv = std::env::args();
+    argv.next();
+    let Some(cmd) = argv.next() else { usage() };
+    let o = parse_opts(argv).unwrap_or_else(|e| {
+        eprintln!("ugd: {e}");
+        usage()
+    });
+    match cmd.as_str() {
+        "submit" => {
+            let Some(path) = o.positional.clone() else { usage() };
+            let spec = load_spec(&path, &o);
+            let instance = spec.instance.clone();
+            let external = move |v: f64| instance.external_objective(v);
+            let mut client = connect(&o.addr);
+            let job = client.submit(spec).unwrap_or_else(|e| fail(e));
+            println!("submitted job {job}");
+            if o.watch {
+                let done = client
+                    .watch(job, 0, |ev| print_event(ev, &external))
+                    .unwrap_or_else(|e| fail(e));
+                if let JobEventKind::Finished { state, .. } = done.kind {
+                    std::process::exit(exit_code(state));
+                }
+            }
+        }
+        "watch" => {
+            let job = o
+                .positional
+                .as_deref()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| usage());
+            let mut client = connect(&o.addr);
+            let done = client
+                .watch(job, o.from_seq, |ev| print_event(ev, &|v| v))
+                .unwrap_or_else(|e| fail(e));
+            if let JobEventKind::Finished { state, .. } = done.kind {
+                std::process::exit(exit_code(state));
+            }
+        }
+        "cancel" => {
+            let job = o
+                .positional
+                .as_deref()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| usage());
+            let mut client = connect(&o.addr);
+            match client.cancel(job).unwrap_or_else(|e| fail(e)) {
+                true => println!("job {job} cancelled"),
+                false => {
+                    println!("job {job} not cancellable (already finished or unknown)");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "status" => {
+            let mut client = connect(&o.addr);
+            let st = client.status().unwrap_or_else(|e| fail(e));
+            println!("pool {}/{} workers:", st.workers.len(), st.pool_target);
+            for w in &st.workers {
+                let pid = w.pid.map_or("-".to_string(), |p| p.to_string());
+                let lease = match (w.job, w.rank) {
+                    (Some(j), Some(r)) => format!("job {j} rank {r}"),
+                    _ if w.draining => "draining".to_string(),
+                    _ => "idle".to_string(),
+                };
+                println!("  worker {} pid {pid}: {lease}", w.id);
+            }
+            println!("queued: {:?}", st.queued);
+            for j in &st.jobs {
+                println!(
+                    "  job {} {:?} prio {} solvers {} — {}",
+                    j.job, j.state, j.priority, j.num_solvers, j.name
+                );
+            }
+        }
+        "shutdown" => {
+            let mut client = connect(&o.addr);
+            client.shutdown_server().unwrap_or_else(|e| fail(e));
+            println!("server shutting down");
+        }
+        _ => usage(),
+    }
+}

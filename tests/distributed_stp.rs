@@ -82,8 +82,15 @@ fn killed_worker_is_survived_and_requeued() {
         std::env::temp_dir().join(format!("ugrs-kill-test-{}.json", std::process::id()));
     std::fs::write(&instance_path, serde_json::to_string(&reduced).unwrap()).unwrap();
 
+    // Short transport timeouts (the defaults wait 15 s before declaring
+    // a silent worker dead — pointless stall in a kill test), passed to
+    // the workers so their heartbeat cadence matches.
     let n = 4;
-    let config = ProcessCommConfig::default();
+    let config = ProcessCommConfig {
+        handshake_timeout: Duration::from_secs(10),
+        liveness_timeout: Duration::from_secs(2),
+        heartbeat_interval: Duration::from_millis(100),
+    };
     let listener = ProcessListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap().to_string();
     let mut children = Vec::new();
@@ -97,6 +104,10 @@ fn killed_worker_is_survived_and_requeued() {
             .arg(&instance_path)
             .arg("--status-interval")
             .arg("0.05")
+            .arg("--heartbeat-ms")
+            .arg(config.heartbeat_interval.as_millis().to_string())
+            .arg("--handshake-ms")
+            .arg(config.handshake_timeout.as_millis().to_string())
             .stdin(std::process::Stdio::null())
             .stdout(std::process::Stdio::null());
         if rank == 0 {

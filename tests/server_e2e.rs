@@ -1,0 +1,258 @@
+//! End-to-end tests of the `ugd-server` job service: one server, a
+//! standing pool of real `ugd-worker --serve` processes, and mixed
+//! STP/MISDP jobs submitted over the client protocol — including
+//! cancellation and a worker SIGKILL mid-job.
+
+use std::time::{Duration, Instant};
+use ugrs::glue::{misdp_job, stp_job, JobInstance, SolveClient, SolveServer};
+use ugrs::misdp::gen::cardinality_ls;
+use ugrs::steiner::gen::{bipartite, CostScheme};
+use ugrs::steiner::reduce::ReduceParams;
+use ugrs::ug::{
+    JobEventKind, JobState, ParallelOptions, ProcessCommConfig, ServerConfig, ServerStatus,
+};
+
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_ugd-worker");
+
+/// Short transport timeouts so death detection and handshakes never
+/// stall a test on the 15 s defaults.
+fn comm() -> ProcessCommConfig {
+    ProcessCommConfig {
+        handshake_timeout: Duration::from_secs(10),
+        liveness_timeout: Duration::from_secs(2),
+        heartbeat_interval: Duration::from_millis(100),
+    }
+}
+
+fn server_config(pool: usize, max_jobs: usize, handicap_ms: u64) -> ServerConfig {
+    let mut worker_command = vec![WORKER_BIN.to_string()];
+    if handicap_ms > 0 {
+        worker_command.extend(["--handicap-ms".into(), handicap_ms.to_string()]);
+    }
+    ServerConfig {
+        worker_command,
+        pool_size: pool,
+        max_concurrent_jobs: max_jobs,
+        comm: comm(),
+        drain_timeout: Duration::from_secs(5),
+        ..Default::default()
+    }
+}
+
+/// Polls `status` until the predicate holds; panics after `timeout`.
+fn await_status(
+    client: &mut SolveClient,
+    timeout: Duration,
+    what: &str,
+    pred: impl Fn(&ServerStatus) -> bool,
+) -> ServerStatus {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let st = client.status().expect("status request");
+        if pred(&st) {
+            return st;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}: {st:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn stp_graph(seed: u64) -> ugrs::steiner::Graph {
+    bipartite(5, 9, 3, CostScheme::Perturbed, seed)
+}
+
+/// External-sense optimum of the job's `Finished` event (the event's
+/// `obj` is internal; STP adds the presolve-fixed cost, MISDP negates).
+fn external_obj(instance: &JobInstance, kind: &JobEventKind<Vec<f64>>) -> f64 {
+    match kind {
+        JobEventKind::Finished { obj: Some(o), .. } => instance.external_objective(*o),
+        other => panic!("expected a Finished event with an objective, got {other:?}"),
+    }
+}
+
+/// The acceptance gate: three jobs — two STP, one MISDP — through one
+/// server with a six-worker pool, running concurrently, all reaching
+/// the optima the threaded back-end proves.
+#[test]
+fn three_concurrent_mixed_jobs() {
+    let g1 = stp_graph(42);
+    let g2 = stp_graph(1337);
+    let mp = cardinality_ls(5, 2, 12);
+
+    let stp_ref = |g: &ugrs::steiner::Graph| {
+        let r = ugrs::glue::ug_solve_stp(
+            g,
+            &ReduceParams::default(),
+            ParallelOptions { num_solvers: 2, ..Default::default() },
+        );
+        assert!(r.solved);
+        r.tree.expect("threaded reference must find a tree").1
+    };
+    let expected1 = stp_ref(&g1);
+    let expected2 = stp_ref(&g2);
+    let misdp_ref =
+        ugrs::glue::ug_solve_misdp(&mp, ParallelOptions { num_solvers: 2, ..Default::default() });
+    assert!(misdp_ref.solved);
+    let expected_m = misdp_ref.best_obj.expect("threaded MISDP reference must solve");
+
+    // 150 ms handicap per subproblem: long enough that all three jobs
+    // are observably in flight together, short enough to stay fast.
+    let server = SolveServer::start(server_config(6, 3, 150)).expect("server start");
+    let addr = server.client_addr().to_string();
+    let mut client = SolveClient::connect(&addr).expect("client connect");
+
+    let specs = [
+        stp_job("stp-a", &g1, &ReduceParams::default()),
+        stp_job("stp-b", &g2, &ReduceParams::default()),
+        misdp_job("cls", &mp),
+    ];
+    let instances: Vec<JobInstance> = specs.iter().map(|s| s.instance.clone()).collect();
+    let jobs: Vec<u64> = specs.into_iter().map(|s| client.submit(s).expect("submit")).collect();
+
+    // All three must be admitted together (pool 6 = 3 jobs × 2 ranks).
+    let mut status_client = SolveClient::connect(&addr).expect("status client");
+    await_status(&mut status_client, Duration::from_secs(30), "3 running jobs", |st| {
+        st.jobs.iter().filter(|j| j.state == JobState::Running).count() == 3
+    });
+
+    let mut optima = Vec::new();
+    for (job, instance) in jobs.iter().zip(&instances) {
+        let done = client.wait(*job).expect("wait");
+        match done.kind {
+            JobEventKind::Finished { state, .. } => {
+                assert_eq!(state, JobState::Solved, "job {job} must be solved to optimality")
+            }
+            ref other => panic!("job {job}: unexpected terminal event {other:?}"),
+        }
+        optima.push(external_obj(instance, &done.kind));
+    }
+    assert!((optima[0] - expected1).abs() < 1e-6, "stp-a {} != {expected1}", optima[0]);
+    assert!((optima[1] - expected2).abs() < 1e-6, "stp-b {} != {expected2}", optima[1]);
+    assert!((optima[2] - expected_m).abs() < 1e-3, "cls {} != {expected_m}", optima[2]);
+
+    server.shutdown_and_join();
+}
+
+/// Cancellation and robustness: cancel one running job without
+/// disturbing its neighbor, then SIGKILL a leased worker of the
+/// surviving job — it must requeue the lost work, finish at the
+/// optimum, and the scheduler must respawn the pool back to full size.
+#[test]
+fn cancel_and_worker_kill() {
+    let g = stp_graph(42);
+    let threaded = ugrs::glue::ug_solve_stp(
+        &g,
+        &ReduceParams::default(),
+        ParallelOptions { num_solvers: 2, ..Default::default() },
+    );
+    let expected = threaded.tree.expect("threaded reference").1;
+
+    // 1.5 s handicap: job A's rank 0 reliably sits mid-subproblem
+    // (holding the root) when we kill it.
+    let server = SolveServer::start(server_config(4, 2, 1500)).expect("server start");
+    let addr = server.client_addr().to_string();
+    let mut client = SolveClient::connect(&addr).expect("client connect");
+
+    let mut spec_a = stp_job("victim-pool", &g, &ReduceParams::default());
+    spec_a.priority = 1;
+    let fixed_a = match &spec_a.instance {
+        JobInstance::Stp { graph } => graph.fixed_cost,
+        other => panic!("stp_job built {other:?}"),
+    };
+    let job_a = client.submit(spec_a).expect("submit a");
+    let job_b =
+        client.submit(stp_job("cancelled", &stp_graph(7), &ReduceParams::default())).expect("b");
+
+    let mut status_client = SolveClient::connect(&addr).expect("status client");
+    let st = await_status(&mut status_client, Duration::from_secs(30), "both jobs running", |st| {
+        st.jobs.iter().filter(|j| j.state == JobState::Running).count() == 2
+    });
+
+    // Cancel B mid-run; A must not notice.
+    assert!(status_client.cancel(job_b).expect("cancel"), "running job must be cancellable");
+    let done_b = client.wait(job_b).expect("wait b");
+    match done_b.kind {
+        JobEventKind::Finished { state, .. } => assert_eq!(state, JobState::Cancelled),
+        other => panic!("job b: unexpected terminal event {other:?}"),
+    }
+
+    // SIGKILL job A's rank-0 worker.
+    let victim = st
+        .workers
+        .iter()
+        .find(|w| w.job == Some(job_a) && w.rank == Some(0))
+        .expect("job a must have a rank-0 lease");
+    let pid = victim.pid.expect("server-spawned workers have pids");
+    let killed = std::process::Command::new("kill")
+        .arg("-9")
+        .arg(pid.to_string())
+        .status()
+        .expect("spawn kill");
+    assert!(killed.success(), "kill -9 {pid} failed");
+
+    let mut kinds = Vec::new();
+    let done_a = client.watch(job_a, 0, |ev| kinds.push(ev.kind.clone())).expect("watch a");
+    match done_a.kind {
+        JobEventKind::Finished { state, obj, workers_lost, .. } => {
+            assert_eq!(state, JobState::Solved, "job a must survive the kill");
+            assert_eq!(workers_lost, 1, "exactly the killed rank must be counted dead");
+            let cost = obj.expect("job a must find a tree") + fixed_a;
+            assert!((cost - expected).abs() < 1e-6, "optimum after kill {cost} != {expected}");
+        }
+        other => panic!("job a: unexpected terminal event {other:?}"),
+    }
+    assert!(
+        kinds.iter().any(|k| matches!(k, JobEventKind::WorkerLost { .. })),
+        "the event stream must record the lost worker: {kinds:?}"
+    );
+
+    // The scheduler must refill the pool: 4 live, idle, undrained
+    // workers again (the dead one replaced, leases all released).
+    await_status(&mut status_client, Duration::from_secs(30), "pool refilled to 4 idle", |st| {
+        st.workers.len() == 4 && st.workers.iter().all(|w| w.job.is_none() && !w.draining)
+    });
+
+    server.shutdown_and_join();
+}
+
+/// The CI smoke variant: pool of two, one job slot — the second job
+/// waits in the queue and is cancelled there, the first solves.
+#[test]
+fn server_smoke_two_jobs_one_cancel() {
+    let g = stp_graph(42);
+    let threaded = ugrs::glue::ug_solve_stp(
+        &g,
+        &ReduceParams::default(),
+        ParallelOptions { num_solvers: 2, ..Default::default() },
+    );
+    let expected = threaded.tree.expect("threaded reference").1;
+
+    let server = SolveServer::start(server_config(2, 1, 300)).expect("server start");
+    let addr = server.client_addr().to_string();
+    let mut client = SolveClient::connect(&addr).expect("client connect");
+
+    let spec = stp_job("smoke", &g, &ReduceParams::default());
+    let instance = spec.instance.clone();
+    let job_a = client.submit(spec).expect("submit a");
+    let job_b =
+        client.submit(stp_job("queued", &stp_graph(7), &ReduceParams::default())).expect("b");
+
+    // One job slot: B is still queued, so this exercises queue-cancel.
+    let mut c2 = SolveClient::connect(&addr).expect("second client");
+    assert!(c2.cancel(job_b).expect("cancel"), "queued job must be cancellable");
+    let done_b = c2.wait(job_b).expect("wait b");
+    assert!(
+        matches!(done_b.kind, JobEventKind::Finished { state: JobState::Cancelled, .. }),
+        "queued job must finish Cancelled: {done_b:?}"
+    );
+
+    let done_a = client.wait(job_a).expect("wait a");
+    match &done_a.kind {
+        JobEventKind::Finished { state, .. } => assert_eq!(*state, JobState::Solved),
+        other => panic!("job a: unexpected terminal event {other:?}"),
+    }
+    let cost = external_obj(&instance, &done_a.kind);
+    assert!((cost - expected).abs() < 1e-6, "smoke optimum {cost} != {expected}");
+
+    server.shutdown_and_join();
+}
