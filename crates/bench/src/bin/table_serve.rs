@@ -79,11 +79,19 @@ impl Batch {
 
 /// All jobs through one server with a standing pool: submit everything
 /// up front, then wait for each — per-job latency is submit → Finished.
-fn run_served(worker: &str, graphs: &[(String, Graph)], solvers: usize) -> std::io::Result<Batch> {
+/// With `journal_dir` set the full telemetry path is on (run journals +
+/// progress snapshots), which is what the overhead row measures.
+fn run_served(
+    worker: &str,
+    graphs: &[(String, Graph)],
+    solvers: usize,
+    journal_dir: Option<std::path::PathBuf>,
+) -> std::io::Result<Batch> {
     let config = ServerConfig {
         worker_command: vec![worker.to_string()],
         pool_size: solvers,
         max_concurrent_jobs: 1,
+        journal_dir,
         ..Default::default()
     };
     let server = SolveServer::start(config)?;
@@ -161,20 +169,61 @@ fn main() {
     );
 
     // Serve the batch once to warm the page cache for both paths.
-    let _ = run_served(&worker, &graphs[..1.min(graphs.len())], solvers);
+    let _ = run_served(&worker, &graphs[..1.min(graphs.len())], solvers, None);
 
-    match run_served(&worker, &graphs, solvers) {
-        Ok(b) => b.report("served"),
-        Err(e) => eprintln!("table_serve: served path failed: {e}"),
+    // The served batch is tens of milliseconds; one run's scheduling
+    // jitter swamps a few-percent telemetry delta. Interleave the two
+    // configurations and keep each one's best run — the standard
+    // noise-floor trick for short benchmarks.
+    let journal_dir =
+        std::env::temp_dir().join(format!("table-serve-journals-{}", std::process::id()));
+    let mut plain: Option<Batch> = None;
+    let mut telemetered: Option<Batch> = None;
+    let best = |best: &mut Option<Batch>, b: Batch| {
+        if best.as_ref().is_none_or(|prev| b.wall < prev.wall) {
+            *best = Some(b);
+        }
+    };
+    // Alternate which configuration goes first: frequency scaling and
+    // cache warmth systematically favor whichever config runs second,
+    // which would otherwise masquerade as telemetry overhead.
+    for round in 0..6 {
+        let mut one = |tel: bool| {
+            let dir = tel.then(|| journal_dir.clone());
+            if let Ok(b) = run_served(&worker, &graphs, solvers, dir) {
+                best(if tel { &mut telemetered } else { &mut plain }, b);
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        };
+        one(round % 2 == 0);
+        one(round % 2 != 0);
     }
-    std::thread::sleep(Duration::from_millis(100));
+    match &plain {
+        Some(b) => b.report("served"),
+        None => eprintln!("table_serve: served path failed"),
+    }
+    match &telemetered {
+        Some(b) => b.report("served+tel"),
+        None => eprintln!("table_serve: telemetry path failed"),
+    }
     match run_per_call(&worker, &graphs, solvers) {
         Ok(b) => b.report("per-call"),
         Err(e) => eprintln!("table_serve: per-call path failed: {e}"),
     }
+    if let (Some(p), Some(t)) = (&plain, &telemetered) {
+        let plain_jps = p.latencies.len() as f64 / p.wall;
+        let tel_jps = t.latencies.len() as f64 / t.wall;
+        let overhead = (plain_jps / tel_jps - 1.0) * 100.0;
+        println!(
+            "\ntelemetry overhead: {overhead:+.1}% on jobs/s \
+             (journals + progress snapshots; budget <= 5%)"
+        );
+    }
+    std::fs::remove_dir_all(&journal_dir).ok();
     println!(
         "\nserved = one standing pool, workers reused across jobs; per-call =\n\
-         spawn + handshake + reap per job. The gap is the amortized startup cost."
+         spawn + handshake + reap per job. The gap is the amortized startup cost.\n\
+         served+tel = served with --journal-dir run journals and live progress on."
     );
 }
 

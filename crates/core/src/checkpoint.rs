@@ -43,11 +43,30 @@ where
     }
 
     /// Saves as JSON (human-inspectable restart artifacts).
+    ///
+    /// Durability: the temp file is fsynced before the atomic rename —
+    /// without it, a crash shortly after `rename` could leave the *new*
+    /// name pointing at not-yet-flushed data, i.e. a truncated or empty
+    /// checkpoint, which is worse than the stale-but-complete one the
+    /// rename replaced. The parent directory is fsynced afterwards
+    /// (best-effort) so the rename itself is on disk too.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        use std::io::Write as _;
         let tmp = path.with_extension("tmp");
         let data = serde_json::to_vec(self)?;
-        std::fs::write(&tmp, data)?;
-        std::fs::rename(&tmp, path)
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&data)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Ok(d) = std::fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Loads from JSON.

@@ -44,6 +44,7 @@ pub mod server;
 pub mod settings;
 pub mod stats;
 pub mod supervisor;
+pub mod telemetry;
 pub mod wire;
 pub mod worker;
 
@@ -59,8 +60,13 @@ pub use server::{
     PoolDown, PoolHello, PoolUp, PoolWelcome, Server, ServerConfig, ServerReply, ServerStatus,
     WireType, WorkerInfo, POOL_PROTOCOL_VERSION,
 };
+pub use server::{JobProgress, MetricsReport};
 pub use settings::SolverSettings;
 pub use stats::UgStats;
+pub use telemetry::{
+    Journal, JournalRecord, MetricsRegistry, ProgressMsg, ProgressSink, TelemetryEvent,
+    TelemetrySink,
+};
 pub use worker::{BaseSolver, ParaControl, SubproblemOutcome};
 
 /// The internal objective sense across the whole framework is

@@ -64,6 +64,9 @@ pub struct ParallelOptions {
     /// External cancellation: when the flag flips to true the run stops
     /// through the same orderly shutdown path as the time limit.
     pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Live telemetry wiring: an optional JSONL run journal and an
+    /// optional progress callback. Disabled (and near-free) by default.
+    pub telemetry: crate::telemetry::TelemetrySink,
 }
 
 impl Default for ParallelOptions {
@@ -79,6 +82,7 @@ impl Default for ParallelOptions {
             status_interval: 0.05,
             node_limit: None,
             cancel: None,
+            telemetry: crate::telemetry::TelemetrySink::default(),
         }
     }
 }

@@ -38,6 +38,7 @@ use crate::process::ProcessCommConfig;
 use crate::runner::{ParallelOptions, ParallelResult};
 use crate::settings::SolverSettings;
 use crate::supervisor::LoadCoordinator;
+use crate::telemetry::{self, MetricsRegistry, ProgressMsg, ProgressSink, TelemetrySink};
 use crate::wire::{self, FrameDecoder};
 use crate::worker::{BaseSolver, ParaControl, SolverFactory};
 use serde::de::DeserializeOwned;
@@ -59,7 +60,7 @@ impl<T: Clone + Send + Serialize + DeserializeOwned + 'static> WireType for T {}
 
 /// Bumped on any change to the pool or client protocol; a mismatch at
 /// handshake drops the connection instead of desynchronizing the pool.
-pub const POOL_PROTOCOL_VERSION: u32 = 1;
+pub const POOL_PROTOCOL_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------
 // Pool protocol (server ⇄ standing workers)
@@ -174,6 +175,9 @@ pub enum ClientRequest<Inst, Sub> {
         from_seq: usize,
     },
     Status,
+    /// Prometheus-style exposition + per-job progress snapshots
+    /// (powers `ugd top` and external scrapers).
+    Metrics,
     Shutdown,
 }
 
@@ -184,8 +188,29 @@ pub enum ServerReply<Sol> {
     CancelResult { job: u64, ok: bool },
     Event { event: JobEvent<Sol> },
     Status { status: ServerStatus },
+    Metrics { report: MetricsReport },
     ShuttingDown,
     Error { message: String },
+}
+
+/// The live view of one job, as returned by [`ClientRequest::Metrics`]:
+/// its lifecycle state plus the coordinator's freshest progress
+/// snapshot (absent until the job first reports, and for queued jobs).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct JobProgress {
+    pub job: u64,
+    pub name: String,
+    pub state: JobState,
+    pub progress: Option<ProgressMsg>,
+}
+
+/// Reply payload of [`ClientRequest::Metrics`]: the full Prometheus
+/// text exposition (server registry + process-wide registry + per-job
+/// series) and structured per-job snapshots.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct MetricsReport {
+    pub text: String,
+    pub jobs: Vec<JobProgress>,
 }
 
 /// The job lifecycle: `Queued → Running →` one terminal state.
@@ -247,8 +272,15 @@ pub enum JobEventKind<Sol> {
         dual_bound: f64,
         solution: Option<Sol>,
         nodes: u64,
+        /// Primitive nodes left open when the run stopped (0 when the
+        /// search space was exhausted).
+        open_nodes: u64,
         workers_lost: u64,
         wall_time: f64,
+        /// The final checkpoint of an unfinished run, serialized as the
+        /// JSON that `ParallelOptions::restart_from` accepts — so a
+        /// client can resubmit a timed-out job exactly where it stopped.
+        final_checkpoint: Option<String>,
     },
 }
 
@@ -282,6 +314,9 @@ pub struct JobSummary {
     pub state: JobState,
     pub priority: i32,
     pub num_solvers: usize,
+    /// Open primitive nodes from the job's freshest progress snapshot
+    /// (`None` until the coordinator first reports).
+    pub open_nodes: Option<u64>,
 }
 
 // ---------------------------------------------------------------------
@@ -311,6 +346,9 @@ pub struct ServerConfig {
     /// How long a worker may drain (job end → `JobDone`) or a running
     /// job may outlive shutdown before being killed.
     pub drain_timeout: Duration,
+    /// When set, each job writes a JSONL run journal to
+    /// `<journal_dir>/job-<id>-<name>.jsonl` (created as needed).
+    pub journal_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -324,6 +362,7 @@ impl Default for ServerConfig {
             comm: ProcessCommConfig::default(),
             status_interval: 0.05,
             drain_timeout: Duration::from_secs(10),
+            journal_dir: None,
         }
     }
 }
@@ -394,6 +433,13 @@ struct SharedState<Inst, Sub, Sol> {
     /// Resolved worker-listener address workers are spawned against.
     worker_addr: String,
     shutdown: AtomicBool,
+    /// Freshest per-job [`ProgressMsg`] (fed by each coordinator's
+    /// progress sink). Its own lock, never taken while `state` is held.
+    progress: Mutex<HashMap<u64, ProgressMsg>>,
+    /// Server-scoped metrics (this server's pool/job/heartbeat series;
+    /// per-instance so concurrent servers in one process stay isolated).
+    /// Rendered together with [`telemetry::global`] on `Metrics`.
+    metrics: MetricsRegistry,
 }
 
 /// Everything a job thread needs, collected under the state lock and
@@ -583,7 +629,21 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Server<Inst, Sub, Sol> {
             config,
             worker_addr: worker_addr.to_string(),
             shutdown: AtomicBool::new(false),
+            progress: Mutex::new(HashMap::new()),
+            metrics: MetricsRegistry::new(),
         });
+        // Pre-register the lazily-observed families so a Metrics
+        // request right after startup already shows the full schema.
+        shared.metrics.counter("ugrs_server_jobs_submitted_total", "Jobs accepted via Submit");
+        shared
+            .metrics
+            .counter("ugrs_server_workers_lost_total", "Pool workers removed dead or stuck");
+        shared.metrics.histogram_with(
+            "ugrs_server_heartbeat_gap_seconds",
+            &[],
+            "Gap between consecutive frames of a pool worker",
+            &[0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0],
+        );
         let mut threads = Vec::new();
         let sh = shared.clone();
         threads.push(
@@ -826,6 +886,10 @@ fn worker_lost<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>, id: 
         let _ = c.kill();
         let _ = c.wait();
     }
+    shared
+        .metrics
+        .counter("ugrs_server_workers_lost_total", "Pool workers removed dead or stuck")
+        .inc();
     if let Some((tx, jid, rank)) = notify {
         let _ = tx.send(Message::WorkerDied { rank });
         emit(shared, jid, JobEventKind::WorkerLost { rank });
@@ -853,12 +917,25 @@ fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
             }
         }
     }
+    // Telemetry wiring: an optional per-job journal plus a progress
+    // sink feeding the server's live per-job snapshot map.
+    let journal = shared.config.journal_dir.as_ref().and_then(|dir| {
+        let path = dir.join(format!("job-{jid}-{}.jsonl", telemetry::sanitize_name(&spec.name)));
+        telemetry::Journal::create(path).ok().map(Arc::new)
+    });
+    let progress = {
+        let sh = shared.clone();
+        ProgressSink::new(move |p: &ProgressMsg| {
+            sh.progress.lock().unwrap().insert(jid, p.clone());
+        })
+    };
     let options = ParallelOptions {
         num_solvers: n,
         time_limit: spec.time_limit,
         node_limit: spec.node_limit,
         cancel: Some(cancel.clone()),
         status_interval: shared.config.status_interval,
+        telemetry: TelemetrySink { journal, progress: Some(progress) },
         ..ParallelOptions::default()
     };
     let comm = LcComm::Job(JobComm { job: jid, writers, inbox });
@@ -880,6 +957,7 @@ fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
         }
         st.running -= 1;
     }
+    record_job_finished(&shared, state);
     emit(
         &shared,
         jid,
@@ -889,11 +967,39 @@ fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
             dual_bound: res.dual_bound,
             solution: res.solution.map(|(s, _)| s),
             nodes: res.stats.nodes_total,
+            open_nodes: res.stats.open_nodes,
             workers_lost: res.stats.workers_died,
             wall_time: res.stats.wall_time,
+            final_checkpoint: res
+                .final_checkpoint
+                .as_ref()
+                .and_then(|cp| serde_json::to_string(cp).ok()),
         },
     );
     shared.sched.notify_all();
+}
+
+fn state_label(state: JobState) -> &'static str {
+    match state {
+        JobState::Queued => "queued",
+        JobState::Running => "running",
+        JobState::Solved => "solved",
+        JobState::Infeasible => "infeasible",
+        JobState::TimedOut => "timed_out",
+        JobState::Cancelled => "cancelled",
+        JobState::Failed => "failed",
+    }
+}
+
+fn record_job_finished<Inst, Sub, Sol>(shared: &SharedState<Inst, Sub, Sol>, state: JobState) {
+    shared
+        .metrics
+        .counter_with(
+            "ugrs_server_jobs_finished_total",
+            &[("state", state_label(state))],
+            "Jobs that reached a terminal state, by state",
+        )
+        .inc();
 }
 
 fn shutdown_cleanup<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>) {
@@ -913,6 +1019,7 @@ fn shutdown_cleanup<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>)
         queued
     };
     for j in queued {
+        record_job_finished(shared, JobState::Cancelled);
         emit(
             shared,
             j,
@@ -922,8 +1029,10 @@ fn shutdown_cleanup<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>)
                 dual_bound: f64::NEG_INFINITY,
                 solution: None,
                 nodes: 0,
+                open_nodes: 0,
                 workers_lost: 0,
                 wall_time: 0.0,
+                final_checkpoint: None,
             },
         );
     }
@@ -1075,9 +1184,25 @@ fn handle_pool_up<Inst, Sub, Sol: Clone>(
 ) {
     match up {
         PoolUp::Ping { .. } => {
-            if let Some(w) = shared.state.lock().unwrap().workers.get_mut(&id) {
+            let gap = {
+                let mut st = shared.state.lock().unwrap();
+                let Some(w) = st.workers.get_mut(&id) else { return };
+                let gap = w.last_heard.elapsed();
                 w.last_heard = Instant::now();
-            }
+                gap
+            };
+            // Observed gap between consecutive frames: the live
+            // heartbeat-latency distribution (nominal = the configured
+            // heartbeat interval; the tail shows scheduling delay).
+            shared
+                .metrics
+                .histogram_with(
+                    "ugrs_server_heartbeat_gap_seconds",
+                    &[],
+                    "Gap between consecutive frames of a pool worker",
+                    &[0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0],
+                )
+                .observe(gap.as_secs_f64());
         }
         PoolUp::JobDone { .. } => {
             {
@@ -1178,6 +1303,10 @@ fn serve_client<Inst: WireType, Sub: WireType, Sol: WireType>(
                 let status = server_status(shared);
                 wire::write_msg(&mut writer, &ServerReply::<Sol>::Status { status })?;
             }
+            ClientRequest::Metrics => {
+                let report = metrics_report(shared);
+                wire::write_msg(&mut writer, &ServerReply::<Sol>::Metrics { report })?;
+            }
             ClientRequest::Watch { job, from_seq } => {
                 stream_events(shared, &mut writer, job, from_seq)?;
             }
@@ -1210,6 +1339,7 @@ fn submit_job<Inst, Sub, Sol: Clone>(
         st.queue.push(jid);
         jid
     };
+    shared.metrics.counter("ugrs_server_jobs_submitted_total", "Jobs accepted via Submit").inc();
     emit(shared, jid, JobEventKind::Queued);
     shared.sched.notify_all();
     jid
@@ -1244,6 +1374,7 @@ fn cancel_job<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>, job: 
     };
     match outcome {
         Outcome::WasQueued => {
+            record_job_finished(shared, JobState::Cancelled);
             emit(
                 shared,
                 job,
@@ -1253,8 +1384,10 @@ fn cancel_job<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>, job: 
                     dual_bound: f64::NEG_INFINITY,
                     solution: None,
                     nodes: 0,
+                    open_nodes: 0,
                     workers_lost: 0,
                     wall_time: 0.0,
+                    final_checkpoint: None,
                 },
             );
             shared.sched.notify_all();
@@ -1266,6 +1399,13 @@ fn cancel_job<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>, job: 
 }
 
 fn server_status<Inst, Sub, Sol>(shared: &SharedState<Inst, Sub, Sol>) -> ServerStatus {
+    // `progress` is locked before `state` is taken (disjoint critical
+    // sections) — the snapshot may lag a status by one interval, which
+    // is fine for a status display.
+    let open: HashMap<u64, u64> = {
+        let p = shared.progress.lock().unwrap();
+        p.iter().map(|(j, m)| (*j, m.open_nodes)).collect()
+    };
     let st = shared.state.lock().unwrap();
     let mut workers: Vec<WorkerInfo> = st
         .workers
@@ -1288,9 +1428,70 @@ fn server_status<Inst, Sub, Sol>(shared: &SharedState<Inst, Sub, Sol>) -> Server
             state: r.state,
             priority: r.spec.priority,
             num_solvers: r.spec.num_solvers,
+            open_nodes: open.get(j).copied(),
         })
         .collect();
     ServerStatus { pool_target: shared.config.pool_size, workers, queued: st.queue.clone(), jobs }
+}
+
+/// Builds the [`ClientRequest::Metrics`] reply: refresh the pool/queue
+/// gauges, render this server's registry plus the process-wide one,
+/// synthesize per-job series from the progress snapshots, and attach
+/// the structured snapshots themselves.
+fn metrics_report<Inst, Sub, Sol>(shared: &SharedState<Inst, Sub, Sol>) -> MetricsReport {
+    use std::fmt::Write as _;
+    let progress: HashMap<u64, ProgressMsg> = shared.progress.lock().unwrap().clone();
+    let jobs_meta: Vec<(u64, String, JobState)> = {
+        let st = shared.state.lock().unwrap();
+        let r = &shared.metrics;
+        r.gauge("ugrs_server_pool_workers", "Connected pool workers").set(st.workers.len() as f64);
+        r.gauge("ugrs_server_pool_target", "Configured pool size")
+            .set(shared.config.pool_size as f64);
+        r.gauge("ugrs_server_jobs_running", "Jobs currently running").set(st.running as f64);
+        r.gauge("ugrs_server_queue_depth", "Jobs waiting in the queue").set(st.queue.len() as f64);
+        st.jobs.iter().map(|(j, r)| (*j, r.spec.name.clone(), r.state)).collect()
+    };
+    let mut text = shared.metrics.render();
+    telemetry::global().render_into(&mut text);
+    // Per-job gauges, synthesized from the snapshots so the exposition
+    // carries the coordinator-level view without a registry per job.
+    type JobSeries = (&'static str, &'static str, fn(&ProgressMsg) -> f64);
+    let families: [JobSeries; 5] = [
+        ("ugrs_job_gap_percent", "Relative gap of the job, percent", |p| p.gap_percent),
+        ("ugrs_job_open_nodes", "Open primitive nodes in the job's coordinator", |p| {
+            p.open_nodes as f64
+        }),
+        ("ugrs_job_idle_percent", "Aggregate idle ratio of the job's solvers", |p| p.idle_percent),
+        ("ugrs_job_dual_bound", "Global dual bound of the job (internal sense)", |p| p.dual_bound),
+        ("ugrs_job_nodes_total", "B&B nodes processed by the job so far", |p| p.nodes as f64),
+    ];
+    for (name, help, get) in families {
+        let mut any = false;
+        for (jid, jname, _) in &jobs_meta {
+            let Some(p) = progress.get(jid) else { continue };
+            if !any {
+                let _ = writeln!(text, "# HELP {name} {help}");
+                let _ = writeln!(text, "# TYPE {name} gauge");
+                any = true;
+            }
+            let _ = writeln!(
+                text,
+                "{name}{{job=\"{jid}\",name=\"{}\"}} {}",
+                telemetry::escape_label(jname),
+                telemetry::fmt_value(get(p))
+            );
+        }
+    }
+    let jobs = jobs_meta
+        .into_iter()
+        .map(|(job, name, state)| JobProgress {
+            job,
+            name,
+            state,
+            progress: progress.get(&job).cloned(),
+        })
+        .collect();
+    MetricsReport { text, jobs }
 }
 
 fn stream_events<Inst, Sub, Sol: WireType>(
@@ -1651,6 +1852,15 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> JobClient<Inst, Sub, Sol> {
     pub fn status(&mut self) -> io::Result<ServerStatus> {
         match self.request(&ClientRequest::Status)? {
             ServerReply::Status { status } => Ok(status),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Fetches the Prometheus-style exposition plus per-job progress
+    /// snapshots (what `ugd top` refreshes on).
+    pub fn metrics(&mut self) -> io::Result<MetricsReport> {
+        match self.request(&ClientRequest::Metrics)? {
+            ServerReply::Metrics { report } => Ok(report),
             _ => Err(unexpected_reply()),
         }
     }

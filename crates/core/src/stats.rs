@@ -4,7 +4,7 @@
 //! node counts, bounds and gap.
 
 /// Statistics of one parallel run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct UgStats {
     /// Wall-clock seconds of the run.
     pub wall_time: f64,
@@ -64,11 +64,18 @@ impl Default for UgStats {
 impl UgStats {
     /// Relative gap in percent, as in Table 2 (`0` when closed).
     pub fn gap_percent(&self) -> f64 {
-        if !self.primal_bound.is_finite() || !self.dual_bound.is_finite() {
-            return f64::INFINITY;
-        }
-        ((self.primal_bound - self.dual_bound).max(0.0) / self.primal_bound.abs().max(1e-9)) * 100.0
+        gap_percent(self.primal_bound, self.dual_bound)
     }
+}
+
+/// Relative gap in percent between a primal and a dual bound (internal
+/// minimization sense), Table 2 convention — also used for in-flight
+/// snapshots before the final statistics exist.
+pub fn gap_percent(primal_bound: f64, dual_bound: f64) -> f64 {
+    if !primal_bound.is_finite() || !dual_bound.is_finite() {
+        return f64::INFINITY;
+    }
+    ((primal_bound - dual_bound).max(0.0) / primal_bound.abs().max(1e-9)) * 100.0
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use crate::comm::LcComm;
 use crate::messages::{Message, SubproblemMsg};
 use crate::runner::{ParallelOptions, ParallelResult, RampUp};
 use crate::stats::UgStats;
+use crate::telemetry::{ProgressMsg, TelemetryEvent};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::collections::HashMap;
@@ -41,6 +42,7 @@ pub struct LoadCoordinator<Sub, Sol> {
     carried_transferred: u64,
     carried_wall: f64,
     last_checkpoint: Instant,
+    last_progress: Instant,
     /// Ranks already sent an AbortSubproblem for their current assignment
     /// (avoids flooding the channel from the management loop).
     abort_sent: std::collections::HashSet<usize>,
@@ -79,6 +81,7 @@ where
             carried_transferred: 0,
             carried_wall: 0.0,
             last_checkpoint: now,
+            last_progress: now,
             abort_sent: std::collections::HashSet::new(),
             dead: std::collections::HashSet::new(),
         }
@@ -121,6 +124,59 @@ where
         }
     }
 
+    fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Racing => "racing",
+            Phase::Normal => "normal",
+        }
+    }
+
+    /// The live counterpart of the final statistics: everything the
+    /// paper's tables report, computed from the coordinator's current
+    /// state instead of at shutdown.
+    fn progress_snapshot(&self) -> ProgressMsg {
+        let wall = self.elapsed();
+        let n = self.comm.num_workers();
+        let mut idle_sum = 0.0;
+        for rank in 0..n {
+            idle_sum += self.idle_total[rank]
+                + self.idle_since[rank].map_or(0.0, |s| s.elapsed().as_secs_f64());
+        }
+        let primal = self.incumbent.as_ref().map_or(f64::INFINITY, |(_, o)| *o);
+        let dual = self.global_dual_bound().min(primal);
+        let in_flight: u64 = self.statuses.values().map(|(_, _, n)| *n).sum();
+        ProgressMsg {
+            wall,
+            phase: self.phase_name().into(),
+            primal_bound: primal,
+            dual_bound: dual,
+            gap_percent: crate::stats::gap_percent(primal, dual),
+            open_nodes: (self.queue.len() + self.assigned.len()) as u64,
+            nodes: self.stats.nodes_total + in_flight,
+            transferred: self.stats.transferred,
+            collected: self.stats.collected,
+            incumbents: self.stats.incumbents_seen,
+            active: self.assigned.len(),
+            idle_percent: 100.0 * idle_sum / (n as f64 * wall).max(1e-9),
+            workers_died: self.stats.workers_died,
+        }
+    }
+
+    /// Emits a progress snapshot to the journal and the progress sink,
+    /// rate-limited to the status interval (but never faster than 20 Hz).
+    fn maybe_progress(&mut self) {
+        if !self.opts.telemetry.enabled() {
+            return;
+        }
+        let interval = self.opts.status_interval.max(0.05);
+        if self.last_progress.elapsed().as_secs_f64() < interval {
+            return;
+        }
+        self.last_progress = Instant::now();
+        let msg = self.progress_snapshot();
+        self.opts.telemetry.progress(&msg);
+    }
+
     /// Pops the queued subproblem with the best (lowest) dual bound — the
     /// heaviest expected subtree.
     fn pop_best(&mut self) -> Option<SubproblemMsg<Sub>> {
@@ -160,6 +216,7 @@ where
                 if improves {
                     self.incumbent = Some((sol.clone(), obj));
                     self.stats.incumbents_seen += 1;
+                    self.opts.telemetry.log(TelemetryEvent::Incumbent { obj });
                     // Broadcast to everyone (the finder dedups on its side).
                     let _ = rank;
                     self.comm.broadcast(&Message::Incumbent { sol, obj });
@@ -171,8 +228,11 @@ where
             Message::Status { rank, dual_bound, open, nodes } => {
                 self.statuses.insert(rank, (dual_bound, open, nodes));
             }
-            Message::ExportedNode { rank: _, sub } => {
+            Message::ExportedNode { rank, sub } => {
                 self.stats.collected += 1;
+                self.opts
+                    .telemetry
+                    .log(TelemetryEvent::Collected { rank, dual_bound: sub.dual_bound });
                 if sub.dual_bound < self.cutoff() {
                     self.queue.push(sub);
                 }
@@ -197,6 +257,7 @@ where
             }
             Message::WorkerDied { rank } if self.dead.insert(rank) => {
                 self.stats.workers_died += 1;
+                self.opts.telemetry.log(TelemetryEvent::WorkerDied { rank });
                 self.mark_busy(rank); // freeze its idle accounting
                 self.idle.retain(|&r| r != rank);
                 self.abort_sent.remove(&rank);
@@ -239,6 +300,7 @@ where
         });
         self.abort_sent.remove(&rank);
         self.assigned.insert(rank, sub.clone());
+        self.opts.telemetry.log(TelemetryEvent::Transferred { rank, dual_bound: sub.dual_bound });
         self.comm.send_to(
             rank,
             Message::Subproblem { sub, incumbent: self.incumbent.clone(), settings },
@@ -284,6 +346,10 @@ where
             .unwrap_or(0);
         self.racing_winner = Some(self.racing_settings_of_rank.get(&winner).copied().unwrap_or(0));
         self.stats.racing_winner = self.racing_winner;
+        self.opts.telemetry.log(TelemetryEvent::RacingWinner {
+            winner_rank: winner,
+            settings_index: self.racing_winner.unwrap_or(0),
+        });
         for rank in self.assigned.keys().copied().collect::<Vec<_>>() {
             if rank != winner {
                 self.comm.send_to(rank, Message::AbortSubproblem);
@@ -293,6 +359,7 @@ where
         self.comm.send_to(winner, Message::StartCollecting);
         self.collect_mode = true;
         self.phase = Phase::Normal;
+        self.opts.telemetry.log(TelemetryEvent::Phase { phase: "normal".into() });
     }
 
     fn manage_collect_mode(&mut self) {
@@ -376,7 +443,12 @@ where
         if self.last_checkpoint.elapsed().as_secs_f64() >= self.opts.checkpoint_interval {
             self.last_checkpoint = Instant::now();
             if let Some(path) = self.opts.checkpoint_path.clone() {
-                let _ = self.build_checkpoint().save(&path);
+                let cp = self.build_checkpoint();
+                if cp.save(&path).is_ok() {
+                    self.opts.telemetry.log(TelemetryEvent::CheckpointSaved {
+                        primitive_nodes: cp.num_primitive_nodes(),
+                    });
+                }
             }
         }
     }
@@ -395,6 +467,11 @@ where
                 self.run_index = cp.run_index + 1;
             }
         }
+        self.opts.telemetry.log(TelemetryEvent::RunStarted {
+            workers: self.comm.num_workers(),
+            run_index: self.run_index,
+            restarted: self.run_index > 1,
+        });
         let racing_possible = matches!(self.opts.ramp_up, RampUp::Racing { .. })
             && self.comm.num_workers() > 1
             && self.queue.is_empty();
@@ -404,6 +481,7 @@ where
             self.queue
                 .push(SubproblemMsg { sub: self.root.clone(), dual_bound: f64::NEG_INFINITY });
         }
+        self.opts.telemetry.log(TelemetryEvent::Phase { phase: self.phase_name().into() });
 
         let mut solved = false;
         let mut hit_time_limit = false;
@@ -472,6 +550,7 @@ where
                 break;
             }
             self.maybe_periodic_checkpoint();
+            self.maybe_progress();
         }
 
         // ---- shutdown -------------------------------------------------
@@ -542,12 +621,39 @@ where
         let checkpoint = if hit_time_limit || !solved {
             let cp = self.build_checkpoint();
             if let Some(path) = &self.opts.checkpoint_path {
-                let _ = cp.save(path);
+                if cp.save(path).is_ok() {
+                    self.opts.telemetry.log(TelemetryEvent::CheckpointSaved {
+                        primitive_nodes: cp.num_primitive_nodes(),
+                    });
+                }
             }
             Some(cp)
         } else {
             None
         };
+
+        if self.opts.telemetry.enabled() {
+            // One last snapshot mirroring the final statistics (so
+            // gap-over-time series end at the authoritative state), then
+            // the final statistics themselves.
+            let msg = ProgressMsg {
+                wall: self.stats.wall_time,
+                phase: self.phase_name().into(),
+                primal_bound: self.stats.primal_bound,
+                dual_bound: self.stats.dual_bound,
+                gap_percent: self.stats.gap_percent(),
+                open_nodes: self.stats.open_nodes,
+                nodes: self.stats.nodes_total,
+                transferred: self.stats.transferred,
+                collected: self.stats.collected,
+                incumbents: self.stats.incumbents_seen,
+                active: self.assigned.len(),
+                idle_percent: self.stats.idle_percent,
+                workers_died: self.stats.workers_died,
+            };
+            self.opts.telemetry.progress(&msg);
+            self.opts.telemetry.log(TelemetryEvent::RunFinished { stats: self.stats.clone() });
+        }
 
         ParallelResult {
             solution: self.incumbent.clone(),

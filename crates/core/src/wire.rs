@@ -38,17 +38,26 @@ impl From<WireError> for std::io::Error {
 }
 
 /// Serializes `msg` into one framed buffer (prefix + payload), ready
-/// for a single `write_all`.
+/// for a single `write_all`. Every encoded frame is counted in the
+/// process-wide wire telemetry ([`crate::telemetry::wire`]), covering
+/// all transports without per-call-site plumbing.
 pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
     let payload = serde_json::to_vec(msg).expect("wire messages must serialize");
     let mut framed = Vec::with_capacity(4 + payload.len());
     framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
     framed.extend_from_slice(&payload);
+    let w = crate::telemetry::wire();
+    w.tx_frames.inc();
+    w.tx_bytes.add(framed.len() as u64);
     framed
 }
 
 /// Deserializes one frame *payload* (without the length prefix).
+/// Counts the frame in the process-wide rx wire telemetry.
 pub fn decode<T: DeserializeOwned>(payload: &[u8]) -> Result<T, WireError> {
+    let w = crate::telemetry::wire();
+    w.rx_frames.inc();
+    w.rx_bytes.add(payload.len() as u64 + 4);
     serde_json::from_slice(payload).map_err(|e| WireError(format!("bad payload: {e:?}")))
 }
 

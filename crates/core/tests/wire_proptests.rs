@@ -12,7 +12,10 @@ use proptest::prelude::*;
 use ugrs_core::messages::{Message, SubproblemMsg};
 use ugrs_core::server::{JobEvent, JobEventKind, JobSummary, PoolDown, PoolUp, WorkerInfo};
 use ugrs_core::wire::{decode, encode, FrameDecoder};
-use ugrs_core::{ClientRequest, JobSpec, JobState, ServerReply, ServerStatus, SolverSettings};
+use ugrs_core::{
+    ClientRequest, JobProgress, JobSpec, JobState, MetricsReport, ProgressMsg, ServerReply,
+    ServerStatus, SolverSettings,
+};
 
 type Msg = Message<Vec<u32>, Vec<f64>>;
 type Req = ClientRequest<String, Vec<u32>>;
@@ -117,12 +120,13 @@ fn arb_job_spec() -> impl Strategy<Value = JobSpec<String, Vec<u32>>> {
 }
 
 fn arb_client_request() -> impl Strategy<Value = Req> {
-    (0usize..5, arb_job_spec(), 0u64..1_000, 0usize..1_000).prop_map(
+    (0usize..6, arb_job_spec(), 0u64..1_000, 0usize..1_000).prop_map(
         |(variant, spec, job, from_seq)| match variant {
             0 => ClientRequest::Submit { spec },
             1 => ClientRequest::Cancel { job },
             2 => ClientRequest::Watch { job, from_seq },
             3 => ClientRequest::Status,
+            4 => ClientRequest::Metrics,
             _ => ClientRequest::Shutdown,
         },
     )
@@ -149,8 +153,11 @@ fn arb_event_kind() -> impl Strategy<Value = JobEventKind<Vec<f64>>> {
                         dual_bound,
                         solution,
                         nodes,
+                        open_nodes: nodes / 3,
                         workers_lost,
                         wall_time: obj.abs().min(1e6),
+                        final_checkpoint: (workers_lost % 2 == 1)
+                            .then(|| format!("{{\"queue\":[],\"run_index\":{workers_lost}}}")),
                     },
                 }
             },
@@ -174,6 +181,7 @@ fn arb_status() -> impl Strategy<Value = ServerStatus> {
             state,
             priority,
             num_solvers,
+            open_nodes: (n % 2 == 0).then_some(job * 3),
         },
     );
     (
@@ -190,19 +198,56 @@ fn arb_status() -> impl Strategy<Value = ServerStatus> {
         })
 }
 
+fn arb_progress() -> impl Strategy<Value = ProgressMsg> {
+    (arb_f64(), arb_f64(), 0u64..100_000, 0usize..16, any::<bool>()).prop_map(
+        |(primal, dual, nodes, active, racing)| ProgressMsg {
+            wall: (nodes as f64) / 100.0,
+            phase: if racing { "racing".into() } else { "normal".into() },
+            primal_bound: primal,
+            dual_bound: dual,
+            gap_percent: ugrs_core::stats::gap_percent(primal, dual),
+            open_nodes: nodes / 7,
+            nodes,
+            transferred: nodes / 11,
+            collected: nodes / 13,
+            incumbents: nodes % 5,
+            active,
+            idle_percent: (nodes % 101) as f64,
+            workers_died: nodes % 3,
+        },
+    )
+}
+
+fn arb_metrics_report() -> impl Strategy<Value = MetricsReport> {
+    let jobs = (0u64..64, arb_job_state(), any::<bool>(), arb_progress()).prop_map(
+        |(job, state, has_progress, progress)| JobProgress {
+            job,
+            name: format!("job-{job} \"quoted\"\n"),
+            state,
+            progress: has_progress.then_some(progress),
+        },
+    );
+    (0usize..1_000, proptest::collection::vec(jobs, 0..4)).prop_map(|(n, jobs)| MetricsReport {
+        text: format!("# HELP ugrs_x_total x\n# TYPE ugrs_x_total counter\nugrs_x_total {n}\n"),
+        jobs,
+    })
+}
+
 fn arb_server_reply() -> impl Strategy<Value = Reply> {
     (
-        0usize..6,
+        0usize..7,
         (0u64..1_000, any::<bool>(), 0usize..1_000),
         (0usize..1_000, arb_event_kind()),
         arb_status(),
+        arb_metrics_report(),
     )
-        .prop_map(|(variant, (job, ok, err), (seq, kind), status)| match variant {
+        .prop_map(|(variant, (job, ok, err), (seq, kind), status, report)| match variant {
             0 => ServerReply::Submitted { job },
             1 => ServerReply::CancelResult { job, ok },
             2 => ServerReply::Event { event: JobEvent { job, seq, kind } },
             3 => ServerReply::Status { status },
-            4 => ServerReply::ShuttingDown,
+            4 => ServerReply::Metrics { report },
+            5 => ServerReply::ShuttingDown,
             _ => ServerReply::Error { message: format!("error #{err}: \"quoted\"\n") },
         })
 }
@@ -368,6 +413,7 @@ fn job_protocol_variant_count(req: &Req, reply: &Reply, down: &Down, up: &Up, st
         | ClientRequest::Cancel { .. }
         | ClientRequest::Watch { .. }
         | ClientRequest::Status
+        | ClientRequest::Metrics
         | ClientRequest::Shutdown => {}
     }
     match reply {
@@ -387,6 +433,7 @@ fn job_protocol_variant_count(req: &Req, reply: &Reply, down: &Down, up: &Up, st
                 },
         }
         | ServerReply::Status { .. }
+        | ServerReply::Metrics { .. }
         | ServerReply::ShuttingDown
         | ServerReply::Error { .. } => {}
     }

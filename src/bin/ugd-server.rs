@@ -11,7 +11,12 @@
 //! ugd-server [--client-addr 127.0.0.1:7163] [--worker-addr 127.0.0.1:0]
 //!            [--pool-size 4] [--max-jobs 2] [--worker <path>]
 //!            [--status-interval 0.05] [--handicap-ms 0]
+//!            [--journal-dir <dir>]
 //! ```
+//!
+//! With `--journal-dir`, every job writes a JSONL run journal
+//! (`job-<id>-<name>.jsonl`) of timestamped telemetry events there —
+//! replayable for gap-over-time plots and post-mortems.
 //!
 //! `--worker` defaults to the `ugd-worker` binary next to this
 //! executable. The process runs until a client sends `shutdown`.
@@ -49,6 +54,9 @@ fn parse_args() -> Result<Args, String> {
             "--handicap-ms" => {
                 handicap_ms = value("--handicap-ms")?.parse().map_err(|e| format!("{e}"))?
             }
+            "--journal-dir" => {
+                config.journal_dir = Some(value("--journal-dir")?.into());
+            }
             "--worker" => worker = Some(value("--worker")?),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -79,7 +87,7 @@ fn main() {
             eprintln!(
                 "usage: ugd-server [--client-addr <a>] [--worker-addr <a>] [--pool-size <n>]\n\
                  \x20       [--max-jobs <n>] [--worker <path>] [--status-interval <secs>]\n\
-                 \x20       [--handicap-ms <ms>]"
+                 \x20       [--handicap-ms <ms>] [--journal-dir <dir>]"
             );
             std::process::exit(2);
         }

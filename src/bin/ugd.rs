@@ -7,6 +7,8 @@
 //! ugd watch <job>   [--addr <a>] [--from <seq>]
 //! ugd cancel <job>  [--addr <a>]
 //! ugd status        [--addr <a>]
+//! ugd top           [--addr <a>] [--interval <secs>] [--iterations <n>]
+//! ugd metrics       [--addr <a>]
 //! ugd shutdown      [--addr <a>]
 //! ```
 //!
@@ -35,6 +37,8 @@ fn usage() -> ! {
          \x20      ugd watch <job> [--addr <a>] [--from <seq>]\n\
          \x20      ugd cancel <job> [--addr <a>]\n\
          \x20      ugd status [--addr <a>]\n\
+         \x20      ugd top [--addr <a>] [--interval <secs>] [--iterations <n>]\n\
+         \x20      ugd metrics [--addr <a>]\n\
          \x20      ugd shutdown [--addr <a>]"
     );
     std::process::exit(2);
@@ -51,6 +55,8 @@ struct Opts {
     node_limit: Option<u64>,
     from_seq: usize,
     watch: bool,
+    interval: f64,
+    iterations: Option<u64>,
 }
 
 fn parse_opts(mut it: std::env::Args) -> Result<Opts, String> {
@@ -64,6 +70,8 @@ fn parse_opts(mut it: std::env::Args) -> Result<Opts, String> {
         node_limit: None,
         from_seq: 0,
         watch: true,
+        interval: 1.0,
+        iterations: None,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -81,6 +89,12 @@ fn parse_opts(mut it: std::env::Args) -> Result<Opts, String> {
                 o.node_limit = Some(value("--node-limit")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--from" => o.from_seq = value("--from")?.parse().map_err(|e| format!("{e}"))?,
+            "--interval" => {
+                o.interval = value("--interval")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--iterations" => {
+                o.iterations = Some(value("--iterations")?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--no-watch" => o.watch = false,
             other if !other.starts_with('-') && o.positional.is_none() => {
                 o.positional = Some(other.to_string())
@@ -148,6 +162,121 @@ fn print_event(ev: &JobEvent<Vec<f64>>, external: &dyn Fn(f64) -> f64) {
                 ev.job
             );
         }
+    }
+}
+
+/// Sums every sample of a metric family in a Prometheus-style
+/// exposition: all lines whose metric name (up to `{` or whitespace)
+/// equals `family`, ignoring comments. Unlabeled gauges yield their
+/// single value; labeled counters yield the total across label sets.
+fn sample_sum(text: &str, family: &str) -> f64 {
+    let mut sum = 0.0;
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+        if &line[..name_end] != family {
+            continue;
+        }
+        if let Some(value) = line.rsplit(' ').next() {
+            if let Ok(v) = value.parse::<f64>() {
+                sum += v;
+            }
+        }
+    }
+    sum
+}
+
+fn fmt_bound(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "-".to_string()
+    }
+}
+
+/// `ugd top`: live per-job dashboard over the `Metrics` request. Redraws
+/// every `interval` seconds; `iterations` bounds the loop for
+/// non-interactive use (tests, CI smoke).
+fn run_top(client: &mut SolveClient, interval: f64, iterations: Option<u64>) {
+    let mut prev: Option<(std::time::Instant, f64, f64, f64)> = None;
+    let mut iter = 0u64;
+    loop {
+        let report = client.metrics().unwrap_or_else(|e| fail(e));
+        let now = std::time::Instant::now();
+        let finished = sample_sum(&report.text, "ugrs_server_jobs_finished_total");
+        let tx = sample_sum(&report.text, "ugrs_wire_tx_bytes_total");
+        let rx = sample_sum(&report.text, "ugrs_wire_rx_bytes_total");
+        let rates = prev.map(|(t0, f0, tx0, rx0)| {
+            let dt = now.duration_since(t0).as_secs_f64().max(1e-9);
+            ((finished - f0) / dt, (tx - tx0) / dt, (rx - rx0) / dt)
+        });
+        prev = Some((now, finished, tx, rx));
+
+        // Clear screen + home, like top(1); harmless when piped.
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "ugd top — pool {}/{} workers, {} running, {} queued, {} finished",
+            sample_sum(&report.text, "ugrs_server_pool_workers"),
+            sample_sum(&report.text, "ugrs_server_pool_target"),
+            sample_sum(&report.text, "ugrs_server_jobs_running"),
+            sample_sum(&report.text, "ugrs_server_queue_depth"),
+            finished,
+        );
+        match rates {
+            Some((jps, txps, rxps)) => println!(
+                "jobs/s {jps:.2}   wire tx {:.1} KiB/s rx {:.1} KiB/s",
+                txps / 1024.0,
+                rxps / 1024.0
+            ),
+            None => println!("jobs/s -   wire tx - rx -"),
+        }
+        println!(
+            "{:>5} {:<20} {:<9} {:>10} {:>8} {:>8} {:>6} {:>9} {:>10} {:>6}",
+            "JOB", "NAME", "STATE", "GAP%", "OPEN", "NODES", "ACT", "IDLE%", "DUAL", "DIED"
+        );
+        for j in &report.jobs {
+            let mut name = j.name.clone();
+            name.truncate(20);
+            match &j.progress {
+                Some(p) => println!(
+                    "{:>5} {:<20} {:<9} {:>10} {:>8} {:>8} {:>6} {:>9.1} {:>10} {:>6}",
+                    j.job,
+                    name,
+                    format!("{:?}", j.state),
+                    if p.gap_percent.is_finite() {
+                        format!("{:.3}", p.gap_percent)
+                    } else {
+                        "inf".to_string()
+                    },
+                    p.open_nodes,
+                    p.nodes,
+                    p.active,
+                    p.idle_percent,
+                    fmt_bound(p.dual_bound),
+                    p.workers_died,
+                ),
+                None => println!(
+                    "{:>5} {:<20} {:<9} {:>10} {:>8} {:>8} {:>6} {:>9} {:>10} {:>6}",
+                    j.job,
+                    name,
+                    format!("{:?}", j.state),
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                ),
+            }
+        }
+        iter += 1;
+        if iterations.is_some_and(|n| iter >= n) {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval.max(0.05)));
     }
 }
 
@@ -230,11 +359,21 @@ fn main() {
             }
             println!("queued: {:?}", st.queued);
             for j in &st.jobs {
+                let open = j.open_nodes.map_or(String::new(), |n| format!(" open {n}"));
                 println!(
-                    "  job {} {:?} prio {} solvers {} — {}",
+                    "  job {} {:?} prio {} solvers {}{open} — {}",
                     j.job, j.state, j.priority, j.num_solvers, j.name
                 );
             }
+        }
+        "top" => {
+            let mut client = connect(&o.addr);
+            run_top(&mut client, o.interval, o.iterations);
+        }
+        "metrics" => {
+            let mut client = connect(&o.addr);
+            let report = client.metrics().unwrap_or_else(|e| fail(e));
+            print!("{}", report.text);
         }
         "shutdown" => {
             let mut client = connect(&o.addr);

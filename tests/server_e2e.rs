@@ -29,12 +29,16 @@ fn server_config(pool: usize, max_jobs: usize, handicap_ms: u64) -> ServerConfig
     if handicap_ms > 0 {
         worker_command.extend(["--handicap-ms".into(), handicap_ms.to_string()]);
     }
+    // CI sets UGRS_TEST_JOURNAL_DIR so run journals survive a failure
+    // as uploadable artifacts; locally it defaults to off.
+    let journal_dir = std::env::var_os("UGRS_TEST_JOURNAL_DIR").map(std::path::PathBuf::from);
     ServerConfig {
         worker_command,
         pool_size: pool,
         max_concurrent_jobs: max_jobs,
         comm: comm(),
         drain_timeout: Duration::from_secs(5),
+        journal_dir,
         ..Default::default()
     }
 }
@@ -115,6 +119,36 @@ fn three_concurrent_mixed_jobs() {
         st.jobs.iter().filter(|j| j.state == JobState::Running).count() == 3
     });
 
+    // Live telemetry: poll the Metrics request until at least two of
+    // the concurrent jobs have reported a progress snapshot, then
+    // check the exposition is well-formed and carries the coordinator,
+    // wire and pool families.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let report = loop {
+        let report = status_client.metrics().expect("metrics request");
+        if report.jobs.iter().filter(|j| j.progress.is_some()).count() >= 2 {
+            break report;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for job progress: {report:?}");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    ugrs::ug::telemetry::validate_exposition(&report.text)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{}", report.text));
+    for family in [
+        "ugrs_job_gap_percent",              // per-job coordinator progress
+        "ugrs_job_open_nodes",               // …
+        "ugrs_wire_tx_frames_total",         // wire codec
+        "ugrs_wire_rx_bytes_total",          // …
+        "ugrs_server_pool_workers",          // pool
+        "ugrs_server_jobs_running",          // …
+        "ugrs_server_heartbeat_gap_seconds", // worker liveness histogram
+    ] {
+        assert!(report.text.contains(family), "exposition must contain {family}:\n{}", report.text);
+    }
+    for p in report.jobs.iter().filter_map(|j| j.progress.as_ref()) {
+        assert!(p.wall >= 0.0 && p.nodes < u64::MAX / 2, "sane snapshot: {p:?}");
+    }
+
     let mut optima = Vec::new();
     for (job, instance) in jobs.iter().zip(&instances) {
         let done = client.wait(*job).expect("wait");
@@ -172,7 +206,15 @@ fn cancel_and_worker_kill() {
     assert!(status_client.cancel(job_b).expect("cancel"), "running job must be cancellable");
     let done_b = client.wait(job_b).expect("wait b");
     match done_b.kind {
-        JobEventKind::Finished { state, .. } => assert_eq!(state, JobState::Cancelled),
+        JobEventKind::Finished { state, final_checkpoint, .. } => {
+            assert_eq!(state, JobState::Cancelled);
+            // A job cancelled mid-run leaves a restart artifact: the
+            // primitive-node checkpoint, as JSON, in its result.
+            let cp = final_checkpoint.expect("cancelled job must carry its final checkpoint");
+            let parsed: serde_json::Value =
+                serde_json::from_str(&cp).expect("checkpoint must be valid JSON");
+            assert!(parsed.get("queue").is_some(), "checkpoint JSON has a queue: {cp}");
+        }
         other => panic!("job b: unexpected terminal event {other:?}"),
     }
 
