@@ -6,7 +6,7 @@
 //!
 //! | paper artifact | binary | what it shows |
 //! |----------------|--------|---------------|
-//! | Table 1 | `table1` | shared-memory ug[SteinerJack] scaling on five PUC-like instances |
+//! | Table 1 | `table1` | shared-memory ug\[SteinerJack\] scaling on five PUC-like instances |
 //! | Table 2 | `table2` | checkpoint/restart chain on a bip-like open instance |
 //! | Table 3 | `table3` | racing re-runs with injected incumbents on an hc-like instance |
 //! | Table 4 | `table4` | SCIP-SDP vs ug[SCIP-SDP] with 1..8 threads over TTD/CLS/MkP |

@@ -24,12 +24,54 @@ pub struct Checkpoint<Sub, Sol> {
     pub incumbent: Option<(Sol, f64)>,
     /// Global dual bound at save time (internal sense).
     pub dual_bound: f64,
-    /// Cumulative statistics carried across restarts.
+    /// Total B&B nodes processed across the whole restart chain.
     pub nodes_so_far: u64,
+    /// Subproblems transferred coordinator → solvers across the chain.
     pub transferred_so_far: u64,
+    /// Wall-clock seconds accumulated across the chain.
     pub wall_time_so_far: f64,
     /// How many runs produced this chain (1-based; run `1.k` in Table 2).
     pub run_index: u32,
+}
+
+/// Writes `data` to `path` with the crash-safe discipline every durable
+/// artifact of this crate uses (checkpoints and the job ledger):
+///
+/// 1. write to a sibling `.tmp` file,
+/// 2. fsync the temp file — without it, a crash shortly after the
+///    rename could leave the *new* name pointing at not-yet-flushed
+///    data, i.e. a truncated or empty file, which is worse than the
+///    stale-but-complete one the rename replaced,
+/// 3. atomically rename over `path`,
+/// 4. fsync the parent directory (best-effort) so the rename itself is
+///    on disk too.
+///
+/// A reader therefore sees either the old complete contents or the new
+/// complete contents, never a torn mix.
+pub fn write_atomic(path: &Path, data: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let tmp = path.with_extension("tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(data)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// Best-effort fsync of `path`'s parent directory, making a rename or
+/// unlink in it durable. Failures are ignored: directory fsync is not
+/// supported on every filesystem, and the data-file fsync already
+/// happened.
+pub fn sync_parent_dir(path: &Path) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
 }
 
 impl<Sub, Sol> Checkpoint<Sub, Sol>
@@ -42,34 +84,17 @@ where
         self.queue.len() + self.assigned.len()
     }
 
-    /// Saves as JSON (human-inspectable restart artifacts).
-    ///
-    /// Durability: the temp file is fsynced before the atomic rename —
-    /// without it, a crash shortly after `rename` could leave the *new*
-    /// name pointing at not-yet-flushed data, i.e. a truncated or empty
-    /// checkpoint, which is worse than the stale-but-complete one the
-    /// rename replaced. The parent directory is fsynced afterwards
-    /// (best-effort) so the rename itself is on disk too.
+    /// Saves as JSON (human-inspectable restart artifacts), via
+    /// [`write_atomic`] — a crash during or shortly after the save
+    /// leaves either the previous complete checkpoint or the new one.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        use std::io::Write as _;
-        let tmp = path.with_extension("tmp");
         let data = serde_json::to_vec(self)?;
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(&data)?;
-        file.sync_all()?;
-        drop(file);
-        std::fs::rename(&tmp, path)?;
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                if let Ok(d) = std::fs::File::open(dir) {
-                    let _ = d.sync_all();
-                }
-            }
-        }
-        Ok(())
+        write_atomic(path, &data)
     }
 
-    /// Loads from JSON.
+    /// Loads from JSON. Corrupt or torn contents surface as
+    /// [`std::io::ErrorKind::InvalidData`] rather than a panic, so a
+    /// recovery pass can skip a bad artifact and continue.
     pub fn load(path: &Path) -> std::io::Result<Self> {
         let data = std::fs::read(path)?;
         serde_json::from_slice(&data)
@@ -81,9 +106,24 @@ where
 mod tests {
     use super::*;
 
-    #[test]
-    fn round_trip_through_disk() {
-        let cp = Checkpoint::<Vec<u32>, Vec<f64>> {
+    /// A per-test unique scratch directory: fixed names in
+    /// `temp_dir()` collide when the test binary runs its tests in
+    /// parallel threads (or when two checkouts run tests at once), so
+    /// key by pid plus a process-wide counter.
+    fn scratch_dir(label: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ugrs-cp-{label}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Checkpoint<Vec<u32>, Vec<f64>> {
+        Checkpoint {
             queue: vec![SubproblemMsg { sub: vec![1, 2], dual_bound: 3.0 }],
             assigned: vec![SubproblemMsg { sub: vec![7], dual_bound: 1.5 }],
             incumbent: Some((vec![0.5, 1.0], 42.0)),
@@ -92,10 +132,14 @@ mod tests {
             transferred_so_far: 17,
             wall_time_so_far: 3.25,
             run_index: 2,
-        };
+        }
+    }
+
+    #[test]
+    fn round_trip_through_disk() {
+        let cp = sample();
         assert_eq!(cp.num_primitive_nodes(), 2);
-        let dir = std::env::temp_dir().join("ugrs-cp-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = scratch_dir("roundtrip");
         let path = dir.join("cp.json");
         cp.save(&path).unwrap();
         let back = Checkpoint::<Vec<u32>, Vec<f64>>::load(&path).unwrap();
@@ -103,12 +147,53 @@ mod tests {
         assert_eq!(back.assigned[0].sub, vec![7]);
         assert_eq!(back.incumbent.as_ref().unwrap().1, 42.0);
         assert_eq!(back.run_index, 2);
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn load_missing_file_errors() {
-        let p = std::env::temp_dir().join("ugrs-cp-missing.json");
-        assert!(Checkpoint::<u32, u32>::load(&p).is_err());
+        let dir = scratch_dir("missing");
+        assert!(Checkpoint::<u32, u32>::load(&dir.join("absent.json")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_corrupt_json_is_invalid_data_not_a_panic() {
+        let dir = scratch_dir("corrupt");
+        let path = dir.join("cp.json");
+        std::fs::write(&path, b"this is not json at all").unwrap();
+        let err = Checkpoint::<u32, u32>::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_torn_prefix_of_a_valid_checkpoint_errors() {
+        // Simulate a torn write (a crash without write_atomic's
+        // discipline, or a filesystem that lost the tail): a valid
+        // checkpoint truncated mid-record must load as InvalidData.
+        let dir = scratch_dir("torn");
+        let path = dir.join("cp.json");
+        sample().save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in [1, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = Checkpoint::<Vec<u32>, Vec<f64>>::load(&path).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_replaces_atomically_and_leaves_no_temp_file() {
+        let dir = scratch_dir("atomic");
+        let path = dir.join("cp.json");
+        sample().save(&path).unwrap();
+        let mut second = sample();
+        second.run_index = 3;
+        second.save(&path).unwrap();
+        assert_eq!(Checkpoint::<Vec<u32>, Vec<f64>>::load(&path).unwrap().run_index, 3);
+        assert!(!path.with_extension("tmp").exists(), "temp file must be renamed away");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

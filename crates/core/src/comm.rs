@@ -46,7 +46,9 @@ pub enum LcComm<Sub, Sol> {
 
 /// A ParaSolver's endpoint: receives its own messages, sends upward.
 pub enum WorkerComm<Sub, Sol> {
+    /// In-process channels (FiberSCIP-style).
     Thread(ThreadWorkerComm<Sub, Sol>),
+    /// TCP back to the spawning coordinator (ParaSCIP-style).
     Process(ProcessWorkerComm<Sub, Sol>),
 }
 
@@ -90,6 +92,7 @@ where
     Sub: Serialize + DeserializeOwned,
     Sol: Serialize + DeserializeOwned,
 {
+    /// Number of solver ranks this endpoint can address.
     pub fn num_workers(&self) -> usize {
         match self {
             LcComm::Thread(c) => c.to_workers.len(),

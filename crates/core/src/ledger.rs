@@ -1,0 +1,316 @@
+//! The durable job ledger: what makes `ugd-server` crash-safe.
+//!
+//! The paper's long runs are restart *chains* (§2.2, Table 2: run 1.1
+//! stops at the cluster's wall-clock limit with 271,781 open nodes; run
+//! 1.2 resumes from the 18 primitive nodes the checkpoint kept). A job
+//! service that serves such runs must survive its own crashes the same
+//! way: no accepted job may be lost, and an interrupted job must resume
+//! from its latest checkpoint rather than from scratch.
+//!
+//! The ledger is a directory (`--state-dir`) with two kinds of
+//! artifacts, both written with the [`crate::checkpoint::write_atomic`]
+//! temp-file + fsync + rename discipline:
+//!
+//! * `jobs/job-<id>.json` — the **write-ahead record** of one accepted
+//!   job: its full [`JobSpec`] (instance, root, priority, limits). It is
+//!   durable *before* the server acknowledges the submission, and
+//!   removed only when the job reaches a terminal state — so the set of
+//!   files in `jobs/` is exactly the set of jobs the server still owes
+//!   an answer for.
+//! * `checkpoints/job-<id>.json` — the latest primitive-node
+//!   [`Checkpoint`](crate::Checkpoint) of a *running* job, written
+//!   periodically by its coordinator through
+//!   [`ParallelOptions::checkpoint_path`](crate::ParallelOptions).
+//!
+//! Recovery ([`JobLedger::recover`]) intersects the two: a job record
+//! without a checkpoint is requeued as submitted (run `1.1`); one with
+//! a checkpoint resumes from it with the chain's cumulative statistics
+//! (`run_index`, `nodes_so_far`, `wall_time_so_far`) carried over. A
+//! record that cannot be parsed — a torn write from a crash mid-rename,
+//! or manual tampering — is *skipped and reported*, never fatal: one
+//! bad artifact must not take the whole service down with it.
+
+use crate::server::JobSpec;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One write-ahead record of the ledger: a job id with everything
+/// needed to re-run the submission after a crash.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct LedgerRecord<Inst, Sub> {
+    /// The job id the server assigned (ids survive restarts).
+    pub job: u64,
+    /// The submission, verbatim: instance, root, priority and limits.
+    pub spec: JobSpec<Inst, Sub>,
+}
+
+/// A job reconstructed by the recovery pass.
+#[derive(Clone, Debug)]
+pub struct RecoveredJob<Inst, Sub> {
+    /// The job id from the ledger record (reused, so watchers and
+    /// `ugd status` keep naming the same job across the restart).
+    pub job: u64,
+    /// The original submission.
+    pub spec: JobSpec<Inst, Sub>,
+    /// The latest checkpoint of an interrupted run, as the JSON string
+    /// [`ParallelOptions::restart_from`](crate::ParallelOptions)
+    /// accepts; `None` when the job never ran long enough to checkpoint
+    /// (it restarts from scratch).
+    pub checkpoint: Option<String>,
+    /// The run index the *next* run of this job will report: 1 for a
+    /// requeued job, `k + 1` when resuming a checkpoint of run `k`
+    /// (Table 2's run `1.k` numbering).
+    pub run_index: u32,
+    /// Cumulative B&B nodes across the chain so far (0 when requeued).
+    pub nodes_so_far: u64,
+}
+
+/// Everything [`JobLedger::recover`] found in a state directory.
+#[derive(Clone, Debug)]
+pub struct Recovery<Inst, Sub> {
+    /// Recovered jobs in ascending id order (the pre-crash FIFO order).
+    pub jobs: Vec<RecoveredJob<Inst, Sub>>,
+    /// The next job id to assign: one past the highest id ever
+    /// recorded, so recovered and new jobs never collide.
+    pub next_job: u64,
+    /// Ledger files that could not be parsed (torn or corrupt); they
+    /// were left on disk for inspection but will not run.
+    pub skipped: Vec<PathBuf>,
+}
+
+/// The durable job ledger of one server (see the module docs).
+#[derive(Debug)]
+pub struct JobLedger {
+    jobs_dir: PathBuf,
+    checkpoints_dir: PathBuf,
+}
+
+impl JobLedger {
+    /// Opens (creating as needed) the ledger under `state_dir`.
+    pub fn open(state_dir: &Path) -> io::Result<Self> {
+        let jobs_dir = state_dir.join("jobs");
+        let checkpoints_dir = state_dir.join("checkpoints");
+        std::fs::create_dir_all(&jobs_dir)?;
+        std::fs::create_dir_all(&checkpoints_dir)?;
+        Ok(JobLedger { jobs_dir, checkpoints_dir })
+    }
+
+    fn record_path(&self, job: u64) -> PathBuf {
+        self.jobs_dir.join(format!("job-{job}.json"))
+    }
+
+    /// Where the running job's coordinator writes its periodic
+    /// checkpoints (handed to
+    /// [`ParallelOptions::checkpoint_path`](crate::ParallelOptions)).
+    pub fn checkpoint_path(&self, job: u64) -> PathBuf {
+        self.checkpoints_dir.join(format!("job-{job}.json"))
+    }
+
+    /// Write-ahead-logs a submission: the record is fsync'd and
+    /// atomically in place when this returns, so the server may
+    /// acknowledge the client — the job can no longer be lost.
+    pub fn record_submitted<Inst, Sub>(&self, job: u64, spec: &JobSpec<Inst, Sub>) -> io::Result<()>
+    where
+        Inst: Serialize,
+        Sub: Serialize,
+    {
+        // Serialized through a Value so the borrowed spec need not be
+        // cloned; the shape must match [`LedgerRecord`]'s derive.
+        let record = serde_json::json!({ "job": job, "spec": spec });
+        let data = serde_json::to_vec(&record)?;
+        crate::checkpoint::write_atomic(&self.record_path(job), &data)
+    }
+
+    /// Retires a job that reached a terminal state: its record and
+    /// checkpoint are removed (and the removals fsync'd), so a later
+    /// recovery pass will not resurrect it. Idempotent.
+    pub fn record_finished(&self, job: u64) -> io::Result<()> {
+        let record = self.record_path(job);
+        let checkpoint = self.checkpoint_path(job);
+        for path in [&record, &checkpoint] {
+            match std::fs::remove_file(path) {
+                Ok(()) => crate::checkpoint::sync_parent_dir(path),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// The startup recovery pass: reads every job record, pairs it with
+    /// its latest checkpoint if one exists, and returns the jobs in
+    /// submission order. Unparseable records or checkpoints degrade
+    /// gracefully (a bad checkpoint requeues the job from scratch; a
+    /// bad record is skipped and reported in [`Recovery::skipped`]).
+    pub fn recover<Inst, Sub>(&self) -> io::Result<Recovery<Inst, Sub>>
+    where
+        Inst: DeserializeOwned,
+        Sub: DeserializeOwned,
+    {
+        let mut jobs = Vec::new();
+        let mut skipped = Vec::new();
+        let mut next_job = 0u64;
+        for entry in std::fs::read_dir(&self.jobs_dir)? {
+            let path = entry?.path();
+            // Ignore non-record files, including a `.tmp` orphaned by a
+            // crash between write and rename (its job either has a
+            // complete older record or was never acknowledged).
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let record: LedgerRecord<Inst, Sub> = match std::fs::read(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|data| serde_json::from_slice(&data).map_err(|e| e.to_string()))
+            {
+                Ok(r) => r,
+                Err(_) => {
+                    skipped.push(path);
+                    continue;
+                }
+            };
+            next_job = next_job.max(record.job + 1);
+            let (checkpoint, run_index, nodes_so_far) =
+                match std::fs::read_to_string(self.checkpoint_path(record.job)) {
+                    Ok(json) => match minimal_checkpoint_meta(&json) {
+                        // Resuming run k's checkpoint makes the next run k+1.
+                        Some((run_index, nodes)) => (Some(json), run_index + 1, nodes),
+                        None => (None, 1, 0), // torn checkpoint: from scratch
+                    },
+                    Err(_) => (None, 1, 0),
+                };
+            jobs.push(RecoveredJob {
+                job: record.job,
+                spec: record.spec,
+                checkpoint,
+                run_index,
+                nodes_so_far,
+            });
+        }
+        jobs.sort_by_key(|j| j.job);
+        Ok(Recovery { jobs, next_job, skipped })
+    }
+}
+
+/// Extracts `(run_index, nodes_so_far)` from a checkpoint's JSON
+/// without knowing its `Sub`/`Sol` types (the ledger is generic; the
+/// full checkpoint is deserialized later by the coordinator). Returns
+/// `None` for torn or non-checkpoint JSON.
+fn minimal_checkpoint_meta(json: &str) -> Option<(u32, u64)> {
+    let v: serde_json::Value = serde_json::from_str(json).ok()?;
+    let run_index = v.get("run_index")?.as_u64()? as u32;
+    let nodes = v.get("nodes_so_far")?.as_u64()?;
+    Some((run_index, nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::Checkpoint;
+    use crate::messages::SubproblemMsg;
+
+    fn scratch_dir(label: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ugrs-ledger-{label}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spec(name: &str) -> JobSpec<String, u32> {
+        JobSpec { priority: 3, ..JobSpec::new(name, "instance".to_string(), 7) }
+    }
+
+    #[test]
+    fn submit_recover_finish_lifecycle() {
+        let dir = scratch_dir("lifecycle");
+        let ledger = JobLedger::open(&dir).unwrap();
+        ledger.record_submitted(0, &spec("a")).unwrap();
+        ledger.record_submitted(1, &spec("b")).unwrap();
+
+        let rec: Recovery<String, u32> = ledger.recover().unwrap();
+        assert_eq!(rec.jobs.len(), 2);
+        assert_eq!(rec.next_job, 2);
+        assert!(rec.skipped.is_empty());
+        assert_eq!(rec.jobs[0].job, 0);
+        assert_eq!(rec.jobs[0].spec.name, "a");
+        assert_eq!(rec.jobs[0].spec.priority, 3);
+        assert_eq!(rec.jobs[0].run_index, 1, "no checkpoint: requeued from scratch");
+        assert!(rec.jobs[0].checkpoint.is_none());
+
+        ledger.record_finished(0).unwrap();
+        ledger.record_finished(0).unwrap(); // idempotent
+        let rec: Recovery<String, u32> = ledger.recover().unwrap();
+        assert_eq!(rec.jobs.len(), 1);
+        assert_eq!(rec.jobs[0].job, 1);
+        assert_eq!(rec.next_job, 2, "retiring a job must not reuse its id");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_resumes_from_checkpoint_with_chain_stats() {
+        let dir = scratch_dir("resume");
+        let ledger = JobLedger::open(&dir).unwrap();
+        ledger.record_submitted(4, &spec("chain")).unwrap();
+        let cp = Checkpoint::<u32, u32> {
+            queue: vec![SubproblemMsg { sub: 11, dual_bound: 2.0 }],
+            assigned: vec![],
+            incumbent: Some((9, 5.0)),
+            dual_bound: 2.0,
+            nodes_so_far: 1234,
+            transferred_so_far: 5,
+            wall_time_so_far: 60.0,
+            run_index: 2,
+        };
+        cp.save(&ledger.checkpoint_path(4)).unwrap();
+
+        let rec: Recovery<String, u32> = ledger.recover().unwrap();
+        assert_eq!(rec.jobs.len(), 1);
+        let j = &rec.jobs[0];
+        assert_eq!(j.run_index, 3, "resuming run 2's checkpoint starts run 3");
+        assert_eq!(j.nodes_so_far, 1234);
+        let json = j.checkpoint.as_ref().expect("checkpoint JSON carried");
+        let back: Checkpoint<u32, u32> = serde_json::from_str(json).unwrap();
+        assert_eq!(back.incumbent, Some((9, 5.0)));
+        assert_eq!(rec.next_job, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn half_written_submission_record_is_skipped_not_fatal() {
+        let dir = scratch_dir("torn");
+        let ledger = JobLedger::open(&dir).unwrap();
+        ledger.record_submitted(0, &spec("good")).unwrap();
+        // A torn record: a valid record's prefix, as a crash that beat
+        // the atomic-write discipline (or a corrupted disk) would leave.
+        let good = std::fs::read(dir.join("jobs/job-0.json")).unwrap();
+        std::fs::write(dir.join("jobs/job-1.json"), &good[..good.len() / 2]).unwrap();
+        // And an orphaned temp file from a crash before the rename.
+        std::fs::write(dir.join("jobs/job-2.tmp"), b"{\"job\":2").unwrap();
+
+        let rec: Recovery<String, u32> = ledger.recover().unwrap();
+        assert_eq!(rec.jobs.len(), 1, "only the intact record runs");
+        assert_eq!(rec.jobs[0].spec.name, "good");
+        assert_eq!(rec.skipped.len(), 1, "the torn .json is reported");
+        assert!(rec.skipped[0].ends_with("job-1.json"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_checkpoint_degrades_to_requeue() {
+        let dir = scratch_dir("torn-cp");
+        let ledger = JobLedger::open(&dir).unwrap();
+        ledger.record_submitted(0, &spec("j")).unwrap();
+        std::fs::write(ledger.checkpoint_path(0), b"{\"queue\":[{\"sub\"").unwrap();
+        let rec: Recovery<String, u32> = ledger.recover().unwrap();
+        assert_eq!(rec.jobs.len(), 1);
+        assert!(rec.jobs[0].checkpoint.is_none(), "torn checkpoint: restart from scratch");
+        assert_eq!(rec.jobs[0].run_index, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -35,8 +35,11 @@
 //! layer* changes between shared and distributed memory: supervisor,
 //! worker and runner are byte-identical across both.
 
+#![warn(missing_docs)]
+
 pub mod checkpoint;
 pub mod comm;
+pub mod ledger;
 pub mod messages;
 pub mod process;
 pub mod runner;
@@ -48,7 +51,8 @@ pub mod telemetry;
 pub mod wire;
 pub mod worker;
 
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{write_atomic, Checkpoint};
+pub use ledger::{JobLedger, LedgerRecord, RecoveredJob, Recovery};
 pub use messages::{Message, SubproblemMsg};
 pub use process::ProcessCommConfig;
 pub use runner::{

@@ -9,6 +9,7 @@ use crate::settings::SolverSettings;
 /// A solver-independent subproblem plus the dual bound known for it.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct SubproblemMsg<Sub> {
+    /// The solver-independent subproblem description.
     pub sub: Sub,
     /// Dual bound (internal minimization sense) valid for this subtree.
     pub dual_bound: f64,
@@ -27,12 +28,20 @@ pub enum Message<Sub, Sol> {
     /// Work assignment (tag `subproblem` in Algorithm 1): the subproblem,
     /// the current incumbent, and — during racing — the settings bundle.
     Subproblem {
+        /// The subproblem to solve, with its known dual bound.
         sub: SubproblemMsg<Sub>,
+        /// Current incumbent (solution, objective), if any.
         incumbent: Option<(Sol, f64)>,
+        /// Racing-only parameter bundle for this solver.
         settings: Option<SolverSettings>,
     },
     /// A new incumbent found elsewhere.
-    Incumbent { sol: Sol, obj: f64 },
+    Incumbent {
+        /// The improving solution.
+        sol: Sol,
+        /// Its objective (internal minimization sense).
+        obj: f64,
+    },
     /// Enter collect mode: periodically export heavy open subproblems.
     StartCollecting,
     /// Leave collect mode.
@@ -45,20 +54,53 @@ pub enum Message<Sub, Sol> {
 
     // ---- ParaSolver → LoadCoordinator --------------------------------
     /// Tag `solutionFound`.
-    SolutionFound { rank: usize, sol: Sol, obj: f64 },
+    SolutionFound {
+        /// Reporting solver rank.
+        rank: usize,
+        /// The solution found.
+        sol: Sol,
+        /// Its objective (internal minimization sense).
+        obj: f64,
+    },
     /// Tag `status`: periodic progress report.
-    Status { rank: usize, dual_bound: f64, open: usize, nodes: u64 },
+    Status {
+        /// Reporting solver rank.
+        rank: usize,
+        /// Best dual bound over the rank's open nodes.
+        dual_bound: f64,
+        /// Open nodes inside the rank's base solver.
+        open: usize,
+        /// B&B nodes the rank processed so far in this subproblem.
+        nodes: u64,
+    },
     /// A collected (exported) open subproblem (tag `subproblem` upward).
-    ExportedNode { rank: usize, sub: SubproblemMsg<Sub> },
+    ExportedNode {
+        /// Exporting solver rank.
+        rank: usize,
+        /// The open subproblem handed back to the coordinator.
+        sub: SubproblemMsg<Sub>,
+    },
     /// Tag `terminated`: the assigned subproblem is done (or aborted).
-    Completed { rank: usize, dual_bound: f64, nodes: u64, aborted: bool },
+    Completed {
+        /// Reporting solver rank.
+        rank: usize,
+        /// Dual bound proven for the finished subtree.
+        dual_bound: f64,
+        /// B&B nodes spent on the subproblem.
+        nodes: u64,
+        /// True when the subproblem was aborted, not exhausted.
+        aborted: bool,
+    },
 
     // ---- transport → LoadCoordinator ---------------------------------
     /// Synthesized by the communicator (never sent by a worker): the
     /// connection to `rank` dropped or its heartbeat went silent. The
     /// coordinator requeues whatever that rank had in flight and stops
     /// assigning to it. Only the distributed back-end produces this.
-    WorkerDied { rank: usize },
+    WorkerDied {
+        /// The rank whose transport died.
+        rank: usize,
+    },
 }
 
 impl<Sub, Sol> Message<Sub, Sol> {

@@ -103,6 +103,7 @@ impl ProcessListener {
         Ok(ProcessListener { listener: TcpListener::bind(addr)? })
     }
 
+    /// The bound address (useful after binding port 0).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
     }
@@ -256,6 +257,7 @@ where
     Sub: Serialize + DeserializeOwned,
     Sol: Serialize + DeserializeOwned,
 {
+    /// Number of connected worker processes.
     pub fn num_workers(&self) -> usize {
         self.writers.len()
     }
@@ -405,18 +407,22 @@ where
     Sub: Serialize + DeserializeOwned,
     Sol: Serialize + DeserializeOwned,
 {
+    /// This worker's rank as assigned in the handshake.
     pub fn rank(&self) -> usize {
         self.rank
     }
 
+    /// Non-blocking receive of the next coordinator message.
     pub fn try_recv(&self) -> Option<Message<Sub, Sol>> {
         self.down_rx.try_recv().ok()
     }
 
+    /// Blocking receive; `None` when the connection is gone.
     pub fn recv(&self) -> Option<Message<Sub, Sol>> {
         self.down_rx.recv().ok()
     }
 
+    /// Sends a message upward; false when the connection is gone.
     pub fn send(&self, msg: Message<Sub, Sol>) -> bool {
         let mut stream = self.writer.lock().unwrap();
         wire::write_msg(&mut *stream, &WireMsg::Msg(msg)).is_ok()

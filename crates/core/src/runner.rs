@@ -43,6 +43,7 @@ pub enum RampUp {
 pub struct ParallelOptions {
     /// Number of ParaSolvers (threads).
     pub num_solvers: usize,
+    /// Ramp-up strategy (normal spread or racing).
     pub ramp_up: RampUp,
     /// Wall-clock limit in seconds.
     pub time_limit: f64,
@@ -97,6 +98,7 @@ pub struct ParallelResult<Sub, Sol> {
     /// True when the search space was exhausted (optimality or
     /// infeasibility proven).
     pub solved: bool,
+    /// Statistics of the run (Table 1-3 quantities).
     pub stats: UgStats,
     /// The final checkpoint (also written to disk when a path was set).
     pub final_checkpoint: Option<Checkpoint<Sub, Sol>>,

@@ -33,6 +33,7 @@
 //! leased worker — the instance never re-serializes per rank.
 
 use crate::comm::LcComm;
+use crate::ledger::JobLedger;
 use crate::messages::Message;
 use crate::process::ProcessCommConfig;
 use crate::runner::{ParallelOptions, ParallelResult};
@@ -60,7 +61,7 @@ impl<T: Clone + Send + Serialize + DeserializeOwned + 'static> WireType for T {}
 
 /// Bumped on any change to the pool or client protocol; a mismatch at
 /// handshake drops the connection instead of desynchronizing the pool.
-pub const POOL_PROTOCOL_VERSION: u32 = 2;
+pub const POOL_PROTOCOL_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------
 // Pool protocol (server ⇄ standing workers)
@@ -69,6 +70,7 @@ pub const POOL_PROTOCOL_VERSION: u32 = 2;
 /// First frame of a connecting pool worker.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct PoolHello {
+    /// Must equal [`POOL_PROTOCOL_VERSION`].
     pub protocol: u32,
     /// The spawn tag the server passed on the command line, so the
     /// server can marry the connection back to the `Child` it spawned.
@@ -82,6 +84,7 @@ pub struct PoolHello {
 /// The server's handshake answer: the worker's permanent pool id.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct PoolWelcome {
+    /// The pool id every later frame names.
     pub worker: u64,
 }
 
@@ -90,24 +93,49 @@ pub struct PoolWelcome {
 pub enum PoolDown<Inst, Sub, Sol> {
     /// A new job starts on this worker: load the instance. Encoded once
     /// per job; every leased worker receives the identical bytes.
-    Begin { job: u64, instance: Inst },
+    Begin {
+        /// The job the following frames belong to.
+        job: u64,
+        /// The instance the worker builds its base solver from.
+        instance: Inst,
+    },
     /// A coordination message of the named job, verbatim.
-    Ug { job: u64, msg: Message<Sub, Sol> },
+    Ug {
+        /// The addressed job.
+        job: u64,
+        /// The coordinator's message to this worker.
+        msg: Message<Sub, Sol>,
+    },
 }
 
 /// Worker → server frames after the handshake.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub enum PoolUp<Sub, Sol> {
     /// Keep-alive, independent of solving.
-    Ping { worker: u64 },
+    Ping {
+        /// The sending worker's pool id.
+        worker: u64,
+    },
     /// A coordination message of the named job. The worker always says
     /// rank 0 about itself; the server rewrites the rank from its lease
     /// table before forwarding to the job's coordinator.
-    Ug { job: u64, worker: u64, msg: Message<Sub, Sol> },
+    Ug {
+        /// The job this message belongs to.
+        job: u64,
+        /// The sending worker's pool id.
+        worker: u64,
+        /// The worker's message to the coordinator.
+        msg: Message<Sub, Sol>,
+    },
     /// The worker acknowledged the job's `Terminate` and is free again.
     /// Leases are only released on this frame, so a worker still
     /// draining one job can never receive the next job's `Begin`.
-    JobDone { job: u64, worker: u64 },
+    JobDone {
+        /// The finished job.
+        job: u64,
+        /// The now-free worker's pool id.
+        worker: u64,
+    },
 }
 
 /// Serialize-only mirror of [`PoolDown::Ug`] without the instance type
@@ -161,36 +189,70 @@ impl<Inst, Sub> JobSpec<Inst, Sub> {
 /// Client → server requests.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub enum ClientRequest<Inst, Sub> {
+    /// Enqueue a job; answered with [`ServerReply::Submitted`].
     Submit {
+        /// What to solve and under which limits.
         spec: JobSpec<Inst, Sub>,
     },
     /// Cancel a queued or running job (`ok: false` when already done).
     Cancel {
+        /// The job to cancel.
         job: u64,
     },
     /// Stream the job's events starting at `from_seq`; the server keeps
     /// sending until the terminal `Finished` event.
     Watch {
+        /// The job to watch.
         job: u64,
+        /// First event sequence number to send.
         from_seq: usize,
     },
+    /// Snapshot of the pool, the queue and every known job.
     Status,
     /// Prometheus-style exposition + per-job progress snapshots
     /// (powers `ugd top` and external scrapers).
     Metrics,
+    /// Stop the server: cancel the queue, drain running jobs.
     Shutdown,
 }
 
 /// Server → client replies.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub enum ServerReply<Sol> {
-    Submitted { job: u64 },
-    CancelResult { job: u64, ok: bool },
-    Event { event: JobEvent<Sol> },
-    Status { status: ServerStatus },
-    Metrics { report: MetricsReport },
+    /// The job was accepted (and, with a ledger, durably recorded).
+    Submitted {
+        /// The id all later requests use.
+        job: u64,
+    },
+    /// Answer to [`ClientRequest::Cancel`].
+    CancelResult {
+        /// The job the cancel addressed.
+        job: u64,
+        /// False when the job was already terminal or unknown.
+        ok: bool,
+    },
+    /// One event of a watched job's log.
+    Event {
+        /// The event, with its dense sequence number.
+        event: JobEvent<Sol>,
+    },
+    /// Answer to [`ClientRequest::Status`].
+    Status {
+        /// The snapshot.
+        status: ServerStatus,
+    },
+    /// Answer to [`ClientRequest::Metrics`].
+    Metrics {
+        /// Exposition text plus structured per-job snapshots.
+        report: MetricsReport,
+    },
+    /// The server acknowledged [`ClientRequest::Shutdown`].
     ShuttingDown,
-    Error { message: String },
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
 }
 
 /// The live view of one job, as returned by [`ClientRequest::Metrics`]:
@@ -198,9 +260,13 @@ pub enum ServerReply<Sol> {
 /// snapshot (absent until the job first reports, and for queued jobs).
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct JobProgress {
+    /// The job id.
     pub job: u64,
+    /// The job's label.
     pub name: String,
+    /// Lifecycle state at snapshot time.
     pub state: JobState,
+    /// Freshest coordinator progress, if the job ever reported.
     pub progress: Option<ProgressMsg>,
 }
 
@@ -209,14 +275,18 @@ pub struct JobProgress {
 /// series) and structured per-job snapshots.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct MetricsReport {
+    /// Prometheus-style text exposition.
     pub text: String,
+    /// Structured per-job progress snapshots.
     pub jobs: Vec<JobProgress>,
 }
 
 /// The job lifecycle: `Queued → Running →` one terminal state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum JobState {
+    /// Waiting for workers (or for its turn under `max_jobs`).
     Queued,
+    /// Leased workers are solving it.
     Running,
     /// Search space exhausted with a solution: proven optimal.
     Solved,
@@ -224,12 +294,14 @@ pub enum JobState {
     Infeasible,
     /// Stopped on the wall-clock or node limit.
     TimedOut,
+    /// Cancelled by a client (queued or mid-run) or by shutdown.
     Cancelled,
     /// Every leased worker died before the job could finish.
     Failed,
 }
 
 impl JobState {
+    /// True once the job can never change state again.
     pub fn is_terminal(self) -> bool {
         !matches!(self, JobState::Queued | JobState::Running)
     }
@@ -240,8 +312,11 @@ impl JobState {
 /// connection without missing or repeating events.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct JobEvent<Sol> {
+    /// The job this event belongs to.
     pub job: u64,
+    /// Dense per-job sequence number, from 0.
     pub seq: usize,
+    /// What happened.
     pub kind: JobEventKind<Sol>,
 }
 
@@ -249,33 +324,62 @@ pub struct JobEvent<Sol> {
 /// only strict improvements are logged.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub enum JobEventKind<Sol> {
+    /// The job entered the queue.
     Queued,
+    /// The job survived a server restart: its ledger record was found
+    /// by the recovery pass and it is back in the queue. `run_index` is
+    /// the run the next start will report — 1 when the job is requeued
+    /// from scratch, `k + 1` when it resumes run `k`'s checkpoint with
+    /// `nodes_so_far` cumulative B&B nodes already banked.
+    Recovered {
+        /// Run index of the upcoming run (Table 2's `1.k`).
+        run_index: u32,
+        /// Cumulative chain nodes carried into the resumed run.
+        nodes_so_far: u64,
+    },
+    /// The job was leased `workers` pool workers and started running.
     Started {
+        /// Number of leased workers.
         workers: usize,
     },
     /// An improving incumbent (internal-sense objective).
     Incumbent {
+        /// The new best objective.
         obj: f64,
     },
     /// An improving global dual bound (internal sense).
     Bound {
+        /// The new global dual bound.
         dual_bound: f64,
     },
     /// A leased worker died mid-job; its work was requeued.
     WorkerLost {
+        /// The dead worker's rank within the job.
         rank: usize,
     },
     /// Terminal: the job reached `state`.
     Finished {
+        /// The terminal lifecycle state.
         state: JobState,
+        /// Best objective found (internal sense), if any.
         obj: Option<f64>,
+        /// Proven global dual bound (internal sense).
         dual_bound: f64,
+        /// The best solution itself, if any.
         solution: Option<Sol>,
+        /// B&B nodes processed by *this* run.
         nodes: u64,
+        /// Cumulative B&B nodes across the whole restart chain
+        /// (equals `nodes` unless the job resumed a checkpoint).
+        nodes_so_far: u64,
+        /// Which run of the restart chain this was (1-based).
+        run_index: u32,
         /// Primitive nodes left open when the run stopped (0 when the
         /// search space was exhausted).
         open_nodes: u64,
+        /// Leased workers that died during the run.
         workers_lost: u64,
+        /// Wall-clock seconds of this run.
         wall_time: f64,
         /// The final checkpoint of an unfinished run, serialized as the
         /// JSON that `ParallelOptions::restart_from` accepts — so a
@@ -289,15 +393,20 @@ pub enum JobEventKind<Sol> {
 pub struct ServerStatus {
     /// Configured pool size (the scheduler refills toward this).
     pub pool_target: usize,
+    /// Every connected pool worker and its lease.
     pub workers: Vec<WorkerInfo>,
     /// Job ids still waiting, in submission order.
     pub queued: Vec<u64>,
+    /// Every job the server knows, queued through terminal.
     pub jobs: Vec<JobSummary>,
 }
 
+/// One pool worker in a [`ServerStatus`].
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct WorkerInfo {
+    /// Permanent pool id.
     pub id: u64,
+    /// OS pid, when the worker reported one.
     pub pid: Option<u32>,
     /// The job this worker is leased to, if any.
     pub job: Option<u64>,
@@ -307,13 +416,24 @@ pub struct WorkerInfo {
     pub draining: bool,
 }
 
+/// One job's row in [`ServerStatus`].
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct JobSummary {
+    /// The job id.
     pub job: u64,
+    /// The submitted label.
     pub name: String,
+    /// Current lifecycle state.
     pub state: JobState,
+    /// Scheduling priority (higher first).
     pub priority: i32,
+    /// Requested worker count.
     pub num_solvers: usize,
+    /// Which run of the job's restart chain is current (or upcoming,
+    /// for a recovered queued job): 1 unless the server crashed and
+    /// resumed this job from a checkpoint — then `k` as in Table 2's
+    /// run `1.k`.
+    pub run_index: u32,
     /// Open primitive nodes from the job's freshest progress snapshot
     /// (`None` until the coordinator first reports).
     pub open_nodes: Option<u64>,
@@ -349,6 +469,18 @@ pub struct ServerConfig {
     /// When set, each job writes a JSONL run journal to
     /// `<journal_dir>/job-<id>-<name>.jsonl` (created as needed).
     pub journal_dir: Option<std::path::PathBuf>,
+    /// When set, the server is **crash-safe**: every submission is
+    /// write-ahead-logged to a [`JobLedger`] under this directory
+    /// before it is acknowledged, running jobs checkpoint there every
+    /// [`Self::checkpoint_interval`] seconds, and a restart against the
+    /// same directory requeues pending jobs and resumes interrupted
+    /// ones from their latest checkpoint.
+    pub state_dir: Option<std::path::PathBuf>,
+    /// Seconds between a running job's periodic checkpoints (only with
+    /// [`Self::state_dir`]; also the bound on how much solving a crash
+    /// can lose). `<= 0` disables periodic saves — a crash then
+    /// requeues running jobs from scratch.
+    pub checkpoint_interval: f64,
 }
 
 impl Default for ServerConfig {
@@ -363,6 +495,8 @@ impl Default for ServerConfig {
             status_interval: 0.05,
             drain_timeout: Duration::from_secs(10),
             journal_dir: None,
+            state_dir: None,
+            checkpoint_interval: 1.0,
         }
     }
 }
@@ -393,6 +527,10 @@ struct JobRecord<Inst, Sub, Sol> {
     cancel: Arc<AtomicBool>,
     /// Upward channel into the running job's coordinator.
     inbox: Option<Sender<Message<Sub, Sol>>>,
+    /// Checkpoint JSON a recovered job resumes from (taken at start).
+    restart_from: Option<String>,
+    /// Current (or, while queued, upcoming) run of the restart chain.
+    run_index: u32,
 }
 
 struct ServerState<Inst, Sub, Sol> {
@@ -440,6 +578,9 @@ struct SharedState<Inst, Sub, Sol> {
     /// per-instance so concurrent servers in one process stay isolated).
     /// Rendered together with [`telemetry::global`] on `Metrics`.
     metrics: MetricsRegistry,
+    /// The durable job ledger (with `config.state_dir`): submissions
+    /// are WAL'd here before being acknowledged, terminal jobs retired.
+    ledger: Option<JobLedger>,
 }
 
 /// Everything a job thread needs, collected under the state lock and
@@ -450,6 +591,8 @@ struct StartedJob<Inst, Sub, Sol> {
     cancel: Arc<AtomicBool>,
     writers: Vec<SharedWriter>,
     inbox: Receiver<Message<Sub, Sol>>,
+    /// Checkpoint JSON to resume from (recovered jobs only).
+    restart_from: Option<String>,
 }
 
 // ---------------------------------------------------------------------
@@ -529,6 +672,7 @@ where
     Sub: Serialize + DeserializeOwned,
     Sol: Serialize + DeserializeOwned,
 {
+    /// Number of leased workers (= the job's solver ranks).
     pub fn num_workers(&self) -> usize {
         self.writers.len()
     }
@@ -548,6 +692,7 @@ where
         }
     }
 
+    /// Receives the next worker message, waiting at most `d`.
     pub fn recv_timeout(&self, d: Duration) -> Option<Message<Sub, Sol>> {
         match self.inbox.recv_timeout(d) {
             Ok(m) => Some(m),
@@ -602,24 +747,68 @@ pub struct Server<Inst: WireType, Sub: WireType, Sol: WireType> {
     client_addr: SocketAddr,
     worker_addr: SocketAddr,
     threads: Vec<std::thread::JoinHandle<()>>,
+    /// `(total, resumed-from-checkpoint)` jobs the startup recovery
+    /// pass brought back — for the operator's startup banner.
+    recovered: (usize, usize),
 }
 
 impl<Inst: WireType, Sub: WireType, Sol: WireType> Server<Inst, Sub, Sol> {
     /// Binds both listeners and starts the scheduler; returns once the
     /// server is accepting (workers fill in asynchronously).
+    ///
+    /// With [`ServerConfig::state_dir`] set, this first runs the
+    /// **recovery pass**: the [`JobLedger`] under that directory is
+    /// read, every job it still owes an answer for re-enters the queue
+    /// in its original order — pending jobs as submitted, interrupted
+    /// running jobs resuming from their latest checkpoint with the
+    /// chain's cumulative statistics — and only then do the listeners
+    /// open. A failure to open the ledger fails the start (serving
+    /// without the durability the caller asked for would be worse).
     pub fn start(config: ServerConfig) -> io::Result<Self> {
+        let mut ledger = None;
+        let mut recovered = Vec::new();
+        let mut next_job = 0u64;
+        if let Some(dir) = &config.state_dir {
+            let l = JobLedger::open(dir)?;
+            let rec = l.recover::<Inst, Sub>()?;
+            for path in &rec.skipped {
+                eprintln!(
+                    "ugd-server: skipping unreadable ledger record {} (torn write?)",
+                    path.display()
+                );
+            }
+            next_job = rec.next_job;
+            recovered = rec.jobs;
+            ledger = Some(l);
+        }
         let client_listener = TcpListener::bind(&config.client_addr)?;
         let worker_listener = TcpListener::bind(&config.worker_addr)?;
         let client_addr = client_listener.local_addr()?;
         let worker_addr = worker_listener.local_addr()?;
+        let mut jobs = BTreeMap::new();
+        let mut queue = Vec::new();
+        for r in &recovered {
+            queue.push(r.job);
+            jobs.insert(
+                r.job,
+                JobRecord {
+                    spec: r.spec.clone(),
+                    state: JobState::Queued,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    inbox: None,
+                    restart_from: r.checkpoint.clone(),
+                    run_index: r.run_index,
+                },
+            );
+        }
         let shared = Arc::new(SharedState {
             state: Mutex::new(ServerState {
                 workers: HashMap::new(),
                 pending: HashMap::new(),
                 next_worker_tag: 0,
-                queue: Vec::new(),
-                jobs: BTreeMap::new(),
-                next_job: 0,
+                queue,
+                jobs,
+                next_job,
                 running: 0,
                 shutdown: false,
             }),
@@ -631,6 +820,7 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Server<Inst, Sub, Sol> {
             shutdown: AtomicBool::new(false),
             progress: Mutex::new(HashMap::new()),
             metrics: MetricsRegistry::new(),
+            ledger,
         });
         // Pre-register the lazily-observed families so a Metrics
         // request right after startup already shows the full schema.
@@ -638,12 +828,36 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Server<Inst, Sub, Sol> {
         shared
             .metrics
             .counter("ugrs_server_workers_lost_total", "Pool workers removed dead or stuck");
+        for mode in ["requeued", "resumed"] {
+            shared.metrics.counter_with(
+                "ugrs_server_jobs_recovered_total",
+                &[("mode", mode)],
+                "Jobs brought back by the startup recovery pass, by mode",
+            );
+        }
         shared.metrics.histogram_with(
             "ugrs_server_heartbeat_gap_seconds",
             &[],
             "Gap between consecutive frames of a pool worker",
             &[0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0],
         );
+        for r in &recovered {
+            let mode = if r.checkpoint.is_some() { "resumed" } else { "requeued" };
+            shared
+                .metrics
+                .counter_with(
+                    "ugrs_server_jobs_recovered_total",
+                    &[("mode", mode)],
+                    "Jobs brought back by the startup recovery pass, by mode",
+                )
+                .inc();
+            emit(&shared, r.job, JobEventKind::Queued);
+            emit(
+                &shared,
+                r.job,
+                JobEventKind::Recovered { run_index: r.run_index, nodes_so_far: r.nodes_so_far },
+            );
+        }
         let mut threads = Vec::new();
         let sh = shared.clone();
         threads.push(
@@ -663,7 +877,21 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Server<Inst, Sub, Sol> {
                 .name("ugd-client-accept".into())
                 .spawn(move || client_accept_loop(sh, client_listener))?,
         );
-        Ok(Server { shared, client_addr, worker_addr, threads })
+        let resumed = recovered.iter().filter(|r| r.checkpoint.is_some()).count();
+        Ok(Server {
+            shared,
+            client_addr,
+            worker_addr,
+            threads,
+            recovered: (recovered.len(), resumed),
+        })
+    }
+
+    /// How many jobs the startup recovery pass brought back:
+    /// `(total, resumed_from_checkpoint)`. `(0, 0)` without a state
+    /// dir or on a clean ledger.
+    pub fn recovered_jobs(&self) -> (usize, usize) {
+        self.recovered
     }
 
     /// Where clients connect.
@@ -689,6 +917,7 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Server<Inst, Sub, Sol> {
         }
     }
 
+    /// [`Server::shutdown`] followed by joining every thread.
     pub fn shutdown_and_join(self) {
         self.shutdown();
         self.join();
@@ -833,6 +1062,11 @@ fn scheduler_loop<Inst: WireType, Sub: WireType, Sol: WireType>(
                     cancel: job.cancel.clone(),
                     writers,
                     inbox: rx,
+                    // Consumed on first start: if this run is later lost
+                    // to a *worker*-side failure the coordinator already
+                    // requeues in memory, and a *server* crash re-reads
+                    // the freshest checkpoint from disk anyway.
+                    restart_from: job.restart_from.take(),
                 });
             }
         }
@@ -902,7 +1136,7 @@ fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
     shared: Arc<SharedState<Inst, Sub, Sol>>,
     start: StartedJob<Inst, Sub, Sol>,
 ) {
-    let StartedJob { jid, spec, cancel, writers, inbox } = start;
+    let StartedJob { jid, spec, cancel, writers, inbox, restart_from } = start;
     let n = writers.len();
     // One encode, n identical writes: the worker-pool amortization.
     let begin = wire::encode(&PoolDown::<Inst, Sub, Sol>::Begin {
@@ -929,6 +1163,11 @@ fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
             sh.progress.lock().unwrap().insert(jid, p.clone());
         })
     };
+    // Durability wiring: with a state dir, this job checkpoints its
+    // primitive nodes periodically (so a server crash resumes it), and
+    // a recovered job restarts from the checkpoint the dead server
+    // left behind.
+    let checkpoint_path = shared.ledger.as_ref().map(|l| l.checkpoint_path(jid));
     let options = ParallelOptions {
         num_solvers: n,
         time_limit: spec.time_limit,
@@ -936,6 +1175,9 @@ fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
         cancel: Some(cancel.clone()),
         status_interval: shared.config.status_interval,
         telemetry: TelemetrySink { journal, progress: Some(progress) },
+        checkpoint_path,
+        checkpoint_interval: shared.config.checkpoint_interval,
+        restart_from,
         ..ParallelOptions::default()
     };
     let comm = LcComm::Job(JobComm { job: jid, writers, inbox });
@@ -947,6 +1189,7 @@ fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
         if let Some(job) = st.jobs.get_mut(&jid) {
             job.state = state;
             job.inbox = None;
+            job.run_index = res.stats.run_index;
         }
         // Leases release on JobDone; stamp the drain clock so a worker
         // that never acks is eventually recycled.
@@ -957,6 +1200,10 @@ fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
         }
         st.running -= 1;
     }
+    // Retire the ledger record *before* announcing the terminal state:
+    // a crash in between re-runs a finished job (at-least-once), while
+    // the opposite order could lose an acknowledged job (at-most-once).
+    retire_ledger_record(&shared, jid);
     record_job_finished(&shared, state);
     emit(
         &shared,
@@ -967,6 +1214,8 @@ fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
             dual_bound: res.dual_bound,
             solution: res.solution.map(|(s, _)| s),
             nodes: res.stats.nodes_total,
+            nodes_so_far: res.stats.nodes_so_far,
+            run_index: res.stats.run_index,
             open_nodes: res.stats.open_nodes,
             workers_lost: res.stats.workers_died,
             wall_time: res.stats.wall_time,
@@ -977,6 +1226,35 @@ fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
         },
     );
     shared.sched.notify_all();
+}
+
+/// Removes a terminal job's WAL record and checkpoint from the ledger
+/// so recovery will not resurrect it. A deletion failure is reported
+/// but not fatal: the worst outcome is a re-run after a restart.
+fn retire_ledger_record<Inst, Sub, Sol>(shared: &SharedState<Inst, Sub, Sol>, jid: u64) {
+    if let Some(ledger) = &shared.ledger {
+        if let Err(e) = ledger.record_finished(jid) {
+            eprintln!("ugd-server: cannot retire ledger record of job {jid}: {e}");
+        }
+    }
+}
+
+/// The `Finished` event of a job that never ran (cancelled while
+/// queued, or swept up by shutdown): no bounds, no nodes, no solution.
+fn empty_finished<Sol>(state: JobState, run_index: u32) -> JobEventKind<Sol> {
+    JobEventKind::Finished {
+        state,
+        obj: None,
+        dual_bound: f64::NEG_INFINITY,
+        solution: None,
+        nodes: 0,
+        nodes_so_far: 0,
+        run_index,
+        open_nodes: 0,
+        workers_lost: 0,
+        wall_time: 0.0,
+        final_checkpoint: None,
+    }
 }
 
 fn state_label(state: JobState) -> &'static str {
@@ -1003,14 +1281,22 @@ fn record_job_finished<Inst, Sub, Sol>(shared: &SharedState<Inst, Sub, Sol>, sta
 }
 
 fn shutdown_cleanup<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>) {
-    let queued: Vec<u64> = {
+    let queued: Vec<(u64, u32)> = {
         let mut st = shared.state.lock().unwrap();
         let queued = std::mem::take(&mut st.queue);
-        for &j in &queued {
-            if let Some(r) = st.jobs.get_mut(&j) {
-                r.state = JobState::Cancelled;
-            }
-        }
+        let queued = queued
+            .into_iter()
+            .map(|j| {
+                let run_index = match st.jobs.get_mut(&j) {
+                    Some(r) => {
+                        r.state = JobState::Cancelled;
+                        r.run_index
+                    }
+                    None => 1,
+                };
+                (j, run_index)
+            })
+            .collect();
         for r in st.jobs.values() {
             if r.state == JobState::Running {
                 r.cancel.store(true, Ordering::SeqCst);
@@ -1018,23 +1304,10 @@ fn shutdown_cleanup<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>)
         }
         queued
     };
-    for j in queued {
+    for (j, run_index) in queued {
+        retire_ledger_record(shared, j);
         record_job_finished(shared, JobState::Cancelled);
-        emit(
-            shared,
-            j,
-            JobEventKind::Finished {
-                state: JobState::Cancelled,
-                obj: None,
-                dual_bound: f64::NEG_INFINITY,
-                solution: None,
-                nodes: 0,
-                open_nodes: 0,
-                workers_lost: 0,
-                wall_time: 0.0,
-                final_checkpoint: None,
-            },
-        );
+        emit(shared, j, empty_finished(JobState::Cancelled, run_index));
     }
     // Let running jobs drain through their cancel flags, bounded.
     let deadline = Instant::now() + shared.config.drain_timeout;
@@ -1291,8 +1564,21 @@ fn serve_client<Inst: WireType, Sub: WireType, Sol: WireType>(
                         &ServerReply::<Sol>::Error { message: "server shutting down".into() },
                     )?;
                 } else {
-                    let job = submit_job(shared, spec);
-                    wire::write_msg(&mut writer, &ServerReply::<Sol>::Submitted { job })?;
+                    match submit_job(shared, spec) {
+                        Ok(job) => {
+                            wire::write_msg(&mut writer, &ServerReply::<Sol>::Submitted { job })?
+                        }
+                        // The WAL write failed: the job was NOT accepted
+                        // (nothing durable, nothing queued), tell the
+                        // client instead of acknowledging a job that a
+                        // crash would silently lose.
+                        Err(e) => wire::write_msg(
+                            &mut writer,
+                            &ServerReply::<Sol>::Error {
+                                message: format!("ledger write failed: {e}"),
+                            },
+                        )?,
+                    }
                 }
             }
             ClientRequest::Cancel { job } => {
@@ -1319,12 +1605,19 @@ fn serve_client<Inst: WireType, Sub: WireType, Sol: WireType>(
     }
 }
 
-fn submit_job<Inst, Sub, Sol: Clone>(
+fn submit_job<Inst: Serialize, Sub: Serialize, Sol: Clone>(
     shared: &SharedState<Inst, Sub, Sol>,
     spec: JobSpec<Inst, Sub>,
-) -> u64 {
+) -> io::Result<u64> {
     let jid = {
         let mut st = shared.state.lock().unwrap();
+        // Write-ahead: the submission record must be durable before the
+        // job id is acknowledged, otherwise a crash right after the ack
+        // would silently lose an accepted job. The fsync happens under
+        // the state lock, which is fine at job-submission rates.
+        if let Some(ledger) = &shared.ledger {
+            ledger.record_submitted(st.next_job, &spec)?;
+        }
         let jid = st.next_job;
         st.next_job += 1;
         st.jobs.insert(
@@ -1334,6 +1627,8 @@ fn submit_job<Inst, Sub, Sol: Clone>(
                 state: JobState::Queued,
                 cancel: Arc::new(AtomicBool::new(false)),
                 inbox: None,
+                restart_from: None,
+                run_index: 1,
             },
         );
         st.queue.push(jid);
@@ -1342,13 +1637,13 @@ fn submit_job<Inst, Sub, Sol: Clone>(
     shared.metrics.counter("ugrs_server_jobs_submitted_total", "Jobs accepted via Submit").inc();
     emit(shared, jid, JobEventKind::Queued);
     shared.sched.notify_all();
-    jid
+    Ok(jid)
 }
 
 fn cancel_job<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>, job: u64) -> bool {
     enum Outcome {
         NotCancellable,
-        WasQueued,
+        WasQueued { run_index: u32 },
         WasRunning,
     }
     let outcome = {
@@ -1358,7 +1653,7 @@ fn cancel_job<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>, job: 
             Some(rec) => match rec.state {
                 JobState::Queued => {
                     rec.state = JobState::Cancelled;
-                    Outcome::WasQueued
+                    Outcome::WasQueued { run_index: rec.run_index }
                 }
                 JobState::Running => {
                     rec.cancel.store(true, Ordering::SeqCst);
@@ -1367,29 +1662,16 @@ fn cancel_job<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>, job: 
                 _ => Outcome::NotCancellable,
             },
         };
-        if matches!(outcome, Outcome::WasQueued) {
+        if matches!(outcome, Outcome::WasQueued { .. }) {
             st.queue.retain(|&j| j != job);
         }
         outcome
     };
     match outcome {
-        Outcome::WasQueued => {
+        Outcome::WasQueued { run_index } => {
+            retire_ledger_record(shared, job);
             record_job_finished(shared, JobState::Cancelled);
-            emit(
-                shared,
-                job,
-                JobEventKind::Finished {
-                    state: JobState::Cancelled,
-                    obj: None,
-                    dual_bound: f64::NEG_INFINITY,
-                    solution: None,
-                    nodes: 0,
-                    open_nodes: 0,
-                    workers_lost: 0,
-                    wall_time: 0.0,
-                    final_checkpoint: None,
-                },
-            );
+            emit(shared, job, empty_finished(JobState::Cancelled, run_index));
             shared.sched.notify_all();
             true
         }
@@ -1429,6 +1711,7 @@ fn server_status<Inst, Sub, Sol>(shared: &SharedState<Inst, Sub, Sol>) -> Server
             priority: r.spec.priority,
             num_solvers: r.spec.num_solvers,
             open_nodes: open.get(j).copied(),
+            run_index: r.run_index,
         })
         .collect();
     ServerStatus { pool_target: shared.config.pool_size, workers, queued: st.queue.clone(), jobs }
@@ -1814,6 +2097,7 @@ pub struct JobClient<Inst, Sub, Sol> {
 }
 
 impl<Inst: WireType, Sub: WireType, Sol: WireType> JobClient<Inst, Sub, Sol> {
+    /// Connects to a server's client address.
     pub fn connect(addr: &str) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
@@ -1849,6 +2133,7 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> JobClient<Inst, Sub, Sol> {
         }
     }
 
+    /// Fetches a [`ServerStatus`] snapshot.
     pub fn status(&mut self) -> io::Result<ServerStatus> {
         match self.request(&ClientRequest::Status)? {
             ServerReply::Status { status } => Ok(status),

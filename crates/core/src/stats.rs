@@ -39,6 +39,15 @@ pub struct UgStats {
     /// in-flight subproblems were requeued and solving continued on the
     /// survivors.
     pub workers_died: u64,
+    /// Which run of a restart chain this was (1-based; run `1.k` in
+    /// Table 2). 1 unless the run resumed from a checkpoint.
+    pub run_index: u32,
+    /// Cumulative B&B nodes across the whole restart chain, i.e.
+    /// `nodes_total` of this run plus every earlier run's contribution
+    /// carried through the checkpoint. Equals `nodes_total` for run 1.
+    pub nodes_so_far: u64,
+    /// Cumulative wall-clock seconds across the chain (ditto).
+    pub wall_time_so_far: f64,
 }
 
 impl Default for UgStats {
@@ -57,6 +66,9 @@ impl Default for UgStats {
             racing_winner: None,
             incumbents_seen: 0,
             workers_died: 0,
+            run_index: 1,
+            nodes_so_far: 0,
+            wall_time_so_far: 0.0,
         }
     }
 }

@@ -56,6 +56,7 @@ where
     Sub: Clone + Send + Serialize + DeserializeOwned + 'static,
     Sol: Clone + Send + Serialize + DeserializeOwned + 'static,
 {
+    /// Builds a coordinator over `comm` that will solve `root`.
     pub fn new(comm: LcComm<Sub, Sol>, opts: ParallelOptions, root: Sub) -> Self {
         let n = comm.num_workers();
         let now = Instant::now();
@@ -457,14 +458,24 @@ where
     pub fn run(&mut self) -> ParallelResult<Sub, Sol> {
         // ---- initialization: restart, racing or normal ramp-up --------
         if let Some(cp_json) = self.opts.restart_from.clone() {
-            if let Ok(cp) = serde_json::from_str::<Checkpoint<Sub, Sol>>(&cp_json) {
-                self.queue = cp.queue;
-                self.queue.extend(cp.assigned);
-                self.incumbent = cp.incumbent;
-                self.carried_nodes = cp.nodes_so_far;
-                self.carried_transferred = cp.transferred_so_far;
-                self.carried_wall = cp.wall_time_so_far;
-                self.run_index = cp.run_index + 1;
+            match serde_json::from_str::<Checkpoint<Sub, Sol>>(&cp_json) {
+                Ok(cp) => {
+                    self.queue = cp.queue;
+                    self.queue.extend(cp.assigned);
+                    self.incumbent = cp.incumbent;
+                    self.carried_nodes = cp.nodes_so_far;
+                    self.carried_transferred = cp.transferred_so_far;
+                    self.carried_wall = cp.wall_time_so_far;
+                    self.run_index = cp.run_index + 1;
+                }
+                Err(e) => {
+                    // Degrade to a from-scratch run rather than losing
+                    // the job, but say so: a torn checkpoint means the
+                    // chain's carried statistics are gone.
+                    eprintln!(
+                        "ugrs: restart_from checkpoint unreadable ({e}); solving from scratch"
+                    );
+                }
             }
         }
         self.opts.telemetry.log(TelemetryEvent::RunStarted {
@@ -608,6 +619,11 @@ where
         self.stats.wall_time = wall;
         self.stats.idle_percent = 100.0 * idle_sum / (n as f64 * wall).max(1e-9);
         self.stats.open_nodes = (self.queue.len() + self.assigned.len()) as u64;
+        // Restart-chain accounting (Table 2's run 1.k rows): this run's
+        // index plus the cumulative totals including carried history.
+        self.stats.run_index = self.run_index;
+        self.stats.nodes_so_far = self.carried_nodes + self.stats.nodes_total;
+        self.stats.wall_time_so_far = self.carried_wall + wall;
         self.stats.primal_bound = self.incumbent.as_ref().map_or(f64::INFINITY, |(_, o)| *o);
         self.stats.dual_bound = if solved && !hit_time_limit {
             self.stats.primal_bound.min(final_dual)

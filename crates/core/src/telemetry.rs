@@ -45,14 +45,17 @@ use std::time::Instant;
 pub struct Counter(AtomicU64);
 
 impl Counter {
+    /// Adds one.
     pub fn inc(&self) {
         self.add(1);
     }
 
+    /// Adds `n`.
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Current count.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -63,10 +66,12 @@ impl Counter {
 pub struct Gauge(AtomicU64);
 
 impl Gauge {
+    /// Stores `v`.
     pub fn set(&self, v: f64) {
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
@@ -101,6 +106,7 @@ impl Histogram {
         Self::new(&[0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0])
     }
 
+    /// Records one observation.
     pub fn observe(&self, v: f64) {
         let idx = self.bounds.partition_point(|&b| b < v);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
@@ -120,14 +126,17 @@ impl Histogram {
         }
     }
 
+    /// Total number of observations.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all observed values.
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 
+    /// The configured inclusive upper bucket bounds.
     pub fn bounds(&self) -> &[f64] {
         &self.bounds
     }
@@ -182,6 +191,7 @@ pub struct MetricsRegistry {
 }
 
 impl MetricsRegistry {
+    /// An empty registry.
     pub fn new() -> Self {
         Self::default()
     }
@@ -201,10 +211,12 @@ impl MetricsRegistry {
         family.series.entry(key).or_insert_with(make).clone()
     }
 
+    /// The unlabeled counter `name`, registering it on first use.
     pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
         self.counter_with(name, &[], help)
     }
 
+    /// The counter `name{labels}`, registering it on first use.
     pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
         match self.register(name, labels, help, || Metric::Counter(Arc::new(Counter::default()))) {
             Metric::Counter(c) => c,
@@ -212,10 +224,12 @@ impl MetricsRegistry {
         }
     }
 
+    /// The unlabeled gauge `name`, registering it on first use.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
         self.gauge_with(name, &[], help)
     }
 
+    /// The gauge `name{labels}`, registering it on first use.
     pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
         match self.register(name, labels, help, || Metric::Gauge(Arc::new(Gauge::default()))) {
             Metric::Gauge(g) => g,
@@ -223,6 +237,7 @@ impl MetricsRegistry {
         }
     }
 
+    /// The histogram `name{labels}`, registering it on first use.
     pub fn histogram_with(
         &self,
         name: &str,
@@ -255,6 +270,7 @@ impl MetricsRegistry {
         out
     }
 
+    /// [`MetricsRegistry::render`], appending into `out`.
     pub fn render_into(&self, out: &mut String) {
         use std::fmt::Write as _;
         let families = self.families.lock().unwrap();
@@ -425,12 +441,17 @@ pub fn global() -> &'static MetricsRegistry {
 /// every transport (per-call process comm, server pool, client
 /// connections) is covered without plumbing.
 pub struct WireStats {
+    /// Frames encoded by this process.
     pub tx_frames: Arc<Counter>,
+    /// Bytes (including length prefixes) encoded by this process.
     pub tx_bytes: Arc<Counter>,
+    /// Frames decoded by this process.
     pub rx_frames: Arc<Counter>,
+    /// Bytes (including length prefixes) decoded by this process.
     pub rx_bytes: Arc<Counter>,
 }
 
+/// The process-wide wire counters, registered in [`global`] on first use.
 pub fn wire() -> &'static WireStats {
     static WIRE: OnceLock<WireStats> = OnceLock::new();
     WIRE.get_or_init(|| {
@@ -476,13 +497,17 @@ pub struct ProgressMsg {
     pub open_nodes: u64,
     /// Completed B&B nodes plus the freshest in-flight status counts.
     pub nodes: u64,
+    /// Subproblems sent coordinator → solver so far.
     pub transferred: u64,
+    /// Subproblems collected solver → coordinator so far.
     pub collected: u64,
+    /// Improving incumbents that reached the coordinator so far.
     pub incumbents: u64,
     /// Solvers currently holding a subproblem.
     pub active: usize,
     /// Aggregate idle ratio over all ranks so far, in percent.
     pub idle_percent: f64,
+    /// Ranks declared dead by the transport so far.
     pub workers_died: u64,
 }
 
@@ -493,10 +518,12 @@ pub struct ProgressMsg {
 pub struct ProgressSink(Arc<dyn Fn(&ProgressMsg) + Send + Sync>);
 
 impl ProgressSink {
+    /// Wraps a callback as a sink.
     pub fn new(f: impl Fn(&ProgressMsg) + Send + Sync + 'static) -> Self {
         ProgressSink(Arc::new(f))
     }
 
+    /// Pushes one snapshot through the callback.
     pub fn emit(&self, msg: &ProgressMsg) {
         (self.0)(msg)
     }
@@ -517,32 +544,71 @@ impl std::fmt::Debug for ProgressSink {
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub enum TelemetryEvent {
     /// The coordinator's run loop began.
-    RunStarted { workers: usize, run_index: u32, restarted: bool },
+    RunStarted {
+        /// Solver ranks in this run.
+        workers: usize,
+        /// Position in the restart chain (run `1.run_index`).
+        run_index: u32,
+        /// True when the run resumed from a checkpoint.
+        restarted: bool,
+    },
     /// Ramp-up phase change: `"racing"` or `"normal"`.
-    Phase { phase: String },
+    Phase {
+        /// The phase entered: `"racing"` or `"normal"`.
+        phase: String,
+    },
     /// Racing concluded: the winning rank and its settings index
     /// (Figure 1's statistic).
-    RacingWinner { winner_rank: usize, settings_index: usize },
+    RacingWinner {
+        /// The rank whose racing run won.
+        winner_rank: usize,
+        /// Index of the winning settings bundle.
+        settings_index: usize,
+    },
     /// An improving incumbent reached the coordinator.
-    Incumbent { obj: f64 },
+    Incumbent {
+        /// Objective of the improving solution (internal sense).
+        obj: f64,
+    },
     /// Periodic progress snapshot (gap-over-time comes from these).
     Progress(ProgressMsg),
     /// A subproblem left the coordinator for `rank` (load balancing).
-    Transferred { rank: usize, dual_bound: f64 },
+    Transferred {
+        /// Receiving solver rank.
+        rank: usize,
+        /// Dual bound of the transferred subproblem.
+        dual_bound: f64,
+    },
     /// A collected subproblem arrived from `rank`.
-    Collected { rank: usize, dual_bound: f64 },
+    Collected {
+        /// Exporting solver rank.
+        rank: usize,
+        /// Dual bound of the collected subproblem.
+        dual_bound: f64,
+    },
     /// A checkpoint hit disk.
-    CheckpointSaved { primitive_nodes: usize },
+    CheckpointSaved {
+        /// Primitive (coordinator-held) nodes the checkpoint preserves.
+        primitive_nodes: usize,
+    },
     /// The transport declared `rank` dead; its work was requeued.
-    WorkerDied { rank: usize },
+    WorkerDied {
+        /// The dead rank.
+        rank: usize,
+    },
     /// The run ended; the final statistics.
-    RunFinished { stats: crate::UgStats },
+    RunFinished {
+        /// Final cumulative statistics of the run.
+        stats: crate::UgStats,
+    },
 }
 
 /// One journal line: seconds since run start plus the event.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct JournalRecord {
+    /// Seconds since the run started.
     pub t: f64,
+    /// The journaled event.
     pub event: TelemetryEvent,
 }
 
@@ -674,6 +740,7 @@ impl Journal {
         Ok(Journal { path, start: Instant::now(), id, tx })
     }
 
+    /// The journal file's path.
     pub fn path(&self) -> &Path {
         &self.path
     }
@@ -774,19 +841,25 @@ pub fn reconstruct_stats(records: &[JournalRecord]) -> crate::UgStats {
 /// absent. Cloning shares the underlying journal/sink.
 #[derive(Clone, Debug, Default)]
 pub struct TelemetrySink {
+    /// Event journal, when this run writes one.
     pub journal: Option<Arc<Journal>>,
+    /// Live progress callback, when someone is watching.
     pub progress: Option<ProgressSink>,
 }
 
 impl TelemetrySink {
+    /// A sink that only journals.
     pub fn with_journal(journal: Arc<Journal>) -> Self {
         TelemetrySink { journal: Some(journal), progress: None }
     }
 
+    /// True when any half is wired (callers may skip building events
+    /// otherwise).
     pub fn enabled(&self) -> bool {
         self.journal.is_some() || self.progress.is_some()
     }
 
+    /// Journals one event (no-op without a journal).
     pub fn log(&self, event: TelemetryEvent) {
         if let Some(j) = &self.journal {
             j.log(event);

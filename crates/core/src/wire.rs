@@ -69,6 +69,7 @@ pub struct FrameDecoder {
 }
 
 impl FrameDecoder {
+    /// An empty decoder.
     pub fn new() -> Self {
         FrameDecoder { buf: BytesMut::new() }
     }

@@ -134,7 +134,7 @@ fn arb_client_request() -> impl Strategy<Value = Req> {
 
 fn arb_event_kind() -> impl Strategy<Value = JobEventKind<Vec<f64>>> {
     (
-        0usize..6,
+        0usize..7,
         (arb_f64(), arb_f64(), (any::<bool>(), arb_sol())),
         (arb_job_state(), 0u64..1_000_000, 0u64..16, 0usize..64),
     )
@@ -147,6 +147,10 @@ fn arb_event_kind() -> impl Strategy<Value = JobEventKind<Vec<f64>>> {
                     2 => JobEventKind::Incumbent { obj },
                     3 => JobEventKind::Bound { dual_bound },
                     4 => JobEventKind::WorkerLost { rank },
+                    5 => JobEventKind::Recovered {
+                        run_index: (workers_lost as u32 % 5) + 2,
+                        nodes_so_far: nodes,
+                    },
                     _ => JobEventKind::Finished {
                         state,
                         obj: if nodes % 2 == 0 { Some(obj) } else { None },
@@ -156,6 +160,8 @@ fn arb_event_kind() -> impl Strategy<Value = JobEventKind<Vec<f64>>> {
                         open_nodes: nodes / 3,
                         workers_lost,
                         wall_time: obj.abs().min(1e6),
+                        run_index: (workers_lost as u32 % 5) + 1,
+                        nodes_so_far: nodes + rank as u64,
                         final_checkpoint: (workers_lost % 2 == 1)
                             .then(|| format!("{{\"queue\":[],\"run_index\":{workers_lost}}}")),
                     },
@@ -182,6 +188,7 @@ fn arb_status() -> impl Strategy<Value = ServerStatus> {
             priority,
             num_solvers,
             open_nodes: (n % 2 == 0).then_some(job * 3),
+            run_index: (n as u32 % 4) + 1,
         },
     );
     (
@@ -428,6 +435,7 @@ fn job_protocol_variant_count(req: &Req, reply: &Reply, down: &Down, up: &Up, st
                         | JobEventKind::Incumbent { .. }
                         | JobEventKind::Bound { .. }
                         | JobEventKind::WorkerLost { .. }
+                        | JobEventKind::Recovered { .. }
                         | JobEventKind::Finished { .. },
                     ..
                 },

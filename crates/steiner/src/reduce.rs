@@ -11,7 +11,7 @@
 //!   forces the reduced-cost lower bound past an upper bound,
 //! * **restricted extended reduction** — the depth-1 extension of the
 //!   dual-ascent arc test, our honest miniature of the "extended
-//!   reduction techniques" [54] whose initial implementation the paper
+//!   reduction techniques" \[54\] whose initial implementation the paper
 //!   credits for solving bip52u.
 
 use crate::dualascent::{arc_dijkstra, dist_to_terminals, dual_ascent};

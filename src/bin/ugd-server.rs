@@ -11,12 +11,21 @@
 //! ugd-server [--client-addr 127.0.0.1:7163] [--worker-addr 127.0.0.1:0]
 //!            [--pool-size 4] [--max-jobs 2] [--worker <path>]
 //!            [--status-interval 0.05] [--handicap-ms 0]
-//!            [--journal-dir <dir>]
+//!            [--journal-dir <dir>] [--state-dir <dir>]
+//!            [--checkpoint-interval 1.0]
 //! ```
 //!
 //! With `--journal-dir`, every job writes a JSONL run journal
 //! (`job-<id>-<name>.jsonl`) of timestamped telemetry events there —
 //! replayable for gap-over-time plots and post-mortems.
+//!
+//! With `--state-dir`, the server is **crash-safe**: every accepted job
+//! is write-ahead-logged to `<dir>/jobs/` before the submission is
+//! acknowledged, running jobs checkpoint their coordinator state to
+//! `<dir>/checkpoints/` every `--checkpoint-interval` seconds (default
+//! 1.0), and on startup a recovery pass requeues every unfinished job —
+//! resuming interrupted ones from their latest checkpoint as run `1.k`
+//! of a restart chain. See README "Operations" for the full runbook.
 //!
 //! `--worker` defaults to the `ugd-worker` binary next to this
 //! executable. The process runs until a client sends `shutdown`.
@@ -57,6 +66,13 @@ fn parse_args() -> Result<Args, String> {
             "--journal-dir" => {
                 config.journal_dir = Some(value("--journal-dir")?.into());
             }
+            "--state-dir" => {
+                config.state_dir = Some(value("--state-dir")?.into());
+            }
+            "--checkpoint-interval" => {
+                config.checkpoint_interval =
+                    value("--checkpoint-interval")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--worker" => worker = Some(value("--worker")?),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -87,7 +103,12 @@ fn main() {
             eprintln!(
                 "usage: ugd-server [--client-addr <a>] [--worker-addr <a>] [--pool-size <n>]\n\
                  \x20       [--max-jobs <n>] [--worker <path>] [--status-interval <secs>]\n\
-                 \x20       [--handicap-ms <ms>] [--journal-dir <dir>]"
+                 \x20       [--handicap-ms <ms>] [--journal-dir <dir>]\n\
+                 \x20       [--state-dir <dir>] [--checkpoint-interval <secs>]\n\
+                 \n\
+                 --state-dir <dir>            durable job ledger + checkpoints; on restart,\n\
+                 \x20                            unfinished jobs are requeued/resumed from here\n\
+                 --checkpoint-interval <secs> how often running jobs checkpoint (default 1.0)"
             );
             std::process::exit(2);
         }
@@ -107,6 +128,7 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let state_dir = config.state_dir.clone();
     let server = match SolveServer::start(config) {
         Ok(s) => s,
         Err(e) => {
@@ -119,5 +141,12 @@ fn main() {
         server.client_addr(),
         server.worker_addr()
     );
+    let (total, resumed) = server.recovered_jobs();
+    if let (Some(dir), true) = (state_dir, total > 0) {
+        println!(
+            "recovered {total} job(s) from {} ({resumed} resumed from checkpoint)",
+            dir.display()
+        );
+    }
     server.join();
 }

@@ -154,11 +154,21 @@ fn print_event(ev: &JobEvent<Vec<f64>>, external: &dyn Fn(f64) -> f64) {
         JobEventKind::WorkerLost { rank } => {
             println!("job {} lost worker rank {rank} (requeued)", ev.job)
         }
-        JobEventKind::Finished { state, obj, nodes, workers_lost, wall_time, .. } => {
+        JobEventKind::Recovered { run_index, nodes_so_far } => {
+            println!(
+                "job {} recovered from server restart (next run 1.{run_index}, \
+                 {nodes_so_far} nodes done in earlier runs)",
+                ev.job
+            )
+        }
+        JobEventKind::Finished {
+            state, obj, nodes, workers_lost, wall_time, run_index, ..
+        } => {
             let obj = obj.map_or("-".to_string(), |o| format!("{:.6}", external(o)));
+            let chain = if *run_index > 1 { format!(" run=1.{run_index}") } else { String::new() };
             println!(
                 "job {} finished: {state:?} obj={obj} nodes={nodes} \
-                 workers_lost={workers_lost} wall={wall_time:.2}s",
+                 workers_lost={workers_lost} wall={wall_time:.2}s{chain}",
                 ev.job
             );
         }
@@ -360,8 +370,13 @@ fn main() {
             println!("queued: {:?}", st.queued);
             for j in &st.jobs {
                 let open = j.open_nodes.map_or(String::new(), |n| format!(" open {n}"));
+                // Jobs resumed after a server crash show their restart
+                // chain index, Table 2 style: `run 1.2` is the second
+                // run of job 1's chain.
+                let run =
+                    if j.run_index > 1 { format!(" run 1.{}", j.run_index) } else { String::new() };
                 println!(
-                    "  job {} {:?} prio {} solvers {}{open} — {}",
+                    "  job {} {:?}{run} prio {} solvers {}{open} — {}",
                     j.job, j.state, j.priority, j.num_solvers, j.name
                 );
             }

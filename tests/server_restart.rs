@@ -1,0 +1,240 @@
+//! Crash-safety e2e: SIGKILL a `ugd-server` process mid-job, start a
+//! fresh server on the same `--state-dir`, and require that the job is
+//! recovered from its write-ahead ledger record, resumed from the last
+//! checkpoint as run 1.2 of a restart chain, and still solves to the
+//! optimum — with the pre-kill incumbent and node count carried over.
+//!
+//! The server runs as a real subprocess (not in-process like
+//! `server_e2e.rs`) precisely so it can be killed with prejudice: no
+//! destructors, no flushes, exactly what a power failure leaves behind.
+
+use std::io::BufRead as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use ugrs::glue::{stp_job, JobInstance, SolveClient};
+use ugrs::steiner::gen::{hypercube_sparse_terminals, CostScheme};
+use ugrs::steiner::reduce::ReduceParams;
+use ugrs::ug::{JobEventKind, JobState, ParallelOptions};
+
+const SERVER_BIN: &str = env!("CARGO_BIN_EXE_ugd-server");
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_ugd-worker");
+
+/// A server subprocess with its parsed client address. Killed on drop
+/// so a failing assertion never leaks a listener (its pool workers
+/// notice the dropped connection and exit on their own).
+struct ServerProc {
+    child: Child,
+    addr: String,
+    // Kept open so the server never sees a closed stdout pipe; also
+    // lets the test read the recovery banner of a restarted server.
+    stdout: std::io::BufReader<std::process::ChildStdout>,
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns `ugd-server` on ephemeral ports against `state_dir` and
+/// parses the client address from its banner line.
+fn spawn_server(state_dir: &Path, handicap_ms: u64) -> ServerProc {
+    let mut child = Command::new(SERVER_BIN)
+        .args([
+            "--client-addr",
+            "127.0.0.1:0",
+            "--worker-addr",
+            "127.0.0.1:0",
+            "--pool-size",
+            "2",
+            "--max-jobs",
+            "1",
+            "--worker",
+            WORKER_BIN,
+            "--handicap-ms",
+            &handicap_ms.to_string(),
+            "--status-interval",
+            "0.05",
+            "--checkpoint-interval",
+            "0.05",
+            "--state-dir",
+            &state_dir.display().to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn ugd-server");
+    // Banner: "ugd-server listening on <client> (workers: <addr>)".
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut stdout = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read banner");
+    let addr = line
+        .split_whitespace()
+        .nth(3)
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+    ServerProc { child, addr, stdout }
+}
+
+fn scratch_state_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ugrs-restart-e2e-{}", std::process::id()));
+    // A stale directory from a previous failed run must not feed this
+    // one a leftover ledger.
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Polls the job's checkpoint until it shows real progress: an
+/// incumbent found, at least one primitive node to resume from, and a
+/// positive node count. Returns (incumbent objective, nodes_so_far) at
+/// that moment. The atomic-rename discipline guarantees each read sees
+/// a complete JSON document.
+fn await_checkpoint_progress(path: &Path, timeout: Duration) -> (f64, u64) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok(data) = std::fs::read_to_string(path) {
+            if let Ok(v) = serde_json::from_str::<serde_json::Value>(&data) {
+                let primitive = v.get("queue").and_then(|q| q.as_array()).map_or(0, |a| a.len())
+                    + v.get("assigned").and_then(|q| q.as_array()).map_or(0, |a| a.len());
+                let nodes = v.get("nodes_so_far").and_then(|n| n.as_u64()).unwrap_or(0);
+                // `incumbent` is an `Option<(Sol, f64)>`: null, or a
+                // two-element [solution, objective] array.
+                let incumbent = v
+                    .get("incumbent")
+                    .and_then(|i| i.as_array())
+                    .and_then(|a| a.get(1))
+                    .and_then(|o| o.as_f64());
+                if let (Some(obj), true, true) = (incumbent, primitive >= 1, nodes >= 1) {
+                    return (obj, nodes);
+                }
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for a checkpoint with incumbent + open primitive nodes at {}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigkill_server_midjob_then_restart_resumes_and_solves() {
+    // This instance branches into several coordinator-level subproblems
+    // (unlike the bipartite family, whose root the base solver closes in
+    // one piece) — so mid-run there is a real window where the
+    // checkpoint holds both an incumbent and open primitive nodes.
+    let g = hypercube_sparse_terminals(6, 4, CostScheme::Perturbed, 1);
+    let threaded = ugrs::glue::ug_solve_stp(
+        &g,
+        &ReduceParams::default(),
+        ParallelOptions { num_solvers: 2, ..Default::default() },
+    );
+    let expected = threaded.tree.expect("threaded reference must solve").1;
+
+    let state_dir = scratch_state_dir();
+    // 500 ms per subproblem: slow enough that the job is reliably
+    // mid-run with a useful checkpoint when the server dies.
+    let first = spawn_server(&state_dir, 500);
+    let mut client = SolveClient::connect(&first.addr).expect("client connect");
+    let spec = stp_job("crash-victim", &g, &ReduceParams::default());
+    let fixed_cost = match &spec.instance {
+        JobInstance::Stp { graph } => graph.fixed_cost,
+        other => panic!("stp_job built {other:?}"),
+    };
+    let job = client.submit(spec).expect("submit");
+    assert_eq!(job, 0, "first job on a fresh ledger");
+
+    // The WAL record must be durable the moment the submit returned.
+    let wal = state_dir.join("jobs").join("job-0.json");
+    assert!(wal.exists(), "submission must be write-ahead-logged before the ack");
+
+    // Wait for a checkpoint proving progress, then pull the plug.
+    let cp_path = state_dir.join("checkpoints").join("job-0.json");
+    let (incumbent_at_kill, nodes_at_kill) =
+        await_checkpoint_progress(&cp_path, Duration::from_secs(60));
+    drop(client); // before the listener dies, not after
+    drop(first); // SIGKILL, no graceful anything
+
+    // Same ledger, fresh ports, smaller handicap so run 1.2 finishes
+    // quickly. The recovery pass runs before the banner is printed.
+    let mut second = spawn_server(&state_dir, 50);
+    let mut client = SolveClient::connect(&second.addr).expect("reconnect");
+
+    // The operator's startup banner reports what recovery found.
+    let mut banner = String::new();
+    second.stdout.read_line(&mut banner).expect("read recovery line");
+    assert_eq!(
+        banner.trim(),
+        format!("recovered 1 job(s) from {} (1 resumed from checkpoint)", state_dir.display()),
+        "restarted server must announce the recovery"
+    );
+
+    let mut kinds: Vec<JobEventKind<Vec<f64>>> = Vec::new();
+    let done = client.watch(job, 0, |ev| kinds.push(ev.kind.clone())).expect("watch recovered job");
+
+    // The event stream of the new server must announce the recovery.
+    let recovered = kinds
+        .iter()
+        .find_map(|k| match k {
+            JobEventKind::Recovered { run_index, nodes_so_far } => {
+                Some((*run_index, *nodes_so_far))
+            }
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no Recovered event in {kinds:?}"));
+    assert_eq!(recovered.0, 2, "resumed job is run 1.2 of its chain");
+    assert!(
+        recovered.1 >= nodes_at_kill,
+        "recovered nodes_so_far {} must cover the {} observed before the kill",
+        recovered.1,
+        nodes_at_kill
+    );
+
+    match done.kind {
+        JobEventKind::Finished { state, obj, run_index, nodes_so_far, .. } => {
+            assert_eq!(state, JobState::Solved, "recovered job must solve");
+            assert_eq!(run_index, 2, "final stats carry the restart index");
+            assert!(
+                nodes_so_far > nodes_at_kill,
+                "cumulative nodes {nodes_so_far} must exceed the first run's {nodes_at_kill}"
+            );
+            let internal = obj.expect("solved job has an objective");
+            assert!(
+                internal <= incumbent_at_kill + 1e-9,
+                "pre-kill incumbent {incumbent_at_kill} was lost: final {internal}"
+            );
+            let cost = internal + fixed_cost;
+            assert!((cost - expected).abs() < 1e-6, "optimum after restart {cost} != {expected}");
+        }
+        other => panic!("unexpected terminal event {other:?}"),
+    }
+
+    // `ugd status` surface: the summary reports the restart index too.
+    let st = client.status().expect("status");
+    let summary = st.jobs.iter().find(|j| j.job == job).expect("job in status");
+    assert_eq!(summary.run_index, 2);
+
+    // The answered job is retired from the ledger: a third start on the
+    // same state dir owes nothing.
+    assert!(!wal.exists(), "finished job must leave the ledger");
+    assert!(!cp_path.exists(), "finished job must leave no checkpoint behind");
+
+    // The recovery counter says how the job came back.
+    let report = client.metrics().expect("metrics");
+    assert!(
+        report.text.contains(r#"ugrs_server_jobs_recovered_total{mode="resumed"} 1"#),
+        "resumed-recovery counter missing:\n{}",
+        report.text
+    );
+
+    client.shutdown_server().expect("shutdown");
+    drop(client);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    drop(second);
+    assert!(Instant::now() < deadline);
+    std::fs::remove_dir_all(&state_dir).ok();
+}

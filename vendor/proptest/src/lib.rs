@@ -270,7 +270,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Anything usable as the size argument of [`vec`].
+    /// Anything usable as the size argument of [`vec()`].
     pub trait SizeRange {
         fn sample_size(&self, rng: &mut TestRng) -> usize;
     }
