@@ -17,11 +17,22 @@
 //! no shared state crosses this boundary (the supervisor and workers
 //! share nothing but endpoints), which is what makes the substitution
 //! faithful to UG's design: `supervisor`, `worker` and `runner` never
-//! know which transport carries their messages. The process back-end
-//! additionally synthesizes [`Message::WorkerDied`] upward when a
-//! worker's connection drops or its heartbeat stops, so the coordinator
-//! can requeue in-flight work (the thread back-end never emits it —
-//! a panicked thread takes the whole process down anyway).
+//! know which transport carries their messages.
+//!
+//! **Delivery guarantees.** ThreadComm delivers every message exactly
+//! once, in order (it *is* an mpsc channel). ProcessComm at protocol
+//! v2 matches that for every [`Message`]: payloads are
+//! CRC32-checksummed, sequence-numbered, ring-buffered until acked,
+//! replayed across reconnects and de-duplicated by seq — a transient
+//! connection loss is invisible above this layer. Transport-internal
+//! heartbeats are fire-and-forget (loss only delays liveness, never
+//! state). The guarantee is bounded by the reconnect deadline: when it
+//! expires the back-end synthesizes [`Message::WorkerDied`] upward —
+//! exactly once per rank — and the coordinator requeues the rank's
+//! in-flight subproblem; messages from a dead rank's final moments may
+//! then be lost, which is precisely the case the requeue covers. The
+//! thread back-end never emits `WorkerDied` (a panicked thread takes
+//! the whole process down anyway).
 
 use crate::messages::Message;
 use crate::process::{ProcessLcComm, ProcessWorkerComm};

@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod comm;
 pub mod ledger;
@@ -51,6 +52,7 @@ pub mod telemetry;
 pub mod wire;
 pub mod worker;
 
+pub use chaos::{ChaosConfig, ChaosProfile, FaultAction, FaultPlan};
 pub use checkpoint::{write_atomic, Checkpoint};
 pub use ledger::{JobLedger, LedgerRecord, RecoveredJob, Recovery};
 pub use messages::{Message, SubproblemMsg};

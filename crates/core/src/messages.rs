@@ -20,8 +20,16 @@ pub struct SubproblemMsg<Sub> {
 ///
 /// The enum derives serde so the *whole protocol* is wire-shippable:
 /// the process transport ([`crate::process`]) moves exactly these
-/// values as length-prefixed frames, while the thread transport moves
+/// values as checksummed frames, while the thread transport moves
 /// them in memory — same protocol, different carrier.
+///
+/// Every variant is *reliable* on every transport: sequenced, ringed
+/// for replay across reconnects, and de-duplicated (see
+/// [`crate::comm`] for the delivery-guarantee fine print). Only
+/// transport-internal heartbeats — which never appear in this enum —
+/// are fire-and-forget. [`Message::WorkerDied`] is synthesized locally
+/// by the coordinator's transport rather than carried on the wire, and
+/// is raised exactly once per rank.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub enum Message<Sub, Sol> {
     // ---- LoadCoordinator → ParaSolver --------------------------------

@@ -5,41 +5,93 @@
 //! Topology is a star, exactly like UG's LoadCoordinator-centric MPI
 //! layout: the coordinator process binds a [`ProcessListener`], spawns
 //! (or is joined by) worker processes, and each worker holds one
-//! connection carrying length-prefixed [`crate::wire`] frames both
-//! ways.
+//! connection carrying [`crate::wire`] frames both ways.
 //!
 //! **Handshake.** A connecting worker sends `Hello { protocol,
-//! rank_hint }`; the coordinator verifies the protocol version, assigns
-//! a rank (honoring the hint when free — this is what makes spawned
-//! worker *i* deterministically become rank *i*), and answers `Welcome
-//! { rank, num_workers }`. Version-mismatched or garbled connections
-//! are dropped before they can corrupt a run.
+//! rank_hint, max_protocol, resume }` (always as a v1 frame); the
+//! coordinator verifies the base protocol, assigns a rank (honoring
+//! the hint when free — this is what makes spawned worker *i*
+//! deterministically become rank *i*), negotiates the frame format
+//! (`min(max_protocol, 2)`, so old peers keep speaking v1), and
+//! answers `Welcome { rank, num_workers, protocol, session }`. After
+//! the welcome both directions switch to the negotiated format.
+//! Version-mismatched or garbled connections are dropped before they
+//! can corrupt a run. Each connection handshakes on its own thread, so
+//! a client that stalls mid-hello occupies only itself — never the
+//! accept loop, and never a rank slot (ranks are claimed only once a
+//! complete hello arrives, and released again if the welcome cannot be
+//! written).
 //!
-//! **Robustness.** Every worker runs a heartbeat thread sending `Ping`
+//! **Self-healing (protocol v2).** Every v2 connection belongs to a
+//! *session* identified by a token from the welcome. Reliable frames
+//! carry sequence numbers and CRC32 checksums ([`crate::wire`]); both
+//! ends keep a bounded retransmit ring of un-acked payloads. When a
+//! connection breaks — EOF, write error, CRC corruption, or the
+//! liveness sweep shutting down a silent socket — the worker
+//! reconnects with exponential backoff + jitter under the
+//! [`ProcessCommConfig::reconnect_deadline`] budget, presents its
+//! token, and both sides replay whatever the other had not yet acked;
+//! duplicate deliveries are suppressed by sequence number. The
+//! supervisor never hears about a transient drop. Only when the
+//! deadline expires (or on a v1 connection, or with a zero deadline)
+//! does the transport synthesize [`Message::WorkerDied`] — exactly
+//! once per rank — and the existing requeue → pool-refill path fires.
+//! Recoveries are recorded in `ugrs_comm_reconnects_total` and
+//! `ugrs_comm_frames_retransmitted_total`.
+//!
+//! **Liveness.** Every worker runs a heartbeat thread sending `Ping`
 //! at a fixed interval, independent of solving, so a busy-but-healthy
-//! worker deep in a subtree is never declared dead. On the coordinator
-//! side each connection has a dedicated reader thread; a read error or
-//! EOF (the kernel closes sockets when a worker is killed) synthesizes
-//! [`Message::WorkerDied`] upward immediately, and a liveness sweep in
-//! `recv_timeout` catches the hung-but-connected case when a rank's
-//! last frame is older than the configured timeout. The supervisor
-//! reacts by requeueing the dead rank's in-flight subproblem — solving
-//! continues on the survivors.
+//! worker deep in a subtree is never declared dead. A liveness sweep
+//! in `recv_timeout` catches the hung-but-connected case: the silent
+//! socket is shut down, which for a v2 session merely opens the
+//! reconnect window.
+//!
+//! **Chaos.** With [`ProcessCommConfig::chaos`] set, the worker-side
+//! send path consults a deterministic [`FaultInjector`] before every
+//! outgoing frame and injects the scheduled delay / drop / duplicate /
+//! corruption / partition / kill faults. The recovery path (replay on
+//! resume) bypasses injection, so a seeded schedule perturbs the
+//! stream but never the repair.
 
+use crate::chaos::{ChaosConfig, FaultAction, FaultInjector, SplitMix64};
 use crate::messages::Message;
-use crate::wire::{self, FrameDecoder};
+use crate::telemetry;
+use crate::wire::{self, FrameDecoder, FrameHeader};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
+use std::collections::VecDeque;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Bumped on any frame-format or protocol change; a mismatch at
-/// handshake drops the connection instead of desynchronizing mid-run.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Highest frame-format revision this build speaks (v2: checksummed,
+/// sequence-numbered, resumable frames). Advertised as `max_protocol`
+/// in the hello; the coordinator negotiates `min(max_protocol, 2)`.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The base protocol every peer must share for the handshake itself;
+/// a different value here drops the connection instead of
+/// desynchronizing mid-run.
+pub const BASE_PROTOCOL: u32 = 1;
+
+/// Un-acked payloads kept per direction for replay after a reconnect.
+/// Overflow evicts the oldest (heartbeat-dominated rings trim long
+/// before this; a ring that genuinely overflows means the peer was
+/// gone past any useful resume horizon anyway).
+const RETRANSMIT_RING_CAP: usize = 1024;
+
+/// Sentinel sequence number of unsequenced frames (heartbeats and ack
+/// carriers): not ringed, not replayed, exempt from duplicate
+/// suppression, and they never advance the receiver's `rx_next`.
+const UNSEQ: u64 = u64::MAX;
+
+/// Coordinator sends an ack-carrying frame downward after this many
+/// received frames, so a chatty worker's retransmit ring stays
+/// trimmed even when no protocol traffic flows downward.
+const ACK_EVERY: u64 = 64;
 
 /// Tuning knobs of the process transport.
 #[derive(Clone, Debug)]
@@ -48,10 +100,18 @@ pub struct ProcessCommConfig {
     /// complete the hello/welcome exchange.
     pub handshake_timeout: Duration,
     /// A rank whose last frame (of any kind) is older than this is
-    /// declared dead even though its socket is still open.
+    /// declared unreachable even though its socket is still open.
     pub liveness_timeout: Duration,
     /// Interval of the worker-side heartbeat `Ping`.
     pub heartbeat_interval: Duration,
+    /// Budget for a broken v2 connection to reconnect and resume its
+    /// session before the rank is declared dead. Zero disables
+    /// reconnection entirely (every break is an immediate
+    /// [`Message::WorkerDied`], the pre-v2 behavior).
+    pub reconnect_deadline: Duration,
+    /// Deterministic fault-injection schedule applied to the worker's
+    /// outgoing frames; `None` (the default) injects nothing.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ProcessCommConfig {
@@ -60,15 +120,37 @@ impl Default for ProcessCommConfig {
             handshake_timeout: Duration::from_secs(20),
             liveness_timeout: Duration::from_secs(15),
             heartbeat_interval: Duration::from_millis(500),
+            reconnect_deadline: Duration::from_secs(5),
+            chaos: None,
         }
     }
+}
+
+impl ProcessCommConfig {
+    /// Rejects configurations that would flap ranks: the liveness
+    /// timeout must exceed twice the heartbeat interval, otherwise a
+    /// single delayed ping gets a healthy rank declared dead.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.liveness_timeout <= self.heartbeat_interval * 2 {
+            return Err(format!(
+                "liveness timeout ({:?}) must exceed 2x the heartbeat interval ({:?}); \
+                 raise --liveness-ms or lower --heartbeat-ms",
+                self.liveness_timeout, self.heartbeat_interval
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn validated(config: &ProcessCommConfig) -> io::Result<()> {
+    config.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))
 }
 
 /// Everything that crosses a worker connection after the handshake.
 #[derive(serde::Serialize, serde::Deserialize)]
 enum WireMsg<Sub, Sol> {
-    /// Worker → coordinator keep-alive; consumed by the transport,
-    /// never surfaced to coordination logic.
+    /// Keep-alive / ack carrier; consumed by the transport, never
+    /// surfaced to coordination logic.
     Ping { rank: usize },
     /// A protocol message, verbatim.
     Msg(Message<Sub, Sol>),
@@ -76,19 +158,134 @@ enum WireMsg<Sub, Sol> {
 
 #[derive(serde::Serialize, serde::Deserialize)]
 struct Hello {
+    /// Always [`BASE_PROTOCOL`]; kept first so pre-v2 coordinators
+    /// accept new workers unchanged.
     protocol: u32,
     rank_hint: Option<usize>,
+    /// Highest frame format the worker speaks; absent (old worker)
+    /// means v1.
+    #[serde(default)]
+    max_protocol: Option<u32>,
+    /// Present when re-attaching to an existing session.
+    #[serde(default)]
+    resume: Option<Resume>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize, Clone, Copy)]
+struct Resume {
+    /// The session token from the original welcome.
+    token: u64,
+    /// Next downward seq the worker expects; the coordinator replays
+    /// its ring from here.
+    rx_next: u64,
 }
 
 #[derive(serde::Serialize, serde::Deserialize)]
 struct Welcome {
     rank: usize,
     num_workers: usize,
+    /// Negotiated frame format; absent (old coordinator) means v1.
+    #[serde(default)]
+    protocol: Option<u32>,
+    /// v2 only: the session identity, and on resume the next upward
+    /// seq the coordinator expects (the worker replays from it).
+    #[serde(default)]
+    session: Option<Session>,
+}
+
+#[derive(serde::Serialize, serde::Deserialize, Clone, Copy)]
+struct Session {
+    token: u64,
+    rx_next: u64,
 }
 
 // ---------------------------------------------------------------------
 // Coordinator side
 // ---------------------------------------------------------------------
+
+/// Per-rank connection state. Lock ordering: a `Link` mutex is always
+/// taken *before* `Shared::last_heard`, never the other way around.
+struct Link {
+    /// Write half; `None` while disconnected (or before first claim).
+    writer: Option<TcpStream>,
+    /// Negotiated format of the current session.
+    v2: bool,
+    /// Bumped on every (re)connection; readers spawned for an older
+    /// epoch must drop everything they hold.
+    epoch: u64,
+    /// A worker has completed a hello for this rank at least once.
+    claimed: bool,
+    /// Session identity a reconnecting worker must present.
+    token: u64,
+    /// Terminal; set at most once, and `WorkerDied` is synthesized by
+    /// whoever sets it.
+    died: bool,
+    /// When the current disconnection began; `None` while connected.
+    disconnected_since: Option<Instant>,
+    /// Next downward sequence number.
+    tx_next: u64,
+    /// Un-acked downward payloads for replay on resume.
+    ring: VecDeque<(u64, Arc<Vec<u8>>)>,
+    /// Next upward seq expected; anything below is a duplicate.
+    rx_next: u64,
+    /// Upward frames since the last downward ack carrier.
+    rx_count: u64,
+}
+
+impl Link {
+    fn new() -> Self {
+        Link {
+            writer: None,
+            v2: false,
+            epoch: 0,
+            claimed: false,
+            token: 0,
+            died: false,
+            disconnected_since: None,
+            tx_next: 0,
+            ring: VecDeque::new(),
+            rx_next: 0,
+            rx_count: 0,
+        }
+    }
+
+    fn trim_ring(&mut self, ack: u64) {
+        while self.ring.front().is_some_and(|(seq, _)| *seq < ack) {
+            self.ring.pop_front();
+        }
+    }
+
+    fn disconnect(&mut self) {
+        if let Some(s) = self.writer.take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if self.disconnected_since.is_none() {
+            self.disconnected_since = Some(Instant::now());
+        }
+    }
+}
+
+struct Shared {
+    links: Vec<Mutex<Link>>,
+    last_heard: Mutex<Vec<Instant>>,
+    /// Serializes rank selection across concurrent handshake threads.
+    claim_lock: Mutex<()>,
+    shutdown: AtomicBool,
+    liveness_timeout: Duration,
+    reconnect_deadline: Duration,
+}
+
+fn fresh_token() -> u64 {
+    static SALT: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let raw = nanos ^ (std::process::id() as u64) << 32 ^ SALT.fetch_add(1, Ordering::Relaxed);
+    let mut rng = SplitMix64::new(raw);
+    // 53 bits: survives any JSON number path unscathed.
+    rng.next_u64() >> 11
+}
 
 /// The coordinator's accept socket. Bind first, then spawn workers
 /// pointed at [`Self::local_addr`], then collect them with
@@ -111,7 +308,9 @@ impl ProcessListener {
     /// Accepts and handshakes exactly `n` workers, then returns the
     /// coordinator endpoint. Connections with the wrong protocol
     /// version (or that fail to say hello in time) are dropped and do
-    /// not count toward `n`.
+    /// not count toward `n`. The accept loop keeps running in the
+    /// background afterwards, so broken v2 sessions can reconnect for
+    /// as long as the endpoint lives.
     pub fn accept_workers<Sub, Sol>(
         self,
         n: usize,
@@ -121,134 +320,351 @@ impl ProcessListener {
         Sub: Serialize + DeserializeOwned + Send + 'static,
         Sol: Serialize + DeserializeOwned + Send + 'static,
     {
+        validated(config)?;
         let deadline = Instant::now() + config.handshake_timeout;
         self.listener.set_nonblocking(true)?;
-        let mut streams: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
-        let mut accepted = 0usize;
-        while accepted < n {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    if let Ok(rank) = handshake_accept(&stream, &streams, n) {
-                        streams[rank] = Some(stream);
-                        accepted += 1;
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    if Instant::now() >= deadline {
-                        return Err(io::Error::new(
-                            io::ErrorKind::TimedOut,
-                            format!("only {accepted}/{n} workers connected in time"),
-                        ));
-                    }
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => return Err(e),
-            }
-        }
-
-        // Handshake done: switch to one blocking reader thread per rank.
-        let (up_tx, up_rx) = channel();
-        let last_heard = Arc::new(Mutex::new(vec![Instant::now(); n]));
-        let died: Arc<Vec<AtomicBool>> = Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
-        let mut writers = Vec::with_capacity(n);
-        for (rank, slot) in streams.into_iter().enumerate() {
-            let stream = slot.expect("all ranks handshaken");
-            stream.set_nonblocking(false)?;
-            stream.set_read_timeout(None)?;
-            let reader = stream.try_clone()?;
-            spawn_lc_reader(rank, reader, up_tx.clone(), last_heard.clone(), died.clone());
-            writers.push(Mutex::new(Some(stream)));
-        }
-        Ok(ProcessLcComm {
-            writers,
-            up_rx,
-            last_heard,
-            died,
+        let shared = Arc::new(Shared {
+            links: (0..n).map(|_| Mutex::new(Link::new())).collect(),
+            last_heard: Mutex::new(vec![Instant::now(); n]),
+            claim_lock: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
             liveness_timeout: config.liveness_timeout,
-        })
+            reconnect_deadline: config.reconnect_deadline,
+        });
+        let (up_tx, up_rx) = channel();
+        spawn_accept_loop::<Sub, Sol>(self.listener, shared.clone(), up_tx.clone());
+
+        // Wait for every rank to be claimed by a completed handshake.
+        loop {
+            let claimed = shared.links.iter().filter(|l| l.lock().unwrap().claimed).count();
+            if claimed == n {
+                break;
+            }
+            if Instant::now() >= deadline {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("only {claimed}/{n} workers connected in time"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(ProcessLcComm { shared, up_rx, _up_tx: up_tx })
     }
 }
 
-/// Performs the coordinator half of the hello/welcome exchange and
-/// picks the connection's rank.
-fn handshake_accept(
-    stream: &TcpStream,
-    taken: &[Option<TcpStream>],
-    n: usize,
-) -> io::Result<usize> {
+/// Persistent accept loop: hands every inbound connection to its own
+/// handshake thread and exits when the endpoint shuts down.
+fn spawn_accept_loop<Sub, Sol>(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    up_tx: Sender<Message<Sub, Sol>>,
+) where
+    Sub: Serialize + DeserializeOwned + Send + 'static,
+    Sol: Serialize + DeserializeOwned + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name("lc-accept".into())
+        .spawn(move || loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = shared.clone();
+                    let up_tx = up_tx.clone();
+                    std::thread::Builder::new()
+                        .name("lc-handshake".into())
+                        .spawn(move || {
+                            let _ = handshake_accept(stream, &shared, up_tx);
+                        })
+                        .expect("spawn lc handshake thread");
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => return,
+            }
+        })
+        .expect("spawn lc accept thread");
+}
+
+/// Performs the coordinator half of the hello/welcome exchange on one
+/// connection: claims a rank for a fresh worker, or re-attaches a
+/// returning worker to its session and replays the un-acked ring. A
+/// rank is claimed only after a complete hello, and released again if
+/// the welcome cannot be delivered — a stalling or bogus client can
+/// never leave a slot half-registered.
+fn handshake_accept<Sub, Sol>(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    up_tx: Sender<Message<Sub, Sol>>,
+) -> io::Result<()>
+where
+    Sub: Serialize + DeserializeOwned + Send + 'static,
+    Sol: Serialize + DeserializeOwned + Send + 'static,
+{
+    let n = shared.links.len();
     stream.set_nonblocking(false)?;
+    stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = stream.try_clone()?;
     let mut dec = FrameDecoder::new();
     let hello: Hello = wire::read_msg(&mut reader, &mut dec)?
         .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed before hello"))?;
-    if hello.protocol != PROTOCOL_VERSION {
+    if hello.protocol != BASE_PROTOCOL {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("protocol {} != {}", hello.protocol, PROTOCOL_VERSION),
+            format!("protocol {} != {}", hello.protocol, BASE_PROTOCOL),
         ));
     }
-    let rank = match hello.rank_hint {
-        Some(h) if h < n && taken[h].is_none() => h,
-        _ => taken
-            .iter()
-            .position(|s| s.is_none())
-            .expect("accept loop only runs while a rank is free"),
+
+    if let Some(resume) = hello.resume {
+        return handshake_resume(stream, shared, up_tx, resume);
+    }
+
+    let v2 = hello.max_protocol.unwrap_or(BASE_PROTOCOL) >= 2;
+    let token = fresh_token();
+
+    // Claim a rank (hint when free, else first unclaimed) under the
+    // claim lock so concurrent handshakes cannot race to one slot.
+    let rank = {
+        let _claim = shared.claim_lock.lock().unwrap();
+        let free = |r: usize| !shared.links[r].lock().unwrap().claimed;
+        let rank = match hello.rank_hint {
+            Some(h) if h < n && free(h) => Some(h),
+            _ => (0..n).find(|&r| free(r)),
+        };
+        let Some(rank) = rank else {
+            return Err(io::Error::other("all ranks claimed"));
+        };
+        shared.links[rank].lock().unwrap().claimed = true;
+        rank
     };
-    wire::write_msg(&mut (&*stream), &Welcome { rank, num_workers: n })?;
-    Ok(rank)
+
+    let welcome = Welcome {
+        rank,
+        num_workers: n,
+        protocol: Some(if v2 { 2 } else { BASE_PROTOCOL }),
+        session: v2.then_some(Session { token, rx_next: 0 }),
+    };
+    if let Err(e) = wire::write_msg(&mut (&stream), &welcome) {
+        // Welcome undeliverable: release the slot for a late,
+        // legitimate worker instead of leaving it half-registered.
+        shared.links[rank].lock().unwrap().claimed = false;
+        return Err(e);
+    }
+
+    let epoch = {
+        let mut link = shared.links[rank].lock().unwrap();
+        link.writer = Some(stream);
+        link.v2 = v2;
+        link.epoch += 1;
+        link.token = token;
+        link.died = false;
+        link.disconnected_since = None;
+        link.tx_next = 0;
+        link.ring.clear();
+        link.rx_next = 0;
+        link.rx_count = 0;
+        link.epoch
+    };
+    shared.last_heard.lock().unwrap()[rank] = Instant::now();
+    reader.set_read_timeout(None)?;
+    dec.set_v2(v2);
+    spawn_lc_reader::<Sub, Sol>(rank, epoch, reader, dec, shared.clone(), up_tx);
+    Ok(())
+}
+
+/// Re-attaches a returning worker: validates the session token,
+/// replays every un-acked downward frame, and restarts the reader.
+fn handshake_resume<Sub, Sol>(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    up_tx: Sender<Message<Sub, Sol>>,
+    resume: Resume,
+) -> io::Result<()>
+where
+    Sub: Serialize + DeserializeOwned + Send + 'static,
+    Sol: Serialize + DeserializeOwned + Send + 'static,
+{
+    use std::io::Write;
+    let stale = || io::Error::new(io::ErrorKind::NotFound, "unknown or dead session token");
+    let rank = shared
+        .links
+        .iter()
+        .position(|l| {
+            let l = l.lock().unwrap();
+            l.claimed && l.v2 && !l.died && l.token == resume.token
+        })
+        .ok_or_else(stale)?;
+
+    let reader = stream.try_clone()?;
+    let (epoch, replay, rx_next) = {
+        let mut link = shared.links[rank].lock().unwrap();
+        // Double-check under the lock (a racing resume may have won).
+        if link.died || link.token != resume.token {
+            return Err(stale());
+        }
+        // Kick out a half-alive predecessor connection, if any.
+        if let Some(old) = link.writer.take() {
+            let _ = old.shutdown(Shutdown::Both);
+        }
+        link.epoch += 1;
+        let welcome = Welcome {
+            rank,
+            num_workers: shared.links.len(),
+            protocol: Some(2),
+            session: Some(Session { token: link.token, rx_next: link.rx_next }),
+        };
+        wire::write_msg(&mut (&stream), &welcome)?;
+        link.trim_ring(resume.rx_next);
+        let replay: Vec<(u64, Arc<Vec<u8>>)> = link.ring.iter().cloned().collect();
+        link.writer = Some(stream);
+        link.disconnected_since = None;
+        (link.epoch, replay, link.rx_next)
+    };
+
+    // Replay outside the link lock: the frames are already ordered and
+    // the receiver suppresses any duplicate by seq.
+    let comm_stats = telemetry::comm();
+    for (seq, payload) in &replay {
+        let framed = wire::frame_v2(payload, FrameHeader { seq: *seq, ack: rx_next });
+        let mut link = shared.links[rank].lock().unwrap();
+        if link.epoch != epoch {
+            return Ok(()); // a newer connection took over mid-replay
+        }
+        let Some(w) = link.writer.as_mut() else { return Ok(()) };
+        if w.write_all(&framed).and_then(|_| w.flush()).is_err() {
+            link.disconnect();
+            return Ok(());
+        }
+        comm_stats.frames_retransmitted.inc();
+    }
+
+    shared.last_heard.lock().unwrap()[rank] = Instant::now();
+    comm_stats.reconnects.inc();
+    reader.set_read_timeout(None)?;
+    let mut dec = FrameDecoder::new();
+    dec.set_v2(true);
+    spawn_lc_reader::<Sub, Sol>(rank, epoch, reader, dec, shared.clone(), up_tx);
+    Ok(())
 }
 
 fn spawn_lc_reader<Sub, Sol>(
     rank: usize,
+    epoch: u64,
     mut stream: TcpStream,
+    mut dec: FrameDecoder,
+    shared: Arc<Shared>,
     up_tx: Sender<Message<Sub, Sol>>,
-    last_heard: Arc<Mutex<Vec<Instant>>>,
-    died: Arc<Vec<AtomicBool>>,
 ) where
-    Sub: DeserializeOwned + Send + 'static,
-    Sol: DeserializeOwned + Send + 'static,
+    Sub: Serialize + DeserializeOwned + Send + 'static,
+    Sol: Serialize + DeserializeOwned + Send + 'static,
 {
     std::thread::Builder::new()
         .name(format!("lc-reader-{rank}"))
-        .spawn(move || {
-            let mut dec = FrameDecoder::new();
-            loop {
-                match wire::read_msg::<WireMsg<Sub, Sol>, _>(&mut stream, &mut dec) {
-                    Ok(Some(wire_msg)) => {
-                        last_heard.lock().unwrap()[rank] = Instant::now();
-                        if let WireMsg::Msg(msg) = wire_msg {
+        .spawn(move || loop {
+            match wire::read_frame(&mut stream, &mut dec) {
+                Ok(Some((header, payload))) => {
+                    // Header bookkeeping under the link lock; decoding
+                    // happens outside it.
+                    {
+                        let mut link = shared.links[rank].lock().unwrap();
+                        if link.epoch != epoch {
+                            return; // superseded by a reconnection
+                        }
+                        if link.v2 {
+                            if header.seq != UNSEQ {
+                                if header.seq < link.rx_next {
+                                    telemetry::comm().dup_frames.inc();
+                                    drop(link);
+                                    shared.last_heard.lock().unwrap()[rank] = Instant::now();
+                                    continue;
+                                }
+                                link.rx_next = header.seq + 1;
+                            }
+                            link.trim_ring(header.ack);
+                            link.rx_count += 1;
+                            if link.rx_count.is_multiple_of(ACK_EVERY) {
+                                let ping = wire::to_payload(&WireMsg::<Sub, Sol>::Ping { rank });
+                                let ack = link.rx_next;
+                                if let Some(w) = link.writer.as_mut() {
+                                    use std::io::Write;
+                                    let framed =
+                                        wire::frame_v2(&ping, FrameHeader { seq: UNSEQ, ack });
+                                    if w.write_all(&framed).and_then(|_| w.flush()).is_err() {
+                                        link.disconnect();
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    shared.last_heard.lock().unwrap()[rank] = Instant::now();
+                    match wire::decode::<WireMsg<Sub, Sol>>(&payload) {
+                        Ok(WireMsg::Ping { .. }) => {}
+                        Ok(WireMsg::Msg(msg)) => {
                             if up_tx.send(msg).is_err() {
                                 return; // coordinator gone
                             }
                         }
-                    }
-                    Ok(None) | Err(_) => {
-                        // EOF or broken frame: the worker is gone (a
-                        // killed process closes its sockets at once).
-                        if !died[rank].swap(true, Ordering::SeqCst) {
-                            let _ = up_tx.send(Message::WorkerDied { rank });
+                        Err(e) => {
+                            // CRC-clean but unparseable: protocol bug,
+                            // not line noise. Kill the rank.
+                            lc_reader_on_error(rank, epoch, &shared, &up_tx, Some(e.into()));
+                            return;
                         }
-                        return;
                     }
+                }
+                Ok(None) => {
+                    lc_reader_on_error(rank, epoch, &shared, &up_tx, None);
+                    return;
+                }
+                Err(e) => {
+                    lc_reader_on_error(rank, epoch, &shared, &up_tx, Some(e));
+                    return;
                 }
             }
         })
         .expect("spawn lc reader thread");
 }
 
+/// Reader-side connection teardown: for a v2 session within budget
+/// this merely opens the reconnect window; otherwise the rank dies
+/// (exactly once — the `died` flag is checked and set under the link
+/// mutex by every path that can report a death).
+fn lc_reader_on_error<Sub, Sol>(
+    rank: usize,
+    epoch: u64,
+    shared: &Arc<Shared>,
+    up_tx: &Sender<Message<Sub, Sol>>,
+    err: Option<io::Error>,
+) {
+    let fatal = err.as_ref().is_some_and(wire::io_error_is_fatal);
+    let mut link = shared.links[rank].lock().unwrap();
+    if link.epoch != epoch || link.died || shared.shutdown.load(Ordering::SeqCst) {
+        return;
+    }
+    link.disconnect();
+    if fatal || !link.v2 || shared.reconnect_deadline.is_zero() {
+        link.died = true;
+        drop(link);
+        let _ = up_tx.send(Message::WorkerDied { rank });
+    }
+}
+
 /// Coordinator endpoint of the process transport.
 pub struct ProcessLcComm<Sub, Sol> {
-    writers: Vec<Mutex<Option<TcpStream>>>,
+    shared: Arc<Shared>,
     up_rx: Receiver<Message<Sub, Sol>>,
-    last_heard: Arc<Mutex<Vec<Instant>>>,
-    died: Arc<Vec<AtomicBool>>,
-    liveness_timeout: Duration,
+    /// Keeps the channel open for reconnecting readers even when every
+    /// original reader thread has exited.
+    _up_tx: Sender<Message<Sub, Sol>>,
 }
 
 impl<Sub, Sol> std::fmt::Debug for ProcessLcComm<Sub, Sol> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ProcessLcComm(n={})", self.writers.len())
+        write!(f, "ProcessLcComm(n={})", self.shared.links.len())
     }
 }
 
@@ -259,34 +675,72 @@ where
 {
     /// Number of connected worker processes.
     pub fn num_workers(&self) -> usize {
-        self.writers.len()
+        self.shared.links.len()
     }
 
-    /// Sends to one rank; false when the rank is out of range, already
-    /// dead, or the write fails (in which case the writer is retired).
+    /// Sends to one rank. On a v2 session the payload is ringed for
+    /// replay first, so `true` means *delivered or will be on resume*;
+    /// a failed write merely opens the reconnect window. On a v1
+    /// session `false` reports a dead rank or failed write (the writer
+    /// is retired), exactly as before.
     pub fn send_to(&self, rank: usize, msg: Message<Sub, Sol>) -> bool {
-        let Some(slot) = self.writers.get(rank) else { return false };
-        let mut guard = slot.lock().unwrap();
-        let Some(stream) = guard.as_mut() else { return false };
-        match wire::write_msg(stream, &WireMsg::Msg(msg)) {
-            Ok(()) => true,
-            Err(_) => {
-                *guard = None;
-                false
+        use std::io::Write;
+        let Some(slot) = self.shared.links.get(rank) else { return false };
+        let payload = Arc::new(wire::to_payload(&WireMsg::Msg(msg)));
+        let mut link = slot.lock().unwrap();
+        if !link.claimed || link.died {
+            return false;
+        }
+        if link.v2 {
+            let seq = link.tx_next;
+            link.tx_next += 1;
+            if link.ring.len() >= RETRANSMIT_RING_CAP {
+                link.ring.pop_front();
+            }
+            link.ring.push_back((seq, payload.clone()));
+            let framed = wire::frame_v2(&payload, FrameHeader { seq, ack: link.rx_next });
+            if let Some(w) = link.writer.as_mut() {
+                if w.write_all(&framed).and_then(|_| w.flush()).is_err() {
+                    link.disconnect();
+                }
+            }
+            true
+        } else {
+            let Some(w) = link.writer.as_mut() else { return false };
+            match w.write_all(&wire::frame_v1(&payload)).and_then(|_| w.flush()) {
+                Ok(()) => true,
+                Err(_) => {
+                    link.writer = None;
+                    false
+                }
             }
         }
     }
 
-    /// Receives the next upward message, checking heartbeat liveness
-    /// first: a rank silent past the timeout is reported as
-    /// [`Message::WorkerDied`] exactly once.
+    /// Receives the next upward message, sweeping liveness first: a
+    /// rank silent past the timeout has its socket shut down, which on
+    /// a v2 session opens the reconnect window; a rank disconnected
+    /// past the reconnect deadline (immediately, for v1 or a zero
+    /// deadline) is reported as [`Message::WorkerDied`] exactly once.
     pub fn recv_timeout(&self, d: Duration) -> Option<Message<Sub, Sol>> {
-        {
-            let heard = self.last_heard.lock().unwrap();
-            for rank in 0..heard.len() {
-                if heard[rank].elapsed() > self.liveness_timeout
-                    && !self.died[rank].swap(true, Ordering::SeqCst)
-                {
+        let n = self.shared.links.len();
+        for rank in 0..n {
+            let mut link = self.shared.links[rank].lock().unwrap();
+            if !link.claimed || link.died {
+                continue;
+            }
+            if link.writer.is_some() {
+                let heard = self.shared.last_heard.lock().unwrap()[rank];
+                if heard.elapsed() > self.shared.liveness_timeout {
+                    link.disconnect();
+                    if !link.v2 || self.shared.reconnect_deadline.is_zero() {
+                        link.died = true;
+                        return Some(Message::WorkerDied { rank });
+                    }
+                }
+            } else if let Some(since) = link.disconnected_since {
+                if since.elapsed() > self.shared.reconnect_deadline {
+                    link.died = true;
                     return Some(Message::WorkerDied { rank });
                 }
             }
@@ -298,14 +752,131 @@ where
     }
 }
 
+impl<Sub, Sol> Drop for ProcessLcComm<Sub, Sol> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for slot in &self.shared.links {
+            if let Ok(mut link) = slot.lock() {
+                if let Some(s) = link.writer.take() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Worker side
 // ---------------------------------------------------------------------
 
+/// Worker-side connection state behind one mutex: the socket, the
+/// session identity, both sequence spaces, the retransmit ring, and
+/// the fault injector. Everything that writes to the socket goes
+/// through [`send_locked`] while holding this.
+struct WorkerInner {
+    /// Write half; `None` while disconnected.
+    stream: Option<TcpStream>,
+    v2: bool,
+    token: u64,
+    /// Next upward sequence number.
+    tx_next: u64,
+    /// Un-acked upward payloads for replay on resume.
+    ring: VecDeque<(u64, Arc<Vec<u8>>)>,
+    /// Next downward seq expected; anything below is a duplicate.
+    rx_next: u64,
+    /// Chaos partition in force: writes are suppressed (the socket
+    /// stays open and silent) until this instant.
+    partition_until: Option<Instant>,
+    chaos: Option<FaultInjector>,
+    /// The reader gave up for good; sends fail from here on.
+    dead: bool,
+}
+
+impl WorkerInner {
+    fn drop_stream(&mut self) {
+        if let Some(s) = self.stream.take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Writes one payload under the inner lock, applying sequencing,
+/// ring-buffering (reliable frames only), the partition gate, and one
+/// scheduled fault. Write failures silently drop the stream — the
+/// reader notices and runs the reconnect, and ringed payloads are
+/// replayed on resume.
+fn send_locked(inner: &mut WorkerInner, payload: Arc<Vec<u8>>, reliable: bool) {
+    use std::io::Write;
+    let framed = if inner.v2 {
+        let seq = if reliable {
+            let seq = inner.tx_next;
+            inner.tx_next += 1;
+            if inner.ring.len() >= RETRANSMIT_RING_CAP {
+                inner.ring.pop_front();
+            }
+            inner.ring.push_back((seq, payload.clone()));
+            seq
+        } else {
+            UNSEQ
+        };
+        wire::frame_v2(&payload, FrameHeader { seq, ack: inner.rx_next })
+    } else {
+        wire::frame_v1(&payload)
+    };
+    if let Some(until) = inner.partition_until {
+        if Instant::now() < until {
+            return; // partitioned: sequenced payloads wait in the ring
+        }
+        inner.partition_until = None;
+    }
+    if inner.stream.is_none() {
+        return; // disconnected: the reconnect path replays the ring
+    }
+    let write = |inner: &mut WorkerInner, bytes: &[u8]| {
+        if let Some(s) = inner.stream.as_mut() {
+            if s.write_all(bytes).and_then(|_| s.flush()).is_err() {
+                inner.drop_stream();
+            }
+        }
+    };
+    match inner.chaos.as_mut().map(|c| c.on_frame()).unwrap_or(FaultAction::Pass) {
+        FaultAction::Pass => write(inner, &framed),
+        FaultAction::Delay(d) => {
+            std::thread::sleep(d);
+            write(inner, &framed);
+        }
+        FaultAction::Drop => {
+            // TCP never loses a frame mid-stream silently; a "drop"
+            // is a torn connection. The payload stays ringed and is
+            // replayed on resume.
+            inner.drop_stream();
+        }
+        FaultAction::Duplicate => {
+            write(inner, &framed);
+            write(inner, &framed);
+        }
+        FaultAction::Corrupt { bit } => {
+            let mut bad = framed.clone();
+            let b = (bit % (bad.len() as u64 * 8)) as usize;
+            bad[b / 8] ^= 1 << (b % 8);
+            write(inner, &bad);
+        }
+        FaultAction::Partition(d) => {
+            inner.partition_until = Some(Instant::now() + d);
+        }
+        FaultAction::Kill => {
+            // Hard worker loss; only meaningful in spawned worker
+            // processes (the chaos e2e suite), never in-process.
+            std::process::exit(137);
+        }
+    }
+}
+
 /// Connects to the coordinator, retrying until it is listening (worker
 /// processes may win the race against the coordinator's bind), and
 /// completes the handshake. The returned endpoint already has its
-/// heartbeat running.
+/// heartbeat running, and on a v2 session its reader owns the
+/// reconnect-and-resume policy.
 pub fn connect_worker<Sub, Sol>(
     addr: &str,
     rank_hint: Option<usize>,
@@ -315,6 +886,7 @@ where
     Sub: Serialize + DeserializeOwned + Send + 'static,
     Sol: Serialize + DeserializeOwned + Send + 'static,
 {
+    validated(config)?;
     let deadline = Instant::now() + config.handshake_timeout;
     let stream = loop {
         match TcpStream::connect(addr) {
@@ -325,7 +897,15 @@ where
     };
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    wire::write_msg(&mut (&stream), &Hello { protocol: PROTOCOL_VERSION, rank_hint })?;
+    wire::write_msg(
+        &mut (&stream),
+        &Hello {
+            protocol: BASE_PROTOCOL,
+            rank_hint,
+            max_protocol: Some(PROTOCOL_VERSION),
+            resume: None,
+        },
+    )?;
     let mut reader = stream.try_clone()?;
     let mut dec = FrameDecoder::new();
     let welcome: Welcome = wire::read_msg(&mut reader, &mut dec)?.ok_or_else(|| {
@@ -334,44 +914,211 @@ where
     stream.set_read_timeout(None)?;
 
     let rank = welcome.rank;
-    let (down_tx, down_rx) = channel();
-    spawn_worker_reader::<Sub, Sol>(rank, reader, dec, down_tx);
+    let v2 = welcome.protocol.unwrap_or(BASE_PROTOCOL) >= 2 && welcome.session.is_some();
+    let token = welcome.session.map(|s| s.token).unwrap_or(0);
+    dec.set_v2(v2);
 
-    let writer = Arc::new(Mutex::new(stream));
+    let inner = Arc::new(Mutex::new(WorkerInner {
+        stream: Some(stream),
+        v2,
+        token,
+        tx_next: 0,
+        ring: VecDeque::new(),
+        rx_next: 0,
+        partition_until: None,
+        chaos: config.chaos.as_ref().map(|plan| plan.injector()),
+        dead: false,
+    }));
     let shutdown = Arc::new(AtomicBool::new(false));
-    spawn_heartbeat::<Sub, Sol>(rank, writer.clone(), shutdown.clone(), config.heartbeat_interval);
+    let (down_tx, down_rx) = channel();
+    spawn_worker_reader::<Sub, Sol>(
+        rank,
+        addr.to_string(),
+        config.clone(),
+        reader,
+        dec,
+        inner.clone(),
+        shutdown.clone(),
+        down_tx,
+    );
+    spawn_heartbeat::<Sub, Sol>(rank, inner.clone(), shutdown.clone(), config.heartbeat_interval);
 
-    Ok(ProcessWorkerComm { rank, writer, down_rx, shutdown })
+    Ok(ProcessWorkerComm { rank, inner, down_rx, shutdown })
 }
 
+/// The worker's read loop plus, on a v2 session, the reconnect-and-
+/// resume policy: on any retryable connection failure it redials with
+/// exponential backoff + jitter under the reconnect deadline, resumes
+/// the session by token, replays its un-acked ring (bypassing chaos —
+/// recovery must be deterministic), and carries on. Returning from
+/// this thread drops `down_tx`, which is how `recv()` learns the
+/// connection is gone for good.
+#[allow(clippy::too_many_arguments)]
 fn spawn_worker_reader<Sub, Sol>(
     rank: usize,
-    mut stream: TcpStream,
-    mut dec: FrameDecoder,
+    addr: String,
+    config: ProcessCommConfig,
+    stream: TcpStream,
+    dec: FrameDecoder,
+    inner: Arc<Mutex<WorkerInner>>,
+    shutdown: Arc<AtomicBool>,
     down_tx: Sender<Message<Sub, Sol>>,
 ) where
-    Sub: DeserializeOwned + Send + 'static,
-    Sol: DeserializeOwned + Send + 'static,
+    Sub: Serialize + DeserializeOwned + Send + 'static,
+    Sol: Serialize + DeserializeOwned + Send + 'static,
 {
     std::thread::Builder::new()
         .name(format!("worker-reader-{rank}"))
-        .spawn(move || loop {
-            match wire::read_msg::<WireMsg<Sub, Sol>, _>(&mut stream, &mut dec) {
-                Ok(Some(WireMsg::Msg(msg))) => {
-                    if down_tx.send(msg).is_err() {
+        .spawn(move || {
+            let mut stream = stream;
+            let mut dec = dec;
+            loop {
+                let err = match wire::read_frame(&mut stream, &mut dec) {
+                    Ok(Some((header, payload))) => {
+                        {
+                            let mut g = inner.lock().unwrap();
+                            if g.v2 {
+                                if header.seq != UNSEQ {
+                                    if header.seq < g.rx_next {
+                                        telemetry::comm().dup_frames.inc();
+                                        continue;
+                                    }
+                                    g.rx_next = header.seq + 1;
+                                }
+                                while g.ring.front().is_some_and(|(s, _)| *s < header.ack) {
+                                    g.ring.pop_front();
+                                }
+                            }
+                        }
+                        match wire::decode::<WireMsg<Sub, Sol>>(&payload) {
+                            Ok(WireMsg::Ping { .. }) => continue,
+                            Ok(WireMsg::Msg(msg)) => {
+                                if down_tx.send(msg).is_err() {
+                                    return; // endpoint dropped
+                                }
+                                continue;
+                            }
+                            Err(e) => Some(io::Error::from(e)),
+                        }
+                    }
+                    Ok(None) => None,
+                    Err(e) => Some(e),
+                };
+                // Connection-level failure (or fatal codec error).
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let fatal = err.as_ref().is_some_and(wire::io_error_is_fatal);
+                let v2 = inner.lock().unwrap().v2;
+                if fatal || !v2 || config.reconnect_deadline.is_zero() {
+                    let mut g = inner.lock().unwrap();
+                    g.drop_stream();
+                    g.dead = true;
+                    return;
+                }
+                match reconnect_worker(rank, &addr, &config, &inner, &shutdown) {
+                    Some((s, d)) => {
+                        stream = s;
+                        dec = d;
+                    }
+                    None => {
+                        let mut g = inner.lock().unwrap();
+                        g.drop_stream();
+                        g.dead = true;
                         return;
                     }
                 }
-                Ok(Some(WireMsg::Ping { .. })) => {} // not used downward
-                Ok(None) | Err(_) => return,         // coordinator gone: recv() yields None
             }
         })
         .expect("spawn worker reader thread");
 }
 
+/// Redials and resumes the session; `None` when the deadline budget
+/// runs out (the rank then dies and the coordinator requeues).
+fn reconnect_worker(
+    rank: usize,
+    addr: &str,
+    config: &ProcessCommConfig,
+    inner: &Arc<Mutex<WorkerInner>>,
+    shutdown: &Arc<AtomicBool>,
+) -> Option<(TcpStream, FrameDecoder)> {
+    use std::io::Write;
+    let (token, rx_next) = {
+        let mut g = inner.lock().unwrap();
+        g.drop_stream();
+        (g.token, g.rx_next)
+    };
+    let deadline = Instant::now() + config.reconnect_deadline;
+    let mut jitter = SplitMix64::new(token ^ rank as u64);
+    let mut attempt = 0u32;
+    'redial: loop {
+        if attempt > 0 {
+            let base = 50u64.saturating_mul(1u64 << attempt.min(5)).min(2000);
+            let backoff = Duration::from_millis(base + jitter.next_u64() % (base / 2 + 1));
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            std::thread::sleep(backoff.min(remaining));
+        }
+        attempt += 1;
+        if shutdown.load(Ordering::SeqCst) || Instant::now() >= deadline {
+            return None;
+        }
+        let Ok(stream) = TcpStream::connect(addr) else { continue };
+        stream.set_nodelay(true).ok();
+        if stream.set_read_timeout(Some(Duration::from_secs(5))).is_err() {
+            continue;
+        }
+        let hello = Hello {
+            protocol: BASE_PROTOCOL,
+            rank_hint: Some(rank),
+            max_protocol: Some(PROTOCOL_VERSION),
+            resume: Some(Resume { token, rx_next }),
+        };
+        if wire::write_msg(&mut (&stream), &hello).is_err() {
+            continue;
+        }
+        let mut reader = match stream.try_clone() {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        let mut hs_dec = FrameDecoder::new();
+        let welcome: Welcome = match wire::read_msg(&mut reader, &mut hs_dec) {
+            Ok(Some(w)) => w,
+            _ => continue, // coordinator refused the token or hung up
+        };
+        let Some(session) = welcome.session else { continue };
+        if stream.set_read_timeout(None).is_err() {
+            continue;
+        }
+        let mut g = inner.lock().unwrap();
+        // Replay everything the coordinator has not acked, in order,
+        // chaos-free: the schedule perturbs fresh traffic, never the
+        // repair itself.
+        while g.ring.front().is_some_and(|(s, _)| *s < session.rx_next) {
+            g.ring.pop_front();
+        }
+        let replay: Vec<(u64, Arc<Vec<u8>>)> = g.ring.iter().cloned().collect();
+        let ack = g.rx_next;
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        for (seq, payload) in &replay {
+            let framed = wire::frame_v2(payload, FrameHeader { seq: *seq, ack });
+            if writer.write_all(&framed).and_then(|_| writer.flush()).is_err() {
+                continue 'redial;
+            }
+        }
+        g.stream = Some(writer);
+        g.partition_until = None;
+        let mut dec = FrameDecoder::new();
+        dec.set_v2(true);
+        return Some((reader, dec));
+    }
+}
+
 fn spawn_heartbeat<Sub, Sol>(
     rank: usize,
-    writer: Arc<Mutex<TcpStream>>,
+    inner: Arc<Mutex<WorkerInner>>,
     shutdown: Arc<AtomicBool>,
     interval: Duration,
 ) where
@@ -385,11 +1132,15 @@ fn spawn_heartbeat<Sub, Sol>(
             if shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            let ping: WireMsg<Sub, Sol> = WireMsg::Ping { rank };
-            let mut stream = writer.lock().unwrap();
-            if wire::write_msg(&mut *stream, &ping).is_err() {
-                return; // connection gone; the reader notices too
+            let ping = Arc::new(wire::to_payload(&WireMsg::<Sub, Sol>::Ping { rank }));
+            let mut g = inner.lock().unwrap();
+            if g.dead {
+                return;
             }
+            if !g.v2 && g.stream.is_none() {
+                return; // v1: connection gone for good
+            }
+            send_locked(&mut g, ping, false);
         })
         .expect("spawn heartbeat thread");
 }
@@ -397,7 +1148,7 @@ fn spawn_heartbeat<Sub, Sol>(
 /// Worker endpoint of the process transport.
 pub struct ProcessWorkerComm<Sub, Sol> {
     rank: usize,
-    writer: Arc<Mutex<TcpStream>>,
+    inner: Arc<Mutex<WorkerInner>>,
     down_rx: Receiver<Message<Sub, Sol>>,
     shutdown: Arc<AtomicBool>,
 }
@@ -417,15 +1168,40 @@ where
         self.down_rx.try_recv().ok()
     }
 
-    /// Blocking receive; `None` when the connection is gone.
+    /// Blocking receive; `None` when the connection is gone for good
+    /// (on a v2 session: only after the reconnect budget ran out).
     pub fn recv(&self) -> Option<Message<Sub, Sol>> {
         self.down_rx.recv().ok()
     }
 
-    /// Sends a message upward; false when the connection is gone.
+    /// Sends a message upward. On a v2 session the payload is ringed
+    /// before the write, so `true` means *delivered or will be on
+    /// resume*; `false` only once the session is dead for good.
     pub fn send(&self, msg: Message<Sub, Sol>) -> bool {
-        let mut stream = self.writer.lock().unwrap();
-        wire::write_msg(&mut *stream, &WireMsg::Msg(msg)).is_ok()
+        let payload = Arc::new(wire::to_payload(&WireMsg::Msg(msg)));
+        let mut g = self.inner.lock().unwrap();
+        if g.dead {
+            return false;
+        }
+        if g.v2 {
+            send_locked(&mut g, payload, true);
+            true
+        } else {
+            let before = g.stream.is_some();
+            send_locked(&mut g, payload, true);
+            before && g.stream.is_some()
+        }
+    }
+
+    /// Test hook: tears the TCP connection down underneath the
+    /// transport (as a mid-run network fault would) without touching
+    /// any session state, so tests can exercise the reconnect-and-
+    /// resume path deterministically and in-process.
+    #[cfg(test)]
+    pub(crate) fn test_break_connection(&self) {
+        if let Some(s) = self.inner.lock().unwrap().stream.as_ref() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
     }
 }
 
@@ -436,8 +1212,8 @@ impl<Sub, Sol> Drop for ProcessWorkerComm<Sub, Sol> {
         // dup the reader and heartbeat threads hold — they unblock with
         // EOF/EPIPE and exit, and the coordinator sees the hang-up at
         // once (even when the worker is dying abnormally).
-        if let Ok(stream) = self.writer.lock() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
+        if let Ok(mut g) = self.inner.lock() {
+            g.drop_stream();
         }
     }
 }
@@ -451,6 +1227,8 @@ mod tests {
             handshake_timeout: Duration::from_secs(10),
             liveness_timeout: Duration::from_secs(30),
             heartbeat_interval: Duration::from_millis(100),
+            reconnect_deadline: Duration::from_millis(500),
+            chaos: None,
         }
     }
 
@@ -491,7 +1269,8 @@ mod tests {
         let mut status_ranks = Vec::new();
         let mut died = Vec::new();
         // Expect two statuses and one death notice (rank 1 exits after
-        // sending its status).
+        // sending its status; its deliberate hang-up exhausts the
+        // reconnect budget and only then surfaces as a death).
         let deadline = Instant::now() + Duration::from_secs(10);
         while (status_ranks.len() < 2 || died.is_empty()) && Instant::now() < deadline {
             match lc.recv_timeout(Duration::from_millis(50)) {
@@ -508,8 +1287,8 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
-        // Rank 1's writer should be retired by now or fail fast.
-        let _ = lc.send_to(1, Message::Terminate);
+        // Rank 1 is dead: sends must report failure.
+        assert!(!lc.send_to(1, Message::Terminate));
     }
 
     #[test]
@@ -522,7 +1301,12 @@ mod tests {
             let stream = TcpStream::connect(addr).unwrap();
             wire::write_msg(
                 &mut (&stream),
-                &Hello { protocol: PROTOCOL_VERSION + 1, rank_hint: None },
+                &Hello {
+                    protocol: BASE_PROTOCOL + 98,
+                    rank_hint: None,
+                    max_protocol: None,
+                    resume: None,
+                },
             )
             .unwrap();
             // The coordinator must drop us without a welcome.
@@ -539,5 +1323,193 @@ mod tests {
         let err = listener.accept_workers::<u32, u32>(1, &cfg).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
         bad.join().unwrap();
+    }
+
+    #[test]
+    fn misconfigured_liveness_is_rejected_up_front() {
+        let cfg = ProcessCommConfig {
+            liveness_timeout: Duration::from_millis(150),
+            heartbeat_interval: Duration::from_millis(100),
+            ..config()
+        };
+        let msg = cfg.validate().unwrap_err();
+        assert!(msg.contains("liveness"), "unhelpful message: {msg}");
+        let listener = ProcessListener::bind("127.0.0.1:0").unwrap();
+        let err = listener.accept_workers::<u32, u32>(1, &cfg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    /// The liveness sweep must report each silent rank dead exactly
+    /// once — the doc comment has always claimed it; this asserts it.
+    /// The clients handshake as v1 (no `max_protocol`), so silence is
+    /// immediately terminal.
+    #[test]
+    fn liveness_sweep_reports_each_silent_rank_exactly_once() {
+        let listener = ProcessListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let cfg = ProcessCommConfig {
+            liveness_timeout: Duration::from_millis(300),
+            heartbeat_interval: Duration::from_millis(100),
+            ..config()
+        };
+
+        // Two raw v1 clients that say hello and then go silent while
+        // keeping their sockets open (the hung-but-connected case the
+        // sweep exists for). They run on threads because the welcome
+        // only arrives once `accept_workers` below is pumping.
+        let (welcome_tx, welcome_rx) = channel::<(usize, Option<u32>, bool)>();
+        for rank in 0..2usize {
+            let welcome_tx = welcome_tx.clone();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                wire::write_msg(
+                    &mut (&stream),
+                    &Hello {
+                        protocol: BASE_PROTOCOL,
+                        rank_hint: Some(rank),
+                        max_protocol: None,
+                        resume: None,
+                    },
+                )
+                .unwrap();
+                let mut reader = stream.try_clone().unwrap();
+                let mut dec = FrameDecoder::new();
+                let welcome: Welcome = wire::read_msg(&mut reader, &mut dec).unwrap().unwrap();
+                welcome_tx
+                    .send((welcome.rank, welcome.protocol, welcome.session.is_some()))
+                    .unwrap();
+                // Keep the socket open and silent well past the test.
+                std::thread::sleep(Duration::from_secs(30));
+                drop(stream);
+            });
+        }
+
+        let lc = listener.accept_workers::<u32, u32>(2, &cfg).unwrap();
+        let mut welcomed = Vec::new();
+        for _ in 0..2 {
+            let (rank, protocol, has_session) =
+                welcome_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(protocol, Some(BASE_PROTOCOL));
+            assert!(!has_session, "a v1 worker must not be handed a session");
+            welcomed.push(rank);
+        }
+        welcomed.sort_unstable();
+        assert_eq!(welcomed, vec![0, 1]);
+        let mut died = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if let Some(Message::WorkerDied { rank }) = lc.recv_timeout(Duration::from_millis(20)) {
+                died.push(rank);
+            }
+            if died.len() == 2 {
+                break;
+            }
+        }
+        died.sort_unstable();
+        assert_eq!(died, vec![0, 1], "each silent rank must die exactly once");
+        // Keep sweeping: no rank may be reported a second time.
+        let settle = Instant::now() + Duration::from_secs(1);
+        while Instant::now() < settle {
+            assert!(
+                !matches!(
+                    lc.recv_timeout(Duration::from_millis(20)),
+                    Some(Message::WorkerDied { .. })
+                ),
+                "a rank died twice"
+            );
+        }
+    }
+
+    /// A client that stalls mid-hello must not block the accept path
+    /// or pin a rank: a late legitimate worker still claims rank 0
+    /// well within the handshake deadline.
+    #[test]
+    fn stalled_hello_does_not_block_a_late_worker() {
+        let listener = ProcessListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let cfg = ProcessCommConfig { handshake_timeout: Duration::from_secs(3), ..config() };
+
+        // Connects and never says hello. Its 5s read timeout outlives
+        // the whole 3s handshake budget.
+        let stalled = TcpStream::connect(&addr).unwrap();
+
+        let worker = {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(150));
+                let comm = connect_worker::<u32, u32>(&addr, Some(0), &cfg).unwrap();
+                assert_eq!(comm.rank(), 0);
+                assert!(matches!(comm.recv(), Some(Message::Terminate)));
+            })
+        };
+
+        let started = Instant::now();
+        let lc = listener.accept_workers::<u32, u32>(1, &cfg).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "stalled client must not consume the handshake budget"
+        );
+        assert!(lc.send_to(0, Message::Terminate));
+        worker.join().unwrap();
+        drop(stalled);
+    }
+
+    /// The tentpole in one room: a torn connection mid-run resumes the
+    /// session — messages sent before, during, and after the break all
+    /// arrive exactly once, nobody is reported dead, and the reconnect
+    /// is visible in telemetry.
+    #[test]
+    fn broken_connection_resumes_without_a_death() {
+        let reconnects_before = telemetry::comm().reconnects.get();
+        let listener = ProcessListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let cfg = ProcessCommConfig { reconnect_deadline: Duration::from_secs(10), ..config() };
+
+        let (incumbent_tx, incumbent_rx) = channel::<f64>();
+        let worker = {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let comm = connect_worker::<u32, u32>(&addr, Some(0), &cfg).unwrap();
+                assert!(comm.send(Message::Status { rank: 0, dual_bound: 1.0, open: 1, nodes: 1 }));
+                // Tear the TCP connection down underneath the session.
+                comm.test_break_connection();
+                // Sends while broken are ringed and replayed on resume.
+                assert!(comm.send(Message::Status { rank: 0, dual_bound: 2.0, open: 1, nodes: 2 }));
+                loop {
+                    match comm.recv() {
+                        Some(Message::Incumbent { obj, .. }) => incumbent_tx.send(obj).unwrap(),
+                        Some(Message::Terminate) => return,
+                        Some(_) => {}
+                        None => panic!("session died instead of resuming"),
+                    }
+                }
+            })
+        };
+
+        let lc = listener.accept_workers::<u32, u32>(1, &cfg).unwrap();
+        let mut bounds = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while bounds.len() < 2 && Instant::now() < deadline {
+            match lc.recv_timeout(Duration::from_millis(50)) {
+                Some(Message::Status { dual_bound, .. }) => bounds.push(dual_bound),
+                Some(Message::WorkerDied { rank }) => {
+                    panic!("rank {rank} was declared dead during a recoverable break")
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(bounds, vec![1.0, 2.0], "both statuses exactly once, in order");
+        assert!(
+            telemetry::comm().reconnects.get() > reconnects_before,
+            "the resume must be counted"
+        );
+
+        // Downward traffic flows on the resumed connection too.
+        assert!(lc.send_to(0, Message::Incumbent { sol: 7, obj: 42.0 }));
+        assert_eq!(incumbent_rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42.0);
+        assert!(lc.send_to(0, Message::Terminate));
+        worker.join().unwrap();
     }
 }

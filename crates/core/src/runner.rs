@@ -150,7 +150,9 @@ pub fn solve_parallel_seeded<S: BaseSolver + 'static>(
 pub struct DistributedOptions {
     /// Worker executable followed by its fixed leading arguments (the
     /// problem selector etc.). The runner appends `--connect <addr>
-    /// --rank <i> --status-interval <s>` per spawned worker.
+    /// --rank <i> --status-interval <s>` plus the transport tuning
+    /// (`--heartbeat-ms --handshake-ms --liveness-ms --reconnect-ms`)
+    /// per spawned worker, so both ends share one [`ProcessCommConfig`].
     pub worker_command: Vec<String>,
     /// Coordinator listen address; `"127.0.0.1:0"` lets the OS pick a
     /// free port.
@@ -204,6 +206,10 @@ where
             .arg(dist.comm.heartbeat_interval.as_millis().to_string())
             .arg("--handshake-ms")
             .arg(dist.comm.handshake_timeout.as_millis().to_string())
+            .arg("--liveness-ms")
+            .arg(dist.comm.liveness_timeout.as_millis().to_string())
+            .arg("--reconnect-ms")
+            .arg(dist.comm.reconnect_deadline.as_millis().to_string())
             .stdin(std::process::Stdio::null())
             .stdout(std::process::Stdio::null())
             .spawn()?;

@@ -448,8 +448,9 @@ pub struct JobSummary {
 pub struct ServerConfig {
     /// Worker executable + fixed leading arguments. The server appends
     /// `--serve --connect <addr> --pool-tag <tag> --status-interval <s>
-    /// --heartbeat-ms <ms> --handshake-ms <ms>` per spawn. Leave empty
-    /// to run with externally started workers only (no refill).
+    /// --heartbeat-ms <ms> --handshake-ms <ms> --liveness-ms <ms>
+    /// --reconnect-ms <ms>` per spawn. Leave empty to run with
+    /// externally started workers only (no refill).
     pub worker_command: Vec<String>,
     /// Standing pool size the scheduler maintains.
     pub pool_size: usize,
@@ -765,6 +766,7 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Server<Inst, Sub, Sol> {
     /// open. A failure to open the ledger fails the start (serving
     /// without the durability the caller asked for would be worse).
     pub fn start(config: ServerConfig) -> io::Result<Self> {
+        config.comm.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let mut ledger = None;
         let mut recovered = Vec::new();
         let mut next_job = 0u64;
@@ -940,8 +942,8 @@ fn spawn_pool_worker(config: &ServerConfig, worker_addr: &str, tag: u64) -> io::
         .worker_command
         .split_first()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "empty worker_command"))?;
-    std::process::Command::new(program)
-        .args(fixed_args)
+    let mut cmd = std::process::Command::new(program);
+    cmd.args(fixed_args)
         .arg("--serve")
         .arg("--connect")
         .arg(worker_addr)
@@ -953,9 +955,21 @@ fn spawn_pool_worker(config: &ServerConfig, worker_addr: &str, tag: u64) -> io::
         .arg(config.comm.heartbeat_interval.as_millis().to_string())
         .arg("--handshake-ms")
         .arg(config.comm.handshake_timeout.as_millis().to_string())
-        .stdin(std::process::Stdio::null())
-        .stdout(std::process::Stdio::null())
-        .spawn()
+        .arg("--liveness-ms")
+        .arg(config.comm.liveness_timeout.as_millis().to_string())
+        .arg("--reconnect-ms")
+        .arg(config.comm.reconnect_deadline.as_millis().to_string());
+    if let Some(plan) = &config.comm.chaos {
+        // Each worker gets a per-worker variant of the plan (seed +
+        // worker id): still deterministic given the spawn order, but
+        // de-correlated — with one shared seed every worker's schedule
+        // would tear all of a job's leases on the same frame.
+        cmd.arg("--chaos-seed")
+            .arg(plan.seed.wrapping_add(tag).to_string())
+            .arg("--chaos-profile")
+            .arg(serde_json::to_string(&plan.profile).expect("profile serializes"));
+    }
+    cmd.stdin(std::process::Stdio::null()).stdout(std::process::Stdio::null()).spawn()
 }
 
 /// The scheduler: pool refill, liveness, and job starts. Each pass has
@@ -1860,6 +1874,13 @@ where
     })?;
     stream.set_read_timeout(None)?;
     let worker = welcome.worker;
+    if let Some(plan) = &config.chaos {
+        // Armed only after the handshake: a worker must always be able
+        // to (re)join the pool, exactly as resume frames bypass chaos
+        // on the per-call path.
+        let _ = POOL_CHAOS
+            .set(Mutex::new(PoolChaosState { injector: plan.injector(), partition_until: None }));
+    }
 
     let writer = Arc::new(Mutex::new(stream));
     let hb_shutdown = Arc::new(AtomicBool::new(false));
@@ -1876,7 +1897,7 @@ where
                 }
                 let ping: PoolUp<S::Sub, S::Sol> = PoolUp::Ping { worker };
                 let mut stream = writer.lock().unwrap();
-                if wire::write_msg(&mut *stream, &ping).is_err() {
+                if pool_chaos_write(&mut stream, &ping).is_err() {
                     return;
                 }
             })
@@ -1986,7 +2007,62 @@ fn send_up<Sub: Serialize, Sol: Serialize>(
     msg: &PoolUp<Sub, Sol>,
 ) -> bool {
     let mut stream = writer.lock().unwrap();
-    wire::write_msg(&mut *stream, msg).is_ok()
+    pool_chaos_write(&mut stream, msg).is_ok()
+}
+
+/// Pool-path fault injection: one process-global injector (a pool
+/// worker is one process holding one connection), armed once in
+/// [`serve_worker`] from `ProcessCommConfig::chaos` and `None` in
+/// production. The pool transport has no session resume — a torn
+/// connection here is recovered by *replacement* (the server requeues
+/// the job and refills the pool), so chaos on this path exercises the
+/// worker-loss machinery rather than reconnect/replay.
+static POOL_CHAOS: std::sync::OnceLock<Mutex<PoolChaosState>> = std::sync::OnceLock::new();
+
+struct PoolChaosState {
+    injector: crate::chaos::FaultInjector,
+    partition_until: Option<Instant>,
+}
+
+/// Writes one upward frame through the armed fault schedule (or
+/// directly when chaos is off). Mirrors the per-call worker's
+/// semantics: a Drop discards the frame *and* tears the connection,
+/// Corrupt flips one bit for the server's CRC to catch, Partition
+/// silences writes until the server's liveness sweep fires.
+fn pool_chaos_write<T: Serialize>(stream: &mut TcpStream, msg: &T) -> io::Result<()> {
+    let Some(chaos) = POOL_CHAOS.get() else { return wire::write_msg(stream, msg) };
+    let mut st = chaos.lock().unwrap();
+    if let Some(until) = st.partition_until {
+        if Instant::now() < until {
+            st.injector.on_frame(); // the schedule keeps ticking while silent
+            return Ok(());
+        }
+        st.partition_until = None;
+    }
+    let frame = wire::encode(msg);
+    match st.injector.on_frame() {
+        crate::chaos::FaultAction::Pass => {}
+        crate::chaos::FaultAction::Delay(d) => std::thread::sleep(d),
+        crate::chaos::FaultAction::Duplicate => stream.write_all(&frame)?,
+        crate::chaos::FaultAction::Corrupt { bit } => {
+            let mut bad = frame.clone();
+            let b = (bit as usize) % (bad.len() * 8);
+            bad[b / 8] ^= 1 << (b % 8);
+            stream.write_all(&bad)?;
+            return stream.flush();
+        }
+        crate::chaos::FaultAction::Drop => {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return Err(io::Error::other("chaos: frame dropped, connection torn"));
+        }
+        crate::chaos::FaultAction::Partition(d) => {
+            st.partition_until = Some(Instant::now() + d);
+            return Ok(());
+        }
+        crate::chaos::FaultAction::Kill => std::process::exit(137),
+    }
+    stream.write_all(&frame)?;
+    stream.flush()
 }
 
 /// [`ParaControl`] of a pool worker: like the plain worker's control

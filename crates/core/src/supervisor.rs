@@ -256,6 +256,11 @@ where
                 self.mark_idle(rank);
                 let _ = dual_bound;
             }
+            // The transport's last resort: on a v2 session this only
+            // arrives after the reconnect budget ran out (transient
+            // drops are healed below this layer and never surface
+            // here); it is raised at most once per rank, and `dead`
+            // makes requeueing idempotent regardless.
             Message::WorkerDied { rank } if self.dead.insert(rank) => {
                 self.stats.workers_died += 1;
                 self.opts.telemetry.log(TelemetryEvent::WorkerDied { rank });

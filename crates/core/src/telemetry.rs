@@ -473,6 +473,46 @@ pub fn wire() -> &'static WireStats {
     })
 }
 
+/// Transport self-healing counters, maintained by [`crate::process`]:
+/// how often worker connections were resumed instead of declared dead,
+/// and what the recovery cost.
+pub struct CommStats {
+    /// Successful session resumptions (a worker reconnected and its
+    /// rank was restored instead of going through `WorkerDied`).
+    pub reconnects: Arc<Counter>,
+    /// Frames replayed from a retransmit ring after a resume.
+    pub frames_retransmitted: Arc<Counter>,
+    /// Frames rejected by the CRC check (corruption caught in flight).
+    pub frames_corrupt: Arc<Counter>,
+    /// Duplicate frames suppressed by sequence number after a replay.
+    pub dup_frames: Arc<Counter>,
+}
+
+/// The process-wide transport recovery counters, registered in
+/// [`global`] on first use.
+pub fn comm() -> &'static CommStats {
+    static COMM: OnceLock<CommStats> = OnceLock::new();
+    COMM.get_or_init(|| {
+        let r = global();
+        CommStats {
+            reconnects: r.counter(
+                "ugrs_comm_reconnects_total",
+                "Worker connections resumed via session reconnect",
+            ),
+            frames_retransmitted: r.counter(
+                "ugrs_comm_frames_retransmitted_total",
+                "Frames replayed from a retransmit ring after a reconnect",
+            ),
+            frames_corrupt: r
+                .counter("ugrs_comm_frames_corrupt_total", "Frames rejected by the CRC32 check"),
+            dup_frames: r.counter(
+                "ugrs_comm_dup_frames_total",
+                "Duplicate frames suppressed by sequence number",
+            ),
+        }
+    })
+}
+
 // ---------------------------------------------------------------------
 // Progress snapshots
 // ---------------------------------------------------------------------

@@ -1,14 +1,25 @@
 //! The wire codec of the distributed back-end: how a [`crate::Message`]
 //! becomes bytes on a socket and comes back out intact.
 //!
-//! Framing is 4-byte big-endian length prefix + JSON payload. JSON
-//! (rather than a binary format) keeps frames human-debuggable with
-//! `tcpdump`/`nc` and reuses the exact serde path the checkpoint files
-//! already exercise — including the non-finite-float extension, which
-//! matters because every root subproblem ships with a `-Infinity` dual
-//! bound. The decoder is incremental: bytes arrive in arbitrary chunks
-//! (TCP guarantees order, not boundaries) and are buffered until a
-//! whole frame is available.
+//! Two frame formats share the socket, negotiated at handshake:
+//!
+//! * **v1** — 4-byte big-endian length prefix + JSON payload. JSON
+//!   (rather than a binary format) keeps frames human-debuggable with
+//!   `tcpdump`/`nc` and reuses the exact serde path the checkpoint
+//!   files already exercise — including the non-finite-float
+//!   extension, which matters because every root subproblem ships
+//!   with a `-Infinity` dual bound.
+//! * **v2** — the same length prefix followed by a [`FrameHeader`]:
+//!   a header CRC32, a sequence number, a cumulative ack, and a
+//!   payload CRC32. The two CRCs make any single flipped bit anywhere
+//!   in the frame (length prefix included) surface as
+//!   [`WireError::Corrupt`] instead of desynchronizing the stream,
+//!   and the seq/ack pair is what lets [`crate::process`] replay
+//!   un-acked frames and suppress duplicates across a reconnect.
+//!
+//! The decoder is incremental: bytes arrive in arbitrary chunks (TCP
+//! guarantees order, not boundaries) and are buffered until a whole
+//! frame is available.
 
 use bytes::{Bytes, BytesMut};
 use serde::de::DeserializeOwned;
@@ -19,13 +30,52 @@ use std::io::{Read, Write};
 /// would otherwise make the receiver try to buffer gigabytes).
 pub const MAX_FRAME_LEN: usize = 256 * 1024 * 1024;
 
-/// A decode-side failure: framing violation or malformed payload.
-#[derive(Debug)]
-pub struct WireError(pub String);
+/// Bytes between the length prefix and the payload in a v2 frame:
+/// header CRC (4) + seq (8) + ack (8) + payload CRC (4).
+pub const V2_HEADER_LEN: usize = 24;
+
+/// A decode-side failure, structured so transport policy can tell
+/// retryable faults from protocol bugs: everything except [`Codec`]
+/// is survivable by dropping the connection and reconnecting, while a
+/// `Codec` error means a CRC-clean frame carried unparseable JSON —
+/// the peer speaks a different protocol and retrying cannot help.
+///
+/// [`Codec`]: WireError::Codec
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// An I/O-level fault wrapped into the wire domain (used when
+    /// classifying transport errors; the codec itself never does I/O).
+    Io(String),
+    /// A CRC32 mismatch: the bytes on the wire are not the bytes that
+    /// were sent. Retryable — a reconnect re-syncs the stream.
+    Corrupt(String),
+    /// A (CRC-valid) length prefix beyond [`MAX_FRAME_LEN`].
+    TooLarge {
+        /// The offending frame length.
+        len: usize,
+    },
+    /// The payload passed its CRC but failed to deserialize: a
+    /// protocol bug, not line noise. Fatal — never retried.
+    Codec(String),
+}
+
+impl WireError {
+    /// True when reconnecting may fix it (everything but [`WireError::Codec`]).
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, WireError::Codec(_))
+    }
+}
 
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "wire error: {}", self.0)
+        match self {
+            WireError::Io(m) => write!(f, "wire i/o error: {m}"),
+            WireError::Corrupt(m) => write!(f, "wire corruption: {m}"),
+            WireError::TooLarge { len } => {
+                write!(f, "wire frame length {len} exceeds {MAX_FRAME_LEN}")
+            }
+            WireError::Codec(m) => write!(f, "wire codec error: {m}"),
+        }
     }
 }
 
@@ -37,41 +87,157 @@ impl From<WireError> for std::io::Error {
     }
 }
 
-/// Serializes `msg` into one framed buffer (prefix + payload), ready
-/// for a single `write_all`. Every encoded frame is counted in the
-/// process-wide wire telemetry ([`crate::telemetry::wire`]), covering
-/// all transports without per-call-site plumbing.
-pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
-    let payload = serde_json::to_vec(msg).expect("wire messages must serialize");
-    let mut framed = Vec::with_capacity(4 + payload.len());
-    framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    framed.extend_from_slice(&payload);
+/// Classifies an I/O error from a read/write loop for reconnect
+/// policy: `true` only for a [`WireError::Codec`] buried inside —
+/// plain socket errors, EOFs and CRC faults are all retryable.
+pub fn io_error_is_fatal(e: &std::io::Error) -> bool {
+    e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<WireError>())
+        .is_some_and(|w| !w.is_retryable())
+}
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) — hand-rolled so the
+// wire stays dependency-free.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// CRC32 (IEEE) of one buffer.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_parts(&[data])
+}
+
+/// CRC32 (IEEE) over the concatenation of `parts`.
+pub fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for p in parts {
+        crc = crc32_update(crc, p);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// The per-frame header of the v2 format: sequence number of this
+/// frame and cumulative ack of the peer's frames ("I have received
+/// everything below `ack`"). The two CRCs are computed and verified
+/// by the codec and never surface here.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Sender-assigned, strictly increasing per connection *session*
+    /// (it survives reconnects, which is what makes replayed frames
+    /// recognizable as duplicates).
+    pub seq: u64,
+    /// The sender has received every peer frame with `seq < ack`.
+    pub ack: u64,
+}
+
+fn count_tx(bytes: usize) {
     let w = crate::telemetry::wire();
     w.tx_frames.inc();
-    w.tx_bytes.add(framed.len() as u64);
+    w.tx_bytes.add(bytes as u64);
+}
+
+/// Wraps an already-serialized payload in a v1 frame (length prefix
+/// only). Counts the frame in the process-wide tx wire telemetry.
+pub fn frame_v1(payload: &[u8]) -> Vec<u8> {
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    framed.extend_from_slice(payload);
+    count_tx(framed.len());
     framed
 }
 
-/// Deserializes one frame *payload* (without the length prefix).
+/// Wraps an already-serialized payload in a v2 frame: length prefix,
+/// header CRC, seq, ack, payload CRC, payload. Counts tx telemetry.
+pub fn frame_v2(payload: &[u8], header: FrameHeader) -> Vec<u8> {
+    let len = ((V2_HEADER_LEN + payload.len()) as u32).to_be_bytes();
+    let seq = header.seq.to_be_bytes();
+    let ack = header.ack.to_be_bytes();
+    let pcrc = crc32(payload).to_be_bytes();
+    let hcrc = crc32_parts(&[&len, &seq, &ack, &pcrc]).to_be_bytes();
+    let mut framed = Vec::with_capacity(4 + V2_HEADER_LEN + payload.len());
+    framed.extend_from_slice(&len);
+    framed.extend_from_slice(&hcrc);
+    framed.extend_from_slice(&seq);
+    framed.extend_from_slice(&ack);
+    framed.extend_from_slice(&pcrc);
+    framed.extend_from_slice(payload);
+    count_tx(framed.len());
+    framed
+}
+
+/// Serializes `msg` to its JSON payload bytes (no framing, no
+/// telemetry) — what retransmit rings store, so a replay re-frames
+/// the identical payload under a fresh header.
+pub fn to_payload<T: Serialize>(msg: &T) -> Vec<u8> {
+    serde_json::to_vec(msg).expect("wire messages must serialize")
+}
+
+/// Serializes `msg` into one v1 framed buffer (prefix + payload),
+/// ready for a single `write_all`. Every encoded frame is counted in
+/// the process-wide wire telemetry ([`crate::telemetry::wire`]),
+/// covering all transports without per-call-site plumbing.
+pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
+    frame_v1(&to_payload(msg))
+}
+
+/// Deserializes one frame *payload* (without prefix or header).
 /// Counts the frame in the process-wide rx wire telemetry.
 pub fn decode<T: DeserializeOwned>(payload: &[u8]) -> Result<T, WireError> {
     let w = crate::telemetry::wire();
     w.rx_frames.inc();
     w.rx_bytes.add(payload.len() as u64 + 4);
-    serde_json::from_slice(payload).map_err(|e| WireError(format!("bad payload: {e:?}")))
+    serde_json::from_slice(payload).map_err(|e| WireError::Codec(format!("bad payload: {e:?}")))
 }
 
 /// Incremental frame extractor: push received chunks in, pull complete
 /// frame payloads out. Never blocks and never loses partial data.
+/// Starts in v1 mode; [`Self::set_v2`] switches formats mid-stream
+/// (buffered bytes are kept), which is how the handshake upgrades a
+/// connection.
 #[derive(Default)]
 pub struct FrameDecoder {
     buf: BytesMut,
+    v2: bool,
 }
 
 impl FrameDecoder {
-    /// An empty decoder.
+    /// An empty decoder (v1 format).
     pub fn new() -> Self {
-        FrameDecoder { buf: BytesMut::new() }
+        FrameDecoder { buf: BytesMut::new(), v2: false }
+    }
+
+    /// Switches the expected frame format; already-buffered bytes are
+    /// re-interpreted under the new format.
+    pub fn set_v2(&mut self, v2: bool) {
+        self.v2 = v2;
     }
 
     /// Appends freshly received bytes (any chunking).
@@ -79,30 +245,85 @@ impl FrameDecoder {
         self.buf.extend_from_slice(chunk);
     }
 
-    /// Extracts the next complete frame payload, or `None` if more
-    /// bytes are needed. Errors only on an over-limit length prefix; the
-    /// buffered bytes are discarded then, so a decoder that is handed a
-    /// fresh, valid frame afterwards (e.g. on a new connection) resumes
-    /// cleanly instead of re-reporting the same poisoned prefix forever.
+    /// Extracts the next complete frame payload, discarding any v2
+    /// header. See [`Self::next_frame2`] for error behavior.
     pub fn next_frame(&mut self) -> Result<Option<Bytes>, WireError> {
+        Ok(self.next_frame2()?.map(|(_, payload)| payload))
+    }
+
+    /// Extracts the next complete frame (header + payload), or `None`
+    /// if more bytes are needed.
+    ///
+    /// v1 frames carry a zeroed header. Errors: an over-limit length
+    /// prefix yields [`WireError::TooLarge`] (v1, or v2 with a valid
+    /// header CRC), a CRC mismatch yields [`WireError::Corrupt`]. On
+    /// `TooLarge` the buffer is discarded so a decoder handed a fresh,
+    /// valid frame afterwards (e.g. on a new connection) resumes
+    /// cleanly; on `Corrupt` the stream is unrecoverable by design —
+    /// the caller must drop the connection.
+    pub fn next_frame2(&mut self) -> Result<Option<(FrameHeader, Bytes)>, WireError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
         let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if !self.v2 {
+            if len > MAX_FRAME_LEN {
+                self.buf.clear();
+                return Err(WireError::TooLarge { len });
+            }
+            if self.buf.len() < 4 + len {
+                return Ok(None);
+            }
+            let mut frame = self.buf.split_to(4 + len);
+            let _prefix = frame.split_to(4);
+            return Ok(Some((FrameHeader::default(), frame.freeze())));
+        }
+        // v2: the header CRC is verified before the length is trusted,
+        // so a bit flipped in the length prefix surfaces as Corrupt
+        // instead of stalling the stream or reading a wrong boundary.
+        if self.buf.len() < 4 + V2_HEADER_LEN {
+            return Ok(None);
+        }
+        let hcrc = u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
+        let computed = crc32_parts(&[&self.buf[0..4], &self.buf[8..4 + V2_HEADER_LEN]]);
+        if hcrc != computed {
+            crate::telemetry::comm().frames_corrupt.inc();
+            self.buf.clear();
+            return Err(WireError::Corrupt(format!(
+                "header crc mismatch ({hcrc:08x} != {computed:08x})"
+            )));
+        }
         if len > MAX_FRAME_LEN {
             self.buf.clear();
-            return Err(WireError(format!("frame length {len} exceeds {MAX_FRAME_LEN}")));
+            return Err(WireError::TooLarge { len });
+        }
+        if len < V2_HEADER_LEN {
+            self.buf.clear();
+            return Err(WireError::Corrupt(format!("v2 frame length {len} below header size")));
         }
         if self.buf.len() < 4 + len {
             return Ok(None);
         }
         let mut frame = self.buf.split_to(4 + len);
-        let _prefix = frame.split_to(4);
-        Ok(Some(frame.freeze()))
+        let _prefix_and_hcrc = frame.split_to(8);
+        let seq = u64::from_be_bytes(frame[0..8].try_into().expect("8 bytes"));
+        let ack = u64::from_be_bytes(frame[8..16].try_into().expect("8 bytes"));
+        let pcrc = u32::from_be_bytes(frame[16..20].try_into().expect("4 bytes"));
+        let _seq_ack_pcrc = frame.split_to(20);
+        let payload = frame.freeze();
+        let computed = crc32(&payload);
+        if pcrc != computed {
+            crate::telemetry::comm().frames_corrupt.inc();
+            self.buf.clear();
+            return Err(WireError::Corrupt(format!(
+                "payload crc mismatch ({pcrc:08x} != {computed:08x})"
+            )));
+        }
+        Ok(Some((FrameHeader { seq, ack }, payload)))
     }
 }
 
-/// Writes one message as a single frame.
+/// Writes one message as a single v1 frame.
 pub fn write_msg<T: Serialize, W: Write>(w: &mut W, msg: &T) -> std::io::Result<()> {
     w.write_all(&encode(msg))?;
     w.flush()
@@ -116,10 +337,22 @@ pub fn read_msg<T: DeserializeOwned, R: Read>(
     r: &mut R,
     dec: &mut FrameDecoder,
 ) -> std::io::Result<Option<T>> {
+    match read_frame(r, dec)? {
+        Some((_, payload)) => Ok(Some(decode(&payload)?)),
+        None => Ok(None),
+    }
+}
+
+/// Reads until one whole frame (header + raw payload) is available.
+/// Same EOF/timeout semantics as [`read_msg`].
+pub fn read_frame<R: Read>(
+    r: &mut R,
+    dec: &mut FrameDecoder,
+) -> std::io::Result<Option<(FrameHeader, Bytes)>> {
     let mut chunk = [0u8; 64 * 1024];
     loop {
-        if let Some(frame) = dec.next_frame()? {
-            return Ok(Some(decode(&frame)?));
+        if let Some(frame) = dec.next_frame2()? {
+            return Ok(Some(frame));
         }
         match r.read(&mut chunk) {
             Ok(0) => {
@@ -175,7 +408,7 @@ mod tests {
     fn oversized_length_prefix_is_rejected() {
         let mut dec = FrameDecoder::new();
         dec.push(&u32::MAX.to_be_bytes());
-        assert!(dec.next_frame().is_err());
+        assert!(matches!(dec.next_frame(), Err(WireError::TooLarge { .. })));
     }
 
     #[test]
@@ -188,5 +421,63 @@ mod tests {
         assert_eq!(read_msg::<u64, _>(&mut cursor, &mut dec).unwrap(), Some(42));
         assert_eq!(read_msg::<u64, _>(&mut cursor, &mut dec).unwrap(), Some(43));
         assert_eq!(read_msg::<u64, _>(&mut cursor, &mut dec).unwrap(), None);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_parts(&[b"1234", b"56789"]), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn v2_round_trip_preserves_header_and_payload() {
+        let payload = to_payload(&"hello".to_string());
+        let framed = frame_v2(&payload, FrameHeader { seq: 7, ack: 3 });
+        let mut dec = FrameDecoder::new();
+        dec.set_v2(true);
+        dec.push(&framed);
+        let (h, p) = dec.next_frame2().unwrap().expect("complete frame");
+        assert_eq!(h, FrameHeader { seq: 7, ack: 3 });
+        let s: String = decode(&p).unwrap();
+        assert_eq!(s, "hello");
+        assert!(dec.next_frame2().unwrap().is_none());
+    }
+
+    #[test]
+    fn v2_single_bit_flip_is_caught_everywhere() {
+        let payload = to_payload(&vec![1u64, 2, 3]);
+        let framed = frame_v2(&payload, FrameHeader { seq: 41, ack: 40 });
+        for bit in 0..framed.len() * 8 {
+            let mut bad = framed.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            let mut dec = FrameDecoder::new();
+            dec.set_v2(true);
+            dec.push(&bad);
+            assert!(
+                matches!(dec.next_frame2(), Err(WireError::Corrupt(_))),
+                "flipping bit {bit} was not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn error_kinds_classify_retryability() {
+        assert!(WireError::Corrupt("x".into()).is_retryable());
+        assert!(WireError::TooLarge { len: usize::MAX }.is_retryable());
+        assert!(WireError::Io("x".into()).is_retryable());
+        assert!(!WireError::Codec("x".into()).is_retryable());
+        let fatal: std::io::Error = WireError::Codec("bad".into()).into();
+        assert!(io_error_is_fatal(&fatal));
+        let soft: std::io::Error = WireError::Corrupt("bad".into()).into();
+        assert!(!io_error_is_fatal(&soft));
+        let plain = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe");
+        assert!(!io_error_is_fatal(&plain));
+    }
+
+    #[test]
+    fn v1_garbage_payload_is_a_codec_error() {
+        let framed = frame_v1(b"not json");
+        assert!(matches!(decode::<u64>(&framed[4..]), Err(WireError::Codec(_))));
     }
 }

@@ -11,7 +11,9 @@
 use proptest::prelude::*;
 use ugrs_core::messages::{Message, SubproblemMsg};
 use ugrs_core::server::{JobEvent, JobEventKind, JobSummary, PoolDown, PoolUp, WorkerInfo};
-use ugrs_core::wire::{decode, encode, FrameDecoder};
+use ugrs_core::wire::{
+    decode, encode, frame_v2, to_payload, FrameDecoder, FrameHeader, WireError, MAX_FRAME_LEN,
+};
 use ugrs_core::{
     ClientRequest, JobProgress, JobSpec, JobState, MetricsReport, ProgressMsg, ServerReply,
     ServerStatus, SolverSettings,
@@ -389,6 +391,53 @@ proptest! {
         chunk in 1usize..23,
     ) {
         roundtrip_canonical(&msgs, chunk)?;
+    }
+
+    /// A single flipped bit *anywhere* in a v2 frame — length prefix,
+    /// header, or payload — must surface as `WireError::Corrupt`, the
+    /// structured kind the reconnect policy treats as retryable.
+    #[test]
+    fn v2_single_bit_flip_surfaces_as_corrupt(
+        msg in arb_msg(),
+        seq in 0u64..1_000_000,
+        ack in 0u64..1_000_000,
+        bit_pick in any::<u64>(),
+    ) {
+        let framed = frame_v2(&to_payload(&msg), FrameHeader { seq, ack });
+        let bit = (bit_pick % (framed.len() * 8) as u64) as usize;
+        let mut bad = framed;
+        bad[bit / 8] ^= 1 << (bit % 8);
+        let mut dec = FrameDecoder::new();
+        dec.set_v2(true);
+        dec.push(&bad);
+        match dec.next_frame2() {
+            Err(e @ WireError::Corrupt(_)) => prop_assert!(e.is_retryable()),
+            other => prop_assert!(false, "bit {bit}: expected Corrupt, got {other:?}"),
+        }
+    }
+
+    /// Error kinds are structured and classified: an over-limit length
+    /// prefix is `TooLarge` (retryable), a CRC-clean frame carrying
+    /// garbage is `Codec` (fatal) — the distinction the reconnect
+    /// policy is built on.
+    #[test]
+    fn error_kinds_are_structured(extra in 1usize..1_000_000, garbage in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut dec = FrameDecoder::new();
+        let len = MAX_FRAME_LEN + extra;
+        dec.push(&(len as u32).to_be_bytes());
+        match dec.next_frame() {
+            Err(e @ WireError::TooLarge { len: l }) => {
+                prop_assert_eq!(l, len as u32 as usize);
+                prop_assert!(e.is_retryable());
+            }
+            other => prop_assert!(false, "expected TooLarge, got {other:?}"),
+        }
+
+        prop_assume!(serde_json::from_slice::<Msg>(&garbage).is_err());
+        match decode::<Msg>(&garbage) {
+            Err(e @ WireError::Codec(_)) => prop_assert!(!e.is_retryable()),
+            other => prop_assert!(false, "expected Codec, got {other:?}"),
+        }
     }
 }
 

@@ -25,7 +25,10 @@ pub mod apps;
 pub mod base;
 pub mod serve;
 
-pub use apps::misdp::{misdp_racing_settings, ug_solve_misdp, MisdpPlugins};
+pub use apps::misdp::{
+    misdp_racing_settings, ug_solve_misdp, ug_solve_misdp_distributed, MisdpParallelResult,
+    MisdpPlugins,
+};
 pub use apps::stp::{
     stp_racing_settings, stp_worker_factory, ug_solve_stp, ug_solve_stp_distributed,
     ug_solve_stp_seeded, StpParallelResult, StpPlugins,

@@ -30,6 +30,7 @@
 //! `--worker` defaults to the `ugd-worker` binary next to this
 //! executable. The process runs until a client sends `shutdown`.
 
+use ugrs_core::chaos::{ChaosConfig, ChaosProfile};
 use ugrs_core::ServerConfig;
 use ugrs_glue::SolveServer;
 
@@ -43,6 +44,8 @@ fn parse_args() -> Result<Args, String> {
     let mut config = ServerConfig { client_addr: "127.0.0.1:7163".into(), ..Default::default() };
     let mut handicap_ms = 0u64;
     let mut worker = None;
+    let mut chaos_seed = None;
+    let mut chaos_profile = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -74,9 +77,45 @@ fn parse_args() -> Result<Args, String> {
                     value("--checkpoint-interval")?.parse().map_err(|e| format!("{e}"))?
             }
             "--worker" => worker = Some(value("--worker")?),
+            "--heartbeat-ms" => {
+                config.comm.heartbeat_interval = std::time::Duration::from_millis(
+                    value("--heartbeat-ms")?.parse().map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--liveness-ms" => {
+                config.comm.liveness_timeout = std::time::Duration::from_millis(
+                    value("--liveness-ms")?.parse().map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--reconnect-ms" => {
+                config.comm.reconnect_deadline = std::time::Duration::from_millis(
+                    value("--reconnect-ms")?.parse().map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--chaos-seed" => {
+                chaos_seed =
+                    Some(value("--chaos-seed")?.parse::<u64>().map_err(|e| format!("{e}"))?)
+            }
+            "--chaos-profile" => {
+                // Parse here so a typo fails at startup, not in a
+                // worker spawned minutes later.
+                chaos_profile = Some(ChaosProfile::parse(&value("--chaos-profile")?)?);
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if chaos_profile.is_some() && chaos_seed.is_none() {
+        return Err("--chaos-profile needs --chaos-seed".into());
+    }
+    if let Some(seed) = chaos_seed {
+        // The scheduler hands each pool worker a per-worker variant of
+        // this plan (seed + worker id): still fully deterministic, but
+        // de-correlated — a shared seed would synchronize every
+        // worker's schedule and tear all of a job's leases at once.
+        config.comm.chaos =
+            Some(ChaosConfig::new(seed, chaos_profile.unwrap_or_else(ChaosProfile::none)));
+    }
+    config.comm.validate()?;
     Ok(Args { config, handicap_ms, worker })
 }
 
@@ -105,6 +144,8 @@ fn main() {
                  \x20       [--max-jobs <n>] [--worker <path>] [--status-interval <secs>]\n\
                  \x20       [--handicap-ms <ms>] [--journal-dir <dir>]\n\
                  \x20       [--state-dir <dir>] [--checkpoint-interval <secs>]\n\
+                 \x20       [--heartbeat-ms <ms>] [--liveness-ms <ms>] [--reconnect-ms <ms>]\n\
+                 \x20       [--chaos-seed <n> [--chaos-profile <name|json>]]\n\
                  \n\
                  --state-dir <dir>            durable job ledger + checkpoints; on restart,\n\
                  \x20                            unfinished jobs are requeued/resumed from here\n\

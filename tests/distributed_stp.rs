@@ -86,10 +86,14 @@ fn killed_worker_is_survived_and_requeued() {
     // a silent worker dead — pointless stall in a kill test), passed to
     // the workers so their heartbeat cadence matches.
     let n = 4;
+    // reconnect_deadline is kept short: this test is about the
+    // *requeue* path, so a killed worker should be declared dead fast.
     let config = ProcessCommConfig {
         handshake_timeout: Duration::from_secs(10),
         liveness_timeout: Duration::from_secs(2),
         heartbeat_interval: Duration::from_millis(100),
+        reconnect_deadline: Duration::from_millis(500),
+        chaos: None,
     };
     let listener = ProcessListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap().to_string();

@@ -21,6 +21,8 @@ fn comm() -> ProcessCommConfig {
         handshake_timeout: Duration::from_secs(10),
         liveness_timeout: Duration::from_secs(2),
         heartbeat_interval: Duration::from_millis(100),
+        reconnect_deadline: Duration::from_millis(500),
+        chaos: None,
     }
 }
 
