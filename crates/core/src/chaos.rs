@@ -24,8 +24,9 @@
 //! * **Corrupt** — one bit of the frame is flipped before writing;
 //!   the receiver's CRC must catch it and drop the connection.
 //! * **Partition** — all writes (heartbeats included) stop for a
-//!   while; the coordinator's liveness sweep must fire and force a
-//!   reconnect.
+//!   while; the connection is torn down when the partition lifts (or
+//!   earlier, by the coordinator's liveness sweep) and the resume
+//!   replays the suppressed frames — never leaving a sequence gap.
 //! * **Kill** — the worker process exits immediately (exit code 137,
 //!   as if SIGKILLed): exercises the `WorkerDied` → requeue path.
 

@@ -31,13 +31,21 @@
 //! reconnects with exponential backoff + jitter under the
 //! [`ProcessCommConfig::reconnect_deadline`] budget, presents its
 //! token, and both sides replay whatever the other had not yet acked;
-//! duplicate deliveries are suppressed by sequence number. The
+//! duplicate deliveries are suppressed by sequence number, and a
+//! sequence *gap* (a frame from the future) is treated as a torn
+//! stream that forces another reconnect, so in-stream loss can never
+//! be silently accepted. During a coordinator-side resume the writer
+//! stays unpublished until the replay completes — concurrent
+//! `send_to` frames are ringed and flushed afterwards, in order — so
+//! a fresh frame can never overtake a replayed one on the wire. The
 //! supervisor never hears about a transient drop. Only when the
-//! deadline expires (or on a v1 connection, or with a zero deadline)
-//! does the transport synthesize [`Message::WorkerDied`] — exactly
-//! once per rank — and the existing requeue → pool-refill path fires.
-//! Recoveries are recorded in `ugrs_comm_reconnects_total` and
-//! `ugrs_comm_frames_retransmitted_total`.
+//! deadline expires (or on a v1 connection, or with a zero deadline,
+//! or when a retransmit ring overflows) does the transport synthesize
+//! [`Message::WorkerDied`] — exactly once per rank — and the existing
+//! requeue → pool-refill path fires. Recoveries are recorded in
+//! `ugrs_comm_reconnects_total` and
+//! `ugrs_comm_frames_retransmitted_total`; anomalies in
+//! `ugrs_comm_seq_gaps_total` and `ugrs_comm_ring_overflows_total`.
 //!
 //! **Liveness.** Every worker runs a heartbeat thread sending `Ping`
 //! at a fixed interval, independent of solving, so a busy-but-healthy
@@ -49,9 +57,12 @@
 //! **Chaos.** With [`ProcessCommConfig::chaos`] set, the worker-side
 //! send path consults a deterministic [`FaultInjector`] before every
 //! outgoing frame and injects the scheduled delay / drop / duplicate /
-//! corruption / partition / kill faults. The recovery path (replay on
-//! resume) bypasses injection, so a seeded schedule perturbs the
-//! stream but never the repair.
+//! corruption / partition / kill faults. A partition suppresses writes
+//! while it lasts and tears the stream down when it lifts, so the
+//! suppressed (ringed) frames are replayed by the resume instead of
+//! leaving a sequence gap. The recovery path (replay on resume)
+//! bypasses injection, so a seeded schedule perturbs the stream but
+//! never the repair.
 
 use crate::chaos::{ChaosConfig, FaultAction, FaultInjector, SplitMix64};
 use crate::messages::Message;
@@ -78,10 +89,21 @@ pub const PROTOCOL_VERSION: u32 = 2;
 pub const BASE_PROTOCOL: u32 = 1;
 
 /// Un-acked payloads kept per direction for replay after a reconnect.
-/// Overflow evicts the oldest (heartbeat-dominated rings trim long
-/// before this; a ring that genuinely overflows means the peer was
-/// gone past any useful resume horizon anyway).
+/// A ring that reaches capacity means the peer has been unreachable
+/// past any useful resume horizon: the session is declared dead loudly
+/// (counted in `ugrs_comm_ring_overflows_total`, surfacing the usual
+/// requeue path) rather than silently evicting — and thereby losing —
+/// the oldest un-acked payload.
 const RETRANSMIT_RING_CAP: usize = 1024;
+
+/// Write timeout applied while a retransmit ring is replayed on
+/// resume. Both ends replay before their regular read loop resumes; if
+/// neither read while both rings exceeded the socket buffers, the two
+/// blocking `write_all`s would deadlock. The coordinator additionally
+/// starts its reader *before* replaying, so this timeout is the
+/// backstop that turns any residual stall into another reconnect
+/// instead of a hang.
+const REPLAY_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Sentinel sequence number of unsequenced frames (heartbeats and ack
 /// carriers): not ringed, not replayed, exempt from duplicate
@@ -349,7 +371,7 @@ impl ProcessListener {
             }
             std::thread::sleep(Duration::from_millis(5));
         }
-        Ok(ProcessLcComm { shared, up_rx, _up_tx: up_tx })
+        Ok(ProcessLcComm { shared, up_rx, up_tx })
     }
 }
 
@@ -478,6 +500,18 @@ where
 
 /// Re-attaches a returning worker: validates the session token,
 /// replays every un-acked downward frame, and restarts the reader.
+///
+/// Two ordering rules keep the resume safe. The writer stays
+/// *unpublished* (`link.writer == None`) until the whole replay is on
+/// the wire: a concurrent `send_to` therefore rings its payload
+/// without writing, and those frames are flushed — in sequence order,
+/// under the link lock — just before publication, so a fresh frame
+/// can never overtake a replayed one (the worker would bump its
+/// `rx_next` past the replay and discard the rest as duplicates). And
+/// the reader is spawned *before* the replay starts: the worker is
+/// replaying its own ring at the same time, and with neither side
+/// reading, two rings larger than the socket buffers would deadlock
+/// both `write_all`s ([`REPLAY_WRITE_TIMEOUT`] backstops the rest).
 fn handshake_resume<Sub, Sol>(
     stream: TcpStream,
     shared: &Arc<Shared>,
@@ -500,7 +534,19 @@ where
         .ok_or_else(stale)?;
 
     let reader = stream.try_clone()?;
-    let (epoch, replay, rx_next) = {
+    let mut writer = stream;
+    writer.set_write_timeout(Some(REPLAY_WRITE_TIMEOUT))?;
+    // Marks the link disconnected again (unless superseded) so the
+    // reconnect window stays open for the next attempt.
+    let fail = |writer: &TcpStream, epoch: u64| {
+        let _ = writer.shutdown(Shutdown::Both);
+        let mut link = shared.links[rank].lock().unwrap();
+        if link.epoch == epoch && link.disconnected_since.is_none() {
+            link.disconnected_since = Some(Instant::now());
+        }
+    };
+
+    let (epoch, replay, rx_next, tx_high) = {
         let mut link = shared.links[rank].lock().unwrap();
         // Double-check under the lock (a racing resume may have won).
         if link.died || link.token != resume.token {
@@ -517,37 +563,68 @@ where
             protocol: Some(2),
             session: Some(Session { token: link.token, rx_next: link.rx_next }),
         };
-        wire::write_msg(&mut (&stream), &welcome)?;
+        wire::write_msg(&mut (&writer), &welcome)?;
         link.trim_ring(resume.rx_next);
         let replay: Vec<(u64, Arc<Vec<u8>>)> = link.ring.iter().cloned().collect();
-        link.writer = Some(stream);
+        // Writer deliberately NOT published yet; see the doc comment.
         link.disconnected_since = None;
-        (link.epoch, replay, link.rx_next)
+        (link.epoch, replay, link.rx_next, link.tx_next)
     };
 
-    // Replay outside the link lock: the frames are already ordered and
-    // the receiver suppresses any duplicate by seq.
+    // The session is re-attached: count the reconnect now, before the
+    // reader can surface any resumed traffic (a test observing the
+    // replayed messages must already see the counter).
     let comm_stats = telemetry::comm();
+    comm_stats.reconnects.inc();
+
+    // Reader first (see the doc comment), then the replay, outside the
+    // link lock: the frames are already ordered and the receiver
+    // suppresses any duplicate by seq.
+    shared.last_heard.lock().unwrap()[rank] = Instant::now();
+    reader.set_read_timeout(None)?;
+    let mut dec = FrameDecoder::new();
+    dec.set_v2(true);
+    spawn_lc_reader::<Sub, Sol>(rank, epoch, reader, dec, shared.clone(), up_tx);
     for (seq, payload) in &replay {
         let framed = wire::frame_v2(payload, FrameHeader { seq: *seq, ack: rx_next });
-        let mut link = shared.links[rank].lock().unwrap();
-        if link.epoch != epoch {
-            return Ok(()); // a newer connection took over mid-replay
-        }
-        let Some(w) = link.writer.as_mut() else { return Ok(()) };
-        if w.write_all(&framed).and_then(|_| w.flush()).is_err() {
-            link.disconnect();
+        if writer.write_all(&framed).and_then(|_| writer.flush()).is_err() {
+            fail(&writer, epoch);
             return Ok(());
         }
         comm_stats.frames_retransmitted.inc();
     }
 
-    shared.last_heard.lock().unwrap()[rank] = Instant::now();
-    comm_stats.reconnects.inc();
-    reader.set_read_timeout(None)?;
-    let mut dec = FrameDecoder::new();
-    dec.set_v2(true);
-    spawn_lc_reader::<Sub, Sol>(rank, epoch, reader, dec, shared.clone(), up_tx);
+    // Publish the writer, first flushing whatever `send_to` ringed
+    // while it was unpublished (every seq from `tx_high` up). The
+    // write timeout is still armed, so a stalled peer fails this
+    // resume instead of hanging the coordinator on a held link lock.
+    {
+        let mut link = shared.links[rank].lock().unwrap();
+        if link.epoch != epoch || link.died {
+            let _ = writer.shutdown(Shutdown::Both);
+            return Ok(()); // a newer connection took over mid-replay
+        }
+        let pending: Vec<(u64, Arc<Vec<u8>>)> =
+            link.ring.iter().filter(|(seq, _)| *seq >= tx_high).cloned().collect();
+        for (seq, payload) in &pending {
+            let framed = wire::frame_v2(payload, FrameHeader { seq: *seq, ack: link.rx_next });
+            if writer.write_all(&framed).and_then(|_| writer.flush()).is_err() {
+                let _ = writer.shutdown(Shutdown::Both);
+                if link.disconnected_since.is_none() {
+                    link.disconnected_since = Some(Instant::now());
+                }
+                return Ok(());
+            }
+        }
+        if writer.set_write_timeout(None).is_err() {
+            let _ = writer.shutdown(Shutdown::Both);
+            if link.disconnected_since.is_none() {
+                link.disconnected_since = Some(Instant::now());
+            }
+            return Ok(());
+        }
+        link.writer = Some(writer);
+    }
     Ok(())
 }
 
@@ -581,6 +658,21 @@ fn spawn_lc_reader<Sub, Sol>(
                                     drop(link);
                                     shared.last_heard.lock().unwrap()[rank] = Instant::now();
                                     continue;
+                                }
+                                if header.seq > link.rx_next {
+                                    // A gap means frames vanished from
+                                    // the byte stream — never silently
+                                    // accept it; force a reconnect so
+                                    // the resume replays the missing
+                                    // range (from our unmoved rx_next).
+                                    telemetry::comm().seq_gaps.inc();
+                                    drop(link);
+                                    let gap = io::Error::new(
+                                        io::ErrorKind::ConnectionReset,
+                                        "upward sequence gap",
+                                    );
+                                    lc_reader_on_error(rank, epoch, &shared, &up_tx, Some(gap));
+                                    return;
                                 }
                                 link.rx_next = header.seq + 1;
                             }
@@ -658,8 +750,9 @@ pub struct ProcessLcComm<Sub, Sol> {
     shared: Arc<Shared>,
     up_rx: Receiver<Message<Sub, Sol>>,
     /// Keeps the channel open for reconnecting readers even when every
-    /// original reader thread has exited.
-    _up_tx: Sender<Message<Sub, Sol>>,
+    /// original reader thread has exited, and lets `send_to`
+    /// synthesize `WorkerDied` on retransmit-ring overflow.
+    up_tx: Sender<Message<Sub, Sol>>,
 }
 
 impl<Sub, Sol> std::fmt::Debug for ProcessLcComm<Sub, Sol> {
@@ -680,9 +773,13 @@ where
 
     /// Sends to one rank. On a v2 session the payload is ringed for
     /// replay first, so `true` means *delivered or will be on resume*;
-    /// a failed write merely opens the reconnect window. On a v1
-    /// session `false` reports a dead rank or failed write (the writer
-    /// is retired), exactly as before.
+    /// a failed write merely opens the reconnect window, and `false`
+    /// reports a dead rank — including the rank dying right here
+    /// because its retransmit ring overflowed (the un-acked backlog
+    /// outgrew any useful resume horizon; `WorkerDied` is synthesized
+    /// so the supervisor requeues instead of the message silently
+    /// vanishing). On a v1 session `false` reports a dead rank or
+    /// failed write (the writer is retired), exactly as before.
     pub fn send_to(&self, rank: usize, msg: Message<Sub, Sol>) -> bool {
         use std::io::Write;
         let Some(slot) = self.shared.links.get(rank) else { return false };
@@ -692,11 +789,16 @@ where
             return false;
         }
         if link.v2 {
+            if link.ring.len() >= RETRANSMIT_RING_CAP {
+                telemetry::comm().ring_overflows.inc();
+                link.died = true;
+                link.disconnect();
+                drop(link);
+                let _ = self.up_tx.send(Message::WorkerDied { rank });
+                return false;
+            }
             let seq = link.tx_next;
             link.tx_next += 1;
-            if link.ring.len() >= RETRANSMIT_RING_CAP {
-                link.ring.pop_front();
-            }
             link.ring.push_back((seq, payload.clone()));
             let framed = wire::frame_v2(&payload, FrameHeader { seq, ack: link.rx_next });
             if let Some(w) = link.writer.as_mut() {
@@ -785,7 +887,9 @@ struct WorkerInner {
     /// Next downward seq expected; anything below is a duplicate.
     rx_next: u64,
     /// Chaos partition in force: writes are suppressed (the socket
-    /// stays open and silent) until this instant.
+    /// stays open and silent) until this instant. When it lifts the
+    /// stream is torn down so the resume replays the suppressed
+    /// (ringed) frames instead of leaving a sequence gap.
     partition_until: Option<Instant>,
     chaos: Option<FaultInjector>,
     /// The reader gave up for good; sends fail from here on.
@@ -804,16 +908,24 @@ impl WorkerInner {
 /// ring-buffering (reliable frames only), the partition gate, and one
 /// scheduled fault. Write failures silently drop the stream — the
 /// reader notices and runs the reconnect, and ringed payloads are
-/// replayed on resume.
+/// replayed on resume. A full retransmit ring kills the session
+/// instead of evicting (losing) the oldest un-acked payload.
 fn send_locked(inner: &mut WorkerInner, payload: Arc<Vec<u8>>, reliable: bool) {
     use std::io::Write;
     let framed = if inner.v2 {
         let seq = if reliable {
+            if inner.ring.len() >= RETRANSMIT_RING_CAP {
+                // Unreachable past any useful resume horizon: die
+                // loudly (the coordinator's reconnect deadline then
+                // requeues the rank) instead of silently evicting the
+                // oldest un-acked payload.
+                telemetry::comm().ring_overflows.inc();
+                inner.dead = true;
+                inner.drop_stream();
+                return;
+            }
             let seq = inner.tx_next;
             inner.tx_next += 1;
-            if inner.ring.len() >= RETRANSMIT_RING_CAP {
-                inner.ring.pop_front();
-            }
             inner.ring.push_back((seq, payload.clone()));
             seq
         } else {
@@ -827,7 +939,14 @@ fn send_locked(inner: &mut WorkerInner, payload: Arc<Vec<u8>>, reliable: bool) {
         if Instant::now() < until {
             return; // partitioned: sequenced payloads wait in the ring
         }
+        // The partition lifts with sequenced frames suppressed (ringed
+        // but never written): writing fresh frames now would open a
+        // seq gap past the suppressed range. Tear the stream down
+        // instead — the reader reconnects and the resume replays
+        // everything, in order.
         inner.partition_until = None;
+        inner.drop_stream();
+        return;
     }
     if inner.stream.is_none() {
         return; // disconnected: the reconnect path replays the ring
@@ -975,6 +1094,7 @@ fn spawn_worker_reader<Sub, Sol>(
             loop {
                 let err = match wire::read_frame(&mut stream, &mut dec) {
                     Ok(Some((header, payload))) => {
+                        let mut gap = false;
                         {
                             let mut g = inner.lock().unwrap();
                             if g.v2 {
@@ -983,22 +1103,39 @@ fn spawn_worker_reader<Sub, Sol>(
                                         telemetry::comm().dup_frames.inc();
                                         continue;
                                     }
-                                    g.rx_next = header.seq + 1;
+                                    // A gap is in-stream loss: never
+                                    // accept it silently; reconnect and
+                                    // let the resume replay the missing
+                                    // downward range.
+                                    gap = header.seq > g.rx_next;
+                                    if !gap {
+                                        g.rx_next = header.seq + 1;
+                                    }
                                 }
-                                while g.ring.front().is_some_and(|(s, _)| *s < header.ack) {
-                                    g.ring.pop_front();
+                                if !gap {
+                                    while g.ring.front().is_some_and(|(s, _)| *s < header.ack) {
+                                        g.ring.pop_front();
+                                    }
                                 }
                             }
                         }
-                        match wire::decode::<WireMsg<Sub, Sol>>(&payload) {
-                            Ok(WireMsg::Ping { .. }) => continue,
-                            Ok(WireMsg::Msg(msg)) => {
-                                if down_tx.send(msg).is_err() {
-                                    return; // endpoint dropped
+                        if gap {
+                            telemetry::comm().seq_gaps.inc();
+                            Some(io::Error::new(
+                                io::ErrorKind::ConnectionReset,
+                                "downward sequence gap",
+                            ))
+                        } else {
+                            match wire::decode::<WireMsg<Sub, Sol>>(&payload) {
+                                Ok(WireMsg::Ping { .. }) => continue,
+                                Ok(WireMsg::Msg(msg)) => {
+                                    if down_tx.send(msg).is_err() {
+                                        return; // endpoint dropped
+                                    }
+                                    continue;
                                 }
-                                continue;
+                                Err(e) => Some(io::Error::from(e)),
                             }
-                            Err(e) => Some(io::Error::from(e)),
                         }
                     }
                     Ok(None) => None,
@@ -1009,8 +1146,11 @@ fn spawn_worker_reader<Sub, Sol>(
                     return;
                 }
                 let fatal = err.as_ref().is_some_and(wire::io_error_is_fatal);
-                let v2 = inner.lock().unwrap().v2;
-                if fatal || !v2 || config.reconnect_deadline.is_zero() {
+                let (v2, dead) = {
+                    let g = inner.lock().unwrap();
+                    (g.v2, g.dead)
+                };
+                if fatal || !v2 || dead || config.reconnect_deadline.is_zero() {
                     let mut g = inner.lock().unwrap();
                     g.drop_stream();
                     g.dead = true;
@@ -1090,9 +1230,15 @@ fn reconnect_worker(
             continue;
         }
         let mut g = inner.lock().unwrap();
+        if g.dead {
+            return None; // e.g. ring overflow while we were redialing
+        }
         // Replay everything the coordinator has not acked, in order,
         // chaos-free: the schedule perturbs fresh traffic, never the
-        // repair itself.
+        // repair itself. The write timeout bounds the replay — the
+        // coordinator is replaying its own ring concurrently, and a
+        // stalled peer must fail us into another redial, not hang the
+        // worker on a held inner lock.
         while g.ring.front().is_some_and(|(s, _)| *s < session.rx_next) {
             g.ring.pop_front();
         }
@@ -1102,11 +1248,17 @@ fn reconnect_worker(
             Ok(w) => w,
             Err(_) => continue,
         };
+        if writer.set_write_timeout(Some(REPLAY_WRITE_TIMEOUT)).is_err() {
+            continue;
+        }
         for (seq, payload) in &replay {
             let framed = wire::frame_v2(payload, FrameHeader { seq: *seq, ack });
             if writer.write_all(&framed).and_then(|_| writer.flush()).is_err() {
                 continue 'redial;
             }
+        }
+        if writer.set_write_timeout(None).is_err() {
+            continue 'redial;
         }
         g.stream = Some(writer);
         g.partition_until = None;
@@ -1176,7 +1328,9 @@ where
 
     /// Sends a message upward. On a v2 session the payload is ringed
     /// before the write, so `true` means *delivered or will be on
-    /// resume*; `false` only once the session is dead for good.
+    /// resume*; `false` only once the session is dead for good —
+    /// including dying right here because the retransmit ring
+    /// overflowed (this payload was *not* ringed).
     pub fn send(&self, msg: Message<Sub, Sol>) -> bool {
         let payload = Arc::new(wire::to_payload(&WireMsg::Msg(msg)));
         let mut g = self.inner.lock().unwrap();
@@ -1185,7 +1339,7 @@ where
         }
         if g.v2 {
             send_locked(&mut g, payload, true);
-            true
+            !g.dead
         } else {
             let before = g.stream.is_some();
             send_locked(&mut g, payload, true);
@@ -1511,5 +1665,238 @@ mod tests {
         assert_eq!(incumbent_rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42.0);
         assert!(lc.send_to(0, Message::Terminate));
         worker.join().unwrap();
+    }
+
+    /// Regression for the resume/`send_to` race: fresh frames sent
+    /// while a resume replay is in flight must never overtake the
+    /// replay on the wire (the worker would run its `rx_next` past
+    /// the replayed range and discard it as duplicates). The worker
+    /// tears the connection down repeatedly mid-stream; every message
+    /// must still arrive exactly once, in order.
+    #[test]
+    fn downward_stream_survives_repeated_breaks_in_order() {
+        const N: usize = 200;
+        let listener = ProcessListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let cfg = ProcessCommConfig { reconnect_deadline: Duration::from_secs(10), ..config() };
+
+        let worker = {
+            let addr = addr.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let comm = connect_worker::<u32, u32>(&addr, Some(0), &cfg).unwrap();
+                let mut objs = Vec::new();
+                while objs.len() < N {
+                    match comm.recv() {
+                        Some(Message::Incumbent { obj, .. }) => {
+                            objs.push(obj as usize);
+                            if objs.len() % 25 == 0 {
+                                comm.test_break_connection();
+                            }
+                        }
+                        Some(_) => {}
+                        None => panic!("session died mid-stream"),
+                    }
+                }
+                objs
+            })
+        };
+
+        let lc = listener.accept_workers::<u32, u32>(1, &cfg).unwrap();
+        for i in 0..N {
+            assert!(lc.send_to(0, Message::Incumbent { sol: 0, obj: i as f64 }));
+            // Keep the sweep running so an (unexpected) death surfaces.
+            if let Some(Message::WorkerDied { rank }) = lc.recv_timeout(Duration::from_millis(1)) {
+                panic!("rank {rank} died during a recoverable break");
+            }
+        }
+        let objs = worker.join().unwrap();
+        assert_eq!(objs, (0..N).collect::<Vec<_>>(), "exactly once, in order");
+    }
+
+    /// A frame from the future (sequence gap) means bytes vanished
+    /// in-stream. The coordinator must not run its `rx_next` past the
+    /// hole: it tears the connection down (no delivery, no death) and
+    /// a resume of the same session still expects the missing seq.
+    #[test]
+    fn coordinator_treats_a_seq_gap_as_a_torn_stream() {
+        use std::io::Write;
+        let gaps_before = telemetry::comm().seq_gaps.get();
+        let listener = ProcessListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let cfg = ProcessCommConfig { reconnect_deadline: Duration::from_secs(10), ..config() };
+
+        let (done_tx, done_rx) = channel::<()>();
+        let client = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            wire::write_msg(
+                &mut (&stream),
+                &Hello {
+                    protocol: BASE_PROTOCOL,
+                    rank_hint: Some(0),
+                    max_protocol: Some(PROTOCOL_VERSION),
+                    resume: None,
+                },
+            )
+            .unwrap();
+            let mut reader = stream.try_clone().unwrap();
+            let mut dec = FrameDecoder::new();
+            let welcome: Welcome = wire::read_msg(&mut reader, &mut dec).unwrap().unwrap();
+            let session = welcome.session.expect("v2 handshake must hand out a session");
+
+            // Seq 5 while the coordinator expects 0: frames 0..5 are
+            // missing from the stream.
+            let payload = wire::to_payload(&WireMsg::<u32, u32>::Msg(Message::Status {
+                rank: 0,
+                dual_bound: 9.0,
+                open: 1,
+                nodes: 1,
+            }));
+            (&stream).write_all(&wire::frame_v2(&payload, FrameHeader { seq: 5, ack: 0 })).unwrap();
+
+            // The coordinator must hang up on us...
+            reader.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            dec.set_v2(true);
+            assert!(
+                matches!(wire::read_msg::<Welcome, _>(&mut reader, &mut dec), Ok(None) | Err(_)),
+                "a seq gap must tear the connection down"
+            );
+
+            // ...but the session survives: a resume is accepted and
+            // still expects seq 0 (rx_next never moved past the hole).
+            let stream2 = TcpStream::connect(addr).unwrap();
+            wire::write_msg(
+                &mut (&stream2),
+                &Hello {
+                    protocol: BASE_PROTOCOL,
+                    rank_hint: Some(0),
+                    max_protocol: Some(PROTOCOL_VERSION),
+                    resume: Some(Resume { token: session.token, rx_next: 0 }),
+                },
+            )
+            .unwrap();
+            let mut reader2 = stream2.try_clone().unwrap();
+            let mut dec2 = FrameDecoder::new();
+            let welcome2: Welcome = wire::read_msg(&mut reader2, &mut dec2).unwrap().unwrap();
+            assert_eq!(
+                welcome2.session.expect("resume must return the session").rx_next,
+                0,
+                "the gap frame must not have advanced rx_next"
+            );
+            done_tx.send(()).unwrap();
+        });
+
+        let lc = listener.accept_workers::<u32, u32>(1, &cfg).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut done = false;
+        while !done && Instant::now() < deadline {
+            match lc.recv_timeout(Duration::from_millis(20)) {
+                Some(Message::Status { .. }) => panic!("the gap frame was delivered"),
+                Some(Message::WorkerDied { rank }) => {
+                    panic!("rank {rank} died; a gap must only reopen the reconnect window")
+                }
+                _ => {}
+            }
+            done = done_rx.try_recv().is_ok();
+        }
+        assert!(done, "client never completed the gap + resume exchange");
+        assert!(telemetry::comm().seq_gaps.get() > gaps_before, "the gap must be counted");
+        client.join().unwrap();
+    }
+
+    /// Overflowing the coordinator's retransmit ring must kill the
+    /// rank loudly (`WorkerDied`, failed send, counted) — never
+    /// silently evict an un-acked payload that a resume would then
+    /// skip.
+    #[test]
+    fn coordinator_ring_overflow_kills_the_rank_loudly() {
+        let shared = Arc::new(Shared {
+            links: vec![Mutex::new(Link::new())],
+            last_heard: Mutex::new(vec![Instant::now()]),
+            claim_lock: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+            liveness_timeout: Duration::from_secs(30),
+            reconnect_deadline: Duration::from_secs(30),
+        });
+        {
+            let mut link = shared.links[0].lock().unwrap();
+            link.claimed = true;
+            link.v2 = true;
+            // Disconnected: every send rings its payload un-acked.
+            link.disconnected_since = Some(Instant::now());
+        }
+        let (up_tx, up_rx) = channel();
+        let lc = ProcessLcComm::<u32, u32> { shared, up_rx, up_tx };
+
+        let overflows_before = telemetry::comm().ring_overflows.get();
+        for _ in 0..RETRANSMIT_RING_CAP {
+            assert!(lc.send_to(0, Message::Terminate), "ringed sends report success");
+        }
+        assert!(!lc.send_to(0, Message::Terminate), "the overflowing send must fail");
+        assert!(
+            matches!(
+                lc.recv_timeout(Duration::from_millis(100)),
+                Some(Message::WorkerDied { rank: 0 })
+            ),
+            "overflow must surface as WorkerDied"
+        );
+        assert!(!lc.send_to(0, Message::Terminate), "the rank must stay dead");
+        assert!(telemetry::comm().ring_overflows.get() > overflows_before);
+    }
+
+    /// The worker-side ring behaves the same: at capacity the session
+    /// dies, the stream drops, and no ringed payload is evicted.
+    #[test]
+    fn worker_ring_overflow_kills_the_session() {
+        let mut inner = WorkerInner {
+            stream: None,
+            v2: true,
+            token: 1,
+            tx_next: 0,
+            ring: VecDeque::new(),
+            rx_next: 0,
+            partition_until: None,
+            chaos: None,
+            dead: false,
+        };
+        let payload = Arc::new(wire::to_payload(&WireMsg::<u32, u32>::Ping { rank: 0 }));
+        for _ in 0..RETRANSMIT_RING_CAP {
+            send_locked(&mut inner, payload.clone(), true);
+        }
+        assert!(!inner.dead);
+        send_locked(&mut inner, payload.clone(), true);
+        assert!(inner.dead, "overflow must kill the session loudly");
+        assert_eq!(inner.ring.len(), RETRANSMIT_RING_CAP, "no payload may be evicted");
+    }
+
+    /// When a chaos partition lifts, the suppressed (ringed but never
+    /// written) frames would sit behind any fresh write as a sequence
+    /// gap. The lift must tear the stream down so the resume replays
+    /// them in order instead.
+    #[test]
+    fn lifted_partition_tears_the_stream_for_replay() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (_peer, _) = listener.accept().unwrap();
+        let mut inner = WorkerInner {
+            stream: Some(stream),
+            v2: true,
+            token: 1,
+            tx_next: 0,
+            ring: VecDeque::new(),
+            rx_next: 0,
+            partition_until: Some(Instant::now() + Duration::from_millis(10)),
+            chaos: None,
+            dead: false,
+        };
+        let payload = Arc::new(wire::to_payload(&WireMsg::<u32, u32>::Ping { rank: 0 }));
+        send_locked(&mut inner, payload.clone(), true); // suppressed, ringed
+        assert!(inner.stream.is_some(), "the socket stays open while partitioned");
+        std::thread::sleep(Duration::from_millis(25));
+        send_locked(&mut inner, payload.clone(), true); // lift
+        assert!(inner.stream.is_none(), "lifting the partition must force a reconnect");
+        assert!(inner.partition_until.is_none());
+        assert_eq!(inner.ring.len(), 2, "both frames must await the resume replay");
+        assert!(!inner.dead, "a partition is recoverable, not terminal");
     }
 }

@@ -486,6 +486,14 @@ pub struct CommStats {
     pub frames_corrupt: Arc<Counter>,
     /// Duplicate frames suppressed by sequence number after a replay.
     pub dup_frames: Arc<Counter>,
+    /// Sequence gaps detected by a receiver — frames missing from the
+    /// byte stream. Each forces a reconnect so the resume replays the
+    /// missing range instead of silently running past it.
+    pub seq_gaps: Arc<Counter>,
+    /// Retransmit rings that hit capacity. The session is declared
+    /// dead loudly (requeue path) rather than silently evicting — and
+    /// losing — the oldest un-acked payload.
+    pub ring_overflows: Arc<Counter>,
 }
 
 /// The process-wide transport recovery counters, registered in
@@ -508,6 +516,14 @@ pub fn comm() -> &'static CommStats {
             dup_frames: r.counter(
                 "ugrs_comm_dup_frames_total",
                 "Duplicate frames suppressed by sequence number",
+            ),
+            seq_gaps: r.counter(
+                "ugrs_comm_seq_gaps_total",
+                "Sequence gaps detected by a receiver (each forces a reconnect)",
+            ),
+            ring_overflows: r.counter(
+                "ugrs_comm_ring_overflows_total",
+                "Retransmit rings that overflowed (the session is declared dead)",
             ),
         }
     })
