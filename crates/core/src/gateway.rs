@@ -1,0 +1,1592 @@
+//! The fleet tier: a gateway fronting N `ugd-server` shards.
+//!
+//! The paper scales by layering LoadCoordinators over many solver
+//! processes; this module applies the same move one level up. A
+//! [`Gateway`] speaks the *identical* client protocol as a
+//! [`Server`](crate::server::Server) — `ugd` and [`JobClient`] work
+//! against either — but instead of owning a worker pool it owns a fleet
+//! of shards, each a full `ugd-server` with its own pool, ledger and
+//! checkpoints. Four mechanisms make the fleet more than N servers
+//! behind a port:
+//!
+//! * **Consistent routing** — each accepted job is placed by *weighted
+//!   rendezvous hashing* over the currently-healthy shard set: every
+//!   shard scores `-w / ln(h)` where `h` is a per-(job, shard) hash and
+//!   `w` a health weight that shrinks with queue depth and busy
+//!   workers. The highest score wins. Unlike mod-N, removing a shard
+//!   remaps *only* that shard's jobs; unlike plain rendezvous, the
+//!   weight steers new load toward idle shards without ever thrashing
+//!   placements that already exist.
+//! * **Work stealing** — a health loop polls every shard's metrics
+//!   exposition (`ugrs_server_queue_depth`, `ugrs_server_workers_busy`);
+//!   when one shard idles while another's queue is at least
+//!   [`GatewayConfig::steal_margin`] deep, the gateway *reclaims* a
+//!   queued job from the deep shard ([`ClientRequest::Reclaim`] — atomic,
+//!   refused once the job started) and resubmits it to the idle one.
+//!   The gateway's own write-ahead ledger holds the job across the
+//!   move, so a crash mid-steal re-runs it (at-least-once) rather than
+//!   losing it.
+//! * **Admission control** — a token bucket per tenant key (from
+//!   [`JobSpec::tenant`]) plus a global in-flight bound. An over-quota
+//!   submit is answered with [`ServerReply::Rejected`] — the 429 of
+//!   this protocol — with nothing assigned, queued or made durable, so
+//!   a misbehaving tenant cannot OOM the fleet or starve its peers.
+//! * **Shard failover** — a shard that misses every health poll for
+//!   [`GatewayConfig::shard_liveness`] (validated against the poll
+//!   interval exactly like
+//!   [`ProcessCommConfig::validate`](crate::process::ProcessCommConfig))
+//!   is declared dead. Every job routed to it is re-dispatched to a
+//!   surviving peer; for jobs that were mid-run the gateway replays the
+//!   dead shard's on-disk checkpoint as [`JobSpec::restart_from`], so
+//!   they resume as run `1.k` of their restart chain (Table 2
+//!   semantics) instead of starting over.
+//!
+//! One OS thread per in-flight job ("tracker") proxies the owning
+//! shard's `Watch` stream into the gateway's own event log, rewriting
+//! local job ids to gateway ids — a watcher of the gateway sees one
+//! continuous event stream across steals and failovers, punctuated by
+//! [`JobEventKind::Routed`] markers.
+
+use crate::ledger::{self, JobLedger};
+use crate::server::{
+    ClientRequest, FleetStatus, JobClient, JobEvent, JobEventKind, JobSpec, JobState, JobSummary,
+    MetricsReport, ServerReply, ServerStatus, ShardSummary, SubmitOutcome, WireType,
+};
+use crate::telemetry::{self, MetricsRegistry};
+use crate::wire::{self, FrameDecoder};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// One shard of the fleet: a running `ugd-server`.
+#[derive(Clone, Debug)]
+pub struct ShardSpec {
+    /// Stable name used in `Routed` events, `ugd fleet` and logs.
+    pub name: String,
+    /// The shard's *client* address (where `ugd` would connect).
+    pub addr: String,
+    /// The shard's `--state-dir`, when the gateway can reach it (same
+    /// host or shared filesystem). Required for checkpoint replay on
+    /// failover; without it a dead shard's jobs restart from scratch.
+    pub state_dir: Option<PathBuf>,
+}
+
+impl ShardSpec {
+    /// A shard with no reachable state dir.
+    pub fn new(name: impl Into<String>, addr: impl Into<String>) -> Self {
+        ShardSpec { name: name.into(), addr: addr.into(), state_dir: None }
+    }
+}
+
+/// A tenant's token-bucket budget: sustained `rate` submits/second with
+/// bursts up to `burst`.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantQuota {
+    /// Tokens added per second.
+    pub rate: f64,
+    /// Bucket capacity (and initial fill).
+    pub burst: f64,
+}
+
+/// Tuning of a [`Gateway`].
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// The fleet, in a stable order (indices are internal shard ids).
+    pub shards: Vec<ShardSpec>,
+    /// Client listener address (`"127.0.0.1:0"` = OS-picked port).
+    pub client_addr: String,
+    /// How often the health loop polls every shard.
+    pub health_interval: Duration,
+    /// A shard that answers no poll for this long is declared dead and
+    /// failed over. Must exceed 2x [`Self::health_interval`] (the same
+    /// rule [`ProcessCommConfig::validate`](crate::process) enforces
+    /// between heartbeat and liveness).
+    pub shard_liveness: Duration,
+    /// Per-RPC bound on health polls and dispatch submits.
+    pub probe_timeout: Duration,
+    /// Steal only from queues at least this deep (0 disables stealing).
+    pub steal_margin: u64,
+    /// Global bound on accepted-but-not-terminal jobs; submits beyond
+    /// it are `Rejected { reason: "capacity" }` — backpressure, not OOM.
+    pub max_inflight: usize,
+    /// Budget applied to tenants without an explicit entry in
+    /// [`Self::tenant_quotas`]. `None` = unmetered.
+    pub default_quota: Option<TenantQuota>,
+    /// Per-tenant overrides, keyed by [`JobSpec::tenant`].
+    pub tenant_quotas: HashMap<String, TenantQuota>,
+    /// When set, the gateway keeps its own write-ahead [`JobLedger`]
+    /// here: every accepted job is durable before its ack and retired
+    /// on its terminal event — the safety net that makes a job survive
+    /// the reclaim/resubmit window of a steal and a gateway crash.
+    pub state_dir: Option<PathBuf>,
+    /// When set, the gateway appends one JSON line per fleet decision
+    /// (submit, reject, route, steal, failover, finish) to
+    /// `<dir>/gateway.jsonl` — the artifact CI uploads.
+    pub journal_dir: Option<PathBuf>,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            shards: Vec::new(),
+            client_addr: "127.0.0.1:0".into(),
+            health_interval: Duration::from_millis(250),
+            shard_liveness: Duration::from_secs(2),
+            probe_timeout: Duration::from_secs(1),
+            steal_margin: 2,
+            max_inflight: 1024,
+            default_quota: None,
+            tenant_quotas: HashMap::new(),
+            state_dir: None,
+            journal_dir: None,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Rejects configurations that cannot work: an empty or ambiguous
+    /// fleet, a liveness window the poll cadence cannot feed (the
+    /// heartbeat-vs-liveness rule of
+    /// [`ProcessCommConfig::validate`](crate::process)), and degenerate
+    /// quotas.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards.is_empty() {
+            return Err("a gateway needs at least one shard".into());
+        }
+        for (i, a) in self.shards.iter().enumerate() {
+            for b in &self.shards[i + 1..] {
+                if a.name == b.name {
+                    return Err(format!("duplicate shard name {:?}", a.name));
+                }
+            }
+        }
+        if self.shard_liveness <= self.health_interval * 2 {
+            return Err(format!(
+                "shard liveness ({:?}) must exceed 2x the health interval ({:?}); \
+                 raise --shard-liveness-ms or lower --health-ms",
+                self.shard_liveness, self.health_interval
+            ));
+        }
+        if self.max_inflight == 0 {
+            return Err("max_inflight must be at least 1".into());
+        }
+        let quotas =
+            self.tenant_quotas.values().chain(self.default_quota.as_ref()).collect::<Vec<_>>();
+        for q in quotas {
+            // Explicit finite checks so a NaN rate/burst is rejected too.
+            let rate_ok = q.rate.is_finite() && q.rate > 0.0;
+            let burst_ok = q.burst.is_finite() && q.burst >= 1.0;
+            if !rate_ok || !burst_ok {
+                return Err(format!(
+                    "tenant quota needs rate > 0 and burst >= 1 (got rate {}, burst {})",
+                    q.rate, q.burst
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Weighted rendezvous hashing
+// ---------------------------------------------------------------------
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn name_hash(name: &str) -> u64 {
+    // FNV-1a: stable across runs (no RandomState), cheap, good enough
+    // to decorrelate shard names before mixing with the job id.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The weighted-rendezvous score of `job` on one shard: `-w / ln(h)`
+/// with `h` uniform in (0, 1) from the (job, shard) pair and `w > 0`
+/// the shard's health weight. Larger is better. The log transform makes
+/// the winner distribution proportional to the weights while keeping
+/// the defining rendezvous property: a shard's removal only remaps the
+/// jobs it was winning.
+fn rendezvous_score(job: u64, shard_name: &str, weight: f64) -> f64 {
+    let h = splitmix64(job ^ name_hash(shard_name));
+    // 53 uniform bits into (0, 1]; the +1 offset excludes an exact 0.
+    let u = ((h >> 11) + 1) as f64 / (1u64 << 53) as f64;
+    -weight / u.ln()
+}
+
+/// Health weight of a shard: 1 for an empty shard, shrinking as its
+/// queue and busy workers grow — new jobs drift toward idle shards
+/// without destabilizing existing placements.
+fn health_weight(queue_depth: u64, workers_busy: u64) -> f64 {
+    1.0 / (1.0 + queue_depth as f64 + workers_busy as f64)
+}
+
+// ---------------------------------------------------------------------
+// Token buckets
+// ---------------------------------------------------------------------
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl Bucket {
+    fn new(quota: &TenantQuota, now: Instant) -> Self {
+        Bucket { tokens: quota.burst, last: now }
+    }
+
+    /// Refills from elapsed time, then takes one token if available.
+    fn try_take(&mut self, quota: &TenantQuota, now: Instant) -> bool {
+        let dt = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * quota.rate).min(quota.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gateway state
+// ---------------------------------------------------------------------
+
+/// Where a job currently lives: shard index + the shard's local job id.
+#[derive(Clone, Copy, Debug)]
+struct Route {
+    shard: usize,
+    local: u64,
+}
+
+struct GwJob<Inst, Sub> {
+    spec: JobSpec<Inst, Sub>,
+    tenant: String,
+    state: JobState,
+    /// Bumped on every re-dispatch (steal, failover): a tracker holding
+    /// an older epoch must discard what it reads — its shard no longer
+    /// owns the job.
+    epoch: u64,
+    /// `None` while the job sits in the dispatch queue.
+    route: Option<Route>,
+    /// Freshest checkpoint to resume from at the next dispatch (set by
+    /// failover from the dead shard's state dir).
+    restart_from: Option<String>,
+    run_index: u32,
+    tracker_spawned: bool,
+}
+
+/// One dispatch-queue entry. `target` pins the destination (work
+/// stealing routes to the idle shard it chose); `None` lets rendezvous
+/// decide.
+struct Dispatch {
+    gid: u64,
+    target: Option<usize>,
+}
+
+struct GwState<Inst, Sub> {
+    jobs: BTreeMap<u64, GwJob<Inst, Sub>>,
+    dispatch: VecDeque<Dispatch>,
+    next_gid: u64,
+    /// Accepted and not yet terminal (the `max_inflight` meter).
+    inflight: usize,
+}
+
+/// Health-loop view of one shard.
+struct ShardHealth {
+    alive: bool,
+    last_ok: Instant,
+    queue_depth: u64,
+    workers_busy: u64,
+    pool_workers: u64,
+    jobs_running: u64,
+    /// Local ids of the shard's queued jobs at the last poll (steal
+    /// victims are picked from these).
+    queued_local: Vec<u64>,
+}
+
+struct GwLog<Sol> {
+    events: Vec<JobEvent<Sol>>,
+    done: bool,
+}
+
+impl<Sol> Default for GwLog<Sol> {
+    fn default() -> Self {
+        GwLog { events: Vec::new(), done: false }
+    }
+}
+
+struct GwShared<Inst, Sub, Sol> {
+    config: GatewayConfig,
+    state: Mutex<GwState<Inst, Sub>>,
+    /// Wakes the dispatcher and trackers (new dispatch, new route).
+    cv: Condvar,
+    events: Mutex<HashMap<u64, GwLog<Sol>>>,
+    events_cv: Condvar,
+    health: Mutex<Vec<ShardHealth>>,
+    tenants: Mutex<HashMap<String, Bucket>>,
+    metrics: MetricsRegistry,
+    ledger: Option<JobLedger>,
+    journal: Option<Mutex<io::BufWriter<std::fs::File>>>,
+    shutdown: AtomicBool,
+}
+
+impl<Inst, Sub, Sol> GwShared<Inst, Sub, Sol> {
+    fn emit(&self, gid: u64, kind: JobEventKind<Sol>) {
+        let mut logs = self.events.lock().unwrap();
+        let log = logs.entry(gid).or_default();
+        if log.done {
+            return;
+        }
+        if matches!(kind, JobEventKind::Finished { .. }) {
+            log.done = true;
+        }
+        let seq = log.events.len();
+        log.events.push(JobEvent { job: gid, seq, kind });
+        self.events_cv.notify_all();
+    }
+
+    /// Appends one decision line to the gateway journal (best-effort).
+    fn journal(&self, value: serde_json::Value) {
+        if let Some(j) = &self.journal {
+            let ts = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0);
+            let mut line = value;
+            if let serde_json::Value::Object(pairs) = &mut line {
+                pairs.push(("ts".into(), serde_json::json!(ts)));
+            }
+            let Ok(text) = serde_json::to_string(&line) else { return };
+            let mut w = j.lock().unwrap();
+            let _ = w.write_all(text.as_bytes());
+            let _ = w.write_all(b"\n");
+            let _ = w.flush();
+        }
+    }
+
+    fn counter(&self, name: &'static str, help: &'static str) -> Arc<telemetry::Counter> {
+        self.metrics.counter(name, help)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The gateway
+// ---------------------------------------------------------------------
+
+/// A running fleet gateway. Start one with [`Gateway::start`]; clients
+/// connect to [`Gateway::client_addr`] exactly as they would to a
+/// single server.
+pub struct Gateway<Inst: WireType, Sub: WireType, Sol: WireType> {
+    shared: Arc<GwShared<Inst, Sub, Sol>>,
+    client_addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<Inst: WireType, Sub: WireType, Sol: WireType> Gateway<Inst, Sub, Sol> {
+    /// Validates the config, binds the client listener and starts the
+    /// dispatcher and health threads. Shards may come up later: an
+    /// unreachable shard is simply unhealthy until its first successful
+    /// poll.
+    pub fn start(config: GatewayConfig) -> io::Result<Self> {
+        config.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let ledger = match &config.state_dir {
+            Some(dir) => Some(JobLedger::open(dir)?),
+            None => None,
+        };
+        let journal = match &config.journal_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let file = std::fs::File::create(dir.join("gateway.jsonl"))?;
+                Some(Mutex::new(io::BufWriter::new(file)))
+            }
+            None => None,
+        };
+        let listener = TcpListener::bind(&config.client_addr)?;
+        let client_addr = listener.local_addr()?;
+        let now = Instant::now();
+        let health = config
+            .shards
+            .iter()
+            .map(|_| ShardHealth {
+                alive: true, // grace until the first liveness window expires
+                last_ok: now,
+                queue_depth: 0,
+                workers_busy: 0,
+                pool_workers: 0,
+                jobs_running: 0,
+                queued_local: Vec::new(),
+            })
+            .collect();
+        let shared = Arc::new(GwShared {
+            config,
+            state: Mutex::new(GwState {
+                jobs: BTreeMap::new(),
+                dispatch: VecDeque::new(),
+                next_gid: 0,
+                inflight: 0,
+            }),
+            cv: Condvar::new(),
+            events: Mutex::new(HashMap::new()),
+            events_cv: Condvar::new(),
+            health: Mutex::new(health),
+            tenants: Mutex::new(HashMap::new()),
+            metrics: MetricsRegistry::new(),
+            ledger,
+            journal,
+            shutdown: AtomicBool::new(false),
+        });
+        // Pre-register the families so a scrape right after startup
+        // sees the full schema.
+        shared.counter("ugrs_gateway_jobs_submitted_total", "Jobs accepted by the gateway");
+        shared.counter("ugrs_gateway_jobs_stolen_total", "Queued jobs migrated off a deep shard");
+        shared.counter(
+            "ugrs_gateway_jobs_failed_over_total",
+            "Jobs replayed from a dead shard onto a peer",
+        );
+        for reason in ["quota", "capacity"] {
+            shared.metrics.counter_with(
+                "ugrs_gateway_jobs_rejected_total",
+                &[("reason", reason)],
+                "Submissions refused by admission control, by reason",
+            );
+        }
+        shared
+            .metrics
+            .gauge("ugrs_gateway_shards_healthy", "Shards answering health polls")
+            .set(shared.config.shards.len() as f64);
+        shared.metrics.histogram_with(
+            "ugrs_gateway_submit_ack_seconds",
+            &[],
+            "Submit receipt to durable ack, seconds",
+            &[0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25],
+        );
+        let mut threads = Vec::new();
+        let sh = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("ugw-dispatch".into())
+                .spawn(move || dispatcher_loop(sh))?,
+        );
+        let sh = shared.clone();
+        threads.push(
+            std::thread::Builder::new().name("ugw-health".into()).spawn(move || health_loop(sh))?,
+        );
+        let sh = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("ugw-accept".into())
+                .spawn(move || accept_loop(sh, listener))?,
+        );
+        Ok(Gateway { shared, client_addr, threads })
+    }
+
+    /// Where clients connect.
+    pub fn client_addr(&self) -> SocketAddr {
+        self.client_addr
+    }
+
+    /// Stops the gateway's own threads. The shards keep running — a
+    /// gateway is a routing tier, not the fleet's owner.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        self.shared.events_cv.notify_all();
+    }
+
+    /// [`Self::shutdown`] followed by joining every gateway thread
+    /// (tracker threads exit on the shutdown flag as well).
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until a client sends `Shutdown`, then joins every
+    /// gateway thread — what the `ugd-gateway` binary does after its
+    /// banner.
+    pub fn join(self) {
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission + submit
+// ---------------------------------------------------------------------
+
+/// `Err(reason)` when admission control refuses the submit.
+fn admit<Inst, Sub, Sol>(
+    shared: &GwShared<Inst, Sub, Sol>,
+    tenant: &str,
+) -> Result<(), &'static str> {
+    {
+        let st = shared.state.lock().unwrap();
+        if st.inflight >= shared.config.max_inflight {
+            return Err("capacity");
+        }
+    }
+    let quota =
+        shared.config.tenant_quotas.get(tenant).or(shared.config.default_quota.as_ref()).copied();
+    if let Some(quota) = quota {
+        let now = Instant::now();
+        let mut tenants = shared.tenants.lock().unwrap();
+        let bucket = tenants.entry(tenant.to_string()).or_insert_with(|| Bucket::new(&quota, now));
+        if !bucket.try_take(&quota, now) {
+            return Err("quota");
+        }
+    }
+    Ok(())
+}
+
+fn reject<Inst, Sub, Sol: Clone>(
+    shared: &GwShared<Inst, Sub, Sol>,
+    tenant: &str,
+    reason: &'static str,
+) {
+    shared
+        .metrics
+        .counter_with(
+            "ugrs_gateway_jobs_rejected_total",
+            &[("reason", reason)],
+            "Submissions refused by admission control, by reason",
+        )
+        .inc();
+    shared.journal(serde_json::json!({ "ev": "reject", "tenant": tenant, "reason": reason }));
+}
+
+fn gw_submit<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: &GwShared<Inst, Sub, Sol>,
+    spec: JobSpec<Inst, Sub>,
+) -> io::Result<Result<u64, &'static str>> {
+    let t0 = Instant::now();
+    let tenant = spec.tenant.clone().unwrap_or_else(|| "default".into());
+    if let Err(reason) = admit(shared, &tenant) {
+        reject(shared, &tenant, reason);
+        return Ok(Err(reason));
+    }
+    let gid = {
+        let mut st = shared.state.lock().unwrap();
+        // Same write-ahead discipline as the server: durable before the
+        // ack, so neither a gateway crash nor the reclaim window of a
+        // later steal can lose an acknowledged job.
+        if let Some(ledger) = &shared.ledger {
+            ledger.record_submitted(st.next_gid, &spec)?;
+        }
+        let gid = st.next_gid;
+        st.next_gid += 1;
+        let run_index = spec
+            .restart_from
+            .as_deref()
+            .and_then(ledger::checkpoint_meta)
+            .map_or(1, |(run, _)| run + 1);
+        st.jobs.insert(
+            gid,
+            GwJob {
+                restart_from: spec.restart_from.clone(),
+                spec,
+                tenant: tenant.clone(),
+                state: JobState::Queued,
+                epoch: 0,
+                route: None,
+                run_index,
+                tracker_spawned: false,
+            },
+        );
+        st.dispatch.push_back(Dispatch { gid, target: None });
+        st.inflight += 1;
+        gid
+    };
+    shared.counter("ugrs_gateway_jobs_submitted_total", "Jobs accepted by the gateway").inc();
+    shared.emit(gid, JobEventKind::Queued);
+    shared.journal(serde_json::json!({ "ev": "submit", "gid": gid, "tenant": tenant }));
+    shared
+        .metrics
+        .histogram_with(
+            "ugrs_gateway_submit_ack_seconds",
+            &[],
+            "Submit receipt to durable ack, seconds",
+            &[0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25],
+        )
+        .observe(t0.elapsed().as_secs_f64());
+    shared.cv.notify_all();
+    Ok(Ok(gid))
+}
+
+// ---------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------
+
+/// Picks the healthy shard that wins the weighted rendezvous for `gid`.
+fn pick_shard<Inst, Sub, Sol>(shared: &GwShared<Inst, Sub, Sol>, gid: u64) -> Option<usize> {
+    let health = shared.health.lock().unwrap();
+    let mut best: Option<(usize, f64)> = None;
+    for (i, h) in health.iter().enumerate() {
+        if !h.alive {
+            continue;
+        }
+        let w = health_weight(h.queue_depth, h.workers_busy);
+        let score = rendezvous_score(gid, &shared.config.shards[i].name, w);
+        if best.is_none_or(|(_, s)| score > s) {
+            best = Some((i, score));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Routes queued dispatch entries to shards, one at a time: clone the
+/// spec (with the freshest `restart_from`), pick a target, submit over
+/// a bounded connection, then record the route and make sure a tracker
+/// thread is watching. Failures requeue the entry — a job is never
+/// dropped between the gateway's ledger and a shard's.
+fn dispatcher_loop<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: Arc<GwShared<Inst, Sub, Sol>>,
+) {
+    loop {
+        let entry = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(e) = st.dispatch.pop_front() {
+                    break e;
+                }
+                st = shared.cv.wait_timeout(st, Duration::from_millis(200)).unwrap().0;
+            }
+        };
+        let Dispatch { gid, target } = entry;
+        let (spec, epoch) = {
+            let st = shared.state.lock().unwrap();
+            let Some(job) = st.jobs.get(&gid) else { continue };
+            if job.state.is_terminal() {
+                continue;
+            }
+            let mut spec = job.spec.clone();
+            spec.restart_from = job.restart_from.clone();
+            (spec, job.epoch)
+        };
+        // A failed-over job must not fan out wider than its chain: its
+        // resumed run reuses the original worker request.
+        let target = target
+            .filter(|&t| shared.health.lock().unwrap()[t].alive)
+            .or_else(|| pick_shard(&shared, gid));
+        let Some(target) = target else {
+            // No healthy shard right now: park the entry and retry.
+            let mut st = shared.state.lock().unwrap();
+            st.dispatch.push_back(Dispatch { gid, target: None });
+            drop(st);
+            std::thread::sleep(shared.config.health_interval);
+            continue;
+        };
+        let addr = shared.config.shards[target].addr.clone();
+        let resumed = spec.restart_from.is_some();
+        let outcome =
+            JobClient::<Inst, Sub, Sol>::connect_timeout(&addr, shared.config.probe_timeout)
+                .and_then(|mut c| c.try_submit(spec));
+        match outcome {
+            Ok(SubmitOutcome::Accepted(local)) => {
+                let spawn_tracker = {
+                    let mut st = shared.state.lock().unwrap();
+                    let Some(job) = st.jobs.get_mut(&gid) else { continue };
+                    // Only the dispatcher assigns routes and a queued
+                    // entry has none, so the epoch cannot have moved —
+                    // checked anyway: a stale submit must be cancelled,
+                    // not recorded.
+                    if job.epoch != epoch || job.state.is_terminal() {
+                        drop(st);
+                        if let Ok(mut c) = JobClient::<Inst, Sub, Sol>::connect_timeout(
+                            &addr,
+                            shared.config.probe_timeout,
+                        ) {
+                            let _ = c.cancel(local);
+                        }
+                        continue;
+                    }
+                    job.route = Some(Route { shard: target, local });
+                    let spawn = !job.tracker_spawned;
+                    job.tracker_spawned = true;
+                    spawn
+                };
+                shared.emit(
+                    gid,
+                    JobEventKind::Routed { shard: shared.config.shards[target].name.clone() },
+                );
+                shared.journal(serde_json::json!({
+                    "ev": "route", "gid": gid, "shard": shared.config.shards[target].name,
+                    "local": local, "resumed": resumed,
+                }));
+                if spawn_tracker {
+                    let sh = shared.clone();
+                    std::thread::Builder::new()
+                        .name(format!("ugw-track-{gid}"))
+                        .spawn(move || tracker_loop(sh, gid))
+                        .expect("spawn tracker thread");
+                }
+                shared.cv.notify_all();
+            }
+            Ok(SubmitOutcome::Rejected(_)) | Err(_) => {
+                // Shard draining, dead or unreachable: requeue and let
+                // the health loop sort the fleet out.
+                let mut st = shared.state.lock().unwrap();
+                st.dispatch.push_back(Dispatch { gid, target: None });
+                drop(st);
+                std::thread::sleep(shared.config.health_interval);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trackers: one thread per in-flight job
+// ---------------------------------------------------------------------
+
+/// Follows `gid` wherever routing sends it: watches the owning shard's
+/// event stream, rewrites local ids to the gateway id, and appends to
+/// the gateway's log. When the route changes (steal, failover) the
+/// stale stream is abandoned — the epoch check makes delivered events
+/// from a disowned shard inert, including its `Cancelled` terminal from
+/// a reclaim.
+fn tracker_loop<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: Arc<GwShared<Inst, Sub, Sol>>,
+    gid: u64,
+) {
+    'routes: loop {
+        // Wait for a current route (or terminality).
+        let (shard, local, epoch) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Some(job) = st.jobs.get(&gid) else { return };
+                if job.state.is_terminal() {
+                    return;
+                }
+                if let Some(r) = &job.route {
+                    break (r.shard, r.local, job.epoch);
+                }
+                st = shared.cv.wait_timeout(st, Duration::from_millis(200)).unwrap().0;
+            }
+        };
+        let addr = shared.config.shards[shard].addr.clone();
+        let stream = match TcpStream::connect(&addr) {
+            Ok(s) => s,
+            Err(_) => {
+                // Shard unreachable: wait for failover to re-route.
+                std::thread::sleep(Duration::from_millis(100));
+                continue 'routes;
+            }
+        };
+        stream.set_nodelay(true).ok();
+        // The periodic timeout is what lets this thread notice a route
+        // change while the stale shard's stream is silent.
+        if stream.set_read_timeout(Some(Duration::from_millis(500))).is_err() {
+            continue 'routes;
+        }
+        let mut reader = match stream.try_clone() {
+            Ok(r) => r,
+            Err(_) => continue 'routes,
+        };
+        let mut writer = stream;
+        if wire::write_msg(
+            &mut writer,
+            &ClientRequest::<Inst, Sub>::Watch { job: local, from_seq: 0 },
+        )
+        .is_err()
+        {
+            std::thread::sleep(Duration::from_millis(100));
+            continue 'routes;
+        }
+        let mut dec = FrameDecoder::new();
+        loop {
+            match wire::read_msg::<ServerReply<Sol>, _>(&mut reader, &mut dec) {
+                Ok(Some(ServerReply::Event { event })) => {
+                    if !deliver(&shared, gid, epoch, event) {
+                        continue 'routes;
+                    }
+                }
+                Ok(Some(_)) | Ok(None) => {
+                    // Error reply (shard restarted and forgot the job)
+                    // or clean close: re-resolve the route.
+                    std::thread::sleep(Duration::from_millis(100));
+                    continue 'routes;
+                }
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    // Stale? (steal/failover bumped the epoch)
+                    let st = shared.state.lock().unwrap();
+                    match st.jobs.get(&gid) {
+                        Some(job) if job.epoch == epoch && !job.state.is_terminal() => {}
+                        _ => continue 'routes,
+                    }
+                }
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(100));
+                    continue 'routes;
+                }
+            }
+        }
+    }
+}
+
+/// Applies one shard event to the gateway's view of `gid`. Returns
+/// false when the tracker must abandon this stream (stale epoch or
+/// terminal). Holding `epoch` fixed across the whole delivery makes a
+/// steal linearizable: the steal bumps the epoch *before* it reclaims,
+/// so the reclaim's `Cancelled` terminal can never be mistaken for the
+/// job's real end.
+fn deliver<Inst, Sub, Sol: Clone>(
+    shared: &GwShared<Inst, Sub, Sol>,
+    gid: u64,
+    epoch: u64,
+    event: JobEvent<Sol>,
+) -> bool {
+    let mut st = shared.state.lock().unwrap();
+    let Some(job) = st.jobs.get_mut(&gid) else { return false };
+    if job.epoch != epoch || job.state.is_terminal() {
+        return false;
+    }
+    match &event.kind {
+        // The gateway emitted its own Queued at submit; the shard's
+        // (and its re-runs after a steal) would just repeat it.
+        JobEventKind::Queued => true,
+        JobEventKind::Finished { state, run_index, .. } => {
+            job.state = *state;
+            job.run_index = *run_index;
+            let tenant = job.tenant.clone();
+            st.inflight -= 1;
+            drop(st);
+            // Same ordering as the server: durable retirement first,
+            // then the announcement.
+            if let Some(ledger) = &shared.ledger {
+                if let Err(e) = ledger.record_finished(gid) {
+                    eprintln!("ugd-gateway: cannot retire ledger record of job {gid}: {e}");
+                }
+            }
+            shared
+                .metrics
+                .counter_with(
+                    "ugrs_gateway_jobs_finished_total",
+                    &[("state", state_label(*state))],
+                    "Jobs that reached a terminal state, by state",
+                )
+                .inc();
+            shared.journal(serde_json::json!({
+                "ev": "finish", "gid": gid, "tenant": tenant,
+                "state": state_label(*state), "run_index": run_index,
+            }));
+            shared.emit(gid, event.kind);
+            shared.cv.notify_all();
+            false
+        }
+        _ => {
+            if let JobEventKind::Recovered { run_index, .. } = &event.kind {
+                job.run_index = *run_index;
+            }
+            if let JobEventKind::Started { .. } = &event.kind {
+                job.state = JobState::Running;
+            }
+            drop(st);
+            shared.emit(gid, event.kind);
+            true
+        }
+    }
+}
+
+fn state_label(state: JobState) -> &'static str {
+    match state {
+        JobState::Queued => "queued",
+        JobState::Running => "running",
+        JobState::Solved => "solved",
+        JobState::Infeasible => "infeasible",
+        JobState::TimedOut => "timed_out",
+        JobState::Cancelled => "cancelled",
+        JobState::Failed => "failed",
+    }
+}
+
+// ---------------------------------------------------------------------
+// Health loop: polling, failover, stealing
+// ---------------------------------------------------------------------
+
+fn health_loop<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: Arc<GwShared<Inst, Sub, Sol>>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let mut newly_dead = Vec::new();
+        for i in 0..shared.config.shards.len() {
+            let addr = shared.config.shards[i].addr.clone();
+            let poll = poll_shard::<Inst, Sub, Sol>(&addr, shared.config.probe_timeout);
+            let mut health = shared.health.lock().unwrap();
+            let h = &mut health[i];
+            match poll {
+                Ok(p) => {
+                    h.last_ok = Instant::now();
+                    h.queue_depth = p.queue_depth;
+                    h.workers_busy = p.workers_busy;
+                    h.pool_workers = p.pool_workers;
+                    h.jobs_running = p.jobs_running;
+                    h.queued_local = p.queued_local;
+                    if !h.alive {
+                        // The shard came back (a fresh instance on the
+                        // same address): route to it again.
+                        h.alive = true;
+                    }
+                }
+                Err(_) => {
+                    if h.alive && h.last_ok.elapsed() > shared.config.shard_liveness {
+                        h.alive = false;
+                        newly_dead.push(i);
+                    }
+                }
+            }
+            let healthy = health.iter().filter(|h| h.alive).count();
+            drop(health);
+            shared
+                .metrics
+                .gauge("ugrs_gateway_shards_healthy", "Shards answering health polls")
+                .set(healthy as f64);
+        }
+        for shard in newly_dead {
+            fail_over(&shared, shard);
+        }
+        if shared.config.steal_margin > 0 {
+            maybe_steal(&shared);
+        }
+        std::thread::sleep(shared.config.health_interval);
+    }
+}
+
+struct ShardPoll {
+    queue_depth: u64,
+    workers_busy: u64,
+    pool_workers: u64,
+    jobs_running: u64,
+    queued_local: Vec<u64>,
+}
+
+/// One bounded health poll: the shard's exposition (for the gauges the
+/// steal and routing decisions read) plus its status (for the queued
+/// local ids steals pick victims from).
+fn poll_shard<Inst: WireType, Sub: WireType, Sol: WireType>(
+    addr: &str,
+    timeout: Duration,
+) -> io::Result<ShardPoll> {
+    let mut client = JobClient::<Inst, Sub, Sol>::connect_timeout(addr, timeout)?;
+    let report = client.metrics()?;
+    let status = client.status()?;
+    Ok(ShardPoll {
+        queue_depth: telemetry::sample_sum(&report.text, "ugrs_server_queue_depth") as u64,
+        workers_busy: telemetry::sample_sum(&report.text, "ugrs_server_workers_busy") as u64,
+        pool_workers: telemetry::sample_sum(&report.text, "ugrs_server_pool_workers") as u64,
+        jobs_running: telemetry::sample_sum(&report.text, "ugrs_server_jobs_running") as u64,
+        queued_local: status.queued,
+    })
+}
+
+/// A shard died: every job routed to it goes back through dispatch.
+/// Jobs that were mid-run resume from the dead shard's last on-disk
+/// checkpoint (when its state dir is reachable) as run `1.k` — the
+/// fleet-level replay of the server's own crash recovery.
+fn fail_over<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: &Arc<GwShared<Inst, Sub, Sol>>,
+    shard: usize,
+) {
+    let spec = &shared.config.shards[shard];
+    let orphans: Vec<(u64, u64, u64)> = {
+        let st = shared.state.lock().unwrap();
+        st.jobs
+            .iter()
+            .filter(|(_, j)| !j.state.is_terminal())
+            .filter_map(|(gid, j)| {
+                j.route.as_ref().filter(|r| r.shard == shard).map(|r| (*gid, r.local, j.epoch))
+            })
+            .collect()
+    };
+    shared.journal(serde_json::json!({
+        "ev": "shard_dead", "shard": spec.name, "orphans": orphans.len(),
+    }));
+    for (gid, local, epoch) in orphans {
+        // Checkpoint replay: the dead shard's coordinator saved its
+        // primitive nodes every checkpoint interval; the freshest save
+        // is the resume point.
+        let checkpoint = spec
+            .state_dir
+            .as_ref()
+            .map(|d| d.join("checkpoints").join(format!("job-{local}.json")))
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .filter(|json| ledger::checkpoint_meta(json).is_some());
+        let resumed = checkpoint.is_some();
+        {
+            let mut st = shared.state.lock().unwrap();
+            let Some(job) = st.jobs.get_mut(&gid) else { continue };
+            if job.epoch != epoch || job.state.is_terminal() {
+                continue; // moved or finished while we read the disk
+            }
+            job.epoch += 1;
+            job.route = None;
+            job.state = JobState::Queued;
+            if let Some(cp) = checkpoint {
+                job.restart_from = Some(cp);
+            }
+            st.dispatch.push_back(Dispatch { gid, target: None });
+        }
+        shared
+            .counter(
+                "ugrs_gateway_jobs_failed_over_total",
+                "Jobs replayed from a dead shard onto a peer",
+            )
+            .inc();
+        shared.journal(serde_json::json!({
+            "ev": "failover", "gid": gid, "from": spec.name, "resumed": resumed,
+        }));
+    }
+    shared.cv.notify_all();
+}
+
+/// One steal per sweep: if some healthy shard idles while another's
+/// queue is at least `steal_margin` deep, move one queued job. The
+/// sequence is linearized by the epoch bump *before* the reclaim — see
+/// [`deliver`].
+fn maybe_steal<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: &Arc<GwShared<Inst, Sub, Sol>>,
+) {
+    let (idle, victim, victim_queued) = {
+        let health = shared.health.lock().unwrap();
+        let idle = health
+            .iter()
+            .enumerate()
+            .position(|(_, h)| h.alive && h.queue_depth == 0 && h.workers_busy < h.pool_workers);
+        let victim = health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.alive && h.queue_depth >= shared.config.steal_margin)
+            .max_by_key(|(_, h)| h.queue_depth)
+            .map(|(i, _)| i);
+        match (idle, victim) {
+            (Some(i), Some(v)) if i != v => (i, v, health[v].queued_local.clone()),
+            _ => return,
+        }
+    };
+    // Map a queued local id back to its gateway job.
+    let picked = {
+        let st = shared.state.lock().unwrap();
+        victim_queued.iter().find_map(|&local| {
+            st.jobs.iter().find_map(|(gid, j)| {
+                (!j.state.is_terminal()
+                    && j.route.map(|r| r.shard == victim && r.local == local).unwrap_or(false))
+                .then_some((*gid, local, j.epoch))
+            })
+        })
+    };
+    let Some((gid, local, epoch)) = picked else { return };
+    // Disown first: from here on every event the old shard still sends
+    // (including the reclaim's Cancelled terminal) is stale by epoch.
+    {
+        let mut st = shared.state.lock().unwrap();
+        let Some(job) = st.jobs.get_mut(&gid) else { return };
+        if job.epoch != epoch || job.state.is_terminal() {
+            return;
+        }
+        job.epoch += 1;
+        job.route = None;
+    }
+    let addr = shared.config.shards[victim].addr.clone();
+    let reclaimed =
+        JobClient::<Inst, Sub, Sol>::connect_timeout(&addr, shared.config.probe_timeout)
+            .and_then(|mut c| c.reclaim(local))
+            .unwrap_or(false);
+    let mut st = shared.state.lock().unwrap();
+    let Some(job) = st.jobs.get_mut(&gid) else { return };
+    if reclaimed {
+        job.state = JobState::Queued;
+        st.dispatch.push_back(Dispatch { gid, target: Some(idle) });
+        drop(st);
+        shared
+            .counter("ugrs_gateway_jobs_stolen_total", "Queued jobs migrated off a deep shard")
+            .inc();
+        shared.journal(serde_json::json!({
+            "ev": "steal", "gid": gid,
+            "from": shared.config.shards[victim].name, "to": shared.config.shards[idle].name,
+        }));
+    } else {
+        // The job started (or finished) before the reclaim landed: it
+        // stays where it is. The route returns under the *new* epoch,
+        // so its tracker reconnects and replays the stream — nothing
+        // the disown window discarded is lost.
+        job.route = Some(Route { shard: victim, local });
+        drop(st);
+    }
+    shared.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// Client connections
+// ---------------------------------------------------------------------
+
+fn accept_loop<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: Arc<GwShared<Inst, Sub, Sol>>,
+    listener: TcpListener,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let sh = shared.clone();
+                let _ = std::thread::Builder::new().name("ugw-client".into()).spawn(move || {
+                    let _ = serve_client(&sh, stream);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_client<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: &Arc<GwShared<Inst, Sub, Sol>>,
+    stream: TcpStream,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    let mut dec = FrameDecoder::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let req = match wire::read_msg::<ClientRequest<Inst, Sub>, _>(&mut reader, &mut dec) {
+            Ok(Some(r)) => r,
+            Ok(None) => return Ok(()),
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        match req {
+            ClientRequest::Submit { spec } => match gw_submit(shared, spec) {
+                Ok(Ok(job)) => {
+                    wire::write_msg(&mut writer, &ServerReply::<Sol>::Submitted { job })?
+                }
+                Ok(Err(reason)) => wire::write_msg(
+                    &mut writer,
+                    &ServerReply::<Sol>::Rejected { reason: reason.into() },
+                )?,
+                Err(e) => wire::write_msg(
+                    &mut writer,
+                    &ServerReply::<Sol>::Error { message: format!("ledger write failed: {e}") },
+                )?,
+            },
+            ClientRequest::Cancel { job } => {
+                let ok = gw_cancel(shared, job);
+                wire::write_msg(&mut writer, &ServerReply::<Sol>::CancelResult { job, ok })?;
+            }
+            ClientRequest::Reclaim { job } => {
+                let _ = job;
+                wire::write_msg(
+                    &mut writer,
+                    &ServerReply::<Sol>::Error {
+                        message: "a gateway steals for itself; Reclaim addresses shards".into(),
+                    },
+                )?;
+            }
+            ClientRequest::Watch { job, from_seq } => {
+                stream_gw_events(shared, &mut writer, job, from_seq)?;
+            }
+            ClientRequest::Status => {
+                let status = gw_status(shared);
+                wire::write_msg(&mut writer, &ServerReply::<Sol>::Status { status })?;
+            }
+            ClientRequest::Metrics => {
+                let report = gw_metrics(shared);
+                wire::write_msg(&mut writer, &ServerReply::<Sol>::Metrics { report })?;
+            }
+            ClientRequest::Fleet => {
+                let fleet = gw_fleet(shared);
+                wire::write_msg(&mut writer, &ServerReply::<Sol>::Fleet { fleet })?;
+            }
+            ClientRequest::Shutdown => {
+                wire::write_msg(&mut writer, &ServerReply::<Sol>::ShuttingDown)?;
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.cv.notify_all();
+                shared.events_cv.notify_all();
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Cancels a gateway job wherever it is: still in the dispatch queue
+/// (finish it locally) or routed (forward the cancel; the shard's
+/// terminal event comes back through the tracker).
+fn gw_cancel<Inst: WireType, Sub: WireType, Sol: WireType>(
+    shared: &Arc<GwShared<Inst, Sub, Sol>>,
+    gid: u64,
+) -> bool {
+    enum Where {
+        Unknown,
+        Undispatched { run_index: u32 },
+        Routed { addr: String, local: u64 },
+    }
+    let location = {
+        let mut st = shared.state.lock().unwrap();
+        match st.jobs.get_mut(&gid) {
+            None => Where::Unknown,
+            Some(job) if job.state.is_terminal() => Where::Unknown,
+            Some(job) => match &job.route {
+                Some(r) => Where::Routed {
+                    addr: shared.config.shards[r.shard].addr.clone(),
+                    local: r.local,
+                },
+                None => {
+                    job.state = JobState::Cancelled;
+                    let run_index = job.run_index;
+                    st.dispatch.retain(|d| d.gid != gid);
+                    st.inflight -= 1;
+                    Where::Undispatched { run_index }
+                }
+            },
+        }
+    };
+    match location {
+        Where::Unknown => false,
+        Where::Undispatched { run_index } => {
+            if let Some(ledger) = &shared.ledger {
+                let _ = ledger.record_finished(gid);
+            }
+            shared
+                .metrics
+                .counter_with(
+                    "ugrs_gateway_jobs_finished_total",
+                    &[("state", state_label(JobState::Cancelled))],
+                    "Jobs that reached a terminal state, by state",
+                )
+                .inc();
+            shared.emit(gid, empty_finished_gw(JobState::Cancelled, run_index));
+            shared.cv.notify_all();
+            true
+        }
+        Where::Routed { addr, local } => {
+            JobClient::<Inst, Sub, Sol>::connect_timeout(&addr, shared.config.probe_timeout)
+                .and_then(|mut c| c.cancel(local))
+                .unwrap_or(false)
+        }
+    }
+}
+
+/// The gateway-side equivalent of the server's `empty_finished`.
+fn empty_finished_gw<Sol>(state: JobState, run_index: u32) -> JobEventKind<Sol> {
+    JobEventKind::Finished {
+        state,
+        obj: None,
+        dual_bound: f64::NEG_INFINITY,
+        solution: None,
+        nodes: 0,
+        nodes_so_far: 0,
+        run_index,
+        open_nodes: 0,
+        workers_lost: 0,
+        wall_time: 0.0,
+        final_checkpoint: None,
+    }
+}
+
+fn stream_gw_events<Inst, Sub, Sol: WireType>(
+    shared: &GwShared<Inst, Sub, Sol>,
+    writer: &mut TcpStream,
+    gid: u64,
+    from_seq: usize,
+) -> io::Result<()> {
+    {
+        let logs = shared.events.lock().unwrap();
+        if !logs.contains_key(&gid) {
+            return wire::write_msg(
+                writer,
+                &ServerReply::<Sol>::Error { message: format!("unknown job {gid}") },
+            );
+        }
+    }
+    let mut next = from_seq;
+    loop {
+        let (batch, done_len) = {
+            let logs = shared.events.lock().unwrap();
+            let log = &logs[&gid];
+            let batch: Vec<JobEvent<Sol>> =
+                log.events.get(next..).map(|s| s.to_vec()).unwrap_or_default();
+            let done_len = if log.done { Some(log.events.len()) } else { None };
+            (batch, done_len)
+        };
+        next += batch.len();
+        for event in batch {
+            wire::write_msg(writer, &ServerReply::<Sol>::Event { event })?;
+        }
+        if matches!(done_len, Some(len) if next >= len) {
+            return Ok(());
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let logs = shared.events.lock().unwrap();
+        let _ = shared.events_cv.wait_timeout(logs, Duration::from_millis(200)).unwrap();
+    }
+}
+
+/// Synthesizes a [`ServerStatus`] from the fleet view so status-only
+/// tooling works unchanged against a gateway: `pool_target` aggregates
+/// the shards' pools, `queued` is the dispatch queue, and each job row
+/// reports the gateway's lifecycle view.
+fn gw_status<Inst, Sub, Sol>(shared: &GwShared<Inst, Sub, Sol>) -> ServerStatus {
+    let pool_target = {
+        let health = shared.health.lock().unwrap();
+        health.iter().map(|h| h.pool_workers as usize).sum()
+    };
+    let st = shared.state.lock().unwrap();
+    let jobs = st
+        .jobs
+        .iter()
+        .map(|(gid, j)| JobSummary {
+            job: *gid,
+            name: j.spec.name.clone(),
+            state: j.state,
+            priority: j.spec.priority,
+            num_solvers: j.spec.num_solvers,
+            run_index: j.run_index,
+            open_nodes: None,
+        })
+        .collect();
+    ServerStatus {
+        pool_target,
+        workers: Vec::new(),
+        queued: st.dispatch.iter().map(|d| d.gid).collect(),
+        jobs,
+    }
+}
+
+fn gw_metrics<Inst, Sub, Sol>(shared: &GwShared<Inst, Sub, Sol>) -> MetricsReport {
+    let jobs: Vec<crate::server::JobProgress> = {
+        let st = shared.state.lock().unwrap();
+        shared
+            .metrics
+            .gauge("ugrs_gateway_inflight", "Accepted jobs not yet terminal")
+            .set(st.inflight as f64);
+        shared
+            .metrics
+            .gauge("ugrs_gateway_dispatch_depth", "Jobs waiting in the dispatch queue")
+            .set(st.dispatch.len() as f64);
+        st.jobs
+            .iter()
+            .map(|(gid, j)| crate::server::JobProgress {
+                job: *gid,
+                name: j.spec.name.clone(),
+                state: j.state,
+                progress: None,
+            })
+            .collect()
+    };
+    let mut text = shared.metrics.render();
+    telemetry::global().render_into(&mut text);
+    MetricsReport { text, jobs }
+}
+
+fn gw_fleet<Inst, Sub, Sol>(shared: &GwShared<Inst, Sub, Sol>) -> FleetStatus {
+    let shards = {
+        let health = shared.health.lock().unwrap();
+        shared
+            .config
+            .shards
+            .iter()
+            .zip(health.iter())
+            .map(|(s, h)| ShardSummary {
+                name: s.name.clone(),
+                addr: s.addr.clone(),
+                healthy: h.alive,
+                queue_depth: h.queue_depth,
+                workers_busy: h.workers_busy,
+                pool_workers: h.pool_workers,
+                jobs_running: h.jobs_running,
+                last_heard_ms: h.last_ok.elapsed().as_millis() as u64,
+            })
+            .collect()
+    };
+    let (inflight, dispatch_depth) = {
+        let st = shared.state.lock().unwrap();
+        (st.inflight, st.dispatch.len())
+    };
+    FleetStatus {
+        shards,
+        inflight,
+        dispatch_depth,
+        stolen_total: shared
+            .counter("ugrs_gateway_jobs_stolen_total", "Queued jobs migrated off a deep shard")
+            .get(),
+        failed_over_total: shared
+            .counter(
+                "ugrs_gateway_jobs_failed_over_total",
+                "Jobs replayed from a dead shard onto a peer",
+            )
+            .get(),
+        rejected_total: ["quota", "capacity"]
+            .iter()
+            .map(|reason| {
+                shared
+                    .metrics
+                    .counter_with(
+                        "ugrs_gateway_jobs_rejected_total",
+                        &[("reason", reason)],
+                        "Submissions refused by admission control, by reason",
+                    )
+                    .get()
+            })
+            .sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: usize) -> GatewayConfig {
+        GatewayConfig {
+            shards: (0..n)
+                .map(|i| ShardSpec::new(format!("shard-{i}"), format!("127.0.0.1:{}", 7000 + i)))
+                .collect(),
+            ..GatewayConfig::default()
+        }
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        assert!(config(3).validate().is_ok());
+        assert!(config(0).validate().is_err(), "empty fleet");
+        let mut dup = config(2);
+        dup.shards[1].name = dup.shards[0].name.clone();
+        assert!(dup.validate().is_err(), "duplicate names");
+        let mut tight = config(2);
+        tight.shard_liveness = tight.health_interval * 2;
+        assert!(tight.validate().is_err(), "liveness must exceed 2x poll interval");
+        let mut zero = config(1);
+        zero.max_inflight = 0;
+        assert!(zero.validate().is_err());
+        let mut quota = config(1);
+        quota.default_quota = Some(TenantQuota { rate: 0.0, burst: 4.0 });
+        assert!(quota.validate().is_err(), "rate must be positive");
+        let mut quota = config(1);
+        quota.tenant_quotas.insert("t".into(), TenantQuota { rate: 1.0, burst: 0.5 });
+        assert!(quota.validate().is_err(), "burst below one token never admits");
+    }
+
+    fn pick(job: u64, names: &[&str], weights: &[f64]) -> usize {
+        let mut best = (0, f64::NEG_INFINITY);
+        for (i, name) in names.iter().enumerate() {
+            let s = rendezvous_score(job, name, weights[i]);
+            if s > best.1 {
+                best = (i, s);
+            }
+        }
+        best.0
+    }
+
+    #[test]
+    fn rendezvous_balances_equal_weights() {
+        let names = ["alpha", "beta", "gamma"];
+        let weights = [1.0, 1.0, 1.0];
+        let mut counts = [0usize; 3];
+        for job in 0..3000u64 {
+            counts[pick(job, &names, &weights)] += 1;
+        }
+        for c in counts {
+            assert!((700..=1300).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn rendezvous_removal_only_remaps_the_lost_shard() {
+        let names = ["alpha", "beta", "gamma"];
+        let weights = [1.0, 1.0, 1.0];
+        for job in 0..2000u64 {
+            let with_all = pick(job, &names, &weights);
+            // Drop "beta": jobs not on beta must keep their shard.
+            let reduced = pick(job, &["alpha", "gamma"], &[1.0, 1.0]);
+            let reduced_name = ["alpha", "gamma"][reduced];
+            if names[with_all] != "beta" {
+                assert_eq!(
+                    names[with_all], reduced_name,
+                    "job {job} moved although its shard survived"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rendezvous_weight_steers_load() {
+        let names = ["busy", "idle"];
+        // The busy shard has a deep queue; the idle one is empty.
+        let weights = [health_weight(8, 4), health_weight(0, 0)];
+        let mut counts = [0usize; 2];
+        for job in 0..2000u64 {
+            counts[pick(job, &names, &weights)] += 1;
+        }
+        assert!(counts[1] > counts[0] * 3, "idle shard should win the large majority: {counts:?}");
+    }
+
+    #[test]
+    fn token_bucket_enforces_burst_and_refill() {
+        let quota = TenantQuota { rate: 10.0, burst: 3.0 };
+        let t0 = Instant::now();
+        let mut b = Bucket::new(&quota, t0);
+        assert!(b.try_take(&quota, t0));
+        assert!(b.try_take(&quota, t0));
+        assert!(b.try_take(&quota, t0));
+        assert!(!b.try_take(&quota, t0), "burst of 3 admits exactly 3 instant submits");
+        // 100 ms at 10 tokens/s refills one token.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(b.try_take(&quota, t1));
+        assert!(!b.try_take(&quota, t1));
+        // Refill never exceeds the burst capacity.
+        let t2 = t1 + Duration::from_secs(60);
+        let mut took = 0;
+        while b.try_take(&quota, t2) {
+            took += 1;
+        }
+        assert_eq!(took, 3, "a long idle period refills to burst, not beyond");
+    }
+
+    #[test]
+    fn health_weight_decreases_with_load() {
+        assert!(health_weight(0, 0) > health_weight(0, 2));
+        assert!(health_weight(0, 2) > health_weight(5, 2));
+        assert!(health_weight(100, 100) > 0.0);
+    }
+}

@@ -40,6 +40,7 @@
 pub mod chaos;
 pub mod checkpoint;
 pub mod comm;
+pub mod gateway;
 pub mod ledger;
 pub mod messages;
 pub mod process;
@@ -54,6 +55,7 @@ pub mod worker;
 
 pub use chaos::{ChaosConfig, ChaosProfile, FaultAction, FaultPlan};
 pub use checkpoint::{write_atomic, Checkpoint};
+pub use gateway::{Gateway, GatewayConfig, ShardSpec, TenantQuota};
 pub use ledger::{JobLedger, LedgerRecord, RecoveredJob, Recovery};
 pub use messages::{Message, SubproblemMsg};
 pub use process::ProcessCommConfig;
@@ -66,7 +68,7 @@ pub use server::{
     PoolDown, PoolHello, PoolUp, PoolWelcome, Server, ServerConfig, ServerReply, ServerStatus,
     WireType, WorkerInfo, POOL_PROTOCOL_VERSION,
 };
-pub use server::{JobProgress, MetricsReport};
+pub use server::{FleetStatus, JobProgress, MetricsReport, ShardSummary, SubmitOutcome};
 pub use settings::SolverSettings;
 pub use stats::UgStats;
 pub use telemetry::{

@@ -61,7 +61,7 @@ impl<T: Clone + Send + Serialize + DeserializeOwned + 'static> WireType for T {}
 
 /// Bumped on any change to the pool or client protocol; a mismatch at
 /// handshake drops the connection instead of desynchronizing the pool.
-pub const POOL_PROTOCOL_VERSION: u32 = 3;
+pub const POOL_PROTOCOL_VERSION: u32 = 4;
 
 // ---------------------------------------------------------------------
 // Pool protocol (server ⇄ standing workers)
@@ -169,6 +169,18 @@ pub struct JobSpec<Inst, Sub> {
     pub time_limit: f64,
     /// Per-job B&B node limit.
     pub node_limit: Option<u64>,
+    /// The submitting tenant's key, for gateway-side admission control
+    /// (token-bucket quotas). `None` is the anonymous default tenant; a
+    /// plain server ignores it.
+    #[serde(default)]
+    pub tenant: Option<String>,
+    /// Checkpoint JSON (the format
+    /// [`ParallelOptions::restart_from`](crate::ParallelOptions)
+    /// accepts) this job resumes from instead of starting fresh — how a
+    /// gateway replays a dead shard's interrupted job onto a peer so it
+    /// continues as run `1.k` of its restart chain.
+    #[serde(default)]
+    pub restart_from: Option<String>,
 }
 
 impl<Inst, Sub> JobSpec<Inst, Sub> {
@@ -182,6 +194,8 @@ impl<Inst, Sub> JobSpec<Inst, Sub> {
             num_solvers: 2,
             time_limit: f64::INFINITY,
             node_limit: None,
+            tenant: None,
+            restart_from: None,
         }
     }
 }
@@ -212,6 +226,17 @@ pub enum ClientRequest<Inst, Sub> {
     /// Prometheus-style exposition + per-job progress snapshots
     /// (powers `ugd top` and external scrapers).
     Metrics,
+    /// Take a *queued* job back: the work-stealing primitive. Succeeds
+    /// only while the job has not started (its ledger record is retired
+    /// and it finishes `Cancelled`); a running or terminal job answers
+    /// `ok: false` — the caller must leave it where it is.
+    Reclaim {
+        /// The job to take back.
+        job: u64,
+    },
+    /// Per-shard fleet snapshot. Answered with [`ServerReply::Fleet`]
+    /// by a gateway; a plain server answers with an error.
+    Fleet,
     /// Stop the server: cancel the queue, drain running jobs.
     Shutdown,
 }
@@ -248,11 +273,64 @@ pub enum ServerReply<Sol> {
     },
     /// The server acknowledged [`ClientRequest::Shutdown`].
     ShuttingDown,
+    /// The submit was refused by admission control (HTTP 429's moral
+    /// equivalent): no job id was assigned, nothing was queued or made
+    /// durable. The connection stays usable; the client may retry later.
+    Rejected {
+        /// Why: `"quota"` (tenant token bucket empty), `"capacity"`
+        /// (global in-flight bound reached) or `"draining"`.
+        reason: String,
+    },
+    /// Answer to [`ClientRequest::Fleet`]: the gateway's per-shard view.
+    Fleet {
+        /// Per-shard health and counters.
+        fleet: FleetStatus,
+    },
     /// The request failed; the connection stays usable.
     Error {
         /// Human-readable reason.
         message: String,
     },
+}
+
+/// Answer to [`ClientRequest::Fleet`]: one row per shard plus the
+/// gateway's own counters — what `ugd fleet` renders.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct FleetStatus {
+    /// One row per configured shard.
+    pub shards: Vec<ShardSummary>,
+    /// Jobs accepted by the gateway and not yet terminal.
+    pub inflight: usize,
+    /// Jobs waiting in the gateway's dispatch queue (not yet routed).
+    pub dispatch_depth: usize,
+    /// Queued jobs migrated off a deep shard onto an idle one, total.
+    pub stolen_total: u64,
+    /// Jobs replayed from a dead shard's ledger state onto a peer.
+    pub failed_over_total: u64,
+    /// Submissions refused by admission control, total.
+    pub rejected_total: u64,
+}
+
+/// One shard's row in a [`FleetStatus`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct ShardSummary {
+    /// The shard's configured name.
+    pub name: String,
+    /// The shard's client address.
+    pub addr: String,
+    /// False once the liveness sweep declared the shard dead.
+    pub healthy: bool,
+    /// Jobs waiting in the shard's scheduler queue
+    /// (`ugrs_server_queue_depth` from its exposition).
+    pub queue_depth: u64,
+    /// Pool workers currently leased (`ugrs_server_workers_busy`).
+    pub workers_busy: u64,
+    /// Connected pool workers (`ugrs_server_pool_workers`).
+    pub pool_workers: u64,
+    /// Jobs currently running (`ugrs_server_jobs_running`).
+    pub jobs_running: u64,
+    /// Milliseconds since the shard last answered a health poll.
+    pub last_heard_ms: u64,
 }
 
 /// The live view of one job, as returned by [`ClientRequest::Metrics`]:
@@ -336,6 +414,14 @@ pub enum JobEventKind<Sol> {
         run_index: u32,
         /// Cumulative chain nodes carried into the resumed run.
         nodes_so_far: u64,
+    },
+    /// A gateway routed (or re-routed) the job to a shard: on initial
+    /// dispatch, when its queued self was stolen onto an idler shard,
+    /// and when it failed over off a dead shard. Never emitted by a
+    /// plain server.
+    Routed {
+        /// The chosen shard's configured name.
+        shard: String,
     },
     /// The job was leased `workers` pool workers and started running.
     Started {
@@ -572,6 +658,10 @@ struct SharedState<Inst, Sub, Sol> {
     /// Resolved worker-listener address workers are spawned against.
     worker_addr: String,
     shutdown: AtomicBool,
+    /// Set by [`Server::drain`]: this shutdown must *preserve* the
+    /// ledger records of jobs it stops (they resume on the next server
+    /// against the same state dir) instead of retiring them.
+    draining: AtomicBool,
     /// Freshest per-job [`ProgressMsg`] (fed by each coordinator's
     /// progress sink). Its own lock, never taken while `state` is held.
     progress: Mutex<HashMap<u64, ProgressMsg>>,
@@ -820,6 +910,7 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Server<Inst, Sub, Sol> {
             config,
             worker_addr: worker_addr.to_string(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             progress: Mutex::new(HashMap::new()),
             metrics: MetricsRegistry::new(),
             ledger,
@@ -912,6 +1003,25 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Server<Inst, Sub, Sol> {
         initiate_shutdown(&self.shared);
     }
 
+    /// Begins a **graceful drain** (the SIGTERM path of a rolling
+    /// restart): new submits are refused, running jobs are stopped
+    /// through their cancel flags — each coordinator writes a final
+    /// checkpoint on the way out — and, unlike [`Self::shutdown`], the
+    /// ledger records of every job that did not finish are *kept*, so
+    /// the next server started against the same state dir resumes them
+    /// as run `1.k` of their restart chains. Without a state dir this
+    /// is identical to `shutdown`.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        initiate_shutdown(&self.shared);
+    }
+
+    /// True once a shutdown (client-requested or via [`Self::drain`])
+    /// has begun — lets a binary poll instead of blocking in `join`.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
     /// Joins the service threads (call after [`Self::shutdown`]).
     pub fn join(self) {
         for t in self.threads {
@@ -922,6 +1032,12 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Server<Inst, Sub, Sol> {
     /// [`Server::shutdown`] followed by joining every thread.
     pub fn shutdown_and_join(self) {
         self.shutdown();
+        self.join();
+    }
+
+    /// [`Server::drain`] followed by joining every thread.
+    pub fn drain_and_join(self) {
+        self.drain();
         self.join();
     }
 }
@@ -1217,7 +1333,13 @@ fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
     // Retire the ledger record *before* announcing the terminal state:
     // a crash in between re-runs a finished job (at-least-once), while
     // the opposite order could lose an acknowledged job (at-most-once).
-    retire_ledger_record(&shared, jid);
+    // Exception: a job stopped by a graceful drain keeps its record and
+    // final checkpoint — the next server on this state dir owes it a
+    // resumed run `1.k`, exactly like a crash would, minus the losses.
+    let drain_stopped = state == JobState::Cancelled && shared.draining.load(Ordering::SeqCst);
+    if !drain_stopped {
+        retire_ledger_record(&shared, jid);
+    }
     record_job_finished(&shared, state);
     emit(
         &shared,
@@ -1318,8 +1440,13 @@ fn shutdown_cleanup<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>)
         }
         queued
     };
+    // A drain keeps the queued jobs' WAL records: they never ran, so
+    // the next server simply requeues them as submitted.
+    let draining = shared.draining.load(Ordering::SeqCst);
     for (j, run_index) in queued {
-        retire_ledger_record(shared, j);
+        if !draining {
+            retire_ledger_record(shared, j);
+        }
         record_job_finished(shared, JobState::Cancelled);
         emit(shared, j, empty_finished(JobState::Cancelled, run_index));
     }
@@ -1572,7 +1699,15 @@ fn serve_client<Inst: WireType, Sub: WireType, Sol: WireType>(
         };
         match req {
             ClientRequest::Submit { spec } => {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if shared.draining.load(Ordering::SeqCst) {
+                    // A draining server refuses politely: the client
+                    // should resubmit to a peer (or wait for the
+                    // replacement), not treat this as a hard error.
+                    wire::write_msg(
+                        &mut writer,
+                        &ServerReply::<Sol>::Rejected { reason: "draining".into() },
+                    )?;
+                } else if shared.shutdown.load(Ordering::SeqCst) {
                     wire::write_msg(
                         &mut writer,
                         &ServerReply::<Sol>::Error { message: "server shutting down".into() },
@@ -1599,6 +1734,18 @@ fn serve_client<Inst: WireType, Sub: WireType, Sol: WireType>(
                 let ok = cancel_job(shared, job);
                 wire::write_msg(&mut writer, &ServerReply::<Sol>::CancelResult { job, ok })?;
             }
+            ClientRequest::Reclaim { job } => {
+                let ok = reclaim_job(shared, job);
+                wire::write_msg(&mut writer, &ServerReply::<Sol>::CancelResult { job, ok })?;
+            }
+            ClientRequest::Fleet => {
+                wire::write_msg(
+                    &mut writer,
+                    &ServerReply::<Sol>::Error {
+                        message: "not a gateway: connect ugd fleet to a ugd-gateway".into(),
+                    },
+                )?;
+            }
             ClientRequest::Status => {
                 let status = server_status(shared);
                 wire::write_msg(&mut writer, &ServerReply::<Sol>::Status { status })?;
@@ -1623,7 +1770,7 @@ fn submit_job<Inst: Serialize, Sub: Serialize, Sol: Clone>(
     shared: &SharedState<Inst, Sub, Sol>,
     spec: JobSpec<Inst, Sub>,
 ) -> io::Result<u64> {
-    let jid = {
+    let (jid, run_index, resumed_nodes) = {
         let mut st = shared.state.lock().unwrap();
         // Write-ahead: the submission record must be durable before the
         // job id is acknowledged, otherwise a crash right after the ack
@@ -1634,6 +1781,16 @@ fn submit_job<Inst: Serialize, Sub: Serialize, Sol: Clone>(
         }
         let jid = st.next_job;
         st.next_job += 1;
+        // A spec carrying a checkpoint (a gateway failing a job over
+        // from a dead shard) enters mid-chain: resuming run k makes
+        // this run k + 1, with the chain's nodes already banked.
+        let (restart_from, run_index, resumed_nodes) = match &spec.restart_from {
+            Some(json) => match crate::ledger::checkpoint_meta(json) {
+                Some((run, nodes)) => (Some(json.clone()), run + 1, Some(nodes)),
+                None => (None, 1, None), // torn checkpoint: from scratch
+            },
+            None => (None, 1, None),
+        };
         st.jobs.insert(
             jid,
             JobRecord {
@@ -1641,17 +1798,49 @@ fn submit_job<Inst: Serialize, Sub: Serialize, Sol: Clone>(
                 state: JobState::Queued,
                 cancel: Arc::new(AtomicBool::new(false)),
                 inbox: None,
-                restart_from: None,
-                run_index: 1,
+                restart_from,
+                run_index,
             },
         );
         st.queue.push(jid);
-        jid
+        (jid, run_index, resumed_nodes)
     };
     shared.metrics.counter("ugrs_server_jobs_submitted_total", "Jobs accepted via Submit").inc();
     emit(shared, jid, JobEventKind::Queued);
+    if let Some(nodes_so_far) = resumed_nodes {
+        emit(shared, jid, JobEventKind::Recovered { run_index, nodes_so_far });
+    }
     shared.sched.notify_all();
     Ok(jid)
+}
+
+/// The work-stealing primitive: takes a *queued* job back so its owner
+/// (a gateway) can resubmit it elsewhere. Atomic under the state lock —
+/// a job that already started (or finished) is refused, because its
+/// leased workers own it now. On success the job's ledger record is
+/// retired here (the caller's own ledger keeps it at-least-once across
+/// the move) and the job finishes `Cancelled`.
+fn reclaim_job<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>, job: u64) -> bool {
+    let run_index = {
+        let mut st = shared.state.lock().unwrap();
+        let Some(rec) = st.jobs.get_mut(&job) else { return false };
+        if rec.state != JobState::Queued {
+            return false;
+        }
+        rec.state = JobState::Cancelled;
+        let run_index = rec.run_index;
+        st.queue.retain(|&j| j != job);
+        run_index
+    };
+    retire_ledger_record(shared, job);
+    shared
+        .metrics
+        .counter("ugrs_server_jobs_reclaimed_total", "Queued jobs taken back via Reclaim")
+        .inc();
+    record_job_finished(shared, JobState::Cancelled);
+    emit(shared, job, empty_finished(JobState::Cancelled, run_index));
+    shared.sched.notify_all();
+    true
 }
 
 fn cancel_job<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>, job: u64) -> bool {
@@ -1746,6 +1935,13 @@ fn metrics_report<Inst, Sub, Sol>(shared: &SharedState<Inst, Sub, Sol>) -> Metri
             .set(shared.config.pool_size as f64);
         r.gauge("ugrs_server_jobs_running", "Jobs currently running").set(st.running as f64);
         r.gauge("ugrs_server_queue_depth", "Jobs waiting in the queue").set(st.queue.len() as f64);
+        // Busy/idle split of the pool: what a gateway's steal loop and
+        // `ugd top` read to find starved and saturated shards.
+        let busy = st.workers.values().filter(|w| w.lease.is_some()).count();
+        r.gauge("ugrs_server_workers_busy", "Pool workers currently leased to a job")
+            .set(busy as f64);
+        r.gauge("ugrs_server_workers_idle", "Connected pool workers without a lease")
+            .set(st.workers.len().saturating_sub(busy) as f64);
         st.jobs.iter().map(|(j, r)| (*j, r.spec.name.clone(), r.state)).collect()
     };
     let mut text = shared.metrics.render();
@@ -2172,11 +2368,39 @@ pub struct JobClient<Inst, Sub, Sol> {
     _types: ClientTypes<Inst, Sub, Sol>,
 }
 
+/// Outcome of [`JobClient::try_submit`]: admission control made a
+/// rejected submit a normal answer, not an I/O error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The job was accepted under this id.
+    Accepted(u64),
+    /// Admission control refused it (quota, capacity or draining).
+    Rejected(String),
+}
+
 impl<Inst: WireType, Sub: WireType, Sol: WireType> JobClient<Inst, Sub, Sol> {
     /// Connects to a server's client address.
     pub fn connect(addr: &str) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        Ok(JobClient { stream, dec: FrameDecoder::new(), _types: PhantomData })
+    }
+
+    /// Like [`Self::connect`], but bounded: both the TCP connect and
+    /// every later read time out after `timeout` instead of blocking
+    /// forever. This is the health-probe constructor — a gateway must
+    /// never let one dead shard wedge its sweep. Not suitable for
+    /// [`Self::watch`] on long-running jobs (events can be sparser than
+    /// any sensible probe timeout).
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> io::Result<Self> {
+        use std::net::ToSocketAddrs;
+        let sock = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+        let stream = TcpStream::connect_timeout(&sock, timeout)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(timeout))?;
         Ok(JobClient { stream, dec: FrameDecoder::new(), _types: PhantomData })
     }
 
@@ -2191,10 +2415,41 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> JobClient<Inst, Sub, Sol> {
         self.read_reply()
     }
 
-    /// Submits a job; returns its id.
+    /// Submits a job; returns its id. An admission-control rejection
+    /// surfaces as an error here — use [`Self::try_submit`] to tell a
+    /// quota refusal apart from a transport failure.
     pub fn submit(&mut self, spec: JobSpec<Inst, Sub>) -> io::Result<u64> {
+        match self.try_submit(spec)? {
+            SubmitOutcome::Accepted(job) => Ok(job),
+            SubmitOutcome::Rejected(reason) => Err(io::Error::other(format!("rejected: {reason}"))),
+        }
+    }
+
+    /// Submits a job, reporting an admission-control rejection as a
+    /// normal [`SubmitOutcome`] instead of an error.
+    pub fn try_submit(&mut self, spec: JobSpec<Inst, Sub>) -> io::Result<SubmitOutcome> {
         match self.request(&ClientRequest::Submit { spec })? {
-            ServerReply::Submitted { job } => Ok(job),
+            ServerReply::Submitted { job } => Ok(SubmitOutcome::Accepted(job)),
+            ServerReply::Rejected { reason } => Ok(SubmitOutcome::Rejected(reason)),
+            ServerReply::Error { message } => Err(io::Error::other(message)),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Takes a *queued* job back from the server (the work-stealing
+    /// primitive); `Ok(false)` when it already started or finished.
+    pub fn reclaim(&mut self, job: u64) -> io::Result<bool> {
+        match self.request(&ClientRequest::Reclaim { job })? {
+            ServerReply::CancelResult { ok, .. } => Ok(ok),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Fetches the fleet snapshot (gateways only; a plain server
+    /// answers with an error).
+    pub fn fleet(&mut self) -> io::Result<FleetStatus> {
+        match self.request(&ClientRequest::Fleet)? {
+            ServerReply::Fleet { fleet } => Ok(fleet),
             ServerReply::Error { message } => Err(io::Error::other(message)),
             _ => Err(unexpected_reply()),
         }

@@ -335,6 +335,32 @@ pub fn fmt_value(v: f64) -> String {
     }
 }
 
+/// Sums every sample of a metric family in a Prometheus-style
+/// exposition: all lines whose metric name (up to `{` or whitespace)
+/// equals `family`, ignoring comments. Unlabeled gauges yield their
+/// single value; labeled counters yield the total across label sets.
+/// The consumer-side inverse of [`MetricsRegistry::render`] — how the
+/// gateway's steal/health loops and `ugd top` read a peer's exposition
+/// without a full parser.
+pub fn sample_sum(text: &str, family: &str) -> f64 {
+    let mut sum = 0.0;
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+        if &line[..name_end] != family {
+            continue;
+        }
+        if let Some(value) = line.rsplit(' ').next() {
+            if let Ok(v) = value.parse::<f64>() {
+                sum += v;
+            }
+        }
+    }
+    sum
+}
+
 /// Validates text against the subset of the Prometheus exposition
 /// grammar this module emits (comment lines, `# HELP`/`# TYPE`, and
 /// `name{labels} value` samples). Returns the first offending line.

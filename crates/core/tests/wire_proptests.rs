@@ -15,8 +15,8 @@ use ugrs_core::wire::{
     decode, encode, frame_v2, to_payload, FrameDecoder, FrameHeader, WireError, MAX_FRAME_LEN,
 };
 use ugrs_core::{
-    ClientRequest, JobProgress, JobSpec, JobState, MetricsReport, ProgressMsg, ServerReply,
-    ServerStatus, SolverSettings,
+    ClientRequest, FleetStatus, JobProgress, JobSpec, JobState, MetricsReport, ProgressMsg,
+    ServerReply, ServerStatus, ShardSummary, SolverSettings,
 };
 
 type Msg = Message<Vec<u32>, Vec<f64>>;
@@ -108,27 +108,41 @@ fn arb_job_spec() -> impl Strategy<Value = JobSpec<String, Vec<u32>>> {
         -4i32..4,
         0usize..16,
         arb_f64(),
-        (any::<bool>(), 0u64..1_000_000_000),
+        (any::<bool>(), 0u64..1_000_000_000, any::<bool>(), any::<bool>()),
     )
-        .prop_map(|(n, root, priority, num_solvers, time_limit, (has_limit, limit))| JobSpec {
-            name: format!("job-{n}"),
-            instance: format!("inst-{n}"),
-            root,
-            priority,
-            num_solvers,
-            time_limit,
-            node_limit: has_limit.then_some(limit),
-        })
+        .prop_map(
+            |(
+                n,
+                root,
+                priority,
+                num_solvers,
+                time_limit,
+                (has_limit, limit, has_tenant, has_restart),
+            )| JobSpec {
+                name: format!("job-{n}"),
+                instance: format!("inst-{n}"),
+                root,
+                priority,
+                num_solvers,
+                time_limit,
+                node_limit: has_limit.then_some(limit),
+                tenant: has_tenant.then(|| format!("tenant-{}", n % 7)),
+                restart_from: has_restart
+                    .then(|| format!("{{\"queue\":[],\"run_index\":{}}}", n % 5)),
+            },
+        )
 }
 
 fn arb_client_request() -> impl Strategy<Value = Req> {
-    (0usize..6, arb_job_spec(), 0u64..1_000, 0usize..1_000).prop_map(
+    (0usize..8, arb_job_spec(), 0u64..1_000, 0usize..1_000).prop_map(
         |(variant, spec, job, from_seq)| match variant {
             0 => ClientRequest::Submit { spec },
             1 => ClientRequest::Cancel { job },
             2 => ClientRequest::Watch { job, from_seq },
             3 => ClientRequest::Status,
             4 => ClientRequest::Metrics,
+            5 => ClientRequest::Reclaim { job },
+            6 => ClientRequest::Fleet,
             _ => ClientRequest::Shutdown,
         },
     )
@@ -136,7 +150,7 @@ fn arb_client_request() -> impl Strategy<Value = Req> {
 
 fn arb_event_kind() -> impl Strategy<Value = JobEventKind<Vec<f64>>> {
     (
-        0usize..7,
+        0usize..8,
         (arb_f64(), arb_f64(), (any::<bool>(), arb_sol())),
         (arb_job_state(), 0u64..1_000_000, 0u64..16, 0usize..64),
     )
@@ -145,6 +159,7 @@ fn arb_event_kind() -> impl Strategy<Value = JobEventKind<Vec<f64>>> {
                 let solution = has_sol.then_some(sol);
                 match variant {
                     0 => JobEventKind::Queued,
+                    7 => JobEventKind::Routed { shard: format!("shard-{rank}") },
                     1 => JobEventKind::Started { workers: rank },
                     2 => JobEventKind::Incumbent { obj },
                     3 => JobEventKind::Bound { dual_bound },
@@ -242,23 +257,61 @@ fn arb_metrics_report() -> impl Strategy<Value = MetricsReport> {
     })
 }
 
+fn arb_fleet_status() -> impl Strategy<Value = FleetStatus> {
+    let shard = (0usize..8, any::<bool>(), 0u64..64, 0u64..16, 0u64..10_000).prop_map(
+        |(n, healthy, queue_depth, workers, last_heard_ms)| ShardSummary {
+            name: format!("shard-{n}"),
+            addr: format!("127.0.0.1:{}", 7000 + n),
+            healthy,
+            queue_depth,
+            workers_busy: workers / 2,
+            pool_workers: workers,
+            jobs_running: workers / 3,
+            last_heard_ms,
+        },
+    );
+    (
+        proptest::collection::vec(shard, 0..4),
+        0usize..1_000,
+        0usize..64,
+        (0u64..100, 0u64..100, 0u64..100),
+    )
+        .prop_map(|(shards, inflight, dispatch_depth, (stolen, failed_over, rejected))| {
+            FleetStatus {
+                shards,
+                inflight,
+                dispatch_depth,
+                stolen_total: stolen,
+                failed_over_total: failed_over,
+                rejected_total: rejected,
+            }
+        })
+}
+
 fn arb_server_reply() -> impl Strategy<Value = Reply> {
     (
-        0usize..7,
+        0usize..9,
         (0u64..1_000, any::<bool>(), 0usize..1_000),
         (0usize..1_000, arb_event_kind()),
         arb_status(),
         arb_metrics_report(),
+        arb_fleet_status(),
     )
-        .prop_map(|(variant, (job, ok, err), (seq, kind), status, report)| match variant {
-            0 => ServerReply::Submitted { job },
-            1 => ServerReply::CancelResult { job, ok },
-            2 => ServerReply::Event { event: JobEvent { job, seq, kind } },
-            3 => ServerReply::Status { status },
-            4 => ServerReply::Metrics { report },
-            5 => ServerReply::ShuttingDown,
-            _ => ServerReply::Error { message: format!("error #{err}: \"quoted\"\n") },
-        })
+        .prop_map(
+            |(variant, (job, ok, err), (seq, kind), status, report, fleet)| match variant {
+                0 => ServerReply::Submitted { job },
+                1 => ServerReply::CancelResult { job, ok },
+                2 => ServerReply::Event { event: JobEvent { job, seq, kind } },
+                3 => ServerReply::Status { status },
+                4 => ServerReply::Metrics { report },
+                5 => ServerReply::ShuttingDown,
+                6 => ServerReply::Rejected {
+                    reason: ["quota", "capacity", "draining"][err % 3].to_string(),
+                },
+                7 => ServerReply::Fleet { fleet },
+                _ => ServerReply::Error { message: format!("error #{err}: \"quoted\"\n") },
+            },
+        )
 }
 
 fn arb_pool_down() -> impl Strategy<Value = Down> {
@@ -470,6 +523,8 @@ fn job_protocol_variant_count(req: &Req, reply: &Reply, down: &Down, up: &Up, st
         | ClientRequest::Watch { .. }
         | ClientRequest::Status
         | ClientRequest::Metrics
+        | ClientRequest::Reclaim { .. }
+        | ClientRequest::Fleet
         | ClientRequest::Shutdown => {}
     }
     match reply {
@@ -480,6 +535,7 @@ fn job_protocol_variant_count(req: &Req, reply: &Reply, down: &Down, up: &Up, st
                 JobEvent {
                     kind:
                         JobEventKind::Queued
+                        | JobEventKind::Routed { .. }
                         | JobEventKind::Started { .. }
                         | JobEventKind::Incumbent { .. }
                         | JobEventKind::Bound { .. }
@@ -492,6 +548,8 @@ fn job_protocol_variant_count(req: &Req, reply: &Reply, down: &Down, up: &Up, st
         | ServerReply::Status { .. }
         | ServerReply::Metrics { .. }
         | ServerReply::ShuttingDown
+        | ServerReply::Rejected { .. }
+        | ServerReply::Fleet { .. }
         | ServerReply::Error { .. } => {}
     }
     match down {

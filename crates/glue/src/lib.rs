@@ -36,5 +36,5 @@ pub use apps::stp::{
 pub use base::{CipUserPlugins, UgCipSolver};
 pub use serve::{
     job_factory, misdp_job, serve_jobs, stp_job, DelaySolver, JobInstance, JobSolver, SolveClient,
-    SolveJobEvent, SolveJobSpec, SolveServer,
+    SolveGateway, SolveJobEvent, SolveJobSpec, SolveServer,
 };

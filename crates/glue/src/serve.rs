@@ -175,6 +175,9 @@ pub type SolveServer = ugrs_core::Server<JobInstance, NodeDesc, Vec<f64>>;
 pub type SolveClient = ugrs_core::JobClient<JobInstance, NodeDesc, Vec<f64>>;
 pub type SolveJobSpec = JobSpec<JobInstance, NodeDesc>;
 pub type SolveJobEvent = ugrs_core::JobEvent<Vec<f64>>;
+/// The fleet gateway over the mixed solve service — same wire types as
+/// [`SolveServer`], so `ugd` talks to either transparently.
+pub type SolveGateway = ugrs_core::Gateway<JobInstance, NodeDesc, Vec<f64>>;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,149 @@
+//! `ugd-gateway` — the fleet tier: one client endpoint over N
+//! `ugd-server` shards.
+//!
+//! ```text
+//! ugd-gateway --shard a=127.0.0.1:7163[:state/a] --shard b=127.0.0.1:7164
+//!             [--client-addr 127.0.0.1:7160] [--health-ms 250]
+//!             [--shard-liveness-ms 2000] [--steal-margin 2]
+//!             [--max-inflight 1024] [--tenant-rate 0] [--tenant-burst 0]
+//!             [--tenant-quota <name>=<rate>:<burst>]...
+//!             [--state-dir <dir>] [--journal-dir <dir>]
+//! ```
+//!
+//! The gateway speaks the same protocol as a single `ugd-server`, so
+//! every `ugd` subcommand works against it unchanged — plus `ugd fleet`
+//! for the per-shard view. It routes jobs by weighted rendezvous
+//! hashing, steals queued work from deep shards for idle ones, applies
+//! per-tenant token-bucket admission control, and on a shard death
+//! replays that shard's checkpoints onto surviving peers so in-flight
+//! jobs resume as run `1.k` of their restart chain. See README "Fleet
+//! operations" and DESIGN §5f.
+//!
+//! A shard's optional `:state_dir` suffix tells the gateway where that
+//! shard checkpoints (same host or shared filesystem); without it, a
+//! dead shard's running jobs restart from scratch instead of resuming.
+
+use std::time::Duration;
+use ugrs_core::gateway::{GatewayConfig, ShardSpec, TenantQuota};
+use ugrs_glue::SolveGateway;
+
+fn parse_shard(arg: &str) -> Result<ShardSpec, String> {
+    // name=host:port[:state_dir] — the address itself contains a colon,
+    // so split the name first, then take the first two host:port parts.
+    let (name, rest) = arg
+        .split_once('=')
+        .ok_or_else(|| format!("--shard wants name=addr[:state_dir], got {arg:?}"))?;
+    if name.is_empty() {
+        return Err(format!("--shard name is empty in {arg:?}"));
+    }
+    let mut parts = rest.splitn(3, ':');
+    let host = parts.next().unwrap_or("");
+    let port =
+        parts.next().ok_or_else(|| format!("--shard address needs host:port, got {rest:?}"))?;
+    let state_dir = parts.next().map(Into::into);
+    Ok(ShardSpec { name: name.into(), addr: format!("{host}:{port}"), state_dir })
+}
+
+fn parse_quota(arg: &str) -> Result<(String, TenantQuota), String> {
+    let (name, spec) = arg
+        .split_once('=')
+        .ok_or_else(|| format!("--tenant-quota wants name=rate:burst, got {arg:?}"))?;
+    let (rate, burst) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("--tenant-quota wants name=rate:burst, got {arg:?}"))?;
+    let rate: f64 = rate.parse().map_err(|e| format!("bad rate in {arg:?}: {e}"))?;
+    let burst: f64 = burst.parse().map_err(|e| format!("bad burst in {arg:?}: {e}"))?;
+    Ok((name.into(), TenantQuota { rate, burst }))
+}
+
+fn parse_args() -> Result<GatewayConfig, String> {
+    let mut config = GatewayConfig { client_addr: "127.0.0.1:7160".into(), ..Default::default() };
+    let mut default_rate = 0.0f64;
+    let mut default_burst = 0.0f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--shard" => config.shards.push(parse_shard(&value("--shard")?)?),
+            "--client-addr" => config.client_addr = value("--client-addr")?,
+            "--health-ms" => {
+                config.health_interval = Duration::from_millis(
+                    value("--health-ms")?.parse().map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--shard-liveness-ms" => {
+                config.shard_liveness = Duration::from_millis(
+                    value("--shard-liveness-ms")?.parse().map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--probe-timeout-ms" => {
+                config.probe_timeout = Duration::from_millis(
+                    value("--probe-timeout-ms")?.parse().map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--steal-margin" => {
+                config.steal_margin =
+                    value("--steal-margin")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--max-inflight" => {
+                config.max_inflight =
+                    value("--max-inflight")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--tenant-rate" => {
+                default_rate = value("--tenant-rate")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--tenant-burst" => {
+                default_burst = value("--tenant-burst")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--tenant-quota" => {
+                let (name, quota) = parse_quota(&value("--tenant-quota")?)?;
+                config.tenant_quotas.insert(name, quota);
+            }
+            "--state-dir" => config.state_dir = Some(value("--state-dir")?.into()),
+            "--journal-dir" => config.journal_dir = Some(value("--journal-dir")?.into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    // `--tenant-rate 0` (the default) leaves unlisted tenants
+    // unmetered; any positive rate meters them.
+    if default_rate > 0.0 {
+        let burst = if default_burst > 0.0 { default_burst } else { default_rate.max(1.0) };
+        config.default_quota = Some(TenantQuota { rate: default_rate, burst });
+    }
+    config.validate()?;
+    Ok(config)
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ugd-gateway: {e}");
+            eprintln!(
+                "usage: ugd-gateway --shard <name>=<host>:<port>[:<state_dir>] [--shard ...]\n\
+                 \x20       [--client-addr <a>] [--health-ms <ms>] [--shard-liveness-ms <ms>]\n\
+                 \x20       [--probe-timeout-ms <ms>] [--steal-margin <n>] [--max-inflight <n>]\n\
+                 \x20       [--tenant-rate <per-sec> [--tenant-burst <n>]]\n\
+                 \x20       [--tenant-quota <name>=<rate>:<burst>]...\n\
+                 \x20       [--state-dir <dir>] [--journal-dir <dir>]\n\
+                 \n\
+                 --shard            one ugd-server: client address, plus its state dir when\n\
+                 \x20                 reachable (enables checkpoint replay on failover)\n\
+                 --steal-margin     steal queued jobs from shards at least this deep (0 = off)\n\
+                 --tenant-rate      default token-bucket rate for tenants (0 = unmetered)\n\
+                 --tenant-quota     per-tenant override, e.g. batch=0.5:10"
+            );
+            std::process::exit(2);
+        }
+    };
+    let shards = config.shards.len();
+    let gateway = match SolveGateway::start(config) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("ugd-gateway: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("ugd-gateway listening on {} ({} shards)", gateway.client_addr(), shards);
+    gateway.join();
+}

@@ -28,11 +28,43 @@
 //! of a restart chain. See README "Operations" for the full runbook.
 //!
 //! `--worker` defaults to the `ugd-worker` binary next to this
-//! executable. The process runs until a client sends `shutdown`.
+//! executable. The process runs until a client sends `shutdown` — or
+//! until **SIGTERM**, which drains instead of killing: submits are
+//! answered `Rejected { reason: "draining" }`, running jobs are stopped
+//! through the cancel path (their coordinators write final checkpoints),
+//! the ledger records of unfinished jobs are *kept*, and the process
+//! exits 0 — so the next `ugd-server --state-dir <same>` resumes every
+//! interrupted job as run `1.k`. This is what lets an operator (or an
+//! orchestrator's rolling restart) recycle a shard without losing work.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use ugrs_core::chaos::{ChaosConfig, ChaosProfile};
 use ugrs_core::ServerConfig;
 use ugrs_glue::SolveServer;
+
+/// Set by the SIGTERM handler; polled by the main loop. A signal
+/// handler may only do async-signal-safe work, and a relaxed store to a
+/// static atomic is exactly that.
+static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    SIGTERM_RECEIVED.store(true, Ordering::Relaxed);
+}
+
+/// Installs the SIGTERM handler via the C `signal()` entry point that
+/// libc (already linked by std) exports — no new dependency.
+fn install_sigterm_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: *const ()) -> *const ();
+        }
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_sigterm as *const ());
+        }
+    }
+}
 
 struct Args {
     config: ServerConfig,
@@ -189,5 +221,17 @@ fn main() {
             dir.display()
         );
     }
-    server.join();
+    install_sigterm_handler();
+    // Poll instead of blocking in join(): the SIGTERM flag must be able
+    // to interrupt the wait. 50 ms is invisible next to job runtimes.
+    while !server.shutdown_requested() && !SIGTERM_RECEIVED.load(Ordering::Relaxed) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    if SIGTERM_RECEIVED.load(Ordering::Relaxed) && !server.shutdown_requested() {
+        println!("ugd-server: SIGTERM — draining (checkpointing running jobs, keeping ledger)");
+        server.drain_and_join();
+        println!("ugd-server: drained");
+    } else {
+        server.join();
+    }
 }

@@ -1,14 +1,15 @@
-//! `ugd` — the command-line client of `ugd-server`.
+//! `ugd` — the command-line client of `ugd-server` and `ugd-gateway`.
 //!
 //! ```text
 //! ugd submit <file.stp|file.cbf> [--addr 127.0.0.1:7163] [--name <s>]
 //!            [--priority <p>] [--solvers <n>] [--time-limit <secs>]
-//!            [--node-limit <n>] [--no-watch]
+//!            [--node-limit <n>] [--tenant <key>] [--no-watch]
 //! ugd watch <job>   [--addr <a>] [--from <seq>]
 //! ugd cancel <job>  [--addr <a>]
 //! ugd status        [--addr <a>]
 //! ugd top           [--addr <a>] [--interval <secs>] [--iterations <n>]
 //! ugd metrics       [--addr <a>]
+//! ugd fleet         [--addr <a>]
 //! ugd shutdown      [--addr <a>]
 //! ```
 //!
@@ -18,8 +19,17 @@
 //! prints the objective in the instance's external sense (STP: reduced
 //! plus fixed cost; MISDP: maximized `bᵀy`). Watching is resumable: on
 //! a dropped connection, re-run `ugd watch <job> --from <seq>`.
+//!
+//! Every subcommand also works against a `ugd-gateway` — same wire
+//! protocol; `--gateway <a>` is an alias of `--addr <a>` that makes the
+//! intent explicit in scripts. Gateway-specific: `--tenant` tags a
+//! submission for admission control (over-quota submissions are
+//! refused with "rejected: quota", exit 5), and `ugd fleet` shows the
+//! per-shard view — queue depth, busy workers, steal/failover/reject
+//! counters.
 
-use ugrs_core::{JobEvent, JobEventKind, JobState};
+use ugrs_core::telemetry::sample_sum;
+use ugrs_core::{JobEvent, JobEventKind, JobState, SubmitOutcome};
 use ugrs_glue::{misdp_job, stp_job, SolveClient, SolveJobSpec};
 use ugrs_steiner::reduce::ReduceParams;
 
@@ -33,13 +43,16 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 fn usage() -> ! {
     eprintln!(
         "usage: ugd submit <file.stp|file.cbf> [--addr <a>] [--name <s>] [--priority <p>]\n\
-         \x20                [--solvers <n>] [--time-limit <secs>] [--node-limit <n>] [--no-watch]\n\
+         \x20                [--solvers <n>] [--time-limit <secs>] [--node-limit <n>]\n\
+         \x20                [--tenant <key>] [--no-watch]\n\
          \x20      ugd watch <job> [--addr <a>] [--from <seq>]\n\
          \x20      ugd cancel <job> [--addr <a>]\n\
          \x20      ugd status [--addr <a>]\n\
          \x20      ugd top [--addr <a>] [--interval <secs>] [--iterations <n>]\n\
          \x20      ugd metrics [--addr <a>]\n\
-         \x20      ugd shutdown [--addr <a>]"
+         \x20      ugd fleet [--addr <a>]\n\
+         \x20      ugd shutdown [--addr <a>]\n\
+         (--gateway <a> is an alias of --addr <a>; fleet/--tenant need a gateway)"
     );
     std::process::exit(2);
 }
@@ -57,6 +70,7 @@ struct Opts {
     watch: bool,
     interval: f64,
     iterations: Option<u64>,
+    tenant: Option<String>,
 }
 
 fn parse_opts(mut it: std::env::Args) -> Result<Opts, String> {
@@ -72,11 +86,16 @@ fn parse_opts(mut it: std::env::Args) -> Result<Opts, String> {
         watch: true,
         interval: 1.0,
         iterations: None,
+        tenant: None,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
             "--addr" => o.addr = value("--addr")?,
+            // The gateway speaks the server protocol, so addressing one
+            // is just an address — the alias only documents intent.
+            "--gateway" => o.addr = value("--gateway")?,
+            "--tenant" => o.tenant = Some(value("--tenant")?),
             "--name" => o.name = Some(value("--name")?),
             "--priority" => {
                 o.priority = value("--priority")?.parse().map_err(|e| format!("{e}"))?
@@ -134,6 +153,7 @@ fn load_spec(path: &str, o: &Opts) -> SolveJobSpec {
     spec.num_solvers = o.solvers;
     spec.time_limit = o.time_limit;
     spec.node_limit = o.node_limit;
+    spec.tenant = o.tenant.clone();
     spec
 }
 
@@ -154,6 +174,9 @@ fn print_event(ev: &JobEvent<Vec<f64>>, external: &dyn Fn(f64) -> f64) {
         JobEventKind::WorkerLost { rank } => {
             println!("job {} lost worker rank {rank} (requeued)", ev.job)
         }
+        JobEventKind::Routed { shard } => {
+            println!("job {} routed to shard {shard}", ev.job)
+        }
         JobEventKind::Recovered { run_index, nodes_so_far } => {
             println!(
                 "job {} recovered from server restart (next run 1.{run_index}, \
@@ -173,29 +196,6 @@ fn print_event(ev: &JobEvent<Vec<f64>>, external: &dyn Fn(f64) -> f64) {
             );
         }
     }
-}
-
-/// Sums every sample of a metric family in a Prometheus-style
-/// exposition: all lines whose metric name (up to `{` or whitespace)
-/// equals `family`, ignoring comments. Unlabeled gauges yield their
-/// single value; labeled counters yield the total across label sets.
-fn sample_sum(text: &str, family: &str) -> f64 {
-    let mut sum = 0.0;
-    for line in text.lines() {
-        if line.starts_with('#') {
-            continue;
-        }
-        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
-        if &line[..name_end] != family {
-            continue;
-        }
-        if let Some(value) = line.rsplit(' ').next() {
-            if let Ok(v) = value.parse::<f64>() {
-                sum += v;
-            }
-        }
-    }
-    sum
 }
 
 fn fmt_bound(v: f64) -> String {
@@ -227,9 +227,10 @@ fn run_top(client: &mut SolveClient, interval: f64, iterations: Option<u64>) {
         // Clear screen + home, like top(1); harmless when piped.
         print!("\x1b[2J\x1b[H");
         println!(
-            "ugd top — pool {}/{} workers, {} running, {} queued, {} finished",
+            "ugd top — pool {}/{} workers ({} busy), {} running, {} queued, {} finished",
             sample_sum(&report.text, "ugrs_server_pool_workers"),
             sample_sum(&report.text, "ugrs_server_pool_target"),
+            sample_sum(&report.text, "ugrs_server_workers_busy"),
             sample_sum(&report.text, "ugrs_server_jobs_running"),
             sample_sum(&report.text, "ugrs_server_queue_depth"),
             finished,
@@ -314,7 +315,15 @@ fn main() {
             let instance = spec.instance.clone();
             let external = move |v: f64| instance.external_objective(v);
             let mut client = connect(&o.addr);
-            let job = client.submit(spec).unwrap_or_else(|e| fail(e));
+            let job = match client.try_submit(spec).unwrap_or_else(|e| fail(e)) {
+                SubmitOutcome::Accepted(job) => job,
+                SubmitOutcome::Rejected(reason) => {
+                    // Admission control said no: nothing was queued, so
+                    // a distinct exit code lets scripts back off.
+                    eprintln!("ugd: rejected: {reason}");
+                    std::process::exit(5);
+                }
+            };
             println!("submitted job {job}");
             if o.watch {
                 let done = client
@@ -389,6 +398,37 @@ fn main() {
             let mut client = connect(&o.addr);
             let report = client.metrics().unwrap_or_else(|e| fail(e));
             print!("{}", report.text);
+        }
+        "fleet" => {
+            let mut client = connect(&o.addr);
+            let fleet = client.fleet().unwrap_or_else(|e| fail(e));
+            println!(
+                "fleet: {} shard(s), {} in flight, {} awaiting dispatch",
+                fleet.shards.len(),
+                fleet.inflight,
+                fleet.dispatch_depth,
+            );
+            println!(
+                "{:<12} {:<21} {:<9} {:>6} {:>6} {:>6} {:>8} {:>10}",
+                "SHARD", "ADDR", "HEALTH", "QUEUE", "BUSY", "POOL", "RUNNING", "HEARD(ms)"
+            );
+            for s in &fleet.shards {
+                println!(
+                    "{:<12} {:<21} {:<9} {:>6} {:>6} {:>6} {:>8} {:>10}",
+                    s.name,
+                    s.addr,
+                    if s.healthy { "ok" } else { "DEAD" },
+                    s.queue_depth,
+                    s.workers_busy,
+                    s.pool_workers,
+                    s.jobs_running,
+                    s.last_heard_ms,
+                );
+            }
+            println!(
+                "stolen {}  failed_over {}  rejected {}",
+                fleet.stolen_total, fleet.failed_over_total, fleet.rejected_total
+            );
         }
         "shutdown" => {
             let mut client = connect(&o.addr);

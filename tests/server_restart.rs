@@ -78,8 +78,8 @@ fn spawn_server(state_dir: &Path, handicap_ms: u64) -> ServerProc {
     ServerProc { child, addr, stdout }
 }
 
-fn scratch_state_dir() -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("ugrs-restart-e2e-{}", std::process::id()));
+fn scratch_state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ugrs-{tag}-e2e-{}", std::process::id()));
     // A stale directory from a previous failed run must not feed this
     // one a leftover ledger.
     std::fs::remove_dir_all(&dir).ok();
@@ -135,7 +135,7 @@ fn sigkill_server_midjob_then_restart_resumes_and_solves() {
     );
     let expected = threaded.tree.expect("threaded reference must solve").1;
 
-    let state_dir = scratch_state_dir();
+    let state_dir = scratch_state_dir("restart");
     // 500 ms per subproblem: slow enough that the job is reliably
     // mid-run with a useful checkpoint when the server dies.
     let first = spawn_server(&state_dir, 500);
@@ -236,5 +236,83 @@ fn sigkill_server_midjob_then_restart_resumes_and_solves() {
     let deadline = Instant::now() + Duration::from_secs(10);
     drop(second);
     assert!(Instant::now() < deadline);
+    std::fs::remove_dir_all(&state_dir).ok();
+}
+
+/// Graceful drain: SIGTERM must be a *planned* handover, not a crash.
+/// The server stops accepting submits, checkpoints the running job
+/// through the cancel path, keeps its ledger record, and exits 0 — so
+/// the next server on the same state dir resumes the job as run 1.2.
+/// This is the shard-recycle primitive `ugd-gateway` failover and
+/// rolling restarts both lean on.
+#[test]
+fn sigterm_drains_checkpoints_and_exits_zero() {
+    let g = hypercube_sparse_terminals(6, 4, CostScheme::Perturbed, 1);
+    let state_dir = scratch_state_dir("drain");
+    let mut first = spawn_server(&state_dir, 500);
+    let mut client = SolveClient::connect(&first.addr).expect("client connect");
+    let job = client.submit(stp_job("drain-victim", &g, &ReduceParams::default())).expect("submit");
+
+    // Progress first: a drain with nothing checkpointed proves nothing.
+    let cp_path = state_dir.join("checkpoints").join("job-0.json");
+    let (_, nodes_at_drain) = await_checkpoint_progress(&cp_path, Duration::from_secs(60));
+
+    let status = Command::new("kill")
+        .args(["-TERM", &first.child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success(), "kill -TERM failed");
+
+    // The signal is polled (50 ms), so give the drain a moment to
+    // engage; then a new submit must be refused, not queued into a
+    // dying process. The drain window is short, so a connection refusal
+    // is an acceptable outcome too.
+    std::thread::sleep(Duration::from_millis(200));
+    if let Ok(mut late) = SolveClient::connect(&first.addr) {
+        match late.try_submit(stp_job("too-late", &g, &ReduceParams::default())) {
+            Ok(ugrs::ug::SubmitOutcome::Rejected(reason)) => {
+                assert_eq!(reason, "draining", "drain refusal must say why")
+            }
+            Ok(ugrs::ug::SubmitOutcome::Accepted(j)) => {
+                panic!("draining server accepted job {j}")
+            }
+            Err(_) => {} // listener already gone — equally safe
+        }
+    }
+    drop(client);
+
+    let exit = first.child.wait().expect("wait for drained server");
+    assert!(exit.success(), "drained server must exit 0, got {exit:?}");
+
+    // The handover contract: ledger record and checkpoint both survive.
+    let wal = state_dir.join("jobs").join("job-0.json");
+    assert!(wal.exists(), "drain must keep the ledger record of the unfinished job");
+    assert!(cp_path.exists(), "drain must keep the checkpoint of the unfinished job");
+
+    // A successor on the same state dir picks the job up as run 1.2.
+    let mut second = spawn_server(&state_dir, 50);
+    let mut banner = String::new();
+    second.stdout.read_line(&mut banner).expect("read recovery line");
+    assert_eq!(
+        banner.trim(),
+        format!("recovered 1 job(s) from {} (1 resumed from checkpoint)", state_dir.display()),
+        "successor must announce the handover"
+    );
+    let mut client = SolveClient::connect(&second.addr).expect("reconnect");
+    let done = client.watch(job, 0, |_| {}).expect("watch resumed job");
+    match done.kind {
+        JobEventKind::Finished { state, run_index, nodes_so_far, .. } => {
+            assert_eq!(state, JobState::Solved, "resumed job must solve");
+            assert_eq!(run_index, 2, "drained job resumes as run 1.2");
+            assert!(
+                nodes_so_far >= nodes_at_drain,
+                "resumed run lost pre-drain progress: {nodes_so_far} < {nodes_at_drain}"
+            );
+        }
+        other => panic!("unexpected terminal event {other:?}"),
+    }
+    client.shutdown_server().expect("shutdown");
+    drop(client);
+    drop(second);
     std::fs::remove_dir_all(&state_dir).ok();
 }
