@@ -289,6 +289,15 @@ struct GwJob<Inst, Sub> {
     /// Freshest checkpoint to resume from at the next dispatch (set by
     /// failover from the dead shard's state dir).
     restart_from: Option<String>,
+    /// The next shard-side event seq the tracker should ask for —
+    /// `Watch { from_seq }` on (re)connect resumes here instead of
+    /// replaying the shard's whole log, so a transient disconnect (or
+    /// the deliberate reconnect after a failed steal) never duplicates
+    /// already-delivered events in the gateway's log. Reset to 0 by the
+    /// dispatcher whenever a *new* shard-local job is assigned (its log
+    /// starts fresh); kept across a failed steal (same shard, same
+    /// local id, same log).
+    next_shard_seq: usize,
     run_index: u32,
     tracker_spawned: bool,
 }
@@ -398,6 +407,9 @@ pub struct Gateway<Inst: WireType, Sub: WireType, Sol: WireType> {
     shared: Arc<GwShared<Inst, Sub, Sol>>,
     client_addr: SocketAddr,
     threads: Vec<std::thread::JoinHandle<()>>,
+    /// `(total, resumed-from-checkpoint)` jobs the startup recovery
+    /// pass brought back — for the operator's startup banner.
+    recovered: (usize, usize),
 }
 
 impl<Inst: WireType, Sub: WireType, Sol: WireType> Gateway<Inst, Sub, Sol> {
@@ -405,10 +417,32 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Gateway<Inst, Sub, Sol> {
     /// dispatcher and health threads. Shards may come up later: an
     /// unreachable shard is simply unhealthy until its first successful
     /// poll.
+    ///
+    /// With [`GatewayConfig::state_dir`] set, this first runs the
+    /// **recovery pass**: every job the gateway's own ledger still owes
+    /// an answer for — acknowledged before a crash, or caught in the
+    /// reclaim window of a steal — re-enters the dispatch queue under
+    /// its original gateway id (carrying any `restart_from` checkpoint
+    /// the record holds), and fresh ids are seeded past the highest
+    /// recovered one so new jobs never overwrite stale records.
     pub fn start(config: GatewayConfig) -> io::Result<Self> {
         config.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let mut recovered: Vec<ledger::RecoveredJob<Inst, Sub>> = Vec::new();
+        let mut next_gid = 0u64;
         let ledger = match &config.state_dir {
-            Some(dir) => Some(JobLedger::open(dir)?),
+            Some(dir) => {
+                let l = JobLedger::open(dir)?;
+                let rec = l.recover::<Inst, Sub>()?;
+                for path in &rec.skipped {
+                    eprintln!(
+                        "ugd-gateway: skipping unreadable ledger record {} (torn write?)",
+                        path.display()
+                    );
+                }
+                next_gid = rec.next_job;
+                recovered = rec.jobs;
+                Some(l)
+            }
             None => None,
         };
         let journal = match &config.journal_dir {
@@ -435,14 +469,30 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Gateway<Inst, Sub, Sol> {
                 queued_local: Vec::new(),
             })
             .collect();
+        let mut jobs = BTreeMap::new();
+        let mut dispatch = VecDeque::new();
+        for r in &recovered {
+            let tenant = r.spec.tenant.clone().unwrap_or_else(|| "default".into());
+            jobs.insert(
+                r.job,
+                GwJob {
+                    spec: r.spec.clone(),
+                    tenant,
+                    state: JobState::Queued,
+                    epoch: 0,
+                    route: None,
+                    restart_from: r.checkpoint.clone(),
+                    run_index: r.run_index,
+                    next_shard_seq: 0,
+                    tracker_spawned: false,
+                },
+            );
+            dispatch.push_back(Dispatch { gid: r.job, target: None });
+        }
+        let inflight = jobs.len();
         let shared = Arc::new(GwShared {
             config,
-            state: Mutex::new(GwState {
-                jobs: BTreeMap::new(),
-                dispatch: VecDeque::new(),
-                next_gid: 0,
-                inflight: 0,
-            }),
+            state: Mutex::new(GwState { jobs, dispatch, next_gid, inflight }),
             cv: Condvar::new(),
             events: Mutex::new(HashMap::new()),
             events_cv: Condvar::new(),
@@ -467,6 +517,31 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Gateway<Inst, Sub, Sol> {
                 &[("reason", reason)],
                 "Submissions refused by admission control, by reason",
             );
+        }
+        for mode in ["requeued", "resumed"] {
+            shared.metrics.counter_with(
+                "ugrs_gateway_jobs_recovered_total",
+                &[("mode", mode)],
+                "Jobs brought back by the startup recovery pass, by mode",
+            );
+        }
+        // Re-announce the recovered jobs: same Queued-before-ack shape a
+        // live submit has, so a watcher reattaching after the restart
+        // sees a well-formed stream from seq 0.
+        for r in &recovered {
+            let mode = if r.checkpoint.is_some() { "resumed" } else { "requeued" };
+            shared
+                .metrics
+                .counter_with(
+                    "ugrs_gateway_jobs_recovered_total",
+                    &[("mode", mode)],
+                    "Jobs brought back by the startup recovery pass, by mode",
+                )
+                .inc();
+            shared.emit(r.job, JobEventKind::Queued);
+            shared.journal(serde_json::json!({
+                "ev": "recover", "gid": r.job, "resumed": r.checkpoint.is_some(),
+            }));
         }
         shared
             .metrics
@@ -495,7 +570,15 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Gateway<Inst, Sub, Sol> {
                 .name("ugw-accept".into())
                 .spawn(move || accept_loop(sh, listener))?,
         );
-        Ok(Gateway { shared, client_addr, threads })
+        let resumed = recovered.iter().filter(|r| r.checkpoint.is_some()).count();
+        Ok(Gateway { shared, client_addr, threads, recovered: (recovered.len(), resumed) })
+    }
+
+    /// How many jobs the startup recovery pass brought back:
+    /// `(total, resumed_from_checkpoint)`. `(0, 0)` without a state
+    /// dir or on a clean ledger.
+    pub fn recovered_jobs(&self) -> (usize, usize) {
+        self.recovered
     }
 
     /// Where clients connect.
@@ -537,30 +620,6 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Gateway<Inst, Sub, Sol> {
 // Admission + submit
 // ---------------------------------------------------------------------
 
-/// `Err(reason)` when admission control refuses the submit.
-fn admit<Inst, Sub, Sol>(
-    shared: &GwShared<Inst, Sub, Sol>,
-    tenant: &str,
-) -> Result<(), &'static str> {
-    {
-        let st = shared.state.lock().unwrap();
-        if st.inflight >= shared.config.max_inflight {
-            return Err("capacity");
-        }
-    }
-    let quota =
-        shared.config.tenant_quotas.get(tenant).or(shared.config.default_quota.as_ref()).copied();
-    if let Some(quota) = quota {
-        let now = Instant::now();
-        let mut tenants = shared.tenants.lock().unwrap();
-        let bucket = tenants.entry(tenant.to_string()).or_insert_with(|| Bucket::new(&quota, now));
-        if !bucket.try_take(&quota, now) {
-            return Err("quota");
-        }
-    }
-    Ok(())
-}
-
 fn reject<Inst, Sub, Sol: Clone>(
     shared: &GwShared<Inst, Sub, Sol>,
     tenant: &str,
@@ -583,20 +642,59 @@ fn gw_submit<Inst: WireType, Sub: WireType, Sol: WireType>(
 ) -> io::Result<Result<u64, &'static str>> {
     let t0 = Instant::now();
     let tenant = spec.tenant.clone().unwrap_or_else(|| "default".into());
-    if let Err(reason) = admit(shared, &tenant) {
-        reject(shared, &tenant, reason);
-        return Ok(Err(reason));
-    }
+    let quota =
+        shared.config.tenant_quotas.get(&tenant).or(shared.config.default_quota.as_ref()).copied();
+    // Admission and id assignment are one critical section: N racing
+    // submits cannot all pass the capacity check and then overshoot
+    // `max_inflight`, because each one *reserves* its inflight slot
+    // (and its tenant token) before the lock drops. The write-ahead
+    // fsync happens outside the lock — every submitter syncs its own
+    // record file, so concurrent submits do not serialize on the disk —
+    // and a failed write rolls the reservation and the token back.
     let gid = {
         let mut st = shared.state.lock().unwrap();
-        // Same write-ahead discipline as the server: durable before the
-        // ack, so neither a gateway crash nor the reclaim window of a
-        // later steal can lose an acknowledged job.
-        if let Some(ledger) = &shared.ledger {
-            ledger.record_submitted(st.next_gid, &spec)?;
+        if st.inflight >= shared.config.max_inflight {
+            drop(st);
+            reject(shared, &tenant, "capacity");
+            return Ok(Err("capacity"));
+        }
+        if let Some(quota) = &quota {
+            let now = Instant::now();
+            let mut tenants = shared.tenants.lock().unwrap();
+            let bucket = tenants.entry(tenant.clone()).or_insert_with(|| Bucket::new(quota, now));
+            if !bucket.try_take(quota, now) {
+                drop(tenants);
+                drop(st);
+                reject(shared, &tenant, "quota");
+                return Ok(Err("quota"));
+            }
         }
         let gid = st.next_gid;
         st.next_gid += 1;
+        st.inflight += 1;
+        gid
+    };
+    // Same write-ahead discipline as the server: durable before the
+    // ack, so neither a gateway crash nor the reclaim window of a later
+    // steal can lose an acknowledged job. The gid is not in `st.jobs`
+    // yet, but the client cannot name it before the ack either.
+    if let Some(ledger) = &shared.ledger {
+        if let Err(e) = ledger.record_submitted(gid, &spec) {
+            // The submit is answered with an Error: release the
+            // reserved slot and put the tenant's token back — a failed
+            // disk must not bill the bucket for a job never accepted.
+            // (The gid itself is burned; ids need not be dense.)
+            shared.state.lock().unwrap().inflight -= 1;
+            if let Some(quota) = &quota {
+                if let Some(b) = shared.tenants.lock().unwrap().get_mut(&tenant) {
+                    b.tokens = (b.tokens + 1.0).min(quota.burst);
+                }
+            }
+            return Err(e);
+        }
+    }
+    {
+        let mut st = shared.state.lock().unwrap();
         let run_index = spec
             .restart_from
             .as_deref()
@@ -612,12 +710,11 @@ fn gw_submit<Inst: WireType, Sub: WireType, Sol: WireType>(
                 epoch: 0,
                 route: None,
                 run_index,
+                next_shard_seq: 0,
                 tracker_spawned: false,
             },
         );
         st.dispatch.push_back(Dispatch { gid, target: None });
-        st.inflight += 1;
-        gid
     };
     shared.counter("ugrs_gateway_jobs_submitted_total", "Jobs accepted by the gateway").inc();
     shared.emit(gid, JobEventKind::Queued);
@@ -726,6 +823,9 @@ fn dispatcher_loop<Inst: WireType, Sub: WireType, Sol: WireType>(
                         continue;
                     }
                     job.route = Some(Route { shard: target, local });
+                    // A new shard-local job means a new event log that
+                    // starts at seq 0 — the tracker must not skip it.
+                    job.next_shard_seq = 0;
                     let spawn = !job.tracker_spawned;
                     job.tracker_spawned = true;
                     spawn
@@ -775,7 +875,7 @@ fn tracker_loop<Inst: WireType, Sub: WireType, Sol: WireType>(
 ) {
     'routes: loop {
         // Wait for a current route (or terminality).
-        let (shard, local, epoch) = {
+        let (shard, local, epoch, from_seq) = {
             let mut st = shared.state.lock().unwrap();
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -786,7 +886,7 @@ fn tracker_loop<Inst: WireType, Sub: WireType, Sol: WireType>(
                     return;
                 }
                 if let Some(r) = &job.route {
-                    break (r.shard, r.local, job.epoch);
+                    break (r.shard, r.local, job.epoch, job.next_shard_seq);
                 }
                 st = shared.cv.wait_timeout(st, Duration::from_millis(200)).unwrap().0;
             }
@@ -813,7 +913,7 @@ fn tracker_loop<Inst: WireType, Sub: WireType, Sol: WireType>(
         let mut writer = stream;
         if wire::write_msg(
             &mut writer,
-            &ClientRequest::<Inst, Sub>::Watch { job: local, from_seq: 0 },
+            &ClientRequest::<Inst, Sub>::Watch { job: local, from_seq },
         )
         .is_err()
         {
@@ -873,6 +973,9 @@ fn deliver<Inst, Sub, Sol: Clone>(
     if job.epoch != epoch || job.state.is_terminal() {
         return false;
     }
+    // Consumed under the owning epoch: the reconnect cursor moves past
+    // this event so a later `Watch` never re-delivers it.
+    job.next_shard_seq = job.next_shard_seq.max(event.seq + 1);
     match &event.kind {
         // The gateway emitted its own Queued at submit; the shard's
         // (and its re-runs after a steal) would just repeat it.
@@ -1125,6 +1228,29 @@ fn maybe_steal<Inst: WireType, Sub: WireType, Sol: WireType>(
             .unwrap_or(false);
     let mut st = shared.state.lock().unwrap();
     let Some(job) = st.jobs.get_mut(&gid) else { return };
+    // The disown window is not exclusive: while the route was empty a
+    // cancel can take the undispatched path (terminal `Cancelled`,
+    // inflight released, ledger retired). Requeueing now would
+    // resurrect an acknowledged-cancelled job — and underflow the
+    // inflight meter at its second terminal. Nothing else may bump the
+    // epoch either (defense in depth: a concurrent owner means this
+    // steal lost).
+    if job.epoch != epoch + 1 || job.state.is_terminal() {
+        drop(st);
+        if !reclaimed {
+            // The reclaim was refused, so the job still runs on the
+            // victim shard even though the gateway already answered its
+            // terminal — forward the cancel instead of restoring the
+            // route (best-effort: the shard's pool should not keep
+            // burning on a job nobody is waiting for).
+            if let Ok(mut c) =
+                JobClient::<Inst, Sub, Sol>::connect_timeout(&addr, shared.config.probe_timeout)
+            {
+                let _ = c.cancel(local);
+            }
+        }
+        return;
+    }
     if reclaimed {
         job.state = JobState::Queued;
         st.dispatch.push_back(Dispatch { gid, target: Some(idle) });
@@ -1139,8 +1265,10 @@ fn maybe_steal<Inst: WireType, Sub: WireType, Sol: WireType>(
     } else {
         // The job started (or finished) before the reclaim landed: it
         // stays where it is. The route returns under the *new* epoch,
-        // so its tracker reconnects and replays the stream — nothing
-        // the disown window discarded is lost.
+        // so its tracker reconnects and resumes the stream from
+        // `next_shard_seq` — the delivery cursor did not move for
+        // anything the disown window discarded, so those events are
+        // re-fetched exactly once, not the whole log again.
         job.route = Some(Route { shard: victim, local });
         drop(st);
     }

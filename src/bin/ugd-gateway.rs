@@ -28,19 +28,39 @@ use ugrs_core::gateway::{GatewayConfig, ShardSpec, TenantQuota};
 use ugrs_glue::SolveGateway;
 
 fn parse_shard(arg: &str) -> Result<ShardSpec, String> {
-    // name=host:port[:state_dir] — the address itself contains a colon,
-    // so split the name first, then take the first two host:port parts.
+    // name=host:port[:state_dir] or name=[v6]:port[:state_dir]. The
+    // address is parsed from the left — a bracketed IPv6 host keeps its
+    // internal colons, and everything after the port's ':' is the state
+    // dir verbatim (it may itself contain ':').
     let (name, rest) = arg
         .split_once('=')
         .ok_or_else(|| format!("--shard wants name=addr[:state_dir], got {arg:?}"))?;
     if name.is_empty() {
         return Err(format!("--shard name is empty in {arg:?}"));
     }
-    let mut parts = rest.splitn(3, ':');
-    let host = parts.next().unwrap_or("");
-    let port =
-        parts.next().ok_or_else(|| format!("--shard address needs host:port, got {rest:?}"))?;
-    let state_dir = parts.next().map(Into::into);
+    let (host, after_host) = if let Some(v6) = rest.strip_prefix('[') {
+        let (inner, tail) = v6
+            .split_once(']')
+            .ok_or_else(|| format!("unclosed '[' in --shard address {rest:?}"))?;
+        (format!("[{inner}]"), tail)
+    } else {
+        let colon = rest
+            .find(':')
+            .ok_or_else(|| format!("--shard address needs host:port, got {rest:?}"))?;
+        (rest[..colon].to_string(), &rest[colon..])
+    };
+    if host.is_empty() || host == "[]" {
+        return Err(format!("--shard host is empty in {arg:?}"));
+    }
+    let port_and_dir = after_host
+        .strip_prefix(':')
+        .ok_or_else(|| format!("--shard address needs host:port, got {rest:?}"))?;
+    let (port, state_dir) = match port_and_dir.split_once(':') {
+        Some((port, dir)) => (port, (!dir.is_empty()).then(|| dir.into())),
+        None => (port_and_dir, None),
+    };
+    port.parse::<u16>()
+        .map_err(|_| format!("bad port {port:?} in --shard address {rest:?}"))?;
     Ok(ShardSpec { name: name.into(), addr: format!("{host}:{port}"), state_dir })
 }
 
@@ -145,5 +165,52 @@ fn main() {
         }
     };
     println!("ugd-gateway listening on {} ({} shards)", gateway.client_addr(), shards);
+    let (total, resumed) = gateway.recovered_jobs();
+    if total > 0 {
+        println!("ugd-gateway recovered {total} jobs ({resumed} resuming from a checkpoint)");
+    }
     gateway.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_shard_accepts_ipv4_ipv6_and_state_dirs() {
+        let s = parse_shard("a=127.0.0.1:7163").unwrap();
+        assert_eq!((s.name.as_str(), s.addr.as_str()), ("a", "127.0.0.1:7163"));
+        assert!(s.state_dir.is_none());
+
+        let s = parse_shard("a=127.0.0.1:7163:/var/lib/ugrs/a").unwrap();
+        assert_eq!(s.addr, "127.0.0.1:7163");
+        assert_eq!(s.state_dir.as_deref(), Some(std::path::Path::new("/var/lib/ugrs/a")));
+
+        // An IPv6 host keeps its brackets and internal colons.
+        let s = parse_shard("v6=[::1]:7163").unwrap();
+        assert_eq!(s.addr, "[::1]:7163");
+        assert!(s.state_dir.is_none());
+
+        let s = parse_shard("v6=[fe80::1]:7163:/tmp/state").unwrap();
+        assert_eq!(s.addr, "[fe80::1]:7163");
+        assert_eq!(s.state_dir.as_deref(), Some(std::path::Path::new("/tmp/state")));
+
+        // A state dir may itself contain ':' — only the first ':' after
+        // the port delimits it.
+        let s = parse_shard("a=10.0.0.2:7000:/mnt/st:age/a").unwrap();
+        assert_eq!(s.addr, "10.0.0.2:7000");
+        assert_eq!(s.state_dir.as_deref(), Some(std::path::Path::new("/mnt/st:age/a")));
+    }
+
+    #[test]
+    fn parse_shard_rejects_malformed_input() {
+        assert!(parse_shard("no-equals").is_err(), "missing name=");
+        assert!(parse_shard("=127.0.0.1:7163").is_err(), "empty name");
+        assert!(parse_shard("a=127.0.0.1").is_err(), "missing port");
+        assert!(parse_shard("a=:7163").is_err(), "empty host");
+        assert!(parse_shard("a=[::1:7163").is_err(), "unclosed bracket");
+        assert!(parse_shard("a=[::1]7163").is_err(), "missing ':' after ']'");
+        assert!(parse_shard("a=127.0.0.1:notaport").is_err(), "non-numeric port");
+        assert!(parse_shard("a=127.0.0.1:99999").is_err(), "port out of range");
+    }
 }

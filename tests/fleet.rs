@@ -470,6 +470,7 @@ fn work_stealing_drains_a_slow_shard_onto_an_idle_one() {
         .collect();
     let routed_to_fast = AtomicUsize::new(0);
     for &job in &jobs {
+        let mut started = 0usize;
         let done = client
             .watch(job, 0, |ev| {
                 if let JobEventKind::Routed { shard } = &ev.kind {
@@ -477,8 +478,15 @@ fn work_stealing_drains_a_slow_shard_onto_an_idle_one() {
                         routed_to_fast.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                if matches!(ev.kind, JobEventKind::Started { .. }) {
+                    started += 1;
+                }
             })
             .expect("watch");
+        // A steal moves only queued jobs, so each job runs exactly once
+        // — a duplicated Started would mean a tracker re-delivered a
+        // shard's log after a reconnect instead of resuming its cursor.
+        assert_eq!(started, 1, "job {job} must announce exactly one Started event");
         match done.kind {
             JobEventKind::Finished { state, obj, .. } => {
                 assert_eq!(state, JobState::Solved, "job {job} must solve");
@@ -501,5 +509,101 @@ fn work_stealing_drains_a_slow_shard_onto_an_idle_one() {
     );
     gateway.shutdown_and_join();
     drop((slow, fast));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A gateway restart must replay its own write-ahead ledger: jobs
+/// acknowledged before the restart re-enter dispatch under their
+/// original gateway ids, fresh ids are seeded past every recovered one
+/// (no record is overwritten), and every recovered job still runs to
+/// its reference optimum once a shard is reachable.
+#[test]
+fn gateway_restart_recovers_acknowledged_jobs_from_its_ledger() {
+    let g = bipartite(5, 9, 3, CostScheme::Perturbed, 42);
+    let expected = {
+        let r = ugrs::glue::ug_solve_stp(
+            &g,
+            &ReduceParams::default(),
+            ParallelOptions { num_solvers: 2, ..Default::default() },
+        );
+        assert!(r.solved);
+        r.tree.expect("reference tree").1
+    };
+    let root = scratch_dir("gw-restart");
+    let gw_state = root.join("gateway");
+
+    // ---- incarnation 1: the only shard is not up yet -----------------
+    // Port 1 answers nothing, so accepted jobs are durable in the
+    // gateway's ledger but never reach a shard — exactly the window a
+    // crash-mid-steal or crash-before-dispatch leaves behind.
+    let config = GatewayConfig {
+        shards: vec![ShardSpec::new("s0", "127.0.0.1:1")],
+        probe_timeout: Duration::from_millis(200),
+        state_dir: Some(gw_state.clone()),
+        ..GatewayConfig::default()
+    };
+    let first = SolveGateway::start(config).expect("gateway incarnation 1");
+    assert_eq!(first.recovered_jobs(), (0, 0), "a fresh ledger recovers nothing");
+    let addr = first.client_addr().to_string();
+    let mut client = SolveClient::connect(&addr).expect("client");
+    let gids: Vec<u64> = (0..4)
+        .map(|i| {
+            let mut spec = stp_job(format!("restart-{i}"), &g, &ReduceParams::default());
+            spec.num_solvers = 1;
+            client.submit(spec).expect("submit against shardless gateway")
+        })
+        .collect();
+    drop(client);
+    // shutdown (not a graceful drain): unfinished records stay owed.
+    first.shutdown_and_join();
+
+    // ---- incarnation 2: same state dir, now with a live shard --------
+    let shard = spawn_shard(&root.join("shard"), 2, 2, 0);
+    let config = GatewayConfig {
+        shards: vec![ShardSpec {
+            name: "s0".into(),
+            addr: shard.addr.clone(),
+            state_dir: Some(shard.state_dir.clone()),
+        }],
+        state_dir: Some(gw_state),
+        ..GatewayConfig::default()
+    };
+    let second = SolveGateway::start(config).expect("gateway incarnation 2");
+    assert_eq!(
+        second.recovered_jobs(),
+        (gids.len(), 0),
+        "every unretired record must come back (none had a checkpoint)"
+    );
+    let addr = second.client_addr().to_string();
+    let mut client = SolveClient::connect(&addr).expect("client 2");
+    // Fresh ids are seeded past the recovered ones — a new submit must
+    // not overwrite a recovered job's ledger record.
+    let fresh = {
+        let mut spec = stp_job("fresh", &g, &ReduceParams::default());
+        spec.num_solvers = 1;
+        client.submit(spec).expect("fresh submit")
+    };
+    let max_recovered = *gids.iter().max().unwrap();
+    assert!(
+        fresh > max_recovered,
+        "fresh gid {fresh} must exceed every recovered gid (max {max_recovered})"
+    );
+    for gid in gids.iter().copied().chain([fresh]) {
+        let done = client.watch(gid, 0, |_| {}).expect("watch to terminal");
+        match done.kind {
+            JobEventKind::Finished { state, obj, .. } => {
+                assert_eq!(state, JobState::Solved, "job {gid} must solve after the restart");
+                let external = ugrs::glue::JobInstance::Stp { graph: g.clone() }
+                    .external_objective(obj.expect("objective"));
+                assert!((external - expected).abs() < 1e-6, "job {gid}: {external} != {expected}");
+            }
+            other => panic!("unexpected terminal {other:?}"),
+        }
+    }
+    // All terminal: the second incarnation's ledger owes nothing more.
+    let fleet = client.fleet().expect("fleet rpc");
+    assert_eq!(fleet.inflight, 0, "recovered jobs must retire their ledger records");
+    second.shutdown_and_join();
+    drop(shard);
     std::fs::remove_dir_all(&root).ok();
 }
