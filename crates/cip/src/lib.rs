@@ -44,6 +44,7 @@
 //! ```
 
 pub mod branching;
+pub mod heurengine;
 pub mod heuristics;
 pub mod model;
 pub mod plugins;
@@ -55,6 +56,7 @@ pub mod solver;
 pub mod stats;
 pub mod tree;
 
+pub use heurengine::{HeurEngine, HeurSchedule, HeurStats, PrimalHeuristic};
 pub use model::{LinCons, Model, VarId, VarType};
 pub use plugins::{
     BranchDecision, BranchRule, ConstraintHandler, Cut, CutBuffer, EnforceResult, Heuristic,

@@ -6,6 +6,7 @@
 //! collect-mode node export and aborts — enters through [`ControlHooks`].
 
 use crate::branching::{select_branching_var, Pseudocosts};
+use crate::heurengine::{HeurEngine, HeurSchedule, HeurStats, PrimalHeuristic};
 use crate::heuristics::{ShiftRounding, SimpleRounding};
 use crate::model::{Model, VarId};
 use crate::plugins::*;
@@ -87,7 +88,7 @@ pub struct Solver {
     conshdlrs: Vec<Box<dyn ConstraintHandler>>,
     separators: Vec<Box<dyn Separator>>,
     propagators: Vec<Box<dyn Propagator>>,
-    heuristics: Vec<Box<dyn Heuristic>>,
+    heuristics: HeurEngine,
     branchrules: Vec<Box<dyn BranchRule>>,
     relaxator: Option<Box<dyn Relaxator>>,
     presolvers: Vec<Box<dyn Presolver>>,
@@ -113,7 +114,12 @@ impl Solver {
             conshdlrs: Vec::new(),
             separators: Vec::new(),
             propagators: Vec::new(),
-            heuristics: vec![Box::new(SimpleRounding), Box::new(ShiftRounding::default())],
+            heuristics: {
+                let mut engine = HeurEngine::default();
+                engine.add_legacy(Box::new(SimpleRounding));
+                engine.add_legacy(Box::new(ShiftRounding::default()));
+                engine
+            },
             branchrules: Vec::new(),
             relaxator: None,
             presolvers: Vec::new(),
@@ -143,8 +149,24 @@ impl Solver {
     pub fn add_propagator(&mut self, p: Box<dyn Propagator>) {
         self.propagators.push(p);
     }
+    /// Registers a legacy [`Heuristic`] plugin (runs at every heuristic
+    /// round, unlimited budget).
     pub fn add_heuristic(&mut self, h: Box<dyn Heuristic>) {
-        self.heuristics.push(h);
+        self.heuristics.add_legacy(h);
+    }
+    /// Registers a scheduled [`PrimalHeuristic`] plugin under its own
+    /// default schedule.
+    pub fn add_primal_heuristic(&mut self, h: Box<dyn PrimalHeuristic>) {
+        self.heuristics.add(h);
+    }
+    /// Registers a scheduled [`PrimalHeuristic`] under an explicit
+    /// schedule, overriding the plugin's default.
+    pub fn add_primal_heuristic_with(&mut self, h: Box<dyn PrimalHeuristic>, s: HeurSchedule) {
+        self.heuristics.add_with_schedule(h, s);
+    }
+    /// Per-heuristic call/hit/time accounting for the solve so far.
+    pub fn heur_stats(&self) -> Vec<HeurStats> {
+        self.heuristics.stats()
     }
     pub fn add_branchrule(&mut self, b: Box<dyn BranchRule>) {
         self.branchrules.push(b);
@@ -954,14 +976,14 @@ impl Solver {
         hooks: &mut dyn ControlHooks,
         tree: &mut Tree,
     ) {
-        let mut heurs = std::mem::take(&mut self.heuristics);
-        for h in heurs.iter_mut() {
+        let mut engine = std::mem::take(&mut self.heuristics);
+        for i in engine.due_indices(depth) {
             let cand = {
                 let mut cuts = CutBuffer::default();
                 let mut tight = Vec::new();
                 let mut ctx =
                     self.ctx(depth, lb, ub, Some(relax_x), Some(bound), &[], &mut cuts, &mut tight);
-                h.run(&mut ctx)
+                engine.entry_mut(i).call(&mut ctx)
             };
             if let Some(x) = cand {
                 if x.len() == self.model.num_vars() && self.check_full(&x) {
@@ -970,13 +992,14 @@ impl Solver {
                     let obj = sol.obj;
                     if self.incumbents.try_install(sol, self.stats.nodes) {
                         self.stats.improving_solutions += 1;
+                        engine.record_hit(i, obj);
                         hooks.on_incumbent(obj, &self.incumbents.best().unwrap().x);
                         tree.prune_by_bound(self.cutoff());
                     }
                 }
             }
         }
-        self.heuristics = heurs;
+        self.heuristics = engine;
     }
 
     /// LP diving (SCIP's fracdiving): starting from the node's LP

@@ -505,7 +505,13 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Gateway<Inst, Sub, Sol> {
         });
         // Pre-register the families so a scrape right after startup
         // sees the full schema.
-        shared.counter("ugrs_gateway_jobs_submitted_total", "Jobs accepted by the gateway");
+        for family in ["stp", "misdp", "maxcut"] {
+            shared.metrics.counter_with(
+                "ugrs_gateway_jobs_submitted_total",
+                &[("family", family)],
+                "Jobs accepted by the gateway, by instance family",
+            );
+        }
         shared.counter("ugrs_gateway_jobs_stolen_total", "Queued jobs migrated off a deep shard");
         shared.counter(
             "ugrs_gateway_jobs_failed_over_total",
@@ -642,6 +648,7 @@ fn gw_submit<Inst: WireType, Sub: WireType, Sol: WireType>(
 ) -> io::Result<Result<u64, &'static str>> {
     let t0 = Instant::now();
     let tenant = spec.tenant.clone().unwrap_or_else(|| "default".into());
+    let family = spec.family.clone().unwrap_or_else(|| "unknown".into());
     let quota =
         shared.config.tenant_quotas.get(&tenant).or(shared.config.default_quota.as_ref()).copied();
     // Admission and id assignment are one critical section: N racing
@@ -716,7 +723,14 @@ fn gw_submit<Inst: WireType, Sub: WireType, Sol: WireType>(
         );
         st.dispatch.push_back(Dispatch { gid, target: None });
     };
-    shared.counter("ugrs_gateway_jobs_submitted_total", "Jobs accepted by the gateway").inc();
+    shared
+        .metrics
+        .counter_with(
+            "ugrs_gateway_jobs_submitted_total",
+            &[("family", &family)],
+            "Jobs accepted by the gateway, by instance family",
+        )
+        .inc();
     shared.emit(gid, JobEventKind::Queued);
     shared.journal(serde_json::json!({ "ev": "submit", "gid": gid, "tenant": tenant }));
     shared
@@ -911,11 +925,8 @@ fn tracker_loop<Inst: WireType, Sub: WireType, Sol: WireType>(
             Err(_) => continue 'routes,
         };
         let mut writer = stream;
-        if wire::write_msg(
-            &mut writer,
-            &ClientRequest::<Inst, Sub>::Watch { job: local, from_seq },
-        )
-        .is_err()
+        if wire::write_msg(&mut writer, &ClientRequest::<Inst, Sub>::Watch { job: local, from_seq })
+            .is_err()
         {
             std::thread::sleep(Duration::from_millis(100));
             continue 'routes;
@@ -984,6 +995,7 @@ fn deliver<Inst, Sub, Sol: Clone>(
             job.state = *state;
             job.run_index = *run_index;
             let tenant = job.tenant.clone();
+            let family = job.spec.family.clone().unwrap_or_else(|| "unknown".into());
             st.inflight -= 1;
             drop(st);
             // Same ordering as the server: durable retirement first,
@@ -997,8 +1009,8 @@ fn deliver<Inst, Sub, Sol: Clone>(
                 .metrics
                 .counter_with(
                     "ugrs_gateway_jobs_finished_total",
-                    &[("state", state_label(*state))],
-                    "Jobs that reached a terminal state, by state",
+                    &[("state", state_label(*state)), ("family", &family)],
+                    "Jobs that reached a terminal state, by state and instance family",
                 )
                 .inc();
             shared.journal(serde_json::json!({
@@ -1385,7 +1397,7 @@ fn gw_cancel<Inst: WireType, Sub: WireType, Sol: WireType>(
 ) -> bool {
     enum Where {
         Unknown,
-        Undispatched { run_index: u32 },
+        Undispatched { run_index: u32, family: String },
         Routed { addr: String, local: u64 },
     }
     let location = {
@@ -1401,16 +1413,17 @@ fn gw_cancel<Inst: WireType, Sub: WireType, Sol: WireType>(
                 None => {
                     job.state = JobState::Cancelled;
                     let run_index = job.run_index;
+                    let family = job.spec.family.clone().unwrap_or_else(|| "unknown".into());
                     st.dispatch.retain(|d| d.gid != gid);
                     st.inflight -= 1;
-                    Where::Undispatched { run_index }
+                    Where::Undispatched { run_index, family }
                 }
             },
         }
     };
     match location {
         Where::Unknown => false,
-        Where::Undispatched { run_index } => {
+        Where::Undispatched { run_index, family } => {
             if let Some(ledger) = &shared.ledger {
                 let _ = ledger.record_finished(gid);
             }
@@ -1418,8 +1431,8 @@ fn gw_cancel<Inst: WireType, Sub: WireType, Sol: WireType>(
                 .metrics
                 .counter_with(
                     "ugrs_gateway_jobs_finished_total",
-                    &[("state", state_label(JobState::Cancelled))],
-                    "Jobs that reached a terminal state, by state",
+                    &[("state", state_label(JobState::Cancelled)), ("family", &family)],
+                    "Jobs that reached a terminal state, by state and instance family",
                 )
                 .inc();
             shared.emit(gid, empty_finished_gw(JobState::Cancelled, run_index));
@@ -1568,14 +1581,20 @@ fn gw_fleet<Inst, Sub, Sol>(shared: &GwShared<Inst, Sub, Sol>) -> FleetStatus {
             })
             .collect()
     };
-    let (inflight, dispatch_depth) = {
+    let (inflight, dispatch_depth, families) = {
         let st = shared.state.lock().unwrap();
-        (st.inflight, st.dispatch.len())
+        let mut families = std::collections::BTreeMap::new();
+        for j in st.jobs.values() {
+            let label = j.spec.family.clone().unwrap_or_else(|| "unknown".into());
+            *families.entry(label).or_insert(0u64) += 1;
+        }
+        (st.inflight, st.dispatch.len(), families)
     };
     FleetStatus {
         shards,
         inflight,
         dispatch_depth,
+        families,
         stolen_total: shared
             .counter("ugrs_gateway_jobs_stolen_total", "Queued jobs migrated off a deep shard")
             .get(),

@@ -181,6 +181,20 @@ pub struct JobSpec<Inst, Sub> {
     /// continues as run `1.k` of its restart chain.
     #[serde(default)]
     pub restart_from: Option<String>,
+    /// The instance's family label (`stp`, `misdp`, `maxcut`, …), set
+    /// by the application's job constructors. Drives the `family` label
+    /// on `ugrs_server_jobs_*` / `ugrs_gateway_jobs_*` and the
+    /// per-family counts of [`FleetStatus`]. `None` renders as
+    /// `unknown`.
+    #[serde(default)]
+    pub family: Option<String>,
+    /// FNV-1a 64 checksum (hex) of the source instance file, stamped by
+    /// `ugd submit --file`. WALed with the spec, so the job's ledger
+    /// record pins exactly which bytes were solved; also journaled as a
+    /// [`TelemetryEvent::JobMeta`](crate::telemetry::TelemetryEvent)
+    /// head record of the per-job journal.
+    #[serde(default)]
+    pub checksum: Option<String>,
 }
 
 impl<Inst, Sub> JobSpec<Inst, Sub> {
@@ -196,7 +210,14 @@ impl<Inst, Sub> JobSpec<Inst, Sub> {
             node_limit: None,
             tenant: None,
             restart_from: None,
+            family: None,
+            checksum: None,
         }
+    }
+
+    /// The `family` metric-label value (`unknown` when unset).
+    pub fn family_label(&self) -> &str {
+        self.family.as_deref().unwrap_or("unknown")
     }
 }
 
@@ -309,6 +330,12 @@ pub struct FleetStatus {
     pub failed_over_total: u64,
     /// Submissions refused by admission control, total.
     pub rejected_total: u64,
+    /// Jobs known to the gateway per instance family label
+    /// (`stp`/`misdp`/`maxcut`/`unknown`), terminal ones included —
+    /// the per-family row of `ugd fleet`. Defaults empty when talking
+    /// to an older gateway.
+    #[serde(default)]
+    pub families: std::collections::BTreeMap<String, u64>,
 }
 
 /// One shard's row in a [`FleetStatus`].
@@ -917,7 +944,13 @@ impl<Inst: WireType, Sub: WireType, Sol: WireType> Server<Inst, Sub, Sol> {
         });
         // Pre-register the lazily-observed families so a Metrics
         // request right after startup already shows the full schema.
-        shared.metrics.counter("ugrs_server_jobs_submitted_total", "Jobs accepted via Submit");
+        for family in ["stp", "misdp", "maxcut"] {
+            shared.metrics.counter_with(
+                "ugrs_server_jobs_submitted_total",
+                &[("family", family)],
+                "Jobs accepted via Submit, by instance family",
+            );
+        }
         shared
             .metrics
             .counter("ugrs_server_workers_lost_total", "Pool workers removed dead or stuck");
@@ -1287,6 +1320,15 @@ fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
         let path = dir.join(format!("job-{jid}-{}.jsonl", telemetry::sanitize_name(&spec.name)));
         telemetry::Journal::create(path).ok().map(Arc::new)
     });
+    // Head record: pin the job's provenance (family + source-file
+    // checksum) to its event stream before any run event.
+    if let Some(j) = &journal {
+        j.log(telemetry::TelemetryEvent::JobMeta {
+            family: spec.family.clone(),
+            checksum: spec.checksum.clone(),
+        });
+        j.flush();
+    }
     let progress = {
         let sh = shared.clone();
         ProgressSink::new(move |p: &ProgressMsg| {
@@ -1340,7 +1382,7 @@ fn run_job<Inst: WireType, Sub: WireType, Sol: WireType>(
     if !drain_stopped {
         retire_ledger_record(&shared, jid);
     }
-    record_job_finished(&shared, state);
+    record_job_finished(&shared, jid, state);
     emit(
         &shared,
         jid,
@@ -1405,13 +1447,23 @@ fn state_label(state: JobState) -> &'static str {
     }
 }
 
-fn record_job_finished<Inst, Sub, Sol>(shared: &SharedState<Inst, Sub, Sol>, state: JobState) {
+fn record_job_finished<Inst, Sub, Sol>(
+    shared: &SharedState<Inst, Sub, Sol>,
+    job: u64,
+    state: JobState,
+) {
+    // Family comes from the job's own record, so every terminal path
+    // (finish, cancel, reclaim, shutdown) labels consistently.
+    let family = {
+        let st = shared.state.lock().unwrap();
+        st.jobs.get(&job).and_then(|r| r.spec.family.clone()).unwrap_or_else(|| "unknown".into())
+    };
     shared
         .metrics
         .counter_with(
             "ugrs_server_jobs_finished_total",
-            &[("state", state_label(state))],
-            "Jobs that reached a terminal state, by state",
+            &[("state", state_label(state)), ("family", &family)],
+            "Jobs that reached a terminal state, by state and instance family",
         )
         .inc();
 }
@@ -1447,7 +1499,7 @@ fn shutdown_cleanup<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>)
         if !draining {
             retire_ledger_record(shared, j);
         }
-        record_job_finished(shared, JobState::Cancelled);
+        record_job_finished(shared, j, JobState::Cancelled);
         emit(shared, j, empty_finished(JobState::Cancelled, run_index));
     }
     // Let running jobs drain through their cancel flags, bounded.
@@ -1770,6 +1822,7 @@ fn submit_job<Inst: Serialize, Sub: Serialize, Sol: Clone>(
     shared: &SharedState<Inst, Sub, Sol>,
     spec: JobSpec<Inst, Sub>,
 ) -> io::Result<u64> {
+    let family = spec.family.clone().unwrap_or_else(|| "unknown".into());
     let (jid, run_index, resumed_nodes) = {
         let mut st = shared.state.lock().unwrap();
         // Write-ahead: the submission record must be durable before the
@@ -1805,7 +1858,14 @@ fn submit_job<Inst: Serialize, Sub: Serialize, Sol: Clone>(
         st.queue.push(jid);
         (jid, run_index, resumed_nodes)
     };
-    shared.metrics.counter("ugrs_server_jobs_submitted_total", "Jobs accepted via Submit").inc();
+    shared
+        .metrics
+        .counter_with(
+            "ugrs_server_jobs_submitted_total",
+            &[("family", &family)],
+            "Jobs accepted via Submit, by instance family",
+        )
+        .inc();
     emit(shared, jid, JobEventKind::Queued);
     if let Some(nodes_so_far) = resumed_nodes {
         emit(shared, jid, JobEventKind::Recovered { run_index, nodes_so_far });
@@ -1837,7 +1897,7 @@ fn reclaim_job<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>, job:
         .metrics
         .counter("ugrs_server_jobs_reclaimed_total", "Queued jobs taken back via Reclaim")
         .inc();
-    record_job_finished(shared, JobState::Cancelled);
+    record_job_finished(shared, job, JobState::Cancelled);
     emit(shared, job, empty_finished(JobState::Cancelled, run_index));
     shared.sched.notify_all();
     true
@@ -1873,7 +1933,7 @@ fn cancel_job<Inst, Sub, Sol: Clone>(shared: &SharedState<Inst, Sub, Sol>, job: 
     match outcome {
         Outcome::WasQueued { run_index } => {
             retire_ledger_record(shared, job);
-            record_job_finished(shared, JobState::Cancelled);
+            record_job_finished(shared, job, JobState::Cancelled);
             emit(shared, job, empty_finished(JobState::Cancelled, run_index));
             shared.sched.notify_all();
             true

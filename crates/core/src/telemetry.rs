@@ -683,6 +683,16 @@ pub enum TelemetryEvent {
         /// Final cumulative statistics of the run.
         stats: crate::UgStats,
     },
+    /// Job provenance, written once at the head of a per-job journal:
+    /// which instance family ran and — when the job was submitted from
+    /// a file (`ugd submit --file`) — the FNV-1a 64 checksum of the
+    /// exact bytes solved.
+    JobMeta {
+        /// Instance family label (`stp`, `misdp`, `maxcut`, …).
+        family: Option<String>,
+        /// Hex FNV-1a 64 of the source instance file, if known.
+        checksum: Option<String>,
+    },
 }
 
 /// One journal line: seconds since run start plus the event.

@@ -129,6 +129,8 @@ fn arb_job_spec() -> impl Strategy<Value = JobSpec<String, Vec<u32>>> {
                 tenant: has_tenant.then(|| format!("tenant-{}", n % 7)),
                 restart_from: has_restart
                     .then(|| format!("{{\"queue\":[],\"run_index\":{}}}", n % 5)),
+                family: (n % 3 == 0).then(|| ["stp", "misdp", "maxcut"][n % 3].to_string()),
+                checksum: (n % 2 == 0).then(|| format!("{:016x}", n as u64)),
             },
         )
 }
@@ -275,17 +277,25 @@ fn arb_fleet_status() -> impl Strategy<Value = FleetStatus> {
         0usize..1_000,
         0usize..64,
         (0u64..100, 0u64..100, 0u64..100),
+        proptest::collection::vec((0usize..4, 0u64..50), 0..4),
     )
-        .prop_map(|(shards, inflight, dispatch_depth, (stolen, failed_over, rejected))| {
-            FleetStatus {
-                shards,
-                inflight,
-                dispatch_depth,
-                stolen_total: stolen,
-                failed_over_total: failed_over,
-                rejected_total: rejected,
-            }
-        })
+        .prop_map(
+            |(shards, inflight, dispatch_depth, (stolen, failed_over, rejected), fams)| {
+                let families = fams
+                    .into_iter()
+                    .map(|(f, n)| (["stp", "misdp", "maxcut", "unknown"][f].to_string(), n))
+                    .collect();
+                FleetStatus {
+                    shards,
+                    inflight,
+                    dispatch_depth,
+                    stolen_total: stolen,
+                    failed_over_total: failed_over,
+                    rejected_total: rejected,
+                    families,
+                }
+            },
+        )
 }
 
 fn arb_server_reply() -> impl Strategy<Value = Reply> {

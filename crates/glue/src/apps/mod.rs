@@ -2,5 +2,6 @@
 //! `ug_scip_applications/STP/src/stp_plugins.cpp` (173 LoC) and
 //! `ug_scip_applications/MISDP/src/misdp_plugins.cpp` (106 LoC).
 
+pub mod maxcut;
 pub mod misdp;
 pub mod stp;

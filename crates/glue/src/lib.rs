@@ -25,6 +25,7 @@ pub mod apps;
 pub mod base;
 pub mod serve;
 
+pub use apps::maxcut::{extract_partition, maxcut_to_misdp, ug_solve_maxcut, MaxCutParallelResult};
 pub use apps::misdp::{
     misdp_racing_settings, ug_solve_misdp, ug_solve_misdp_distributed, MisdpParallelResult,
     MisdpPlugins,
@@ -35,6 +36,6 @@ pub use apps::stp::{
 };
 pub use base::{CipUserPlugins, UgCipSolver};
 pub use serve::{
-    job_factory, misdp_job, serve_jobs, stp_job, DelaySolver, JobInstance, JobSolver, SolveClient,
-    SolveGateway, SolveJobEvent, SolveJobSpec, SolveServer,
+    job_factory, maxcut_job, misdp_job, serve_jobs, stp_job, DelaySolver, JobInstance, JobSolver,
+    SolveClient, SolveGateway, SolveJobEvent, SolveJobSpec, SolveServer,
 };

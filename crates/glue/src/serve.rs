@@ -17,6 +17,7 @@ use std::time::Duration;
 use ugrs_cip::NodeDesc;
 use ugrs_core::worker::{BaseSolver, ParaControl, SolverFactory, SubproblemOutcome};
 use ugrs_core::{JobSpec, ProcessCommConfig};
+use ugrs_instances::MaxCutInstance;
 use ugrs_misdp::MisdpProblem;
 use ugrs_steiner::Graph;
 
@@ -27,16 +28,33 @@ pub enum JobInstance {
     Stp { graph: Graph },
     /// A mixed integer semidefinite program.
     Misdp { problem: MisdpProblem },
+    /// A max-cut instance, solved via its MISDP formulation
+    /// ([`crate::apps::maxcut`]); workers build the formulation from
+    /// the (much smaller) edge list on receipt.
+    MaxCut { instance: MaxCutInstance },
 }
 
 impl JobInstance {
     /// Maps an internal-sense (minimization) objective back to the
     /// instance's external convention: STP adds the cost fixed by
-    /// presolving; MISDP negates (it maximizes `bᵀy`).
+    /// presolving; MISDP negates (it maximizes `bᵀy`); max-cut reports
+    /// the cut value `W − internal`.
     pub fn external_objective(&self, internal: f64) -> f64 {
         match self {
             JobInstance::Stp { graph } => internal + graph.fixed_cost,
             JobInstance::Misdp { .. } => -internal,
+            JobInstance::MaxCut { instance } => instance.total_weight() - internal,
+        }
+    }
+
+    /// The metrics family label of this instance (`stp`, `misdp`,
+    /// `maxcut`) — the value of the `family` label on
+    /// `ugrs_server_jobs_*` / `ugrs_gateway_jobs_*`.
+    pub fn family(&self) -> &'static str {
+        match self {
+            JobInstance::Stp { .. } => "stp",
+            JobInstance::Misdp { .. } => "misdp",
+            JobInstance::MaxCut { .. } => "maxcut",
         }
     }
 }
@@ -91,6 +109,12 @@ pub fn job_factory(instance: &JobInstance) -> SolverFactory<JobSolver> {
         }
         JobInstance::Misdp { problem } => {
             let plugins = Arc::new(MisdpPlugins { problem: Arc::new(problem.clone()) });
+            let inner = UgCipSolver::factory(plugins);
+            Arc::new(move |rank, settings| JobSolver::Misdp(inner(rank, settings)))
+        }
+        JobInstance::MaxCut { instance } => {
+            let problem = Arc::new(crate::apps::maxcut::maxcut_to_misdp(instance));
+            let plugins = Arc::new(MisdpPlugins { problem });
             let inner = UgCipSolver::factory(plugins);
             Arc::new(move |rank, settings| JobSolver::Misdp(inner(rank, settings)))
         }
@@ -162,12 +186,26 @@ pub fn stp_job(
 ) -> SolveJobSpec {
     let mut g = graph.clone();
     ugrs_steiner::reduce::reduce(&mut g, reduce_params);
-    JobSpec::new(name, JobInstance::Stp { graph: g }, NodeDesc::root())
+    job_spec(name, JobInstance::Stp { graph: g })
 }
 
 /// Builds a MISDP job spec.
 pub fn misdp_job(name: impl Into<String>, problem: &MisdpProblem) -> SolveJobSpec {
-    JobSpec::new(name, JobInstance::Misdp { problem: problem.clone() }, NodeDesc::root())
+    job_spec(name, JobInstance::Misdp { problem: problem.clone() })
+}
+
+/// Builds a max-cut job spec; workers derive the MISDP formulation.
+pub fn maxcut_job(name: impl Into<String>, instance: &MaxCutInstance) -> SolveJobSpec {
+    job_spec(name, JobInstance::MaxCut { instance: instance.clone() })
+}
+
+/// The shared tail of the job constructors: root subproblem plus the
+/// family label every spec carries for metrics and fleet counts.
+fn job_spec(name: impl Into<String>, instance: JobInstance) -> SolveJobSpec {
+    let family = instance.family();
+    let mut spec = JobSpec::new(name, instance, NodeDesc::root());
+    spec.family = Some(family.to_string());
+    spec
 }
 
 /// The concrete server/client/spec types of the mixed solve service.

@@ -1,0 +1,266 @@
+//! The on-disk instance catalog: a directory of instance files plus a
+//! `manifest.json` recording, per instance, the name, family, format,
+//! relative path, size, FNV-1a 64 checksum, and the reference optimum
+//! when one is known. `ug-instances generate` writes catalogs,
+//! `ug-instances validate` re-checksums them, and the serve-path tests
+//! solve straight out of them.
+
+use crate::checksum::checksum_hex;
+use crate::error::ReadError;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Name of the manifest file inside a catalog directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// One instance in the catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// Instance name (unique within the catalog).
+    pub name: String,
+    /// Family label, e.g. `stp-grid`, `misdp-truss`, `maxcut-ring`.
+    pub family: String,
+    /// File format: `stp`, `cbf`, or `mc`.
+    pub format: String,
+    /// Path of the instance file, relative to the catalog directory.
+    pub path: String,
+    /// Primary size (STP/max-cut: vertices; MISDP: variables).
+    pub nodes: usize,
+    /// Secondary size (STP/max-cut: edges; MISDP: PSD blocks + rows).
+    pub edges: usize,
+    /// FNV-1a 64 checksum (hex) of the instance file bytes.
+    pub checksum: String,
+    /// Known optimal objective, when the family is analytic.
+    pub reference_optimum: Option<f64>,
+}
+
+/// A catalog manifest: the entry list, versioned for forward evolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Catalog {
+    /// Manifest schema version.
+    pub version: u32,
+    /// All instances, in generation order.
+    pub entries: Vec<CatalogEntry>,
+}
+
+/// A single validation failure from [`Catalog::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationError {
+    /// The offending entry's name.
+    pub name: String,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.name, self.problem)
+    }
+}
+
+impl Catalog {
+    /// An empty catalog at the current schema version.
+    pub fn new() -> Self {
+        Catalog { version: 1, entries: Vec::new() }
+    }
+
+    /// Path of the manifest inside `dir`.
+    pub fn manifest_path(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    /// Loads `dir/manifest.json`.
+    pub fn load(dir: &Path) -> Result<Self, ReadError> {
+        let text = std::fs::read_to_string(Self::manifest_path(dir))?;
+        serde_json::from_str(&text).map_err(|e| {
+            ReadError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        })
+    }
+
+    /// Writes `dir/manifest.json` (creating `dir` if needed).
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(Self::manifest_path(dir), text)
+    }
+
+    /// Writes an instance file into `dir` and appends its entry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add(
+        &mut self,
+        dir: &Path,
+        family: &str,
+        format: &str,
+        name: &str,
+        content: &str,
+        nodes: usize,
+        edges: usize,
+        reference_optimum: Option<f64>,
+    ) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let file = format!("{name}.{format}");
+        std::fs::write(dir.join(&file), content)?;
+        self.entries.push(CatalogEntry {
+            name: name.to_string(),
+            family: family.to_string(),
+            format: format.to_string(),
+            path: file,
+            nodes,
+            edges,
+            checksum: checksum_hex(content.as_bytes()),
+            reference_optimum,
+        });
+        Ok(())
+    }
+
+    /// Looks up an entry by name.
+    pub fn find(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Re-checksums every entry against the files in `dir` and checks
+    /// that each file still parses in its declared format. Returns the
+    /// number of validated entries, or every failure found.
+    pub fn validate(&self, dir: &Path) -> Result<usize, Vec<ValidationError>> {
+        let mut errors = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for e in &self.entries {
+            if !seen.insert(&e.name) {
+                errors.push(ValidationError {
+                    name: e.name.clone(),
+                    problem: "duplicate name".into(),
+                });
+                continue;
+            }
+            let path = dir.join(&e.path);
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(err) => {
+                    errors.push(ValidationError {
+                        name: e.name.clone(),
+                        problem: format!("unreadable {}: {err}", e.path),
+                    });
+                    continue;
+                }
+            };
+            let sum = checksum_hex(&bytes);
+            if sum != e.checksum {
+                errors.push(ValidationError {
+                    name: e.name.clone(),
+                    problem: format!("checksum mismatch: manifest {} file {sum}", e.checksum),
+                });
+                continue;
+            }
+            let text = String::from_utf8_lossy(&bytes);
+            let parse_err = match e.format.as_str() {
+                "stp" => crate::stp::parse_stp(&text).err().map(|e| e.to_string()),
+                "cbf" => crate::cbf::parse_cbf(&text, &e.name).err().map(|e| e.to_string()),
+                "mc" => crate::maxcut::parse_mc(&text, &e.name).err().map(|e| e.to_string()),
+                other => Some(format!("unknown format {other:?}")),
+            };
+            if let Some(msg) = parse_err {
+                errors.push(ValidationError { name: e.name.clone(), problem: msg });
+            }
+        }
+        if errors.is_empty() {
+            Ok(self.entries.len())
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// Generates the standard small catalog used by the CI smoke job and
+/// the e2e tests: a few instances per family, seeded, with reference
+/// optima where analytic.
+pub fn generate_small_catalog(dir: &Path, seed: u64) -> std::io::Result<Catalog> {
+    use crate::gen;
+    let mut cat = Catalog::new();
+
+    let stp = [
+        ("stp-star", gen::stp_star(4)),
+        ("stp-hypercube", gen::stp_hypercube_antipodal(3)),
+        ("stp-hypercube", gen::stp_hypercube(3, true, seed)),
+        ("stp-grid", gen::stp_grid_corners(3, 3)),
+        ("stp-grid", gen::stp_grid(3, 3, 3, seed)),
+        ("stp-incidence", gen::stp_incidence(12, 6, 4, seed)),
+    ];
+    for (family, (inst, opt)) in stp {
+        let content = inst.write();
+        cat.add(dir, family, "stp", &inst.name, &content, inst.nodes, inst.edges.len(), opt)?;
+    }
+
+    let mc = [
+        ("maxcut-ring", gen::maxcut_ring(5)),
+        ("maxcut-complete", gen::maxcut_complete(4)),
+        ("maxcut-random", gen::maxcut_random(6, 8, seed)),
+    ];
+    for (family, (inst, opt)) in mc {
+        let content = inst.write();
+        cat.add(dir, family, "mc", &inst.name, &content, inst.n, inst.edges.len(), opt)?;
+    }
+
+    let misdp = [
+        ("misdp-diagbox", gen::misdp_diag_box(2)),
+        ("misdp-truss", gen::misdp_truss(3, 4, seed)),
+        ("misdp-cardls", gen::misdp_cardls(3, 2, seed)),
+    ];
+    for (family, (p, opt)) in misdp {
+        let content = crate::cbf::write_cbf(&p);
+        let size = p.blocks.len() + p.lin.len();
+        cat.add(dir, family, "cbf", &p.name.clone(), &content, p.m, size, opt)?;
+    }
+
+    cat.save(dir)?;
+    Ok(cat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ugrs-catalog-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn small_catalog_round_trips_and_validates() {
+        let dir = tmpdir("roundtrip");
+        let cat = generate_small_catalog(&dir, 11).unwrap();
+        assert!(cat.entries.len() >= 9);
+        let loaded = Catalog::load(&dir).unwrap();
+        assert_eq!(loaded, cat);
+        assert_eq!(loaded.validate(&dir).unwrap(), cat.entries.len());
+        assert!(loaded.find("star4").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_catches_tampering() {
+        let dir = tmpdir("tamper");
+        let cat = generate_small_catalog(&dir, 11).unwrap();
+        let victim = &cat.entries[0];
+        let path = dir.join(&victim.path);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push('\n');
+        text.push('x');
+        std::fs::write(&path, text).unwrap();
+        let errors = cat.validate(&dir).unwrap_err();
+        assert!(errors.iter().any(|e| e.name == victim.name && e.problem.contains("checksum")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d1 = tmpdir("det1");
+        let d2 = tmpdir("det2");
+        let c1 = generate_small_catalog(&d1, 5).unwrap();
+        let c2 = generate_small_catalog(&d2, 5).unwrap();
+        assert_eq!(c1, c2);
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d2);
+    }
+}

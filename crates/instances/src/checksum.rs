@@ -1,0 +1,46 @@
+//! Content checksums for catalog entries: FNV-1a 64, hand-rolled so the
+//! zoo needs no new dependency. Not cryptographic — it identifies *which*
+//! instance a job solved, it does not authenticate it.
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// FNV-1a 64 of `bytes`, as a 16-digit lowercase hex string — the form
+/// stored in catalog manifests, job ledgers, and telemetry journals.
+pub fn checksum_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+/// Checksum of a file's raw bytes.
+pub fn file_checksum(path: &std::path::Path) -> std::io::Result<String> {
+    Ok(checksum_hex(&std::fs::read(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn hex_is_stable_and_padded() {
+        assert_eq!(checksum_hex(b""), "cbf29ce484222325");
+        assert_eq!(checksum_hex(b"a").len(), 16);
+        assert_ne!(checksum_hex(b"x"), checksum_hex(b"y"));
+    }
+}

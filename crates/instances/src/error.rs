@@ -1,0 +1,185 @@
+//! Diagnosed parse errors: every rejection names the line and column it
+//! happened at, so a broken instance file is debuggable from the message
+//! alone.
+
+/// A parse error at a specific position of the input text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// 1-based column (byte offset within the line) of the offending
+    /// token; `0` when the whole line is at fault.
+    pub col: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl ParseError {
+    /// Error at a whole line.
+    pub fn at_line(line: usize, msg: impl Into<String>) -> Self {
+        ParseError { line, col: 0, msg: msg.into() }
+    }
+
+    /// Error at a specific column of a line.
+    pub fn at(line: usize, col: usize, msg: impl Into<String>) -> Self {
+        ParseError { line, col, msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.col > 0 {
+            write!(f, "line {}, col {}: {}", self.line, self.col, self.msg)
+        } else {
+            write!(f, "line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Reading an instance from disk: I/O or parse failure.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file content was rejected by the strict parser.
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "io error: {e}"),
+            ReadError::Parse(e) => write!(f, "parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<ParseError> for ReadError {
+    fn from(e: ParseError) -> Self {
+        ReadError::Parse(e)
+    }
+}
+
+/// A whitespace token stream over one line, tracking columns for
+/// diagnostics. Shared by all three parsers.
+pub(crate) struct LineTokens<'a> {
+    line: &'a str,
+    lineno: usize,
+    pos: usize,
+}
+
+impl<'a> LineTokens<'a> {
+    pub fn new(line: &'a str, lineno: usize) -> Self {
+        LineTokens { line, lineno, pos: 0 }
+    }
+
+    /// Next token with its 1-based column, or `None` at end of line.
+    pub fn next(&mut self) -> Option<(&'a str, usize)> {
+        let rest = &self.line[self.pos..];
+        let start = rest.find(|c: char| !c.is_whitespace())?;
+        let abs = self.pos + start;
+        let after = &self.line[abs..];
+        let len = after.find(char::is_whitespace).unwrap_or(after.len());
+        self.pos = abs + len;
+        Some((&self.line[abs..abs + len], abs + 1))
+    }
+
+    /// Next token, or an error naming what was expected.
+    pub fn expect(&mut self, what: &str) -> Result<(&'a str, usize), ParseError> {
+        self.next().ok_or_else(|| {
+            ParseError::at(self.lineno, self.line.len() + 1, format!("expected {what}"))
+        })
+    }
+
+    /// Next token parsed as `T`, or a diagnosed error.
+    pub fn parse<T: std::str::FromStr>(&mut self, what: &str) -> Result<T, ParseError> {
+        let (tok, col) = self.expect(what)?;
+        tok.parse::<T>()
+            .map_err(|_| ParseError::at(self.lineno, col, format!("bad {what}: {tok:?}")))
+    }
+
+    /// Rejects trailing tokens on the line.
+    pub fn finish(&mut self) -> Result<(), ParseError> {
+        if let Some((tok, col)) = self.next() {
+            return Err(ParseError::at(self.lineno, col, format!("unexpected trailing {tok:?}")));
+        }
+        Ok(())
+    }
+}
+
+/// Parses an `f64` that may be `±inf` (one-sided bounds and rows) but
+/// not NaN, with a diagnosed error.
+pub(crate) fn parse_no_nan(
+    toks: &mut LineTokens<'_>,
+    lineno: usize,
+    what: &str,
+) -> Result<f64, ParseError> {
+    let (tok, col) = toks.expect(what)?;
+    let v: f64 =
+        tok.parse().map_err(|_| ParseError::at(lineno, col, format!("bad {what}: {tok:?}")))?;
+    if v.is_nan() {
+        return Err(ParseError::at(lineno, col, format!("{what} must not be NaN")));
+    }
+    Ok(v)
+}
+
+/// Parses a finite `f64`, rejecting NaN/inf with a diagnosed error.
+pub(crate) fn parse_finite(
+    toks: &mut LineTokens<'_>,
+    lineno: usize,
+    what: &str,
+) -> Result<f64, ParseError> {
+    let (tok, col) = toks.expect(what)?;
+    let v: f64 =
+        tok.parse().map_err(|_| ParseError::at(lineno, col, format!("bad {what}: {tok:?}")))?;
+    if !v.is_finite() {
+        return Err(ParseError::at(lineno, col, format!("{what} must be finite, got {tok:?}")));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_track_columns() {
+        let mut t = LineTokens::new("E  12 5", 3);
+        assert_eq!(t.next(), Some(("E", 1)));
+        assert_eq!(t.next(), Some(("12", 4)));
+        assert_eq!(t.next(), Some(("5", 7)));
+        assert_eq!(t.next(), None);
+    }
+
+    #[test]
+    fn parse_reports_position() {
+        let mut t = LineTokens::new("E x", 7);
+        t.next().unwrap();
+        let err = t.parse::<u32>("endpoint").unwrap_err();
+        assert_eq!((err.line, err.col), (7, 3));
+        assert!(err.msg.contains("endpoint"));
+    }
+
+    #[test]
+    fn finish_rejects_trailing() {
+        let mut t = LineTokens::new("1 2", 1);
+        t.next().unwrap();
+        t.next().unwrap();
+        assert!(t.finish().is_ok());
+        let mut t = LineTokens::new("1 2 3", 1);
+        t.next().unwrap();
+        t.next().unwrap();
+        let err = t.finish().unwrap_err();
+        assert_eq!(err.col, 5);
+    }
+}

@@ -1,0 +1,256 @@
+//! Seeded instance generators for the zoo: STP families (hypercube,
+//! grid, incidence/PACE-2018-like sparse random), max-cut families, and
+//! MISDP families (wrapping the `ugrs-misdp` generators). Every
+//! generator is deterministic in its seed; families with analytically
+//! known optima report them so catalogs can carry reference values.
+
+use crate::maxcut::MaxCutInstance;
+use crate::stp::StpInstance;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use ugrs_misdp::MisdpProblem;
+use ugrs_sdp::SdpBlock;
+use ugrs_steiner::gen::CostScheme;
+use ugrs_steiner::Graph;
+
+/// Hypercube STP: vertices are the `2^d` bit strings, edges flip one
+/// bit. With `perturbed = false` (unit costs) and terminals at `0` and
+/// `2^d − 1`, the optimum is exactly `d`.
+pub fn stp_hypercube(d: usize, perturbed: bool, seed: u64) -> (StpInstance, Option<f64>) {
+    let scheme = if perturbed { CostScheme::Perturbed } else { CostScheme::Unit };
+    let g = ugrs_steiner::gen::hypercube(d, scheme, seed);
+    let name = format!("hc{d}{}-s{seed}", if perturbed { "p" } else { "u" });
+    (StpInstance::from_graph(&name, &g), None)
+}
+
+/// Hypercube STP with exactly two antipodal terminals and unit costs:
+/// the optimum is the Hamming distance `d`.
+pub fn stp_hypercube_antipodal(d: usize) -> (StpInstance, Option<f64>) {
+    let n = 1usize << d;
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for b in 0..d {
+            let v = u ^ (1 << b);
+            if u < v {
+                g.add_edge(u, v, 1.0);
+            }
+        }
+    }
+    g.set_terminal(0, true);
+    g.set_terminal(n - 1, true);
+    (StpInstance::from_graph(&format!("hc{d}-antipodal"), &g), Some(d as f64))
+}
+
+/// Grid STP on a `w × h` lattice with unit costs and terminals at the
+/// two opposite corners: the optimum is the Manhattan distance
+/// `(w − 1) + (h − 1)`.
+pub fn stp_grid_corners(w: usize, h: usize) -> (StpInstance, Option<f64>) {
+    assert!(w >= 2 && h >= 2, "grid needs at least 2×2");
+    let idx = |x: usize, y: usize| y * w + x;
+    let mut g = Graph::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                g.add_edge(idx(x, y), idx(x + 1, y), 1.0);
+            }
+            if y + 1 < h {
+                g.add_edge(idx(x, y), idx(x, y + 1), 1.0);
+            }
+        }
+    }
+    g.set_terminal(idx(0, 0), true);
+    g.set_terminal(idx(w - 1, h - 1), true);
+    (StpInstance::from_graph(&format!("grid{w}x{h}-corners"), &g), Some((w + h - 2) as f64))
+}
+
+/// Grid STP with perturbed integer costs and `nterm` random terminals
+/// (no known optimum).
+pub fn stp_grid(w: usize, h: usize, nterm: usize, seed: u64) -> (StpInstance, Option<f64>) {
+    assert!(w >= 2 && h >= 2 && nterm >= 2 && nterm <= w * h);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6772_6964);
+    let idx = |x: usize, y: usize| y * w + x;
+    let mut g = Graph::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                g.add_edge(idx(x, y), idx(x + 1, y), rng.gen_range(1..=10) as f64);
+            }
+            if y + 1 < h {
+                g.add_edge(idx(x, y), idx(x, y + 1), rng.gen_range(1..=10) as f64);
+            }
+        }
+    }
+    let mut placed = 0;
+    while placed < nterm {
+        let v = rng.gen_range(0..w * h);
+        if !g.is_terminal(v) {
+            g.set_terminal(v, true);
+            placed += 1;
+        }
+    }
+    (StpInstance::from_graph(&format!("grid{w}x{h}t{nterm}-s{seed}"), &g), None)
+}
+
+/// PACE-2018-like sparse random STP: a random spanning tree plus
+/// `extra` random chords, integer costs in `1..=10`, `nterm` random
+/// terminals (no known optimum).
+pub fn stp_incidence(
+    n: usize,
+    extra: usize,
+    nterm: usize,
+    seed: u64,
+) -> (StpInstance, Option<f64>) {
+    assert!(n >= 2 && nterm >= 2 && nterm <= n);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7061_6365);
+    let mut g = Graph::new(n);
+    // Random spanning tree: attach each vertex to a random earlier one.
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        g.add_edge(u, v, rng.gen_range(1..=10) as f64);
+    }
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra && guard < 50 * extra.max(1) {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            g.add_edge(u.min(v), u.max(v), rng.gen_range(1..=10) as f64);
+            added += 1;
+        }
+    }
+    let mut placed = 0;
+    while placed < nterm {
+        let v = rng.gen_range(0..n);
+        if !g.is_terminal(v) {
+            g.set_terminal(v, true);
+            placed += 1;
+        }
+    }
+    (StpInstance::from_graph(&format!("inc{n}e{extra}t{nterm}-s{seed}"), &g), None)
+}
+
+/// Star STP: `k` terminals, each tied to a central Steiner vertex at
+/// cost 1 and pairwise at cost 2. The optimum is the star, cost `k`.
+pub fn stp_star(k: usize) -> (StpInstance, Option<f64>) {
+    assert!(k >= 3);
+    let mut g = Graph::new(k + 1);
+    for t in 1..=k {
+        g.add_edge(0, t, 1.0);
+        g.set_terminal(t, true);
+        for s in t + 1..=k {
+            g.add_edge(t, s, 2.0);
+        }
+    }
+    (StpInstance::from_graph(&format!("star{k}"), &g), Some(k as f64))
+}
+
+/// Unit-weight ring max-cut on `n ≥ 3` vertices: the optimum cuts every
+/// edge when `n` is even (`n`), all but one when odd (`n − 1`).
+pub fn maxcut_ring(n: usize) -> (MaxCutInstance, Option<f64>) {
+    assert!(n >= 3);
+    let edges = (0..n).map(|i| (i as u32, ((i + 1) % n) as u32, 1.0)).collect();
+    let opt = if n.is_multiple_of(2) { n } else { n - 1 };
+    (MaxCutInstance { name: format!("ring{n}"), n, edges }, Some(opt as f64))
+}
+
+/// Unit-weight complete-graph max-cut: the optimum is `⌊n²/4⌋`
+/// (balanced bipartition).
+pub fn maxcut_complete(n: usize) -> (MaxCutInstance, Option<f64>) {
+    assert!(n >= 2);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            edges.push((u as u32, v as u32, 1.0));
+        }
+    }
+    (MaxCutInstance { name: format!("k{n}"), n, edges }, Some((n * n / 4) as f64))
+}
+
+/// Random max-cut: `m` distinct random edges with integer weights in
+/// `1..=10` (no known optimum).
+pub fn maxcut_random(n: usize, m: usize, seed: u64) -> (MaxCutInstance, Option<f64>) {
+    assert!(n >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6d61_7863);
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::new();
+    let mut guard = 0;
+    while edges.len() < m && guard < 100 * m.max(1) {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && seen.insert((u.min(v), u.max(v))) {
+            edges.push((u.min(v) as u32, u.max(v) as u32, rng.gen_range(1..=10) as f64));
+        }
+    }
+    (MaxCutInstance { name: format!("rnd{n}m{m}-s{seed}"), n, edges }, None)
+}
+
+/// Tiny diagonal MISDP with a known optimum: maximize `Σ yᵢ` subject to
+/// `diag(2 − y₁, …, 2 − yₖ) ⪰ 0`, `yᵢ ∈ {0, …, 5}` — the optimum is
+/// `2k`.
+pub fn misdp_diag_box(k: usize) -> (MisdpProblem, Option<f64>) {
+    assert!(k >= 1);
+    let mut p = MisdpProblem::new(&format!("diagbox{k}"), k);
+    let mut blk = SdpBlock::new(k, k);
+    for i in 0..k {
+        p.b[i] = 1.0;
+        p.lb[i] = 0.0;
+        p.ub[i] = 5.0;
+        p.integer[i] = true;
+        blk.c[(i, i)] = 2.0;
+        let mut a = ugrs_linalg::Matrix::zeros(k, k);
+        a[(i, i)] = 1.0;
+        blk.set_a(i, a);
+    }
+    p.blocks.push(blk);
+    (p, Some(2.0 * k as f64))
+}
+
+/// Truss topology MISDP from the `ugrs-misdp` generator (no known
+/// optimum).
+pub fn misdp_truss(dim: usize, bars: usize, seed: u64) -> (MisdpProblem, Option<f64>) {
+    (ugrs_misdp::gen::truss_topology(dim, bars, seed), None)
+}
+
+/// Cardinality-constrained least-squares MISDP from the `ugrs-misdp`
+/// generator (no known optimum).
+pub fn misdp_cardls(pdim: usize, k: usize, seed: u64) -> (MisdpProblem, Option<f64>) {
+    (ugrs_misdp::gen::cardinality_ls(pdim, k, seed), None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(stp_grid(3, 3, 3, 42).0, stp_grid(3, 3, 3, 42).0);
+        assert_eq!(stp_incidence(10, 5, 3, 7).0, stp_incidence(10, 5, 3, 7).0);
+        assert_eq!(maxcut_random(8, 12, 9).0, maxcut_random(8, 12, 9).0);
+    }
+
+    #[test]
+    fn analytic_references() {
+        assert_eq!(stp_hypercube_antipodal(3).1, Some(3.0));
+        assert_eq!(stp_grid_corners(3, 4).1, Some(5.0));
+        assert_eq!(stp_star(4).1, Some(4.0));
+        assert_eq!(maxcut_ring(6).1, Some(6.0));
+        assert_eq!(maxcut_ring(5).1, Some(4.0));
+        assert_eq!(maxcut_complete(4).1, Some(4.0));
+        assert_eq!(misdp_diag_box(2).1, Some(4.0));
+    }
+
+    #[test]
+    fn generated_instances_are_wellformed() {
+        let (g, _) = stp_incidence(12, 6, 4, 3);
+        assert_eq!(g.terminals.len(), 4);
+        let graph = g.to_graph();
+        assert_eq!(graph.num_terminals(), 4);
+        let (mc, _) = maxcut_random(6, 8, 1);
+        assert_eq!(mc.edges.len(), 8);
+        let (p, _) = misdp_diag_box(2);
+        assert!(p.is_feasible(&[2.0, 2.0], 1e-9));
+        assert!(!p.is_feasible(&[3.0, 0.0], 1e-9));
+    }
+}

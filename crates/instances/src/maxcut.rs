@@ -1,0 +1,162 @@
+//! Strict max-cut `.mc` I/O — the rudy/Biq Mac edge-list format: a
+//! header line `n m`, then `m` lines `u v w` with 1-based endpoints.
+//! Comment lines starting with `#` are allowed anywhere.
+
+use crate::error::{parse_finite, LineTokens, ParseError, ReadError};
+use serde::{Deserialize, Serialize};
+
+/// A weighted max-cut instance over an undirected graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaxCutInstance {
+    /// Instance name (not stored in the file; set from the file stem or
+    /// generator).
+    pub name: String,
+    /// Number of vertices.
+    pub n: usize,
+    /// Weighted edges `(u, v, w)`, 0-based, in file order.
+    pub edges: Vec<(u32, u32, f64)>,
+}
+
+impl MaxCutInstance {
+    /// Sum of all edge weights (the constant `W` in the MISDP mapping:
+    /// external cut value = `W −` internal objective).
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.2).sum()
+    }
+
+    /// Cut value of a ±-partition given as a boolean side per vertex.
+    pub fn cut_value(&self, side: &[bool]) -> f64 {
+        self.edges
+            .iter()
+            .filter(|&&(u, v, _)| side[u as usize] != side[v as usize])
+            .map(|e| e.2)
+            .sum()
+    }
+
+    /// Serializes in the exact dialect [`parse_mc`] accepts.
+    pub fn write(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "# max-cut instance \"{}\"", self.name.replace('"', "")).unwrap();
+        writeln!(s, "{} {}", self.n, self.edges.len()).unwrap();
+        for &(u, v, w) in &self.edges {
+            writeln!(s, "{} {} {}", u + 1, v + 1, w).unwrap();
+        }
+        s
+    }
+}
+
+/// Strictly parses `.mc` text; `name` labels the instance (callers pass
+/// the file stem).
+pub fn parse_mc(text: &str, name: &str) -> Result<MaxCutInstance, ParseError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    let mut last_line = 0;
+    for (lineno, raw) in text.lines().enumerate().map(|(i, l)| (i + 1, l)) {
+        last_line = lineno;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = LineTokens::new(raw, lineno);
+        match header {
+            None => {
+                let n: usize = toks.parse("vertex count")?;
+                let m: usize = toks.parse("edge count")?;
+                toks.finish()?;
+                header = Some((n, m));
+            }
+            Some((n, m)) => {
+                if edges.len() >= m {
+                    return Err(ParseError::at_line(
+                        lineno,
+                        format!("more than the declared {m} edge lines"),
+                    ));
+                }
+                let (utok, ucol) = toks.expect("edge endpoint")?;
+                let u: usize = utok
+                    .parse()
+                    .map_err(|_| ParseError::at(lineno, ucol, format!("bad endpoint: {utok:?}")))?;
+                let (vtok, vcol) = toks.expect("edge endpoint")?;
+                let v: usize = vtok
+                    .parse()
+                    .map_err(|_| ParseError::at(lineno, vcol, format!("bad endpoint: {vtok:?}")))?;
+                let w = parse_finite(&mut toks, lineno, "edge weight")?;
+                toks.finish()?;
+                if u == 0 || v == 0 || u > n || v > n {
+                    return Err(ParseError::at(
+                        lineno,
+                        ucol,
+                        format!("endpoint out of range 1..={n}"),
+                    ));
+                }
+                if u == v {
+                    return Err(ParseError::at(lineno, ucol, "self-loop edge"));
+                }
+                edges.push((u as u32 - 1, v as u32 - 1, w));
+            }
+        }
+    }
+    let (n, m) =
+        header.ok_or_else(|| ParseError::at_line(1, "empty file; expected `n m` header"))?;
+    if edges.len() != m {
+        return Err(ParseError::at_line(
+            last_line,
+            format!("header declares {m} edges but file has {}", edges.len()),
+        ));
+    }
+    Ok(MaxCutInstance { name: name.to_string(), n, edges })
+}
+
+/// Reads and strictly parses an `.mc` file; the instance is named after
+/// the file stem.
+pub fn read_mc(path: &std::path::Path) -> Result<MaxCutInstance, ReadError> {
+    let text = std::fs::read_to_string(path)?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("maxcut");
+    Ok(parse_mc(&text, name)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> MaxCutInstance {
+        MaxCutInstance {
+            name: "tri".into(),
+            n: 3,
+            edges: vec![(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.5)],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let x = tri();
+        assert_eq!(parse_mc(&x.write(), "tri").unwrap(), x);
+    }
+
+    #[test]
+    fn cut_value_counts_crossing_edges() {
+        let x = tri();
+        assert_eq!(x.total_weight(), 6.5);
+        // {0,1} vs {2}: edges (1,2) and (0,2) cross.
+        assert_eq!(x.cut_value(&[false, false, true]), 5.5);
+    }
+
+    #[test]
+    fn rejects_edge_count_mismatch() {
+        let err = parse_mc("3 2\n1 2 1.0\n", "x").unwrap_err();
+        assert!(err.msg.contains("declares 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_weight_with_position() {
+        let err = parse_mc("2 1\n1 2 oops\n", "x").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.col > 0);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(parse_mc("2 1\n1 5 1.0\n", "x").unwrap_err().msg.contains("out of range"));
+    }
+}

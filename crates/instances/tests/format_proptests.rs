@@ -1,0 +1,187 @@
+//! Property tests of the strict format layer — the parser satellite of
+//! the instance-zoo PR.
+//!
+//! Two families of properties:
+//!
+//! * **Round-trip**: `parse(write(x)) == x` for arbitrary valid
+//!   instances (structural equality for `.stp`/`.mc`; semantic
+//!   [`cbf::problems_equal`] plus writer fixed-point for CBF, whose
+//!   in-memory form is not canonical).
+//! * **Mutation robustness**: corrupting any single line of a valid
+//!   file — garbage tokens, a deleted line, a truncated line — must
+//!   yield a diagnosed [`ParseError`] or a clean parse, never a panic;
+//!   garbage-token corruption in particular must be *diagnosed*, not
+//!   silently misread.
+
+use proptest::prelude::*;
+use ugrs_instances::gen::{misdp_cardls, misdp_diag_box, misdp_truss};
+use ugrs_instances::{cbf, maxcut, stp, MaxCutInstance, StpInstance};
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// Costs that survive `Display` → `parse` exactly (any finite f64
+/// does; keep them positive and well-scaled like real instances).
+fn arb_cost() -> impl Strategy<Value = f64> {
+    (1u64..1_000_000, 0usize..3).prop_map(|(n, k)| match k {
+        0 => n as f64,
+        1 => n as f64 / 8.0, // exact in binary
+        _ => n as f64 + 0.5,
+    })
+}
+
+fn arb_stp() -> impl Strategy<Value = StpInstance> {
+    (2usize..12, 0usize..1000).prop_flat_map(|(nodes, tag)| {
+        let edge = (0u32..nodes as u32, 0u32..(nodes as u32 - 1), arb_cost()).prop_map(
+            move |(a, b, c)| {
+                // Distinct endpoints: shift b past a.
+                let v = if b >= a { b + 1 } else { b };
+                (a, v, c)
+            },
+        );
+        (
+            proptest::collection::vec(edge, 0..20),
+            proptest::collection::vec(0u32..nodes as u32, 0..6),
+        )
+            .prop_map(move |(edges, mut terminals)| {
+                terminals.sort_unstable();
+                terminals.dedup();
+                StpInstance { name: format!("p{tag}"), nodes, edges, terminals }
+            })
+    })
+}
+
+fn arb_mc() -> impl Strategy<Value = MaxCutInstance> {
+    (2usize..12, 0usize..1000).prop_flat_map(|(n, tag)| {
+        let edge = (0u32..n as u32, 0u32..(n as u32 - 1), arb_cost()).prop_map(move |(a, b, w)| {
+            let v = if b >= a { b + 1 } else { b };
+            (a, v, w)
+        });
+        proptest::collection::vec(edge, 0..16).prop_map(move |edges| MaxCutInstance {
+            name: format!("m{tag}"),
+            n,
+            edges,
+        })
+    })
+}
+
+/// CBF content comes from the seeded generators — every parameter
+/// combination is a structurally different, valid MISDP.
+fn arb_cbf_text() -> impl Strategy<Value = String> {
+    (0usize..3, 1usize..4, 0u64..50).prop_map(|(family, size, seed)| {
+        let p = match family {
+            0 => misdp_diag_box(size).0,
+            1 => misdp_truss(2, size + 2, seed).0,
+            _ => misdp_cardls(size + 1, 1, seed).0,
+        };
+        cbf::write_cbf(&p)
+    })
+}
+
+/// Replaces line `k` (mod line count) of `text` with `garbage`.
+fn mutate_line(text: &str, k: usize, garbage: &str) -> (String, usize) {
+    let lines: Vec<&str> = text.lines().collect();
+    let idx = k % lines.len();
+    let mutated: Vec<&str> =
+        lines.iter().enumerate().map(|(i, l)| if i == idx { garbage } else { *l }).collect();
+    (mutated.join("\n") + "\n", idx)
+}
+
+/// Deletes line `k` (mod line count) of `text`.
+fn delete_line(text: &str, k: usize) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let idx = k % lines.len();
+    let kept: Vec<&str> =
+        lines.iter().enumerate().filter(|(i, _)| *i != idx).map(|(_, l)| *l).collect();
+    kept.join("\n") + "\n"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn stp_round_trips(inst in arb_stp()) {
+        let text = inst.write();
+        let back = stp::parse_stp(&text).expect("writer output must parse");
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn mc_round_trips(inst in arb_mc()) {
+        let text = inst.write();
+        let back = maxcut::parse_mc(&text, &inst.name).expect("writer output must parse");
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn cbf_round_trips(text in arb_cbf_text()) {
+        let p = cbf::parse_cbf(&text, "rt").expect("writer output must parse");
+        // Semantic round-trip plus writer fixed point: the writer is
+        // the canonical form, so write(parse(write(p))) == write(p).
+        prop_assert!(cbf::problems_equal(&p, &cbf::parse_cbf(&cbf::write_cbf(&p), "rt2").unwrap()));
+        prop_assert_eq!(cbf::write_cbf(&p), text);
+    }
+
+    /// Garbage-token corruption of any single line is *diagnosed*: the
+    /// parse fails with a ParseError naming a line — or, when the
+    /// garbage landed inside the freeform Comment section (whose keys
+    /// SteinLib leaves open), the instance data must come back
+    /// untouched. Never a panic, never a silent misread.
+    #[test]
+    fn stp_garbage_line_is_diagnosed(inst in arb_stp(), k in 0usize..200) {
+        let (text, _) = mutate_line(&inst.write(), k, "@garbage@ token%line");
+        match stp::parse_stp(&text) {
+            Err(err) => prop_assert!(err.line >= 1),
+            Ok(back) => {
+                prop_assert_eq!(back.nodes, inst.nodes);
+                prop_assert_eq!(back.edges, inst.edges);
+                prop_assert_eq!(back.terminals, inst.terminals);
+            }
+        }
+    }
+
+    #[test]
+    fn mc_garbage_line_is_diagnosed(inst in arb_mc(), k in 0usize..200) {
+        let (text, _) = mutate_line(&inst.write(), k, "@garbage@ token%line");
+        let err = maxcut::parse_mc(&text, "x").expect_err("garbage line must not parse");
+        prop_assert!(err.line >= 1);
+    }
+
+    #[test]
+    fn cbf_garbage_line_is_diagnosed(text in arb_cbf_text(), k in 0usize..200) {
+        let (mutated, _) = mutate_line(&text, k, "@garbage@ token%line");
+        let err = cbf::parse_cbf(&mutated, "x").expect_err("garbage line must not parse");
+        prop_assert!(err.line >= 1);
+    }
+
+    /// Deleting any single line never panics: the parser either
+    /// diagnoses the damage or — when the line was redundant (blank,
+    /// comment) — still parses cleanly.
+    #[test]
+    fn stp_line_deletion_never_panics(inst in arb_stp(), k in 0usize..200) {
+        let _ = stp::parse_stp(&delete_line(&inst.write(), k));
+    }
+
+    #[test]
+    fn mc_line_deletion_never_panics(inst in arb_mc(), k in 0usize..200) {
+        let _ = maxcut::parse_mc(&delete_line(&inst.write(), k), "x");
+    }
+
+    #[test]
+    fn cbf_line_deletion_never_panics(text in arb_cbf_text(), k in 0usize..200) {
+        let _ = cbf::parse_cbf(&delete_line(&text, k), "x");
+    }
+
+    /// Truncating the file at any line never panics either.
+    #[test]
+    fn truncation_never_panics(inst in arb_stp(), mc in arb_mc(), k in 0usize..200) {
+        let text = inst.write();
+        let lines: Vec<&str> = text.lines().collect();
+        let cut = k % lines.len();
+        let _ = stp::parse_stp(&lines[..cut].join("\n"));
+        let mtext = mc.write();
+        let mlines: Vec<&str> = mtext.lines().collect();
+        let _ = maxcut::parse_mc(&mlines[..k % mlines.len()].join("\n"), "x");
+    }
+}

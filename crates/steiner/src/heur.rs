@@ -208,6 +208,248 @@ pub fn local_search(g: &Graph, tree: &SteinerTree, max_passes: usize) -> Steiner
     best
 }
 
+/// A key path of a Steiner tree: a maximal tree path whose endpoints are
+/// *key vertices* (terminals or tree vertices of degree ≥ 3) and whose
+/// interior vertices are non-terminal degree-2 Steiner vertices.
+#[derive(Clone, Debug)]
+struct KeyPath {
+    /// Key-vertex endpoints.
+    ends: (usize, usize),
+    /// Tree edges along the path, in walk order.
+    edges: Vec<u32>,
+    /// Interior (degree-2, non-terminal) vertices.
+    interior: Vec<usize>,
+}
+
+/// Tree adjacency: incident tree-edge ids per vertex.
+fn tree_adjacency(g: &Graph, tree: &SteinerTree) -> Vec<Vec<u32>> {
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); g.num_nodes()];
+    for &e in &tree.edges {
+        let ed = g.edge(e);
+        adj[ed.u as usize].push(e);
+        adj[ed.v as usize].push(e);
+    }
+    adj
+}
+
+/// Decomposes `tree` into its key paths.
+fn key_paths(g: &Graph, tree: &SteinerTree) -> Vec<KeyPath> {
+    let adj = tree_adjacency(g, tree);
+    let is_key = |v: usize| adj[v].len() >= 3 || g.is_terminal(v);
+    let mut seen_edge = vec![false; g.edges.len()];
+    let mut paths = Vec::new();
+    for v in 0..g.num_nodes() {
+        if adj[v].is_empty() || !is_key(v) {
+            continue;
+        }
+        for &start in &adj[v] {
+            if seen_edge[start as usize] {
+                continue;
+            }
+            // Walk from the key vertex through degree-2 Steiner vertices
+            // until the next key vertex.
+            let mut edges = vec![start];
+            let mut interior = Vec::new();
+            seen_edge[start as usize] = true;
+            let mut cur = g.edge(start).other(v as u32) as usize;
+            while !is_key(cur) {
+                interior.push(cur);
+                // `cur` has tree degree 2 (a pruned tree has no Steiner
+                // leaves): continue over the edge we did not arrive by.
+                let came = *edges.last().unwrap();
+                let Some(&next) = adj[cur].iter().find(|&&e| e != came) else {
+                    break;
+                };
+                seen_edge[next as usize] = true;
+                edges.push(next);
+                cur = g.edge(next).other(cur as u32) as usize;
+            }
+            paths.push(KeyPath { ends: (v, cur), edges, interior });
+        }
+    }
+    paths
+}
+
+/// Key-path exchange: removes one key path, splitting the tree in two,
+/// and reconnects the parts with a shortest path. Returns an improving
+/// tree if one was found.
+fn try_key_path_exchange(g: &Graph, tree: &SteinerTree, path: &KeyPath) -> Option<SteinerTree> {
+    let n = g.num_nodes();
+    let removed: Vec<bool> = {
+        let mut r = vec![false; g.edges.len()];
+        for &e in &path.edges {
+            r[e as usize] = true;
+        }
+        r
+    };
+    // Components of the remaining tree edges.
+    let mut uf = UnionFind::new(n);
+    for &e in &tree.edges {
+        if !removed[e as usize] {
+            let ed = g.edge(e);
+            uf.union(ed.u as usize, ed.v as usize);
+        }
+    }
+    let (a, b) = path.ends;
+    if uf.same(a, b) {
+        return None; // degenerate (parallel path survived)
+    }
+    let interior: Vec<bool> = {
+        let mut s = vec![false; n];
+        for &v in &path.interior {
+            s[v] = true;
+        }
+        s
+    };
+    // Side-A vertex set (tree vertices connected to end `a`, interiors
+    // dropped), used as multi-source for the reconnect search.
+    let mut in_a = vec![false; n];
+    let mut in_b = vec![false; n];
+    for v in tree.vertices(g) {
+        if interior[v] {
+            continue;
+        }
+        if uf.same(v, a) {
+            in_a[v] = true;
+        } else if uf.same(v, b) {
+            in_b[v] = true;
+        }
+    }
+    let weights = real_weights(g);
+    let (dist, pred) = dijkstra_from_set(g, (0..n).filter(|&v| in_a[v]), &weights);
+    // Cheapest reconnection endpoint on side B.
+    let target = (0..n)
+        .filter(|&v| in_b[v] && dist[v].is_finite())
+        .min_by(|&x, &y| dist[x].partial_cmp(&dist[y]).unwrap_or(Ordering::Equal))?;
+    let mut in_set = vec![false; n];
+    for v in 0..n {
+        in_set[v] = in_a[v] || in_b[v];
+    }
+    let mut v = target;
+    while !in_a[v] {
+        in_set[v] = true;
+        let e = pred[v];
+        if e == u32::MAX {
+            break;
+        }
+        v = g.edge(e).other(v as u32) as usize;
+    }
+    let cand = tree_from_vertices(g, &in_set)?;
+    (cand.cost < tree.cost - 1e-9).then_some(cand)
+}
+
+/// Key-vertex elimination: removes a non-terminal key vertex together
+/// with its incident key paths and reconnects the remaining fragments
+/// TM-style (repeated shortest paths between terminal components).
+fn try_key_vertex_elimination(g: &Graph, tree: &SteinerTree, v: usize) -> Option<SteinerTree> {
+    let n = g.num_nodes();
+    let mut in_set = vec![false; n];
+    for u in tree.vertices(g) {
+        in_set[u] = true;
+    }
+    in_set[v] = false;
+    for p in key_paths(g, tree) {
+        if p.ends.0 == v || p.ends.1 == v {
+            for &u in &p.interior {
+                in_set[u] = false;
+            }
+        }
+    }
+    for t in g.terminals() {
+        in_set[t] = true;
+    }
+    let weights = real_weights(g);
+    // Reconnect until the terminals are spanned again (each round links
+    // at least one more terminal component, so this terminates).
+    for _ in 0..g.num_terminals().max(1) {
+        if let Some(cand) = tree_from_vertices(g, &in_set) {
+            return (cand.cost < tree.cost - 1e-9).then_some(cand);
+        }
+        let mut uf = UnionFind::new(n);
+        for e in g.alive_edges() {
+            let ed = g.edge(e);
+            if in_set[ed.u as usize] && in_set[ed.v as usize] {
+                uf.union(ed.u as usize, ed.v as usize);
+            }
+        }
+        let t0 = g.terminals().next()?;
+        let sources: Vec<usize> = (0..n).filter(|&u| in_set[u] && uf.same(u, t0)).collect();
+        let source_set: Vec<bool> = {
+            let mut s = vec![false; n];
+            for &u in &sources {
+                s[u] = true;
+            }
+            s
+        };
+        let (dist, pred) = dijkstra_from_set(g, sources.into_iter(), &weights);
+        let t = g
+            .terminals()
+            .filter(|&t| !source_set[t])
+            .min_by(|&x, &y| dist[x].partial_cmp(&dist[y]).unwrap_or(Ordering::Equal))?;
+        if !dist[t].is_finite() {
+            return None;
+        }
+        let mut u = t;
+        while !source_set[u] {
+            in_set[u] = true;
+            let e = pred[u];
+            if e == u32::MAX {
+                break;
+            }
+            u = g.edge(e).other(u as u32) as usize;
+        }
+    }
+    None
+}
+
+/// Uchoa–Werneck-style key-vertex local search: alternates **key-path
+/// exchange** (replace one key path by a cheapest reconnection of the two
+/// tree halves) and **key-vertex elimination** (drop a non-terminal key
+/// vertex with its incident key paths and re-span the terminals),
+/// keeping strict improvements. Strictly stronger than the single-vertex
+/// insertion/elimination moves of [`local_search`] because whole paths
+/// move at once. Deterministic; `max_passes` bounds the outer loop.
+pub fn key_vertex_local_search(g: &Graph, tree: &SteinerTree, max_passes: usize) -> SteinerTree {
+    let mut best = tree.clone();
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for p in key_paths(g, &best) {
+            if let Some(cand) = try_key_path_exchange(g, &best, &p) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            let adj = tree_adjacency(g, &best);
+            let key_vertices: Vec<usize> =
+                (0..g.num_nodes()).filter(|&v| adj[v].len() >= 3 && !g.is_terminal(v)).collect();
+            for v in key_vertices {
+                if let Some(cand) = try_key_vertex_elimination(g, &best, v) {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            // Key moves only rewire or shrink the key-vertex set; a pass
+            // of single-vertex insertion/elimination can grow it, so fall
+            // back to it when key moves stall. This makes the combined
+            // search a strict superset of [`local_search`].
+            let cand = local_search(g, &best, 1);
+            if cand.cost < best.cost - 1e-9 {
+                best = cand;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +521,80 @@ mod tests {
         let w = lp_biased_weights(&g, &lp);
         let t = tm_from(&g, 0, &w).unwrap();
         assert!((t.cost - 6.0).abs() < 1e-9);
+    }
+
+    /// Two terminals, an expensive 2-edge path and a cheap 3-edge path.
+    /// Single-vertex insertion cannot move between them (each interior
+    /// cheap-path vertex has only one tree neighbour), but a key-path
+    /// exchange swaps the whole path at once.
+    fn two_path_instance() -> Graph {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 2.5); // expensive path 0-1-2, cost 5
+        g.add_edge(1, 2, 2.5);
+        g.add_edge(0, 3, 1.0); // cheap path 0-3-4-2, cost 3
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(4, 2, 1.0);
+        g.set_terminal(0, true);
+        g.set_terminal(2, true);
+        g
+    }
+
+    #[test]
+    fn key_path_exchange_escapes_vertex_insertion_minimum() {
+        let g = two_path_instance();
+        let start = SteinerTree::new(&g, vec![0, 1]);
+        assert!((start.cost - 5.0).abs() < 1e-9);
+        // The single-vertex moves are stuck: 3 and 4 each have one tree
+        // neighbour, so insertion never fires and cost 5 is a local
+        // optimum for `local_search`.
+        let stuck = local_search(&g, &start, 10);
+        assert!((stuck.cost - 5.0).abs() < 1e-9, "vertex moves should be stuck at 5");
+        // The key-path exchange replaces the whole expensive path.
+        let improved = key_vertex_local_search(&g, &start, 10);
+        assert!(improved.is_valid(&g));
+        assert!((improved.cost - 3.0).abs() < 1e-9, "cost = {}", improved.cost);
+    }
+
+    #[test]
+    fn key_vertex_elimination_drops_expensive_center() {
+        // Star through center 3 costs 6; the terminal triangle costs
+        // 1.9 + 1.9 = 3.8 — eliminating the key vertex finds it.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.9);
+        g.add_edge(1, 2, 1.9);
+        g.add_edge(0, 2, 1.9);
+        g.add_edge(0, 3, 2.0);
+        g.add_edge(1, 3, 2.0);
+        g.add_edge(2, 3, 2.0);
+        for t in 0..3 {
+            g.set_terminal(t, true);
+        }
+        let star = SteinerTree::new(&g, vec![3, 4, 5]);
+        let improved = key_vertex_local_search(&g, &star, 10);
+        assert!(improved.is_valid(&g));
+        assert!((improved.cost - 3.8).abs() < 1e-9, "cost = {}", improved.cost);
+    }
+
+    #[test]
+    fn key_vertex_search_reaches_star_optimum() {
+        let g = steiner_instance();
+        let start = SteinerTree::new(&g, vec![0, 1]); // 0-1, 1-2: cost 8
+        let improved = key_vertex_local_search(&g, &start, 10);
+        assert!(improved.is_valid(&g));
+        assert!((improved.cost - 6.0).abs() < 1e-9, "cost = {}", improved.cost);
+    }
+
+    #[test]
+    fn key_vertex_search_is_deterministic_and_never_worsens() {
+        let g = crate::gen::hypercube(4, crate::gen::CostScheme::Perturbed, 7);
+        let w = real_weights(&g);
+        let start = tm_best(&g, 3, &w).unwrap();
+        let a = key_vertex_local_search(&g, &start, 5);
+        let b = key_vertex_local_search(&g, &start, 5);
+        assert!(a.is_valid(&g));
+        assert!(a.cost <= start.cost + 1e-9);
+        assert_eq!(a.edges, b.edges, "same input must give the same tree");
+        assert_eq!(a.cost, b.cost);
     }
 
     #[test]

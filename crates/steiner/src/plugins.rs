@@ -21,14 +21,15 @@
 
 use crate::dualascent::{arc_dijkstra, dist_to_terminals, dual_ascent};
 use crate::graph::Graph;
-use crate::heur::{local_search, lp_biased_weights, tm_best};
+use crate::heur::{key_vertex_local_search, local_search, lp_biased_weights, tm_best};
 use crate::maxflow::MaxFlow;
 use crate::sap::SapGraph;
 use crate::tree::SteinerTree;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use ugrs_cip::{
-    BranchDecision, BranchRule, ConstraintHandler, Cut, CutBuffer, EnforceResult, Heuristic, Model,
-    PropResult, SepaResult, SolveCtx, VarId, VarType,
+    BranchDecision, BranchRule, ConstraintHandler, Cut, CutBuffer, EnforceResult, HeurSchedule,
+    Heuristic, Model, PrimalHeuristic, PropResult, SepaResult, SolveCtx, VarId, VarType,
 };
 
 /// Shared immutable data tying the CIP model to the Steiner instance.
@@ -200,8 +201,24 @@ pub fn register_plugins(
     data: Arc<SpgData>,
     in_tree_reductions: bool,
 ) {
+    register_plugins_with_hits(solver, data, in_tree_reductions, None);
+}
+
+/// [`register_plugins`] plus an externally observable hit counter for
+/// the key-vertex heuristic (incremented when it improves its start
+/// tree). Pass `None` to disable counting.
+pub fn register_plugins_with_hits(
+    solver: &mut ugrs_cip::Solver,
+    data: Arc<SpgData>,
+    in_tree_reductions: bool,
+    keyvertex_hits: Option<Arc<AtomicU64>>,
+) {
     solver.add_conshdlr(Box::new(DirectedCutHandler::new(data.clone(), in_tree_reductions)));
     solver.add_heuristic(Box::new(TmHeuristic { data: data.clone() }));
+    solver.add_primal_heuristic(Box::new(KeyVertexHeuristic {
+        data: data.clone(),
+        hits: keyvertex_hits,
+    }));
     solver.add_branchrule(Box::new(VertexBranching { data }));
 }
 
@@ -444,6 +461,74 @@ impl Heuristic for TmHeuristic {
         let tree = tm_best(&d.graph, 3, &weights)?;
         let tree = local_search(&d.graph, &tree, 2);
         d.tree_to_assignment(ctx.model, &tree)
+    }
+}
+
+/// The Uchoa–Werneck-style key-vertex local search as a scheduled
+/// [`PrimalHeuristic`]: polishes the current incumbent tree (or, absent
+/// one, an LP-biased TM start) with key-path exchange, key-vertex
+/// elimination, and single-vertex insertion moves. Improving trees are
+/// returned to the framework, installed as incumbents, and — under UG —
+/// broadcast through the incumbent exchange.
+pub struct KeyVertexHeuristic {
+    /// Shared instance data.
+    pub data: Arc<SpgData>,
+    /// Incremented whenever the search strictly improves its start tree;
+    /// lets tests observe heuristic-found incumbents from outside.
+    pub hits: Option<Arc<AtomicU64>>,
+}
+
+impl KeyVertexHeuristic {
+    /// Builds the start tree: the incumbent when one exists, else a
+    /// cheap LP-biased TM tree.
+    fn start_tree(&self, ctx: &SolveCtx) -> Option<SteinerTree> {
+        let d = &self.data;
+        if let Some(inc) = ctx.incumbent_x {
+            let edges = d.assignment_to_edges(inc);
+            if !edges.is_empty() {
+                let tree = SteinerTree::new(&d.graph, edges).pruned(&d.graph);
+                if tree.is_valid(&d.graph) {
+                    return Some(tree);
+                }
+            }
+        }
+        let x = ctx.relax_x?;
+        let edge_lp = d.edge_lp_values(x);
+        let weights = lp_biased_weights(&d.graph, &edge_lp);
+        tm_best(&d.graph, 2, &weights)
+    }
+}
+
+impl PrimalHeuristic for KeyVertexHeuristic {
+    fn name(&self) -> &str {
+        "steiner-keyvertex"
+    }
+
+    fn default_schedule(&self) -> HeurSchedule {
+        HeurSchedule {
+            // Every other depth: the search is heavier than TM, and
+            // polishing the same incumbent at every node is wasted work.
+            frequency: 2,
+            max_calls: 512,
+            // Below TM so it polishes what TM (priority 0) just found.
+            priority: -1,
+            ..HeurSchedule::default()
+        }
+    }
+
+    fn run(&mut self, ctx: &mut SolveCtx) -> Option<Vec<f64>> {
+        let start = self.start_tree(ctx)?;
+        let polished = key_vertex_local_search(&self.data.graph, &start, 8);
+        if polished.cost >= start.cost - 1e-9 && ctx.incumbent_x.is_some() {
+            // Incumbent already key-vertex-optimal: nothing new to offer.
+            return None;
+        }
+        if polished.cost < start.cost - 1e-9 {
+            if let Some(h) = &self.hits {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.data.tree_to_assignment(ctx.model, &polished)
     }
 }
 

@@ -1,0 +1,143 @@
+//! `ug-instances` — the instance-zoo CLI.
+//!
+//! ```text
+//! ug-instances generate --dir <dir> [--seed <n>]
+//! ug-instances validate --dir <dir>
+//! ug-instances info <file.stp|file.cbf|file.mc>
+//! ug-instances checksum <file>
+//! ```
+//!
+//! `generate` writes the standard small catalog (one or more instances
+//! per family with a `manifest.json`), `validate` re-checksums and
+//! re-parses every entry, `info` strictly parses a single file and
+//! prints its vitals, and `checksum` prints the FNV-1a 64 of a file's
+//! bytes — the same value recorded in job ledgers and telemetry
+//! journals by `ugd submit --file`.
+
+use std::path::Path;
+use ugrs_instances::{catalog, cbf, file_checksum, maxcut, stp, Catalog};
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("ug-instances: {msg}");
+    std::process::exit(1);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ug-instances generate --dir <dir> [--seed <n>]\n\
+         \x20      ug-instances validate --dir <dir>\n\
+         \x20      ug-instances info <file.stp|file.cbf|file.mc>\n\
+         \x20      ug-instances checksum <file>"
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    dir: Option<String>,
+    seed: u64,
+    positional: Option<String>,
+}
+
+fn parse_opts(mut it: std::env::Args) -> Result<Opts, String> {
+    let mut o = Opts { dir: None, seed: 1, positional: None };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--dir" => o.dir = Some(value("--dir")?),
+            "--seed" => o.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            other if !other.starts_with('-') && o.positional.is_none() => {
+                o.positional = Some(other.to_string())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn info(path: &Path) {
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let sum = file_checksum(path).unwrap_or_else(|e| fail(format!("cannot read {path:?}: {e}")));
+    match ext {
+        "stp" => {
+            let inst = stp::read_stp(path).unwrap_or_else(|e| fail(e));
+            println!("format:    stp (SteinLib)");
+            println!("name:      {}", inst.name);
+            println!("nodes:     {}", inst.nodes);
+            println!("edges:     {}", inst.edges.len());
+            println!("terminals: {}", inst.terminals.len());
+            println!("checksum:  {sum}");
+        }
+        "cbf" => {
+            let p = cbf::read_cbf(path).unwrap_or_else(|e| fail(e));
+            println!("format:    cbf (CBF-lite MISDP)");
+            println!("name:      {}", p.name);
+            println!("vars:      {}", p.m);
+            println!("integers:  {}", p.integer.iter().filter(|&&i| i).count());
+            println!("blocks:    {:?}", p.blocks.iter().map(|b| b.dim).collect::<Vec<_>>());
+            println!("lin rows:  {}", p.lin.len());
+            println!("checksum:  {sum}");
+        }
+        "mc" => {
+            let inst = maxcut::read_mc(path).unwrap_or_else(|e| fail(e));
+            println!("format:    mc (max-cut edge list)");
+            println!("name:      {}", inst.name);
+            println!("nodes:     {}", inst.n);
+            println!("edges:     {}", inst.edges.len());
+            println!("weight:    {}", inst.total_weight());
+            println!("checksum:  {sum}");
+        }
+        _ => fail(format!("unknown instance type {path:?} (expected .stp, .cbf or .mc)")),
+    }
+}
+
+fn main() {
+    let mut argv = std::env::args();
+    argv.next();
+    let Some(cmd) = argv.next() else { usage() };
+    let o = parse_opts(argv).unwrap_or_else(|e| {
+        eprintln!("ug-instances: {e}");
+        usage()
+    });
+    match cmd.as_str() {
+        "generate" => {
+            let Some(dir) = o.dir.as_deref() else { usage() };
+            let dir = Path::new(dir);
+            let cat = catalog::generate_small_catalog(dir, o.seed)
+                .unwrap_or_else(|e| fail(format!("cannot write catalog: {e}")));
+            println!("generated {} instances into {}", cat.entries.len(), dir.display());
+            for e in &cat.entries {
+                let opt = e.reference_optimum.map_or("-".to_string(), |v| format!("{v}"));
+                println!(
+                    "  {:<18} {:<16} {:<4} n={:<5} m={:<5} opt={:<8} {}",
+                    e.name, e.family, e.format, e.nodes, e.edges, opt, e.checksum
+                );
+            }
+        }
+        "validate" => {
+            let Some(dir) = o.dir.as_deref() else { usage() };
+            let dir = Path::new(dir);
+            let cat =
+                Catalog::load(dir).unwrap_or_else(|e| fail(format!("cannot load manifest: {e}")));
+            match cat.validate(dir) {
+                Ok(n) => println!("ok: {n} instances validated"),
+                Err(errors) => {
+                    for e in &errors {
+                        eprintln!("ug-instances: {e}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+        }
+        "info" => {
+            let Some(path) = o.positional.as_deref() else { usage() };
+            info(Path::new(path));
+        }
+        "checksum" => {
+            let Some(path) = o.positional.as_deref() else { usage() };
+            let sum = file_checksum(Path::new(path))
+                .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+            println!("{sum}");
+        }
+        _ => usage(),
+    }
+}

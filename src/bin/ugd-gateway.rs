@@ -59,8 +59,7 @@ fn parse_shard(arg: &str) -> Result<ShardSpec, String> {
         Some((port, dir)) => (port, (!dir.is_empty()).then(|| dir.into())),
         None => (port_and_dir, None),
     };
-    port.parse::<u16>()
-        .map_err(|_| format!("bad port {port:?} in --shard address {rest:?}"))?;
+    port.parse::<u16>().map_err(|_| format!("bad port {port:?} in --shard address {rest:?}"))?;
     Ok(ShardSpec { name: name.into(), addr: format!("{host}:{port}"), state_dir })
 }
 

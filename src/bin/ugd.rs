@@ -1,7 +1,7 @@
 //! `ugd` — the command-line client of `ugd-server` and `ugd-gateway`.
 //!
 //! ```text
-//! ugd submit <file.stp|file.cbf> [--addr 127.0.0.1:7163] [--name <s>]
+//! ugd submit <file.stp|file.cbf|file.mc> [--addr 127.0.0.1:7163] [--name <s>]
 //!            [--priority <p>] [--solvers <n>] [--time-limit <secs>]
 //!            [--node-limit <n>] [--tenant <key>] [--no-watch]
 //! ugd watch <job>   [--addr <a>] [--from <seq>]
@@ -15,7 +15,12 @@
 //!
 //! `submit` detects the application by extension: `.stp` (SteinLib) is
 //! reduced client-side and submitted as a Steiner job, `.cbf` as a
-//! MISDP job. By default it then watches the job to completion and
+//! MISDP job, `.mc` (max-cut edge list) as a max-cut job solved via its
+//! MISDP formulation. `--file <path>` names the instance explicitly
+//! (equivalent to the positional operand); either way the FNV-1a 64
+//! checksum of the file's bytes rides in the spec, so the job's ledger
+//! record and telemetry journal pin exactly which instance ran. By
+//! default it then watches the job to completion and
 //! prints the objective in the instance's external sense (STP: reduced
 //! plus fixed cost; MISDP: maximized `bᵀy`). Watching is resumable: on
 //! a dropped connection, re-run `ugd watch <job> --from <seq>`.
@@ -30,7 +35,7 @@
 
 use ugrs_core::telemetry::sample_sum;
 use ugrs_core::{JobEvent, JobEventKind, JobState, SubmitOutcome};
-use ugrs_glue::{misdp_job, stp_job, SolveClient, SolveJobSpec};
+use ugrs_glue::{maxcut_job, misdp_job, stp_job, SolveClient, SolveJobSpec};
 use ugrs_steiner::reduce::ReduceParams;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7163";
@@ -42,9 +47,9 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ugd submit <file.stp|file.cbf> [--addr <a>] [--name <s>] [--priority <p>]\n\
-         \x20                [--solvers <n>] [--time-limit <secs>] [--node-limit <n>]\n\
-         \x20                [--tenant <key>] [--no-watch]\n\
+        "usage: ugd submit [--file] <file.stp|file.cbf|file.mc> [--addr <a>] [--name <s>]\n\
+         \x20                [--priority <p>] [--solvers <n>] [--time-limit <secs>]\n\
+         \x20                [--node-limit <n>] [--tenant <key>] [--no-watch]\n\
          \x20      ugd watch <job> [--addr <a>] [--from <seq>]\n\
          \x20      ugd cancel <job> [--addr <a>]\n\
          \x20      ugd status [--addr <a>]\n\
@@ -61,6 +66,7 @@ fn usage() -> ! {
 struct Opts {
     addr: String,
     positional: Option<String>,
+    file: Option<String>,
     name: Option<String>,
     priority: i32,
     solvers: usize,
@@ -77,6 +83,7 @@ fn parse_opts(mut it: std::env::Args) -> Result<Opts, String> {
     let mut o = Opts {
         addr: DEFAULT_ADDR.into(),
         positional: None,
+        file: None,
         name: None,
         priority: 0,
         solvers: 2,
@@ -92,6 +99,7 @@ fn parse_opts(mut it: std::env::Args) -> Result<Opts, String> {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
             "--addr" => o.addr = value("--addr")?,
+            "--file" => o.file = Some(value("--file")?),
             // The gateway speaks the server protocol, so addressing one
             // is just an address — the alias only documents intent.
             "--gateway" => o.addr = value("--gateway")?,
@@ -147,8 +155,19 @@ fn load_spec(path: &str, o: &Opts) -> SolveJobSpec {
                 .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
             misdp_job(name, &problem)
         }
-        _ => fail(format!("unknown instance type {path:?} (expected .stp or .cbf)")),
+        "mc" => {
+            let instance = ugrs_instances::maxcut::read_mc(p)
+                .unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+            maxcut_job(name, &instance)
+        }
+        _ => fail(format!("unknown instance type {path:?} (expected .stp, .cbf or .mc)")),
     };
+    // Pin the exact bytes submitted: the checksum lands in the job's
+    // WALed ledger record and the head of its telemetry journal.
+    spec.checksum = Some(
+        ugrs_instances::file_checksum(p)
+            .unwrap_or_else(|e| fail(format!("cannot checksum {path}: {e}"))),
+    );
     spec.priority = o.priority;
     spec.num_solvers = o.solvers;
     spec.time_limit = o.time_limit;
@@ -310,7 +329,7 @@ fn main() {
     });
     match cmd.as_str() {
         "submit" => {
-            let Some(path) = o.positional.clone() else { usage() };
+            let Some(path) = o.positional.clone().or_else(|| o.file.clone()) else { usage() };
             let spec = load_spec(&path, &o);
             let instance = spec.instance.clone();
             let external = move |v: f64| instance.external_objective(v);
@@ -424,6 +443,11 @@ fn main() {
                     s.jobs_running,
                     s.last_heard_ms,
                 );
+            }
+            if !fleet.families.is_empty() {
+                let families: Vec<String> =
+                    fleet.families.iter().map(|(f, n)| format!("{f}={n}")).collect();
+                println!("families: {}", families.join(" "));
             }
             println!(
                 "stolen {}  failed_over {}  rejected {}",

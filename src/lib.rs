@@ -17,6 +17,7 @@
 //! | [`steiner`] | `ugrs-steiner` | the Steiner tree solver (SCIP-Jack analog) |
 //! | [`misdp`] | `ugrs-misdp` | the MISDP solver (SCIP-SDP analog) |
 //! | [`glue`] | `ugrs-glue` | the ug[SCIP-*,*]-libraries analog |
+//! | [`instances`] | `ugrs-instances` | the instance zoo: real-format parsers, generators, catalog |
 //! | [`lp`] | `ugrs-lp` | bounded-variable revised simplex |
 //! | [`sdp`] | `ugrs-sdp` | interior-point SDP with penalty formulation |
 //! | [`linalg`] | `ugrs-linalg` | dense linear algebra kernels |
@@ -50,6 +51,7 @@
 pub use ugrs_cip as cip;
 pub use ugrs_core as ug;
 pub use ugrs_glue as glue;
+pub use ugrs_instances as instances;
 pub use ugrs_linalg as linalg;
 pub use ugrs_lp as lp;
 pub use ugrs_misdp as misdp;

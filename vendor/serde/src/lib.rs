@@ -420,6 +420,24 @@ impl<K: AsRef<str>, V: Serialize, S> Serialize for std::collections::HashMap<K, 
     }
 }
 
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Already key-ordered — serialize in iteration order.
+        Value::Object(self.iter().map(|(k, v)| (k.as_ref().to_string(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(items) => {
+                items.iter().map(|(k, val)| Ok((k.clone(), V::from_value(val)?))).collect()
+            }
+            other => Err(Error::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
